@@ -1,0 +1,108 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//! `NumLevels` depth, `NumSucc` width, Filter size, observation-queue
+//! depth, L2 MSHR count, and Verbose vs Non-Verbose mode.
+
+use ulmt_bench::Profile;
+use ulmt_core::table::TableParams;
+use ulmt_core::AlgorithmSpec;
+use ulmt_memproc::{MemProcConfig, MemProcessor};
+use ulmt_system::{Experiment, PrefetchScheme, SystemConfig, SystemSim};
+use ulmt_workloads::{App, WorkloadSpec};
+
+/// Runs a workload with an explicit ULMT algorithm (bypassing the scheme
+/// presets) and returns its speedup over NoPref.
+fn speedup_with_alg(
+    config: SystemConfig,
+    spec: &WorkloadSpec,
+    alg: AlgorithmSpec,
+    verbose: bool,
+    conven4: bool,
+) -> f64 {
+    let base = Experiment::new(config, spec.clone()).scheme(PrefetchScheme::NoPref).run();
+    let memproc = MemProcessor::new(MemProcConfig { ..config.memproc }, alg.build());
+    let r = SystemSim::from_parts(
+        config,
+        Box::new(spec.build()),
+        conven4,
+        Some(memproc),
+        verbose,
+        alg.label(),
+        spec.app.name().to_string(),
+    )
+    .run();
+    r.speedup_vs(base.exec_cycles)
+}
+
+fn speedup_with_config(config: SystemConfig, spec: &WorkloadSpec, scheme: PrefetchScheme) -> f64 {
+    let base = Experiment::new(config, spec.clone()).scheme(PrefetchScheme::NoPref).run();
+    let r = Experiment::new(config, spec.clone()).scheme(scheme).run();
+    r.speedup_vs(base.exec_cycles)
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Ablation studies (profile: {})\n", profile.name);
+
+    let rows_for = |spec: &WorkloadSpec| {
+        (spec.footprint_lines() as usize).next_power_of_two().max(1024)
+    };
+
+    println!("NumLevels sweep (Replicated, MST) — the Table 5 deeper-levels customization:");
+    let mst = profile.workload(App::Mst);
+    let rows = rows_for(&mst);
+    for levels in [1usize, 2, 3, 4, 6] {
+        let alg = AlgorithmSpec::Repl(TableParams {
+            num_levels: levels,
+            ..TableParams::repl_default(rows)
+        });
+        let s = speedup_with_alg(profile.config, &mst, alg, false, false);
+        println!("  NumLevels={levels}: speedup {s:.2}");
+    }
+
+    println!("\nNumSucc sweep (Replicated, Parser — noisy successors):");
+    let parser = profile.workload(App::Parser);
+    let rows = rows_for(&parser);
+    for succ in [1usize, 2, 4] {
+        let alg = AlgorithmSpec::Repl(TableParams {
+            num_succ: succ,
+            ..TableParams::repl_default(rows)
+        });
+        let s = speedup_with_alg(profile.config, &parser, alg, false, false);
+        println!("  NumSucc={succ}: speedup {s:.2}");
+    }
+
+    println!("\nVerbose vs Non-Verbose mode (Conven4 + Repl, CG):");
+    let cg = profile.workload(App::Cg);
+    let rows = rows_for(&cg);
+    for verbose in [false, true] {
+        let s = speedup_with_alg(profile.config, &cg, AlgorithmSpec::repl(rows), verbose, true);
+        println!("  verbose={verbose}: speedup {s:.2}");
+    }
+
+    println!("\nFilter size sweep (Repl, Equake):");
+    for entries in [1usize, 8, 32, 128] {
+        let config = SystemConfig { filter_entries: entries, ..profile.config };
+        let s = speedup_with_config(config, &profile.workload(App::Equake), PrefetchScheme::Repl);
+        println!("  filter={entries:>4}: speedup {s:.2}");
+    }
+
+    println!("\nObservation queue (queue 2) depth sweep (Repl, CG — fast misses):");
+    for depth in [1usize, 4, 16, 64] {
+        let mut config = profile.config;
+        config.queues.observation = depth;
+        let s = speedup_with_config(config, &cg, PrefetchScheme::Repl);
+        println!("  depth={depth:>3}: speedup {s:.2}");
+    }
+
+    println!("\nL2 MSHR sweep (Conven4+Repl, Equake — prefetch-heavy):");
+    for mshrs in [2usize, 4, 8, 16] {
+        let mut config = profile.config;
+        config.l2.mshrs = mshrs;
+        let s = speedup_with_config(
+            config,
+            &profile.workload(App::Equake),
+            PrefetchScheme::Conven4Repl,
+        );
+        println!("  mshrs={mshrs:>3}: speedup {s:.2}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (miss predictability per level).
+fn main() {
+    let profile = ulmt_bench::Profile::from_env();
+    println!("{}", ulmt_bench::figures::fig5(&profile));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7.
+fn main() {
+    let mut runner = ulmt_bench::Runner::new(ulmt_bench::Profile::from_env());
+    println!("{}", ulmt_bench::figures::fig7(&mut runner));
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the response/occupancy-critical
+//! operations: one `process_miss` step per algorithm, the Filter, and the
+//! stream detector. These are the software paths whose latency Figure 10
+//! models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ulmt_core::algorithm::UlmtAlgorithm;
+use ulmt_core::seq::SeqUlmt;
+use ulmt_core::table::{Base, Chain, Replicated, TableParams};
+use ulmt_core::Filter;
+use ulmt_simcore::LineAddr;
+
+fn trained_sequence() -> Vec<LineAddr> {
+    (0..1024u64).map(|i| LineAddr::new((i * 769) % 65_536)).collect()
+}
+
+fn bench_process_miss(c: &mut Criterion) {
+    let seq = trained_sequence();
+    let mut group = c.benchmark_group("process_miss");
+    macro_rules! bench_alg {
+        ($name:expr, $alg:expr) => {
+            let mut alg = $alg;
+            for _ in 0..4 {
+                for &m in &seq {
+                    alg.process_miss(m);
+                }
+            }
+            let mut i = 0;
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let m = seq[i % seq.len()];
+                    i += 1;
+                    black_box(alg.process_miss(black_box(m)))
+                })
+            });
+        };
+    }
+    bench_alg!("base", Base::new(TableParams::base_default(64 * 1024)));
+    bench_alg!("chain", Chain::new(TableParams::chain_default(64 * 1024)));
+    bench_alg!("repl", Replicated::new(TableParams::repl_default(64 * 1024)));
+    bench_alg!("seq4", SeqUlmt::seq4());
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut filter = Filter::new(32);
+    let mut i = 0u64;
+    c.bench_function("filter_admit", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(filter.admit(LineAddr::new(i % 48)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_process_miss, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (qualitative algorithm comparison).
+fn main() {
+    println!("{}", ulmt_bench::tables::table1());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2 (applications and correlation table sizes).
+//!
+//! Always measured at paper scale unless ULMT_SCALE=small/mid, in which
+//! case the footprints (and hence NumRows) shrink with the profile.
+fn main() {
+    let scale = ulmt_bench::Profile::from_env().scale;
+    println!("{}", ulmt_bench::tables::table2(scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (simulated architecture parameters).
+fn main() {
+    println!("{}", ulmt_bench::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (algorithm parameter values).
+fn main() {
+    println!("{}", ulmt_bench::tables::table4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (per-application customizations).
+fn main() {
+    println!("{}", ulmt_bench::tables::table5());
+}

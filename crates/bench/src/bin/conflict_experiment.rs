@@ -1,0 +1,58 @@
+//! Future-work experiment: conflict-aware prefetch suppression
+//! (Section 7 of the paper hypothesizes it "should improve Sparse and
+//! Tree"). Compares plain Replicated with a ConflictAwareUlmt wrapper.
+//!
+//! Result in this reproduction: the mechanism suppresses correctly on
+//! concentrated conflict traffic (see the unit tests), but our Sparse
+//! and Tree models spread conflicts over enough sets that set-pressure
+//! suppression does not change end-to-end time — a negative result,
+//! recorded in EXPERIMENTS.md.
+
+use ulmt_bench::Profile;
+use ulmt_core::conflict::ConflictAwareUlmt;
+use ulmt_core::AlgorithmSpec;
+use ulmt_memproc::{MemProcConfig, MemProcessor};
+use ulmt_system::{Experiment, PrefetchScheme, SystemSim};
+use ulmt_workloads::App;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Conflict-aware suppression experiment (profile: {})\n", profile.name);
+    for app in [App::Sparse, App::Tree] {
+        let spec = profile.workload(app);
+        let rows = (spec.footprint_lines() as usize).next_power_of_two().max(1024);
+        let sets = profile.config.l2.num_sets();
+        let base = Experiment::new(profile.config, spec.clone())
+            .scheme(PrefetchScheme::NoPref)
+            .run();
+        let repl = Experiment::new(profile.config, spec.clone())
+            .scheme(PrefetchScheme::Repl)
+            .run();
+        for factor in [2.0f64, 4.0, 8.0] {
+            let ca = SystemSim::from_parts(
+                profile.config,
+                Box::new(spec.build()),
+                false,
+                Some(MemProcessor::new(
+                    MemProcConfig::default(),
+                    Box::new(ConflictAwareUlmt::new(
+                        AlgorithmSpec::repl(rows).build(),
+                        sets,
+                        factor,
+                    )),
+                )),
+                false,
+                format!("ConflictAware(x{factor})"),
+                app.name().to_string(),
+            )
+            .run();
+            println!(
+                "{app} factor {factor}: repl {:.3} vs conflict-aware {:.3} (replaced {} -> {})",
+                repl.speedup_vs(base.exec_cycles),
+                ca.speedup_vs(base.exec_cycles),
+                repl.prefetch.replaced,
+                ca.prefetch.replaced
+            );
+        }
+    }
+}

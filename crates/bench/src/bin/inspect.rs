@@ -1,0 +1,48 @@
+//! Diagnostic runner: one application under every scheme, with the full
+//! counter set on one line per run — the quickest way to see *why* a
+//! scheme behaves as it does.
+//!
+//! ```text
+//! cargo run --release -p ulmt-bench --bin inspect -- [app]
+//! ULMT_SCALE=paper cargo run --release -p ulmt-bench --bin inspect -- mcf
+//! ```
+
+use ulmt_bench::Profile;
+use ulmt_system::{Experiment, PrefetchScheme};
+use ulmt_workloads::App;
+
+fn parse_app(name: &str) -> Option<App> {
+    App::ALL.iter().copied().find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .and_then(|n| parse_app(&n))
+        .unwrap_or(App::Mcf);
+    let profile = Profile::from_env();
+    let spec = profile.workload(app);
+    println!(
+        "inspect: {} at {} scale ({} L2 lines footprint)\n",
+        app,
+        profile.name,
+        spec.footprint_lines()
+    );
+    let schemes = [
+        PrefetchScheme::NoPref,
+        PrefetchScheme::Conven4,
+        PrefetchScheme::Base,
+        PrefetchScheme::Chain,
+        PrefetchScheme::Repl,
+        PrefetchScheme::Conven4Repl,
+        PrefetchScheme::Custom,
+    ];
+    let mut baseline = None;
+    for scheme in schemes {
+        let r = Experiment::new(profile.config, spec.clone()).scheme(scheme).run();
+        let base = *baseline.get_or_insert(r.exec_cycles);
+        println!("[speedup {:.2}]", r.speedup_vs(base));
+        print!("{}", r.summary());
+        println!();
+    }
+}

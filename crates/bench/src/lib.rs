@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating **every table and figure** of the ISCA
+//! 2002 ULMT paper.
+//!
+//! Each `benches/` target (run with `cargo bench`) prints one table or
+//! figure; the logic lives here so it is unit-testable at small scale.
+//!
+//! The machine/workload scale is selected with the `ULMT_SCALE`
+//! environment variable:
+//!
+//! * `small` — 32 KB L2, 1/16-scale workloads (seconds; CI),
+//! * `mid` — 128 KB L2, 1/4-scale workloads (default),
+//! * `paper` — the full Table 3 machine and paper-calibrated workloads.
+//!
+//! All profiles scale the caches and footprints together, so the
+//! footprint-to-cache ratios (and therefore the miss behavior) match the
+//! full-size system.
+
+pub mod figures;
+pub mod profile;
+pub mod runner;
+pub mod tables;
+
+pub use profile::Profile;
+pub use runner::Runner;

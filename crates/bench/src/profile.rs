@@ -1,0 +1,84 @@
+//! Scale profiles for the experiment harness.
+
+use ulmt_cache::CacheConfig;
+use ulmt_system::SystemConfig;
+use ulmt_workloads::{App, WorkloadSpec};
+
+/// A machine + workload scale, preserving footprint-to-cache ratios.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Profile name (`small`, `mid`, `paper`).
+    pub name: &'static str,
+    /// Machine configuration.
+    pub config: SystemConfig,
+    /// Workload footprint scale factor.
+    pub scale: f64,
+}
+
+impl Profile {
+    /// 1/16-scale: 1 KB L1 / 32 KB L2. Runs in seconds.
+    pub fn small() -> Self {
+        Profile { name: "small", config: SystemConfig::small(), scale: 1.0 / 16.0 }
+    }
+
+    /// 1/4-scale: 4 KB L1 / 128 KB L2. The default.
+    pub fn mid() -> Self {
+        let mut config = SystemConfig::default();
+        config.l1 = CacheConfig { size_bytes: 4 * 1024, ..config.l1 };
+        config.l2 = CacheConfig { size_bytes: 128 * 1024, ..config.l2 };
+        Profile { name: "mid", config, scale: 0.25 }
+    }
+
+    /// Full scale: the Table 3 machine with paper-calibrated workloads.
+    pub fn paper() -> Self {
+        Profile { name: "paper", config: SystemConfig::default(), scale: 1.0 }
+    }
+
+    /// Reads `ULMT_SCALE` (default `mid`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown profile name.
+    pub fn from_env() -> Self {
+        match std::env::var("ULMT_SCALE").as_deref() {
+            Ok("small") => Self::small(),
+            Ok("mid") | Err(_) => Self::mid(),
+            Ok("paper") => Self::paper(),
+            Ok(other) => panic!("unknown ULMT_SCALE {other:?} (small|mid|paper)"),
+        }
+    }
+
+    /// The workload specification for `app` at this profile's scale.
+    pub fn workload(&self, app: App) -> WorkloadSpec {
+        WorkloadSpec::new(app).scale(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_preserved_across_profiles() {
+        // footprint / L2-lines must be profile-independent.
+        let ratio = |p: &Profile, app: App| {
+            p.workload(app).footprint_lines() as f64 / p.config.l2.num_lines() as f64
+        };
+        for app in [App::Mcf, App::Tree, App::Ft] {
+            let small = ratio(&Profile::small(), app);
+            let paper = ratio(&Profile::paper(), app);
+            assert!(
+                (small / paper - 1.0).abs() < 0.1,
+                "{app}: small {small} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_default_is_mid() {
+        // (The test environment does not set ULMT_SCALE.)
+        if std::env::var("ULMT_SCALE").is_err() {
+            assert_eq!(Profile::from_env().name, "mid");
+        }
+    }
+}

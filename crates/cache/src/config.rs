@@ -1,0 +1,99 @@
+//! Cache geometry configuration.
+
+/// Geometry and resource limits of one cache.
+///
+/// The defaults mirror Table 3 of the paper; see [`CacheConfig::l1`],
+/// [`CacheConfig::l2`] and [`CacheConfig::memproc_l1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+    /// Number of Miss Status Handling Registers.
+    pub mshrs: usize,
+    /// Capacity of the write-back queue in lines.
+    pub wb_capacity: usize,
+}
+
+impl CacheConfig {
+    /// Main processor L1 data cache: 16 KB, 2-way, 32 B lines (Table 3).
+    pub fn l1() -> Self {
+        CacheConfig { size_bytes: 16 * 1024, assoc: 2, line_size: 32, mshrs: 16, wb_capacity: 8 }
+    }
+
+    /// Main processor L2 data cache: 512 KB, 4-way, 64 B lines (Table 3).
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 512 * 1024, assoc: 4, line_size: 64, mshrs: 16, wb_capacity: 16 }
+    }
+
+    /// Memory processor L1 data cache: 32 KB, 2-way, 32 B lines (Table 3).
+    pub fn memproc_l1() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_size: 32, mshrs: 4, wb_capacity: 4 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / (self.line_size * self.assoc as u64)) as usize
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        self.num_sets() * self.assoc
+    }
+
+    /// Validates the geometry, panicking with a descriptive message on
+    /// inconsistent parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, if the capacity is not
+    /// divisible into whole sets, or if associativity/MSHR count is zero.
+    pub fn validate(&self) {
+        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc > 0, "associativity must be positive");
+        assert!(self.mshrs > 0, "MSHR count must be positive");
+        assert_eq!(
+            self.size_bytes % (self.line_size * self.assoc as u64),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_geometries() {
+        let l1 = CacheConfig::l1();
+        l1.validate();
+        assert_eq!(l1.num_sets(), 256);
+        assert_eq!(l1.num_lines(), 512);
+
+        let l2 = CacheConfig::l2();
+        l2.validate();
+        assert_eq!(l2.num_sets(), 2048);
+        assert_eq!(l2.num_lines(), 8192);
+
+        let mp = CacheConfig::memproc_l1();
+        mp.validate();
+        assert_eq!(mp.num_sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_line() {
+        CacheConfig { line_size: 48, ..CacheConfig::l1() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn rejects_ragged_capacity() {
+        CacheConfig { size_bytes: 1000, ..CacheConfig::l1() }.validate();
+    }
+}

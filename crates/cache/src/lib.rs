@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Set-associative cache models for the ULMT simulator.
+//!
+//! Provides the three caches of the simulated machine (Table 3 of the
+//! paper): the main processor's L1 (16 KB, 2-way, 32 B lines) and L2
+//! (512 KB, 4-way, 64 B lines), and the memory processor's private L1
+//! (32 KB, 2-way, 32 B lines).
+//!
+//! The L2 model implements the paper's *push prefetching* support
+//! (Section 2.1): it accepts lines from memory that it never requested,
+//! lets an arriving prefetch *steal* the MSHR of a matching pending demand
+//! request, and drops arriving prefetches when
+//!
+//! 1. the cache already holds the line,
+//! 2. the write-back queue holds the line,
+//! 3. all MSHRs are busy, or
+//! 4. every line in the target set is in transaction-pending state.
+//!
+//! Lines installed by a push carry a *prefetched* bit used by the
+//! effectiveness accounting of Figure 9 (`Hits`, `DelayedHits`,
+//! `Replaced`, `Redundant`).
+//!
+//! # Example
+//!
+//! ```
+//! use ulmt_cache::{Cache, CacheConfig, AccessOutcome, PushOutcome};
+//! use ulmt_simcore::Addr;
+//!
+//! let mut l2 = Cache::new(CacheConfig::l2());
+//! let line = Addr::new(0x4000).line(64);
+//!
+//! // Cold miss allocates an MSHR; the fill completes it.
+//! assert!(matches!(l2.access(line, false), AccessOutcome::Miss { .. }));
+//! l2.fill(line, false);
+//! assert!(matches!(l2.access(line, false), AccessOutcome::Hit { .. }));
+//!
+//! // A push for a line that is already present is dropped as redundant.
+//! assert_eq!(l2.push(line), PushOutcome::DroppedPresent);
+//! ```
+
+pub mod config;
+pub mod model;
+pub mod mshr;
+pub mod writeback;
+
+pub use config::CacheConfig;
+pub use model::{AccessOutcome, Cache, CacheStats, PrefetchOrigin, PushOutcome};
+pub use mshr::{MshrFile, MshrId};
+pub use writeback::WriteBackQueue;

@@ -1,0 +1,125 @@
+//! Write-back queue.
+//!
+//! Dirty victims wait here until the bus drains them to memory. The L2
+//! push-accept rules consult this queue: a prefetched line arriving while
+//! the same line sits in the write-back queue is dropped (the queued copy
+//! is newer than what memory returned).
+
+use std::collections::VecDeque;
+
+use ulmt_simcore::LineAddr;
+
+/// FIFO queue of dirty lines awaiting write-back to memory.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_cache::WriteBackQueue;
+/// use ulmt_simcore::LineAddr;
+///
+/// let mut wb = WriteBackQueue::new(2);
+/// assert!(wb.enqueue(LineAddr::new(1)));
+/// assert!(wb.enqueue(LineAddr::new(2)));
+/// assert!(!wb.enqueue(LineAddr::new(3))); // full
+/// assert!(wb.contains(LineAddr::new(1)));
+/// assert_eq!(wb.pop(), Some(LineAddr::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBackQueue {
+    queue: VecDeque<LineAddr>,
+    capacity: usize,
+    overflowed: u64,
+}
+
+impl WriteBackQueue {
+    /// Creates a queue holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        WriteBackQueue { queue: VecDeque::with_capacity(capacity), capacity, overflowed: 0 }
+    }
+
+    /// Enqueues a dirty line. Returns `false` (and counts an overflow) if
+    /// the queue is full; the caller then models the write-back as issued
+    /// immediately, which is the standard stall-free approximation.
+    pub fn enqueue(&mut self, line: LineAddr) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.overflowed += 1;
+            return false;
+        }
+        self.queue.push_back(line);
+        true
+    }
+
+    /// Removes and returns the oldest queued line.
+    pub fn pop(&mut self) -> Option<LineAddr> {
+        self.queue.pop_front()
+    }
+
+    /// Returns `true` if `line` is waiting in the queue.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.queue.contains(&line)
+    }
+
+    /// Removes `line` from the queue if present (used when a demand miss
+    /// must re-fetch a line that was about to be written back).
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        if let Some(pos) = self.queue.iter().position(|&l| l == line) {
+            self.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of queued lines.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of enqueue attempts rejected because the queue was full.
+    pub fn overflows(&self) -> u64 {
+        self.overflowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut wb = WriteBackQueue::new(4);
+        for i in 0..4 {
+            assert!(wb.enqueue(LineAddr::new(i)));
+        }
+        for i in 0..4 {
+            assert_eq!(wb.pop(), Some(LineAddr::new(i)));
+        }
+        assert_eq!(wb.pop(), None);
+    }
+
+    #[test]
+    fn overflow_counts() {
+        let mut wb = WriteBackQueue::new(1);
+        assert!(wb.enqueue(LineAddr::new(1)));
+        assert!(!wb.enqueue(LineAddr::new(2)));
+        assert_eq!(wb.overflows(), 1);
+        assert_eq!(wb.len(), 1);
+    }
+
+    #[test]
+    fn remove_mid_queue() {
+        let mut wb = WriteBackQueue::new(3);
+        wb.enqueue(LineAddr::new(1));
+        wb.enqueue(LineAddr::new(2));
+        wb.enqueue(LineAddr::new(3));
+        assert!(wb.remove(LineAddr::new(2)));
+        assert!(!wb.remove(LineAddr::new(2)));
+        assert_eq!(wb.pop(), Some(LineAddr::new(1)));
+        assert_eq!(wb.pop(), Some(LineAddr::new(3)));
+    }
+}

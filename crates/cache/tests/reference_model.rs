@@ -1,0 +1,184 @@
+//! Property test: the cache against a brute-force reference model.
+//!
+//! The reference model is an obviously-correct per-set LRU list with the
+//! same accept/steal/drop semantics. Any divergence in hit/miss outcomes
+//! or final contents is a bug in the optimized implementation.
+
+use proptest::prelude::*;
+use ulmt_cache::{AccessOutcome, Cache, CacheConfig, PushOutcome};
+use ulmt_simcore::LineAddr;
+
+/// Brute-force model: per set, a MRU-ordered list of (line, pending).
+#[derive(Debug, Clone)]
+struct RefModel {
+    sets: Vec<Vec<(u64, bool)>>, // (line, pending)
+    assoc: usize,
+    mshrs_free: usize,
+}
+
+impl RefModel {
+    fn new(cfg: &CacheConfig) -> Self {
+        RefModel {
+            sets: vec![Vec::new(); cfg.num_sets()],
+            assoc: cfg.assoc,
+            mshrs_free: cfg.mshrs,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets.len() - 1)
+    }
+
+    /// Mirrors `Cache::access` for a demand read. Returns "hit", "merge",
+    /// "miss" or "blocked".
+    fn access(&mut self, line: u64) -> &'static str {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(l, p)| l == line && !p) {
+            let way = ways.remove(pos);
+            ways.insert(0, way); // MRU
+            return "hit";
+        }
+        if ways.iter().any(|&(l, p)| l == line && p) {
+            return "merge";
+        }
+        if self.mshrs_free == 0 {
+            return "blocked";
+        }
+        // Victim: LRU among non-pending.
+        let victim = ways.iter().rposition(|&(_, p)| !p);
+        if ways.len() >= self.assoc {
+            match victim {
+                Some(pos) => {
+                    ways.remove(pos);
+                }
+                None => return "blocked", // set fully pending
+            }
+        }
+        ways.insert(0, (line, true));
+        self.mshrs_free -= 1;
+        "miss"
+    }
+
+    fn fill(&mut self, line: u64) {
+        let set = self.set_of(line);
+        if let Some(pos) = self.sets[set].iter().position(|&(l, p)| l == line && p) {
+            self.sets[set][pos].1 = false;
+            let way = self.sets[set].remove(pos);
+            self.sets[set].insert(0, way);
+            self.mshrs_free += 1;
+        }
+    }
+
+    /// Mirrors `Cache::push`.
+    fn push(&mut self, line: u64) -> &'static str {
+        let set = self.set_of(line);
+        if self.sets[set].iter().any(|&(l, p)| l == line && p) {
+            self.fill(line);
+            return "stole";
+        }
+        if self.sets[set].iter().any(|&(l, p)| l == line && !p) {
+            return "present";
+        }
+        if self.mshrs_free == 0 {
+            return "no_mshr";
+        }
+        let ways = &mut self.sets[set];
+        if ways.len() >= self.assoc {
+            match ways.iter().rposition(|&(_, p)| !p) {
+                Some(pos) => {
+                    ways.remove(pos);
+                }
+                None => return "set_pending",
+            }
+        }
+        self.sets[set].insert(0, (line, false));
+        "accepted"
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.sets[set].iter().any(|&(l, p)| l == line && !p)
+    }
+}
+
+fn outcome_name(o: &AccessOutcome) -> &'static str {
+    match o {
+        AccessOutcome::Hit { .. } => "hit",
+        AccessOutcome::MissMerged { .. } => "merge",
+        AccessOutcome::Miss { .. } => "miss",
+        AccessOutcome::Blocked => "blocked",
+    }
+}
+
+fn push_name(o: &PushOutcome) -> &'static str {
+    match o {
+        PushOutcome::StoleMshr { .. } => "stole",
+        PushOutcome::Accepted { .. } => "accepted",
+        PushOutcome::DroppedPresent => "present",
+        PushOutcome::DroppedWriteback => "writeback",
+        PushOutcome::DroppedNoMshr => "no_mshr",
+        PushOutcome::DroppedSetPending => "set_pending",
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64),
+    Fill(u64),
+    Push(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..96).prop_map(Op::Access),
+            (0u64..96).prop_map(Op::Fill),
+            (0u64..96).prop_map(Op::Push),
+        ],
+        1..500,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_model(ops in ops()) {
+        let cfg = CacheConfig {
+            size_bytes: 2048, // 16 sets x 2 ways
+            assoc: 2,
+            line_size: 64,
+            mshrs: 4,
+            wb_capacity: 8,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut model = RefModel::new(&cfg);
+        for op in ops {
+            match op {
+                Op::Access(l) => {
+                    let got = outcome_name(&cache.access(LineAddr::new(l), false));
+                    let want = model.access(l);
+                    prop_assert_eq!(got, want, "access {}", l);
+                }
+                Op::Fill(l) => {
+                    cache.fill(LineAddr::new(l), false);
+                    model.fill(l);
+                }
+                Op::Push(l) => {
+                    let got = push_name(&cache.push(LineAddr::new(l)));
+                    let want = model.push(l);
+                    prop_assert_eq!(got, want, "push {}", l);
+                }
+            }
+        }
+        // Final contents agree.
+        for l in 0..96 {
+            prop_assert_eq!(
+                cache.contains(LineAddr::new(l)),
+                model.contains(l),
+                "final contents differ at line {}", l
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Conflict-aware customization — the paper's stated future work.
+//!
+//! "This work is being extended by ... customizing for ... cache conflict
+//! detection and elimination. Customization for cache conflict
+//! elimination should improve Sparse and Tree, the applications with the
+//! smallest speedups." (Section 7)
+//!
+//! [`ConflictAwareUlmt`] wraps any correlation algorithm and tracks L2
+//! set pressure from the observed miss stream (the same inference the
+//! profiling thread performs). Prefetches aimed at conflict-dominated
+//! sets are suppressed: pushing into a set that is already thrashing only
+//! evicts live lines, so those prefetches are (at best) wasted bandwidth
+//! and (at worst) extra misses.
+
+use ulmt_simcore::{LineAddr, PageAddr};
+
+use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::cost::StepResult;
+
+/// A ULMT that suppresses prefetches into conflict-dominated L2 sets.
+pub struct ConflictAwareUlmt {
+    inner: Box<dyn UlmtAlgorithm>,
+    l2_sets: usize,
+    set_misses: Vec<u64>,
+    total: u64,
+    /// A set is "conflicted" when its miss count exceeds this multiple of
+    /// the mean per-set pressure.
+    factor: f64,
+    suppressed: u64,
+}
+
+impl ConflictAwareUlmt {
+    /// Default pressure multiple above which a set is treated as
+    /// conflict-dominated.
+    pub const DEFAULT_FACTOR: f64 = 8.0;
+
+    /// Wraps `inner`, tracking pressure over `l2_sets` sets (2048 for the
+    /// Table 3 L2; pass the scaled count for scaled machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2_sets` is not a power of two or `factor <= 1`.
+    pub fn new(inner: Box<dyn UlmtAlgorithm>, l2_sets: usize, factor: f64) -> Self {
+        assert!(l2_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(factor > 1.0, "factor must exceed 1");
+        ConflictAwareUlmt {
+            inner,
+            l2_sets,
+            set_misses: vec![0; l2_sets],
+            total: 0,
+            factor,
+            suppressed: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.l2_sets - 1)
+    }
+
+    fn is_conflicted(&self, line: LineAddr) -> bool {
+        let mean = self.total as f64 / self.l2_sets as f64;
+        let count = self.set_misses[self.set_of(line)];
+        count > 16 && (count as f64) > self.factor * mean.max(1.0)
+    }
+
+    /// Prefetches suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
+impl std::fmt::Debug for ConflictAwareUlmt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConflictAwareUlmt")
+            .field("inner", &self.inner.name())
+            .field("suppressed", &self.suppressed)
+            .finish()
+    }
+}
+
+impl UlmtAlgorithm for ConflictAwareUlmt {
+    fn name(&self) -> String {
+        format!("conflict-aware({})", self.inner.name())
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let set = self.set_of(miss);
+        self.set_misses[set] += 1;
+        self.total += 1;
+        let mut step = self.inner.process_miss(miss);
+        let before = step.prefetches.len();
+        let conflicted: Vec<bool> =
+            step.prefetches.iter().map(|&p| self.is_conflicted(p)).collect();
+        let mut keep = conflicted.iter().map(|c| !c);
+        step.prefetches.retain(|_| keep.next().unwrap_or(true));
+        self.suppressed += (before - step.prefetches.len()) as u64;
+        // The pressure check is a table-free counter lookup per address.
+        step.prefetch_cost.add_insns(insn_cost::PER_STREAM_CHECK * before as u64);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        self.inner.predict(miss, levels)
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.inner.remap_page(old, new);
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        // The pressure counters live in the ULMT's memory too.
+        self.inner.table_size_bytes() + 8 * self.l2_sets as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlgorithmSpec;
+
+    fn wrapped(sets: usize) -> ConflictAwareUlmt {
+        ConflictAwareUlmt::new(AlgorithmSpec::repl(4096).build(), sets, 8.0)
+    }
+
+    #[test]
+    fn suppresses_prefetches_into_hammered_sets() {
+        let mut c = wrapped(128);
+        // Hammer set 5 with a repeating conflict pattern; scatter some
+        // background misses.
+        let conflict: Vec<u64> = (0..6).map(|k| 5 + k * 128).collect();
+        for _ in 0..40 {
+            for &l in &conflict {
+                c.process_miss(LineAddr::new(l));
+            }
+            for b in 0..8u64 {
+                c.process_miss(LineAddr::new(10_000 + b * 97));
+            }
+        }
+        assert!(c.suppressed() > 0, "conflict-set prefetches must be suppressed");
+        // And the surviving prefetches avoid the hot set.
+        let step = c.process_miss(LineAddr::new(5));
+        for p in &step.prefetches {
+            assert_ne!(p.raw() & 127, 5, "prefetch into the conflicted set survived");
+        }
+    }
+
+    #[test]
+    fn leaves_uniform_traffic_untouched() {
+        let mut c = wrapped(128);
+        for i in 0..2000u64 {
+            c.process_miss(LineAddr::new((i * 131) % 1024));
+        }
+        assert_eq!(c.suppressed(), 0, "uniform pressure must not trigger suppression");
+    }
+
+    #[test]
+    fn predictions_pass_through() {
+        let mut c = wrapped(128);
+        for _ in 0..3 {
+            for l in [1u64, 2, 3] {
+                c.process_miss(LineAddr::new(l));
+            }
+        }
+        let preds = c.predict(LineAddr::new(1), 1);
+        assert!(preds[0].contains(&LineAddr::new(2)));
+        assert!(c.name().contains("conflict-aware"));
+    }
+
+    #[test]
+    fn accounts_counter_storage() {
+        let c = wrapped(2048);
+        let inner = AlgorithmSpec::repl(4096).build().table_size_bytes();
+        assert_eq!(c.table_size_bytes(), inner + 8 * 2048);
+    }
+}

@@ -1,0 +1,197 @@
+//! Declarative algorithm specifications.
+//!
+//! The paper's customization story (Section 3.3.3) is that "the programmer
+//! or system can choose to run a different algorithm in the ULMT for each
+//! application". [`AlgorithmSpec`] is that choice as a value: it can be
+//! stored in experiment configurations, printed in reports, and built into
+//! a running [`UlmtAlgorithm`].
+
+use crate::adaptive::AdaptiveUlmt;
+use crate::algorithm::{Combined, NullAlgorithm, SeqElseCorr, UlmtAlgorithm};
+use crate::seq::SeqUlmt;
+use crate::table::{Base, Chain, Replicated, TableParams};
+
+/// A buildable description of a ULMT algorithm (Table 4 rows, plus the
+/// Table 5 customizations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// No memory-side prefetching.
+    Null,
+    /// Software sequential prefetcher with `num_seq` streams and
+    /// `num_pref` prefetch depth.
+    Seq {
+        /// Number of stream registers.
+        num_seq: usize,
+        /// Lines prefetched per stream hit.
+        num_pref: usize,
+    },
+    /// The conventional one-level table (Figure 4-(a)).
+    Base(TableParams),
+    /// Multi-level walking of the conventional table (Figure 4-(b)).
+    Chain(TableParams),
+    /// The paper's replicated table (Figure 4-(c)).
+    Repl(TableParams),
+    /// Run several algorithms back-to-back on each observed miss.
+    Combined(Vec<AlgorithmSpec>),
+    /// Sequential-first hybrid: the correlation part only prefetches for
+    /// observations the stream detector does not recognize (the CG
+    /// customization of Section 5.2).
+    SeqElse {
+        /// Stream registers of the sequential part.
+        num_seq: usize,
+        /// Prefetch depth of the sequential part.
+        num_pref: usize,
+        /// Issue-window offset in lines beyond the observed address.
+        offset: usize,
+        /// The correlation part.
+        corr: Box<AlgorithmSpec>,
+    },
+    /// Adaptive on-the-fly selection between sequential and Replicated
+    /// (Section 3.3.3 "decide the algorithm on-the-fly").
+    Adaptive(TableParams),
+}
+
+impl AlgorithmSpec {
+    /// `Seq1` from Table 4.
+    pub fn seq1() -> Self {
+        AlgorithmSpec::Seq { num_seq: 1, num_pref: 6 }
+    }
+
+    /// `Seq4` from Table 4.
+    pub fn seq4() -> Self {
+        AlgorithmSpec::Seq { num_seq: 4, num_pref: 6 }
+    }
+
+    /// `Base` with Table 4 parameters and the given `NumRows`.
+    pub fn base(num_rows: usize) -> Self {
+        AlgorithmSpec::Base(TableParams::base_default(num_rows))
+    }
+
+    /// `Chain` with Table 4 parameters and the given `NumRows`.
+    pub fn chain(num_rows: usize) -> Self {
+        AlgorithmSpec::Chain(TableParams::chain_default(num_rows))
+    }
+
+    /// `Repl` with Table 4 parameters and the given `NumRows`.
+    pub fn repl(num_rows: usize) -> Self {
+        AlgorithmSpec::Repl(TableParams::repl_default(num_rows))
+    }
+
+    /// `Repl` with a customized `NumLevels` (the MST/Mcf customization of
+    /// Table 5 uses `NumLevels = 4`).
+    pub fn repl_levels(num_rows: usize, num_levels: usize) -> Self {
+        AlgorithmSpec::Repl(TableParams { num_levels, ..TableParams::repl_default(num_rows) })
+    }
+
+    /// `Seq1+Repl` — the CG customization of Table 5 (run in Verbose
+    /// mode by the system configuration): sequential-first, correlation
+    /// for the rest.
+    pub fn seq1_repl(num_rows: usize) -> Self {
+        AlgorithmSpec::SeqElse {
+            num_seq: 1,
+            num_pref: 6,
+            // Observations in Verbose mode are Conven4 requests that run
+            // ~3 L2 lines ahead of demand; start past that window.
+            offset: 3,
+            corr: Box::new(Self::repl(num_rows)),
+        }
+    }
+
+    /// Short label used in report tables, e.g. `"seq1+repl"`.
+    pub fn label(&self) -> String {
+        match self {
+            AlgorithmSpec::Null => "none".into(),
+            AlgorithmSpec::Seq { num_seq, .. } => format!("seq{num_seq}"),
+            AlgorithmSpec::Base(_) => "base".into(),
+            AlgorithmSpec::Chain(_) => "chain".into(),
+            AlgorithmSpec::Repl(p) if p.num_levels != 3 => format!("repl(l{})", p.num_levels),
+            AlgorithmSpec::Repl(_) => "repl".into(),
+            AlgorithmSpec::Combined(parts) => {
+                parts.iter().map(AlgorithmSpec::label).collect::<Vec<_>>().join("+")
+            }
+            AlgorithmSpec::SeqElse { num_seq, corr, .. } => {
+                format!("seq{num_seq}+{}", corr.label())
+            }
+            AlgorithmSpec::Adaptive(_) => "adaptive".into(),
+        }
+    }
+
+    /// Builds a runnable algorithm.
+    pub fn build(&self) -> Box<dyn UlmtAlgorithm> {
+        match self {
+            AlgorithmSpec::Null => Box::new(NullAlgorithm),
+            AlgorithmSpec::Seq { num_seq, num_pref } => {
+                Box::new(SeqUlmt::new(*num_seq, *num_pref))
+            }
+            AlgorithmSpec::Base(p) => Box::new(Base::new(*p)),
+            AlgorithmSpec::Chain(p) => Box::new(Chain::new(*p)),
+            AlgorithmSpec::Repl(p) => Box::new(Replicated::new(*p)),
+            AlgorithmSpec::Combined(parts) => {
+                Box::new(Combined::new(parts.iter().map(AlgorithmSpec::build).collect()))
+            }
+            AlgorithmSpec::SeqElse { num_seq, num_pref, offset, corr } => {
+                Box::new(SeqElseCorr::new(
+                    SeqUlmt::with_lookahead_offset(*num_seq, *num_pref, *offset),
+                    corr.build(),
+                ))
+            }
+            AlgorithmSpec::Adaptive(p) => Box::new(AdaptiveUlmt::new(*p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulmt_simcore::LineAddr;
+
+    #[test]
+    fn labels() {
+        assert_eq!(AlgorithmSpec::seq4().label(), "seq4");
+        assert_eq!(AlgorithmSpec::base(1024).label(), "base");
+        assert_eq!(AlgorithmSpec::seq1_repl(1024).label(), "seq1+repl");
+        assert_eq!(AlgorithmSpec::repl_levels(1024, 4).label(), "repl(l4)");
+        assert_eq!(AlgorithmSpec::Null.label(), "none");
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for spec in [
+            AlgorithmSpec::seq1(),
+            AlgorithmSpec::base(256),
+            AlgorithmSpec::chain(256),
+            AlgorithmSpec::repl(256),
+            AlgorithmSpec::seq1_repl(256),
+        ] {
+            let alg = spec.build();
+            assert_eq!(alg.name(), spec.label());
+        }
+    }
+
+    #[test]
+    fn built_algorithms_are_functional() {
+        // Non-sequential lines: the Seq1 half never matches, so the
+        // Replicated half generates the prefetches.
+        let mut alg = AlgorithmSpec::seq1_repl(256).build();
+        for _ in 0..3 {
+            for n in [10u64, 200, 3000] {
+                alg.process_miss(LineAddr::new(n));
+            }
+        }
+        let step = alg.process_miss(LineAddr::new(10));
+        assert!(step.prefetches.contains(&LineAddr::new(200)), "{:?}", step.prefetches);
+    }
+
+    #[test]
+    fn seq_else_corr_suppresses_corr_on_streams() {
+        let mut alg = AlgorithmSpec::seq1_repl(256).build();
+        // Train a long ascending stream; once recognized, prefetches come
+        // from the sequential half only (ahead of the stream).
+        let mut last = Vec::new();
+        for n in 0..32u64 {
+            last = alg.process_miss(LineAddr::new(n)).prefetches;
+        }
+        assert!(!last.is_empty());
+        assert!(last.iter().all(|l| l.raw() > 31), "{last:?}");
+    }
+}

@@ -1,0 +1,269 @@
+//! The Base correlation algorithm (Figure 4-(a)).
+//!
+//! This is the conventional pair-based organization of Joseph & Grunwald:
+//! each row stores the tag of a miss address and `NumSucc` immediate
+//! successors in MRU order. On a miss, the algorithm prefetches all the
+//! successors of the corresponding row; it then learns by inserting the
+//! miss as the MRU immediate successor of the *previous* miss (reached
+//! through a retained row pointer, no search needed).
+
+use ulmt_simcore::{LineAddr, PageAddr};
+
+use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::cost::StepResult;
+
+use super::storage::{MruList, RowPtr, RowTable, TableStats};
+use super::TableParams;
+
+/// The conventional one-level correlation prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_core::table::{Base, TableParams};
+/// use ulmt_core::algorithm::UlmtAlgorithm;
+/// use ulmt_simcore::LineAddr;
+///
+/// let mut base = Base::new(TableParams::base_default(1024));
+/// for _ in 0..2 {
+///     for n in [1u64, 2, 3] {
+///         base.process_miss(LineAddr::new(n));
+///     }
+/// }
+/// // Base prefetches only immediate successors: miss on 1 predicts 2.
+/// let step = base.process_miss(LineAddr::new(1));
+/// assert_eq!(step.prefetches, vec![LineAddr::new(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Base {
+    params: TableParams,
+    table: RowTable<MruList>,
+    last: Option<RowPtr>,
+}
+
+impl Base {
+    /// Creates an empty Base prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid or `num_levels != 1` (Base stores a
+    /// single level of successors by definition).
+    pub fn new(params: TableParams) -> Self {
+        params.validate();
+        assert_eq!(params.num_levels, 1, "Base stores exactly one level of successors");
+        let row_bytes = params.flat_row_bytes();
+        Base {
+            table: RowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
+            params,
+            last: None,
+        }
+    }
+
+    /// Table parameters.
+    pub fn params(&self) -> &TableParams {
+        &self.params
+    }
+
+    /// Table behavior counters.
+    pub fn table_stats(&self) -> &TableStats {
+        self.table.stats()
+    }
+
+    /// Shrinks or grows the table (Section 3.4 dynamic sizing).
+    pub fn resize(&mut self, num_rows: usize) {
+        let new_params = TableParams { num_rows, ..self.params };
+        self.table.resize(&new_params);
+        self.params = new_params;
+        self.last = None;
+    }
+
+    /// Prefetching step: look up `miss` and emit all its stored successors
+    /// (MRU first). Shared with [`Chain`](super::Chain)'s first level.
+    fn prefetch_step(&mut self, miss: LineAddr, step: &mut StepResult) -> Option<RowPtr> {
+        step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
+        for addr in self.table.probe_addrs(miss) {
+            step.prefetch_cost.read(addr, 4);
+            step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
+        }
+        let ptr = self.table.lookup(miss)?;
+        let row_addr = self.table.row_addr(ptr);
+        step.prefetch_cost.read(row_addr, self.table.row_bytes());
+        let row = self.table.get(ptr).expect("fresh pointer from lookup is valid");
+        for succ in row.iter() {
+            step.prefetches.push(succ);
+            step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
+        }
+        Some(ptr)
+    }
+
+    /// Learning step: insert `miss` as the MRU successor of the previous
+    /// miss (through the retained pointer — no search), then find or
+    /// allocate the row for `miss` and retain its pointer.
+    fn learn_step(&mut self, miss: LineAddr, found: Option<RowPtr>, step: &mut StepResult) {
+        step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
+        if let Some(last) = self.last {
+            if let Some(row) = self.table.get_mut(last) {
+                row.insert_mru(miss);
+                let addr = self.table.row_addr(last);
+                step.learn_cost.write(addr, self.table.row_bytes());
+                step.learn_cost.add_insns(insn_cost::PER_INSERT);
+            }
+        }
+        let ptr = match found {
+            Some(ptr) => ptr,
+            None => {
+                let (ptr, _) = self.table.find_or_alloc(miss);
+                let addr = self.table.row_addr(ptr);
+                step.learn_cost.write(addr, 4); // write the tag
+                step.learn_cost.add_insns(insn_cost::PER_ALLOC);
+                ptr
+            }
+        };
+        self.last = Some(ptr);
+    }
+}
+
+impl UlmtAlgorithm for Base {
+    fn name(&self) -> String {
+        "base".to_string()
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let mut step = StepResult::new();
+        let found = self.prefetch_step(miss, &mut step);
+        self.learn_step(miss, found, &mut step);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        let mut out = vec![Vec::new(); levels];
+        if levels == 0 {
+            return out;
+        }
+        if let Some(row) = self.table.peek(miss) {
+            out[0] = row.iter().collect();
+        }
+        out
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.table.remap_page(old, new, |row, o, n| row.remap_page(o, n));
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn small() -> Base {
+        Base::new(TableParams { num_rows: 256, assoc: 4, num_succ: 4, num_levels: 1 })
+    }
+
+    /// Replays the miss sequence of Figure 4: a, b, c, a, d, c.
+    fn figure4_sequence(alg: &mut Base) {
+        for n in [10u64, 20, 30, 10, 40, 30] {
+            alg.process_miss(line(n));
+        }
+    }
+
+    #[test]
+    fn figure4a_state_and_prefetch() {
+        let mut base = small();
+        figure4_sequence(&mut base);
+        // Row a holds {d, b} in MRU order (Figure 4-(a)(ii)).
+        let preds = base.predict(line(10), 1);
+        assert_eq!(preds[0], vec![line(40), line(20)]);
+        // On a miss on a, Base prefetches d and b (Figure 4-(a)(iii)).
+        let step = base.process_miss(line(10));
+        assert_eq!(step.prefetches, vec![line(40), line(20)]);
+    }
+
+    #[test]
+    fn first_miss_prefetches_nothing() {
+        let mut base = small();
+        let step = base.process_miss(line(1));
+        assert!(step.prefetches.is_empty());
+        // But the step still charged the search.
+        assert!(step.prefetch_cost.insns > 0);
+        assert!(!step.prefetch_cost.table_touches.is_empty());
+    }
+
+    #[test]
+    fn successor_lists_are_lru_capped() {
+        let mut base = Base::new(TableParams {
+            num_rows: 256,
+            assoc: 4,
+            num_succ: 2,
+            num_levels: 1,
+        });
+        // a followed by b, c, d at different times: only 2 most recent kept.
+        for n in [1u64, 2, 1, 3, 1, 4] {
+            base.process_miss(line(n));
+        }
+        let preds = base.predict(line(1), 1);
+        assert_eq!(preds[0], vec![line(4), line(3)]);
+    }
+
+    #[test]
+    fn learning_costs_are_charged_to_learn_phase() {
+        let mut base = small();
+        base.process_miss(line(1));
+        let step = base.process_miss(line(2));
+        // Learning writes the last row (successor insert) and the new row.
+        let writes = step.learn_cost.table_touches.iter().filter(|t| t.is_write).count();
+        assert_eq!(writes, 2);
+        // Prefetch phase never writes.
+        assert!(step.prefetch_cost.table_touches.iter().all(|t| !t.is_write));
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let mut base = small();
+        figure4_sequence(&mut base);
+        let before = base.table_stats().lookups;
+        let _ = base.predict(line(10), 1);
+        assert_eq!(base.table_stats().lookups, before);
+    }
+
+    #[test]
+    fn remap_moves_learned_correlations() {
+        let mut base = small();
+        let lpp = PageAddr::lines_per_page();
+        let a = line(lpp * 4);
+        let b = line(lpp * 4 + 1);
+        for _ in 0..2 {
+            base.process_miss(a);
+            base.process_miss(b);
+        }
+        base.remap_page(PageAddr::new(4), PageAddr::new(9));
+        let a_new = line(lpp * 9);
+        let b_new = line(lpp * 9 + 1);
+        let preds = base.predict(a_new, 1);
+        assert!(preds[0].contains(&b_new), "preds {:?}", preds[0]);
+    }
+
+    #[test]
+    fn resize_shrinks_table() {
+        let mut base = small();
+        for n in 0..200u64 {
+            base.process_miss(line(n));
+        }
+        base.resize(64);
+        assert_eq!(base.params().num_rows, 64);
+        assert!(base.table_size_bytes() < 256 * 20);
+        // Still functional after resize.
+        base.process_miss(line(1));
+        base.process_miss(line(2));
+        base.process_miss(line(1));
+        let step = base.process_miss(line(2));
+        assert!(step.prefetches.is_empty() || !step.prefetches.is_empty());
+    }
+}

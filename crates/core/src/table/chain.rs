@@ -1,0 +1,241 @@
+//! The Chain correlation algorithm (Figure 4-(b)).
+//!
+//! Chain uses the *conventional* table organization (same rows as
+//! [`Base`](super::Base)) but, when prefetching, walks `NumLevels` rows
+//! along the MRU path: after prefetching the immediate successors of the
+//! missed line, it takes the MRU successor, looks *its* row up, prefetches
+//! those successors, and repeats.
+//!
+//! The paper identifies its two weaknesses, both reproduced here
+//! faithfully: the walked successors are not the *true* MRU successors of
+//! each level (only those along the MRU path), and every level costs an
+//! extra associative search — hence Chain's high response time in
+//! Figure 10.
+
+use ulmt_simcore::{LineAddr, PageAddr};
+
+use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::cost::StepResult;
+
+use super::storage::{MruList, RowPtr, RowTable, TableStats};
+use super::TableParams;
+
+/// Multi-level correlation prefetching over the conventional table.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_core::table::{Chain, TableParams};
+/// use ulmt_core::algorithm::UlmtAlgorithm;
+/// use ulmt_simcore::LineAddr;
+///
+/// let mut chain = Chain::new(TableParams::chain_default(1024));
+/// for _ in 0..2 {
+///     for n in [1u64, 2, 3] {
+///         chain.process_miss(LineAddr::new(n));
+///     }
+/// }
+/// // Miss on 1: level 1 gives 2; following the MRU link gives 3.
+/// let step = chain.process_miss(LineAddr::new(1));
+/// assert!(step.prefetches.starts_with(&[LineAddr::new(2), LineAddr::new(3)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chain {
+    params: TableParams,
+    table: RowTable<MruList>,
+    last: Option<RowPtr>,
+}
+
+impl Chain {
+    /// Creates an empty Chain prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn new(params: TableParams) -> Self {
+        params.validate();
+        let row_bytes = params.flat_row_bytes();
+        Chain {
+            table: RowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
+            params,
+            last: None,
+        }
+    }
+
+    /// Table parameters.
+    pub fn params(&self) -> &TableParams {
+        &self.params
+    }
+
+    /// Table behavior counters.
+    pub fn table_stats(&self) -> &TableStats {
+        self.table.stats()
+    }
+}
+
+impl UlmtAlgorithm for Chain {
+    fn name(&self) -> String {
+        "chain".to_string()
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let mut step = StepResult::new();
+
+        // Prefetching step: NumLevels row accesses, each a full
+        // associative search — this is what makes Chain's response slow.
+        step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
+        let mut cur = miss;
+        let mut found_first: Option<RowPtr> = None;
+        for level in 0..self.params.num_levels {
+            for addr in self.table.probe_addrs(cur) {
+                step.prefetch_cost.read(addr, 4);
+                step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
+            }
+            let Some(ptr) = self.table.lookup(cur) else { break };
+            if level == 0 {
+                found_first = Some(ptr);
+            }
+            step.prefetch_cost.read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self.table.get(ptr).expect("fresh pointer from lookup is valid");
+            let mru = row.mru();
+            for succ in row.iter() {
+                if !step.prefetches.contains(&succ) {
+                    step.prefetches.push(succ);
+                }
+                step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
+            }
+            match mru {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+
+        // Learning step: identical to Base — insert the miss as MRU
+        // successor of the previous miss via the retained pointer.
+        step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
+        if let Some(last) = self.last {
+            if let Some(row) = self.table.get_mut(last) {
+                row.insert_mru(miss);
+                let addr = self.table.row_addr(last);
+                step.learn_cost.write(addr, self.table.row_bytes());
+                step.learn_cost.add_insns(insn_cost::PER_INSERT);
+            }
+        }
+        let ptr = match found_first {
+            Some(ptr) => ptr,
+            None => {
+                let (ptr, _) = self.table.find_or_alloc(miss);
+                step.learn_cost.write(self.table.row_addr(ptr), 4);
+                step.learn_cost.add_insns(insn_cost::PER_ALLOC);
+                ptr
+            }
+        };
+        self.last = Some(ptr);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        let mut out = vec![Vec::new(); levels];
+        let mut cur = miss;
+        for level in out.iter_mut() {
+            let Some(row) = self.table.peek(cur) else { break };
+            *level = row.iter().collect();
+            match row.mru() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.table.remap_page(old, new, |row, o, n| row.remap_page(o, n));
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn small() -> Chain {
+        Chain::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 2 })
+    }
+
+    #[test]
+    fn figure4b_prefetch_follows_mru_path() {
+        let mut chain = small();
+        // Miss sequence of Figure 4: a, b, c, a, d, c (a=10, b=20, c=30, d=40).
+        for n in [10u64, 20, 30, 10, 40, 30] {
+            chain.process_miss(line(n));
+        }
+        // On miss a: prefetch row a = {d, b}; follow MRU link d; row d =
+        // {c}; prefetch c (Figure 4-(b)(iii)).
+        let step = chain.process_miss(line(10));
+        assert_eq!(step.prefetches, vec![line(40), line(20), line(30)]);
+    }
+
+    #[test]
+    fn chain_misses_off_path_successors() {
+        // Sequence alternating a,b,c and b,e,b,f (the paper's example of
+        // Chain's inaccuracy): on miss a, Chain prefetches b then follows
+        // b's row — it does NOT prefetch c if b's MRU successors changed.
+        let mut chain = small();
+        let (a, b, c, e, f) = (1u64, 2, 3, 4, 5);
+        let seq: Vec<u64> = [a, b, c, a, b, c, b, e, b, f, b, e, b, f].to_vec();
+        for n in seq {
+            chain.process_miss(line(n));
+        }
+        let step = chain.process_miss(line(a));
+        assert!(step.prefetches.contains(&line(b)));
+        // c is not among the prefetches: the MRU path from b leads to e/f.
+        assert!(!step.prefetches.contains(&line(c)), "prefetches {:?}", step.prefetches);
+    }
+
+    #[test]
+    fn response_cost_grows_with_levels() {
+        let shallow =
+            Chain::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 1 });
+        let deep =
+            Chain::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 });
+        let train = |mut c: Chain| {
+            for _ in 0..3 {
+                for n in 1..=4u64 {
+                    c.process_miss(line(n));
+                }
+            }
+            c.process_miss(line(1)).prefetch_cost
+        };
+        let cost_shallow = train(shallow);
+        let cost_deep = train(deep);
+        assert!(cost_deep.insns > cost_shallow.insns);
+        assert!(cost_deep.table_touches.len() > cost_shallow.table_touches.len());
+    }
+
+    #[test]
+    fn predict_walks_levels() {
+        let mut chain = small();
+        for _ in 0..2 {
+            for n in [1u64, 2, 3] {
+                chain.process_miss(line(n));
+            }
+        }
+        let preds = chain.predict(line(1), 2);
+        assert_eq!(preds[0], vec![line(2)]);
+        assert_eq!(preds[1], vec![line(3)]);
+    }
+
+    #[test]
+    fn no_prefetch_without_training() {
+        let mut chain = small();
+        let step = chain.process_miss(line(7));
+        assert!(step.prefetches.is_empty());
+    }
+}

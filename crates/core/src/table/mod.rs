@@ -1,0 +1,117 @@
+//! Correlation tables: shared storage plus the Base, Chain and Replicated
+//! algorithms (Figure 4 of the paper).
+//!
+//! The table is a plain software data structure: `NumRows` rows organized
+//! in `NumRows / Assoc` sets, indexed by a trivial hash (the low bits of
+//! the miss line address) and tagged with the full line address — exactly
+//! the structure the paper sizes in Table 2 (20 / 12 / 28 bytes per row
+//! for Base / Chain / Replicated on a 32-bit machine).
+
+mod base;
+mod chain;
+mod replicated;
+mod storage;
+
+pub use base::Base;
+pub use chain::Chain;
+pub use replicated::Replicated;
+pub use storage::{MruList, RowPtr, RowTable, TableStats};
+
+/// Parameters of a correlation table and its algorithm (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableParams {
+    /// Maximum number of misses the table stores predictions for
+    /// (`NumRows`, Table 2 sizes it per application).
+    pub num_rows: usize,
+    /// Associativity of the table (`Assoc`).
+    pub assoc: usize,
+    /// Maximum number of successors kept per level (`NumSucc`).
+    pub num_succ: usize,
+    /// Number of levels of successors stored/prefetched (`NumLevels`).
+    /// Always 1 for Base.
+    pub num_levels: usize,
+}
+
+impl TableParams {
+    /// Base defaults from Table 4: `NumSucc = 4`, `Assoc = 4` (Joseph &
+    /// Grunwald's values), one level.
+    pub fn base_default(num_rows: usize) -> Self {
+        TableParams { num_rows, assoc: 4, num_succ: 4, num_levels: 1 }
+    }
+
+    /// Chain defaults from Table 4: `NumSucc = 2`, `Assoc = 2`,
+    /// `NumLevels = 3`.
+    pub fn chain_default(num_rows: usize) -> Self {
+        TableParams { num_rows, assoc: 2, num_succ: 2, num_levels: 3 }
+    }
+
+    /// Replicated defaults from Table 4: `NumSucc = 2`, `Assoc = 2`,
+    /// `NumLevels = 3`.
+    pub fn repl_default(num_rows: usize) -> Self {
+        TableParams { num_rows, assoc: 2, num_succ: 2, num_levels: 3 }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_rows / self.assoc
+    }
+
+    /// Bytes per row of the *Base/Chain* organization on a 32-bit machine:
+    /// a 4-byte tag plus `NumSucc` 4-byte successors.
+    pub fn flat_row_bytes(&self) -> u64 {
+        4 + 4 * self.num_succ as u64
+    }
+
+    /// Bytes per row of the *Replicated* organization on a 32-bit machine:
+    /// a 4-byte tag plus `NumLevels * NumSucc` 4-byte successors.
+    pub fn repl_row_bytes(&self) -> u64 {
+        4 + 4 * (self.num_levels * self.num_succ) as u64
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero, `num_rows` is not divisible by
+    /// `assoc`, or the set count is not a power of two (required by the
+    /// trivial low-bits hash).
+    pub fn validate(&self) {
+        assert!(self.num_rows > 0 && self.assoc > 0, "table dimensions must be positive");
+        assert!(self.num_succ > 0 && self.num_levels > 0, "NumSucc/NumLevels must be positive");
+        assert_eq!(self.num_rows % self.assoc, 0, "NumRows must be a multiple of Assoc");
+        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_row_sizes_match_paper() {
+        // "each row in Base, Chain, and Repl takes 20, 12, and 28 bytes,
+        // respectively, in a 32-bit machine"
+        assert_eq!(TableParams::base_default(1024).flat_row_bytes(), 20);
+        assert_eq!(TableParams::chain_default(1024).flat_row_bytes(), 12);
+        assert_eq!(TableParams::repl_default(1024).repl_row_bytes(), 28);
+    }
+
+    #[test]
+    fn table2_average_sizes_match_paper() {
+        // Table 2's average: 140 K rows -> 2.7 / 1.6 / 3.8 MB.
+        let rows = 140 * 1024;
+        let mb = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+        let base = mb(rows * TableParams::base_default(rows as usize).flat_row_bytes());
+        let chain = mb(rows * TableParams::chain_default(rows as usize).flat_row_bytes());
+        let repl = mb(rows * TableParams::repl_default(rows as usize).repl_row_bytes());
+        assert!((base - 2.7).abs() < 0.1, "base {base}");
+        assert!((chain - 1.6).abs() < 0.1, "chain {chain}");
+        assert!((repl - 3.8).abs() < 0.1, "repl {repl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of Assoc")]
+    fn validate_rejects_ragged() {
+        TableParams { num_rows: 10, assoc: 4, num_succ: 2, num_levels: 1 }.validate();
+    }
+}

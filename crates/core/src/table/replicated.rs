@@ -1,0 +1,323 @@
+//! The Replicated correlation algorithm (Figure 4-(c)) — the paper's new
+//! table organization.
+//!
+//! Each row stores the miss tag plus `NumLevels` *levels* of successors,
+//! each level an independent `NumSucc`-entry MRU list. The algorithm keeps
+//! `NumLevels` pointers to the rows of the last few misses; learning
+//! inserts the new miss at the correct level of each pointed-to row
+//! *without any associative search*, and prefetching needs a **single**
+//! row access to emit true-MRU successors for every level.
+//!
+//! This resolves both problems of [`Chain`](super::Chain): prefetches are
+//! accurate (true MRU per level, whatever path produced them) and the
+//! response time is low (one search, one row, often one cache line).
+
+use std::collections::VecDeque;
+
+use ulmt_simcore::{LineAddr, PageAddr};
+
+use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::cost::StepResult;
+
+use super::storage::{MruList, RowPtr, RowTable, TableStats};
+use super::TableParams;
+
+/// One Replicated row: `NumLevels` MRU lists of successors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ReplRow {
+    levels: Vec<MruList>,
+}
+
+impl ReplRow {
+    fn new(num_levels: usize, num_succ: usize) -> Self {
+        ReplRow { levels: (0..num_levels).map(|_| MruList::new(num_succ)).collect() }
+    }
+}
+
+/// The Replicated multi-level correlation prefetcher.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_core::table::{Replicated, TableParams};
+/// use ulmt_core::algorithm::UlmtAlgorithm;
+/// use ulmt_simcore::LineAddr;
+///
+/// let mut repl = Replicated::new(TableParams::repl_default(1024));
+/// for _ in 0..2 {
+///     for n in [1u64, 2, 3] {
+///         repl.process_miss(LineAddr::new(n));
+///     }
+/// }
+/// // One row access yields both levels: 2 (level 1) and 3 (level 2).
+/// let preds = repl.predict(LineAddr::new(1), 2);
+/// assert_eq!(preds[0], vec![LineAddr::new(2)]);
+/// assert_eq!(preds[1], vec![LineAddr::new(3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replicated {
+    params: TableParams,
+    table: RowTable<ReplRow>,
+    /// Rows of the last, second-last, ... misses; front = most recent.
+    pointers: VecDeque<RowPtr>,
+}
+
+impl Replicated {
+    /// Creates an empty Replicated prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn new(params: TableParams) -> Self {
+        params.validate();
+        let row_bytes = params.repl_row_bytes();
+        Replicated {
+            table: RowTable::new(
+                &params,
+                row_bytes,
+                ReplRow::new(params.num_levels, params.num_succ),
+            ),
+            pointers: VecDeque::with_capacity(params.num_levels),
+            params,
+        }
+    }
+
+    /// Table parameters.
+    pub fn params(&self) -> &TableParams {
+        &self.params
+    }
+
+    /// Table behavior counters.
+    pub fn table_stats(&self) -> &TableStats {
+        self.table.stats()
+    }
+
+    /// Shrinks or grows the table (Section 3.4 dynamic sizing).
+    pub fn resize(&mut self, num_rows: usize) {
+        let new_params = TableParams { num_rows, ..self.params };
+        self.table.resize(&new_params);
+        self.params = new_params;
+        self.pointers.clear();
+    }
+}
+
+impl UlmtAlgorithm for Replicated {
+    fn name(&self) -> String {
+        "repl".to_string()
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let mut step = StepResult::new();
+
+        // Prefetching step: a single associative search and a single row
+        // read emit every level's true-MRU successors.
+        step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
+        for addr in self.table.probe_addrs(miss) {
+            step.prefetch_cost.read(addr, 4);
+            step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
+        }
+        let found = self.table.lookup(miss);
+        if let Some(ptr) = found {
+            step.prefetch_cost.read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self.table.get(ptr).expect("fresh pointer from lookup is valid");
+            for level in &row.levels {
+                for succ in level.iter() {
+                    if !step.prefetches.contains(&succ) {
+                        step.prefetches.push(succ);
+                    }
+                    step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
+                }
+            }
+        }
+
+        // Learning step: insert the miss at level i of the row of the
+        // (i+1)-last miss, through the retained pointers — no searches.
+        // "these multiple learning updates are inexpensive ... the rows to
+        // be updated are most likely still in the cache" (Section 3.3.2).
+        step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
+        for (i, &ptr) in self.pointers.iter().enumerate() {
+            let addr = self.table.row_addr(ptr);
+            if let Some(row) = self.table.get_mut(ptr) {
+                row.levels[i].insert_mru(miss);
+                // Each level is a small slice of the row.
+                let level_bytes = 4 * self.params.num_succ as u64;
+                step.learn_cost.write(addr.offset((4 + i as u64 * level_bytes) as i64), level_bytes);
+                step.learn_cost.add_insns(insn_cost::PER_INSERT);
+            }
+        }
+        let ptr = match found {
+            Some(ptr) => ptr,
+            None => {
+                let (ptr, _) = self.table.find_or_alloc(miss);
+                step.learn_cost.write(self.table.row_addr(ptr), 4);
+                step.learn_cost.add_insns(insn_cost::PER_ALLOC);
+                ptr
+            }
+        };
+        self.pointers.push_front(ptr);
+        self.pointers.truncate(self.params.num_levels);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        let mut out = vec![Vec::new(); levels];
+        if let Some(row) = self.table.peek(miss) {
+            for (level, list) in row.levels.iter().take(levels).enumerate() {
+                out[level] = list.iter().collect();
+            }
+        }
+        out
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.table.remap_page(old, new, |row, o, n| {
+            for level in &mut row.levels {
+                level.remap_page(o, n);
+            }
+        });
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    fn small() -> Replicated {
+        Replicated::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 2 })
+    }
+
+    #[test]
+    fn figure4c_prefetches_all_levels_from_one_row() {
+        let mut repl = small();
+        // Miss sequence of Figure 4: a, b, c, a, d, c.
+        for n in [10u64, 20, 30, 10, 40, 30] {
+            repl.process_miss(line(n));
+        }
+        // Figure 4-(c)(iii): on miss a, prefetch d, b (level 1) and c
+        // (level 2) — all from row a.
+        let step = repl.process_miss(line(10));
+        assert_eq!(step.prefetches, vec![line(40), line(20), line(30)]);
+        // Exactly one row was read in the prefetch phase (plus tag probes).
+        let row_reads = step
+            .prefetch_cost
+            .table_touches
+            .iter()
+            .filter(|t| t.bytes > 4)
+            .count();
+        assert_eq!(row_reads, 1);
+    }
+
+    #[test]
+    fn true_mru_beats_chain_on_alternating_paths() {
+        // The paper's example: a,b,c ... b,e,b,f ... a,b,c. Replicated
+        // keeps c as a true level-2 successor of a even though b's own MRU
+        // successors moved on.
+        let mut repl = small();
+        let (a, b, c, e, f) = (1u64, 2, 3, 4, 5);
+        for n in [a, b, c, a, b, c, b, e, b, f, b, e, b, f] {
+            repl.process_miss(line(n));
+        }
+        let preds = repl.predict(line(a), 2);
+        assert!(preds[0].contains(&line(b)));
+        assert!(preds[1].contains(&line(c)), "level-2 {:?}", preds[1]);
+    }
+
+    #[test]
+    fn learning_uses_pointers_not_searches() {
+        let mut repl = small();
+        repl.process_miss(line(1));
+        repl.process_miss(line(2));
+        let lookups_before = repl.table_stats().lookups;
+        // Miss on a known line: prefetch phase does 1 lookup; learning
+        // should add none beyond the (hitting) prefetch lookup.
+        repl.process_miss(line(1));
+        let lookups = repl.table_stats().lookups - lookups_before;
+        assert_eq!(lookups, 1);
+    }
+
+    #[test]
+    fn pointer_staleness_is_tolerated() {
+        // 1 set x 2 ways: allocating a third row invalidates the oldest
+        // pointer; learning must skip it without panicking.
+        let mut repl =
+            Replicated::new(TableParams { num_rows: 2, assoc: 2, num_succ: 2, num_levels: 2 });
+        repl.process_miss(line(1));
+        repl.process_miss(line(2));
+        repl.process_miss(line(3)); // replaces row 1, pointers partly stale
+        repl.process_miss(line(4));
+        assert!(repl.table_stats().replacements > 0);
+    }
+
+    #[test]
+    fn deeper_levels_with_numlevels4() {
+        // The MST/Mcf customization (Table 5): NumLevels = 4.
+        let mut repl =
+            Replicated::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 4 });
+        for _ in 0..3 {
+            for n in [1u64, 2, 3, 4, 5] {
+                repl.process_miss(line(n));
+            }
+        }
+        let preds = repl.predict(line(1), 4);
+        assert_eq!(preds[0], vec![line(2)]);
+        assert_eq!(preds[1], vec![line(3)]);
+        assert_eq!(preds[2], vec![line(4)]);
+        assert_eq!(preds[3], vec![line(5)]);
+    }
+
+    #[test]
+    fn self_successor_allowed() {
+        let mut repl = small();
+        for _ in 0..4 {
+            repl.process_miss(line(9));
+        }
+        let preds = repl.predict(line(9), 1);
+        assert_eq!(preds[0], vec![line(9)]);
+    }
+
+    #[test]
+    fn remap_rewrites_levels() {
+        let mut repl = small();
+        let lpp = PageAddr::lines_per_page();
+        let seq = [lpp * 2, lpp * 2 + 1, lpp * 2 + 2];
+        for _ in 0..2 {
+            for &n in &seq {
+                repl.process_miss(line(n));
+            }
+        }
+        repl.remap_page(PageAddr::new(2), PageAddr::new(5));
+        let preds = repl.predict(line(lpp * 5), 2);
+        assert_eq!(preds[0], vec![line(lpp * 5 + 1)]);
+        assert_eq!(preds[1], vec![line(lpp * 5 + 2)]);
+    }
+
+    #[test]
+    fn resize_clears_pointers_but_keeps_rows() {
+        let mut repl = small();
+        for n in 0..100u64 {
+            repl.process_miss(line(n));
+        }
+        repl.resize(64);
+        assert_eq!(repl.params().num_rows, 64);
+        // Learning continues from scratch pointers without panic.
+        repl.process_miss(line(1));
+        repl.process_miss(line(2));
+    }
+
+    #[test]
+    fn space_requirement_scales_with_levels() {
+        let l3 = Replicated::new(TableParams::repl_default(1024));
+        let l4 =
+            Replicated::new(TableParams { num_levels: 4, ..TableParams::repl_default(1024) });
+        assert!(l4.table_size_bytes() > l3.table_size_bytes());
+        assert_eq!(l3.table_size_bytes(), 1024 * 28);
+    }
+}

@@ -1,0 +1,511 @@
+//! Set-associative row storage shared by the correlation algorithms.
+
+use ulmt_simcore::{Addr, LineAddr, PageAddr};
+
+use super::TableParams;
+
+/// A fixed-capacity most-recently-used list of successor addresses.
+///
+/// Within a row, "successors are listed in MRU order" and "entries in a
+/// row replace each other with a LRU policy" (Section 2.2).
+///
+/// # Example
+///
+/// ```
+/// use ulmt_core::table::MruList;
+/// use ulmt_simcore::LineAddr;
+///
+/// let mut l = MruList::new(2);
+/// l.insert_mru(LineAddr::new(1));
+/// l.insert_mru(LineAddr::new(2));
+/// l.insert_mru(LineAddr::new(1)); // moves 1 back to the front
+/// assert_eq!(l.mru(), Some(LineAddr::new(1)));
+/// l.insert_mru(LineAddr::new(3)); // evicts the LRU entry (2)
+/// assert_eq!(l.as_slice(), &[LineAddr::new(3), LineAddr::new(1)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MruList {
+    items: Vec<LineAddr>,
+    cap: usize,
+}
+
+impl MruList {
+    /// Creates an empty list holding at most `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        MruList { items: Vec::with_capacity(cap), cap }
+    }
+
+    /// Inserts `x` as the MRU entry, de-duplicating and evicting the LRU
+    /// entry if the list is full.
+    pub fn insert_mru(&mut self, x: LineAddr) {
+        if let Some(pos) = self.items.iter().position(|&i| i == x) {
+            self.items.remove(pos);
+        } else if self.items.len() >= self.cap {
+            self.items.pop();
+        }
+        self.items.insert(0, x);
+    }
+
+    /// The MRU entry, if any.
+    pub fn mru(&self) -> Option<LineAddr> {
+        self.items.first().copied()
+    }
+
+    /// Entries in MRU-to-LRU order.
+    pub fn as_slice(&self) -> &[LineAddr] {
+        &self.items
+    }
+
+    /// Iterates entries in MRU-to-LRU order.
+    pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Capacity of the list.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Rewrites entries falling in `old` page to the corresponding line in
+    /// `new` (page re-mapping, Section 3.4).
+    pub fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        for item in &mut self.items {
+            if item.page() == old {
+                let offset = item.raw() - old.first_line().raw();
+                *item = LineAddr::new(new.first_line().raw() + offset);
+            }
+        }
+    }
+
+    /// Clears the list.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// A validated pointer to a table row.
+///
+/// The Replicated algorithm "keeps NumLevels pointers to the table ...
+/// used for efficient table access" (Section 3.3.2): learning through a
+/// `RowPtr` needs no associative search. Pointers are invalidated
+/// automatically when the row is re-allocated to a different miss address
+/// (generation check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPtr {
+    slot: usize,
+    gen: u64,
+}
+
+/// How [`RowTable::find_or_alloc`] obtained the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// The row already existed.
+    Existing,
+    /// An invalid slot was filled.
+    Fresh,
+    /// A valid row for a different miss was replaced. Table 2 sizes
+    /// `NumRows` so that fewer than 5% of insertions take this path.
+    Replaced,
+}
+
+/// Counters for table behavior (used to size Table 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableStats {
+    /// Associative lookups performed.
+    pub lookups: u64,
+    /// Lookups that found the row.
+    pub hits: u64,
+    /// Row allocations (insertions of new miss addresses).
+    pub insertions: u64,
+    /// Insertions that replaced a valid row.
+    pub replacements: u64,
+}
+
+impl TableStats {
+    /// Fraction of insertions that replaced an existing entry — the
+    /// criterion used by Table 2 ("less than 5% of the insertions replace
+    /// an existing entry").
+    pub fn replacement_ratio(&self) -> f64 {
+        if self.insertions == 0 {
+            0.0
+        } else {
+            self.replacements as f64 / self.insertions as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<R> {
+    tag: LineAddr,
+    valid: bool,
+    gen: u64,
+    lru: u64,
+    row: R,
+}
+
+/// Set-associative storage of correlation rows, generic over the row type
+/// (`MruList` for Base/Chain, a vector of levels for Replicated).
+///
+/// Rows live at synthetic main-memory addresses (`base_addr +
+/// slot * row_bytes`) so the memory-processor model can replay table
+/// accesses against its private cache.
+#[derive(Debug, Clone)]
+pub struct RowTable<R> {
+    num_sets: usize,
+    assoc: usize,
+    row_bytes: u64,
+    base_addr: Addr,
+    slots: Vec<Slot<R>>,
+    template: R,
+    lru_clock: u64,
+    stats: TableStats,
+}
+
+/// Default base address of the table in the memory processor's address
+/// space. Arbitrary, but distinct from application data.
+pub(crate) const TABLE_BASE: u64 = 0x4000_0000;
+
+impl<R: Clone> RowTable<R> {
+    /// Creates an empty table from `params`, with `row_bytes` bytes per
+    /// row (the algorithms pass their organization's row size) and
+    /// `template` as the initial contents of a freshly allocated row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn new(params: &TableParams, row_bytes: u64, template: R) -> Self {
+        params.validate();
+        RowTable {
+            num_sets: params.num_sets(),
+            assoc: params.assoc,
+            row_bytes,
+            base_addr: Addr::new(TABLE_BASE),
+            slots: vec![
+                Slot {
+                    tag: LineAddr::new(0),
+                    valid: false,
+                    gen: 0,
+                    lru: 0,
+                    row: template.clone()
+                };
+                params.num_rows
+            ],
+            template,
+            lru_clock: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Behavior counters.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Total size of the table in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.slots.len() as u64 * self.row_bytes
+    }
+
+    /// Memory address of the row behind `ptr`.
+    pub fn row_addr(&self, ptr: RowPtr) -> Addr {
+        self.base_addr.offset((ptr.slot as u64 * self.row_bytes) as i64)
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> u64 {
+        self.row_bytes
+    }
+
+    /// Memory addresses of every way in `line`'s set, in probe order (the
+    /// associative search touches each tag).
+    pub fn probe_addrs(&self, line: LineAddr) -> impl Iterator<Item = Addr> + '_ {
+        let start = self.set_of(line) * self.assoc;
+        let row_bytes = self.row_bytes;
+        let base = self.base_addr;
+        (start..start + self.assoc)
+            .map(move |slot| base.offset((slot as u64 * row_bytes) as i64))
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.num_sets - 1)
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let start = self.set_of(line) * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Associative lookup. Bumps the row's LRU stamp on a hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<RowPtr> {
+        self.stats.lookups += 1;
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        for i in self.set_range(line) {
+            let slot = &mut self.slots[i];
+            if slot.valid && slot.tag == line {
+                slot.lru = clock;
+                self.stats.hits += 1;
+                return Some(RowPtr { slot: i, gen: slot.gen });
+            }
+        }
+        None
+    }
+
+    /// Non-mutating lookup (used by the Figure 5 prediction scorer).
+    pub fn peek(&self, line: LineAddr) -> Option<&R> {
+        self.set_range(line)
+            .find(|&i| self.slots[i].valid && self.slots[i].tag == line)
+            .map(|i| &self.slots[i].row)
+    }
+
+    /// Finds the row for `line`, allocating (and possibly replacing the
+    /// set's LRU row) if absent.
+    pub fn find_or_alloc(&mut self, line: LineAddr) -> (RowPtr, AllocKind) {
+        if let Some(ptr) = self.lookup(line) {
+            return (ptr, AllocKind::Existing);
+        }
+        self.stats.insertions += 1;
+        let victim = self
+            .set_range(line)
+            .min_by_key(|&i| (self.slots[i].valid, self.slots[i].lru))
+            .expect("associativity is positive");
+        let kind = if self.slots[victim].valid { AllocKind::Replaced } else { AllocKind::Fresh };
+        if kind == AllocKind::Replaced {
+            self.stats.replacements += 1;
+        }
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let slot = &mut self.slots[victim];
+        slot.tag = line;
+        slot.valid = true;
+        slot.gen += 1;
+        slot.lru = clock;
+        slot.row = self.template.clone();
+        (RowPtr { slot: victim, gen: slot.gen }, kind)
+    }
+
+    /// Dereferences `ptr` if it is still valid (same generation).
+    pub fn get(&self, ptr: RowPtr) -> Option<&R> {
+        let slot = &self.slots[ptr.slot];
+        (slot.valid && slot.gen == ptr.gen).then_some(&slot.row)
+    }
+
+    /// Mutably dereferences `ptr` if it is still valid.
+    pub fn get_mut(&mut self, ptr: RowPtr) -> Option<&mut R> {
+        let slot = &mut self.slots[ptr.slot];
+        (slot.valid && slot.gen == ptr.gen).then_some(&mut slot.row)
+    }
+
+    /// Tag of the row behind `ptr`, if still valid.
+    pub fn tag_of(&self, ptr: RowPtr) -> Option<LineAddr> {
+        let slot = &self.slots[ptr.slot];
+        (slot.valid && slot.gen == ptr.gen).then_some(slot.tag)
+    }
+
+    /// Number of valid rows.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Re-maps all rows of page `old` to page `new` (Section 3.4): each
+    /// row tagged with a line of `old` is relocated to the set of the
+    /// corresponding line of `new`, and `rewrite` is applied to its
+    /// contents so in-row successors can be re-mapped too.
+    ///
+    /// Rows whose target set is full replace that set's LRU row, exactly
+    /// like a fresh insertion. Returns the number of rows relocated.
+    pub fn remap_page<F>(&mut self, old: PageAddr, new: PageAddr, mut rewrite: F) -> usize
+    where
+        F: FnMut(&mut R, PageAddr, PageAddr),
+    {
+        let mut moved = 0;
+        for offset in 0..PageAddr::lines_per_page() {
+            let old_line = LineAddr::new(old.first_line().raw() + offset);
+            let Some(src) = self.lookup(old_line) else { continue };
+            let template = self.template.clone();
+            let mut row = std::mem::replace(
+                self.get_mut(src).expect("fresh pointer from lookup is valid"),
+                template,
+            );
+            self.slots[src.slot].valid = false;
+            self.slots[src.slot].gen += 1;
+            rewrite(&mut row, old, new);
+            let new_line = LineAddr::new(new.first_line().raw() + offset);
+            let (dst, _) = self.find_or_alloc(new_line);
+            *self.get_mut(dst).expect("fresh pointer from alloc is valid") = row;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Dynamically resizes the table to `new_params` (Section 3.4: "if an
+    /// application does not use the space, its table shrinks"). Valid rows
+    /// are re-inserted in LRU-to-MRU order so the most recent correlations
+    /// survive a shrink.
+    pub fn resize(&mut self, new_params: &TableParams) {
+        new_params.validate();
+        let mut live: Vec<(u64, LineAddr, R)> = self
+            .slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.lru, s.tag, s.row.clone()))
+            .collect();
+        live.sort_by_key(|(lru, _, _)| *lru);
+        let row_bytes = self.row_bytes;
+        *self = RowTable::new(new_params, row_bytes, self.template.clone());
+        for (_, tag, row) in live {
+            let (ptr, _) = self.find_or_alloc(tag);
+            *self.get_mut(ptr).expect("fresh pointer from alloc is valid") = row;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(rows: usize, assoc: usize) -> TableParams {
+        TableParams { num_rows: rows, assoc, num_succ: 2, num_levels: 1 }
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn mru_list_dedupes_and_evicts() {
+        let mut l = MruList::new(3);
+        for n in [1, 2, 3, 2] {
+            l.insert_mru(line(n));
+        }
+        assert_eq!(l.as_slice(), &[line(2), line(3), line(1)]);
+        l.insert_mru(line(4));
+        assert_eq!(l.as_slice(), &[line(4), line(2), line(3)]);
+        assert_eq!(l.mru(), Some(line(4)));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn mru_list_remap() {
+        let mut l = MruList::new(4);
+        let lines_per_page = PageAddr::lines_per_page();
+        l.insert_mru(line(lines_per_page * 3 + 5)); // page 3
+        l.insert_mru(line(lines_per_page * 9 + 1)); // page 9
+        l.remap_page(PageAddr::new(3), PageAddr::new(7));
+        assert_eq!(
+            l.as_slice(),
+            &[line(lines_per_page * 9 + 1), line(lines_per_page * 7 + 5)]
+        );
+    }
+
+    #[test]
+    fn alloc_lookup_roundtrip() {
+        let mut t = RowTable::new(&params(8, 2), 12, MruList::new(2));
+        let (ptr, kind) = t.find_or_alloc(line(5));
+        assert_eq!(kind, AllocKind::Fresh);
+        t.get_mut(ptr).unwrap().insert_mru(line(6));
+        let found = t.lookup(line(5)).unwrap();
+        assert_eq!(t.get(found).unwrap().mru(), Some(line(6)));
+        assert_eq!(t.tag_of(found), Some(line(5)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn replacement_invalidates_pointers() {
+        // 1 set x 2 ways: third distinct tag replaces the LRU row.
+        let mut t = RowTable::new(&params(2, 2), 12, MruList::new(2));
+        let (p1, _) = t.find_or_alloc(line(1));
+        let (_p2, _) = t.find_or_alloc(line(2));
+        let (_, kind) = t.find_or_alloc(line(3));
+        assert_eq!(kind, AllocKind::Replaced);
+        // line(1) was LRU; its pointer is now stale.
+        assert!(t.get(p1).is_none());
+        assert_eq!(t.stats().replacements, 1);
+        assert!(t.stats().replacement_ratio() > 0.3);
+    }
+
+    #[test]
+    fn lru_within_set_guides_replacement() {
+        let mut t = RowTable::new(&params(2, 2), 12, MruList::new(2));
+        t.find_or_alloc(line(1));
+        t.find_or_alloc(line(2));
+        t.lookup(line(1)); // touch 1, so 2 becomes LRU
+        t.find_or_alloc(line(3));
+        assert!(t.lookup(line(1)).is_some());
+        assert!(t.lookup(line(2)).is_none());
+    }
+
+    #[test]
+    fn probe_addrs_cover_the_set() {
+        let t = RowTable::new(&params(8, 2), 12, MruList::new(2));
+        let addrs: Vec<_> = t.probe_addrs(line(1)).collect();
+        assert_eq!(addrs.len(), 2);
+        // Set 1 of 4 -> slots 2 and 3.
+        assert_eq!(addrs[0], Addr::new(TABLE_BASE + 2 * 12));
+        assert_eq!(addrs[1], Addr::new(TABLE_BASE + 3 * 12));
+    }
+
+    #[test]
+    fn remap_page_relocates_rows_and_successors() {
+        let mut t = RowTable::new(&params(1024, 2), 12, MruList::new(2));
+        let lpp = PageAddr::lines_per_page();
+        let old_line = line(lpp * 2 + 10);
+        let (ptr, _) = t.find_or_alloc(old_line);
+        {
+            let row = t.get_mut(ptr).unwrap();
+            row.insert_mru(line(lpp * 2 + 11)); // successor in the same page
+            row.insert_mru(line(5)); // successor elsewhere
+        }
+        let moved =
+            t.remap_page(PageAddr::new(2), PageAddr::new(6), |row, old, new| {
+                row.remap_page(old, new);
+            });
+        assert_eq!(moved, 1);
+        assert!(t.lookup(old_line).is_none());
+        let new_line = line(lpp * 6 + 10);
+        let got = t.lookup(new_line).unwrap();
+        let row = t.get(got).unwrap();
+        assert!(row.as_slice().contains(&line(lpp * 6 + 11)));
+        assert!(row.as_slice().contains(&line(5)));
+    }
+
+    #[test]
+    fn resize_preserves_recent_rows() {
+        let mut t = RowTable::new(&params(64, 2), 12, MruList::new(2));
+        for n in 0..64 {
+            t.find_or_alloc(line(n));
+        }
+        assert_eq!(t.occupancy(), 64);
+        t.resize(&params(16, 2));
+        assert_eq!(t.num_rows(), 16);
+        assert!(t.occupancy() <= 16);
+        // The most recently inserted rows survive.
+        assert!(t.peek(line(63)).is_some());
+    }
+
+    #[test]
+    fn size_bytes() {
+        let t: RowTable<MruList> = RowTable::new(&params(1024, 2), 28, MruList::new(2));
+        assert_eq!(t.size_bytes(), 1024 * 28);
+    }
+}

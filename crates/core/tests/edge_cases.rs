@@ -1,0 +1,110 @@
+//! Edge-case behavior of the correlation structures: broken chains,
+//! shallow tables probed deeply, and prediction-depth mismatches.
+
+use proptest::prelude::*;
+use ulmt_core::algorithm::UlmtAlgorithm;
+use ulmt_core::table::{Base, Chain, Replicated, TableParams};
+use ulmt_simcore::LineAddr;
+
+fn line(n: u64) -> LineAddr {
+    LineAddr::new(n)
+}
+
+#[test]
+fn chain_stops_at_missing_intermediate_rows() {
+    // Train a -> b only; b has no row beyond its allocation, so Chain's
+    // walk must stop after level 1 without panicking.
+    let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 3 };
+    let mut chain = Chain::new(p);
+    chain.process_miss(line(1));
+    chain.process_miss(line(2));
+    let step = chain.process_miss(line(1));
+    assert_eq!(step.prefetches, vec![line(2)]);
+}
+
+#[test]
+fn predict_with_more_levels_than_stored_pads_empty() {
+    let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 2 };
+    let mut repl = Replicated::new(p);
+    for _ in 0..3 {
+        for n in [1u64, 2, 3] {
+            repl.process_miss(line(n));
+        }
+    }
+    let preds = repl.predict(line(1), 5);
+    assert_eq!(preds.len(), 5);
+    assert!(!preds[0].is_empty());
+    assert!(preds[2].is_empty() && preds[4].is_empty());
+}
+
+#[test]
+fn predict_zero_levels_is_empty() {
+    let mut base = Base::new(TableParams::base_default(1024));
+    base.process_miss(line(1));
+    base.process_miss(line(2));
+    assert!(base.predict(line(1), 0).is_empty());
+}
+
+#[test]
+fn single_row_tables_work() {
+    // Degenerate geometry: 1 set x 1 way.
+    let p = TableParams { num_rows: 1, assoc: 1, num_succ: 1, num_levels: 1 };
+    let mut base = Base::new(p);
+    for n in 0..32u64 {
+        base.process_miss(line(n));
+    }
+    // The single row thrashes but never breaks.
+    assert!(base.table_stats().replacements > 0);
+}
+
+#[test]
+fn replicated_survives_pointer_self_replacement() {
+    // A 1-set table where the new miss's allocation evicts the row one of
+    // its own learning pointers targets.
+    let p = TableParams { num_rows: 2, assoc: 2, num_succ: 2, num_levels: 3 };
+    let mut repl = Replicated::new(p);
+    for n in 0..64u64 {
+        repl.process_miss(line(n * 7));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chain and Replicated never prefetch the same line twice in one step.
+    #[test]
+    fn steps_never_duplicate_prefetches(misses in proptest::collection::vec(0u64..64, 1..200)) {
+        let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 3 };
+        let mut algs: Vec<Box<dyn UlmtAlgorithm>> =
+            vec![Box::new(Chain::new(p)), Box::new(Replicated::new(p))];
+        for alg in &mut algs {
+            for &m in &misses {
+                let step = alg.process_miss(line(m));
+                let mut seen = std::collections::HashSet::new();
+                for pf in &step.prefetches {
+                    prop_assert!(seen.insert(pf.raw()), "{} duplicated {pf}", alg.name());
+                }
+            }
+        }
+    }
+
+    /// The trace codec round-trips arbitrary aligned records.
+    #[test]
+    fn codec_roundtrips_arbitrary_records(
+        recs in proptest::collection::vec((0u64..1_000_000, 0u32..10_000, any::<bool>(), any::<bool>()), 1..100)
+    ) {
+        use ulmt_workloads::codec;
+        use ulmt_workloads::TraceRecord;
+        let records: Vec<TraceRecord> = recs
+            .iter()
+            .map(|&(a, g, d, w)| TraceRecord {
+                addr: ulmt_simcore::Addr::new(a * 4), // aligned
+                gap_insns: g,
+                dependent: d,
+                is_write: w,
+            })
+            .collect();
+        let bytes = codec::encode(records.iter().copied()).expect("aligned by construction");
+        prop_assert_eq!(codec::decode(&bytes).expect("roundtrip"), records);
+    }
+}

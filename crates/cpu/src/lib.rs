@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Main-processor model for the ULMT simulator.
+//!
+//! The paper simulates a 6-issue dynamic superscalar (Table 3). This crate
+//! models the aspects of such a processor that the evaluation depends on:
+//!
+//! * **busy time** limited by issue width;
+//! * **bounded overlap of misses** — a reorder-buffer-sized run-ahead
+//!   window and a limited number of pending loads (Table 3: 8), so
+//!   independent L2 misses partially overlap while the window lasts;
+//! * **dependence serialization** — pointer-chasing loads cannot issue
+//!   until the producing load returns, which is why "dependent misses are
+//!   likely to fall in [the 200–280-cycle] bin" (Figure 6);
+//! * **stall attribution** — every stall cycle is charged to `UptoL2`
+//!   (data came from the L2 or L1) or `BeyondL2` (data came from memory),
+//!   producing the execution-time breakdown of Figure 7;
+//! * the **processor-side sequential prefetcher** (`Conven4`, Table 4)
+//!   that watches L1 misses and prefetches ±1-stride streams into L1.
+//!
+//! The event-driven composition with caches, queues and DRAM lives in
+//! [`ulmt-system`](../../system); this crate's types are deliberately
+//! synchronous and unit-testable.
+
+pub mod config;
+pub mod conven;
+pub mod stall;
+pub mod window;
+
+pub use config::CpuConfig;
+pub use conven::Conven4;
+pub use stall::{ServiceLevel, StallBreakdown};
+pub use window::{MissWindow, WindowVerdict};

@@ -1,0 +1,125 @@
+//! Stall attribution (the Busy / UptoL2 / BeyondL2 breakdown of Figure 7).
+
+use ulmt_simcore::Cycle;
+
+/// Where a memory access was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the L2 cache (including lines a prefetch placed there).
+    L2,
+    /// Served by main memory (an L2 miss that reached DRAM).
+    Memory,
+}
+
+/// Cycle accounting for one simulated run.
+///
+/// The paper's Figure 7 splits execution time into `Busy` (computation and
+/// non-memory pipeline stalls), `UptoL2` (stall on requests between the
+/// processor and the L2 cache) and `BeyondL2` (stall on requests beyond
+/// the L2 cache). "A system with a perfect L2 cache would only have the
+/// Busy and UptoL2 times."
+///
+/// # Example
+///
+/// ```
+/// use ulmt_cpu::{ServiceLevel, StallBreakdown};
+///
+/// let mut b = StallBreakdown::new();
+/// b.add_busy(100);
+/// b.add_stall(ServiceLevel::Memory, 300);
+/// assert_eq!(b.total(), 400);
+/// assert_eq!(b.beyond_l2, 300);
+/// assert!((b.fraction_beyond_l2() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Cycles spent executing instructions (plus non-memory stalls).
+    pub busy: Cycle,
+    /// Stall cycles on accesses served by L1 or L2.
+    pub upto_l2: Cycle,
+    /// Stall cycles on accesses served by main memory.
+    pub beyond_l2: Cycle,
+}
+
+impl StallBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        StallBreakdown::default()
+    }
+
+    /// Adds busy cycles.
+    pub fn add_busy(&mut self, cycles: Cycle) {
+        self.busy += cycles;
+    }
+
+    /// Adds stall cycles attributed by the level that served the blocking
+    /// access.
+    pub fn add_stall(&mut self, level: ServiceLevel, cycles: Cycle) {
+        match level {
+            ServiceLevel::L1 | ServiceLevel::L2 => self.upto_l2 += cycles,
+            ServiceLevel::Memory => self.beyond_l2 += cycles,
+        }
+    }
+
+    /// Total accounted cycles (= execution time).
+    pub fn total(&self) -> Cycle {
+        self.busy + self.upto_l2 + self.beyond_l2
+    }
+
+    /// Fraction of execution time stalled beyond the L2, the component the
+    /// ULMT targets (44% on average under NoPref in the paper).
+    pub fn fraction_beyond_l2(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.beyond_l2 as f64 / total as f64
+        }
+    }
+
+    /// Normalizes each component against another run's total (the bars of
+    /// Figure 7 are normalized to NoPref). Returns `(busy, upto_l2,
+    /// beyond_l2)` fractions.
+    pub fn normalized_to(&self, reference_total: Cycle) -> (f64, f64, f64) {
+        if reference_total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = reference_total as f64;
+        (self.busy as f64 / t, self.upto_l2 as f64 / t, self.beyond_l2 as f64 / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_routes_levels() {
+        let mut b = StallBreakdown::new();
+        b.add_stall(ServiceLevel::L1, 5);
+        b.add_stall(ServiceLevel::L2, 10);
+        b.add_stall(ServiceLevel::Memory, 100);
+        assert_eq!(b.upto_l2, 15);
+        assert_eq!(b.beyond_l2, 100);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut b = StallBreakdown::new();
+        b.add_busy(50);
+        b.add_stall(ServiceLevel::Memory, 50);
+        let (busy, upto, beyond) = b.normalized_to(200);
+        assert!((busy - 0.25).abs() < 1e-12);
+        assert_eq!(upto, 0.0);
+        assert!((beyond - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_is_safe() {
+        let b = StallBreakdown::new();
+        assert_eq!(b.fraction_beyond_l2(), 0.0);
+        assert_eq!(b.normalized_to(0), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! DRAM and front-side-bus timing models.
+//!
+//! Implements the memory system of Table 3 of the paper:
+//!
+//! * dual-channel DRAM (2 B @ 800 MHz per channel, 3.2 GB/s peak), with
+//!   per-bank open-row state — a row hit costs 21 main-processor cycles at
+//!   the DRAM core, a row miss 56 (the difference, 35 cycles, matches the
+//!   243 − 208 row-miss penalty seen from the main processor);
+//! * a split-transaction front-side bus (8 B @ 400 MHz, 3.2 GB/s peak) with
+//!   utilization accounting split between demand and prefetch traffic
+//!   (Figure 11);
+//! * latency constants for the three request origins: the main processor,
+//!   a memory processor in the North Bridge chip, and a memory processor
+//!   integrated in the DRAM chip (Figure 8's `ReplMC` vs `Repl`).
+//!
+//! Arbitration between demand (queue 1) and prefetch (queue 3) requests is
+//! performed by the system-level memory controller, which consults
+//! [`Dram::channel_of`] and dispatches one transaction per channel at a
+//! time.
+//!
+//! # Example
+//!
+//! ```
+//! use ulmt_dram::{Dram, DramConfig};
+//! use ulmt_simcore::LineAddr;
+//!
+//! let mut dram = Dram::new(DramConfig::default());
+//! let first = dram.access(LineAddr::new(0)); // cold: row miss
+//! let second = dram.access(LineAddr::new(32)); // same bank & row: row hit
+//! assert!(first.latency > second.latency);
+//! assert!(second.row_hit);
+//! ```
+
+pub mod bank;
+pub mod fsb;
+
+pub use bank::{Dram, DramAccess, DramConfig, DramStats};
+pub use fsb::{Fsb, FsbConfig, TrafficClass};

@@ -1,0 +1,99 @@
+//! DRAM and FSB behavioral tests beyond the unit basics: address-mapping
+//! coverage, row-locality regimes, and bus accounting invariants.
+
+use ulmt_dram::{Dram, DramConfig, Fsb, FsbConfig, TrafficClass};
+use ulmt_simcore::LineAddr;
+
+#[test]
+fn channel_mapping_is_balanced_for_dense_ranges() {
+    let d = Dram::new(DramConfig::default());
+    let mut per_channel = [0u64; 2];
+    for l in 0..4096u64 {
+        per_channel[d.channel_of(LineAddr::new(l))] += 1;
+    }
+    assert_eq!(per_channel[0], per_channel[1]);
+}
+
+#[test]
+fn random_traffic_mostly_row_misses() {
+    let mut d = Dram::new(DramConfig::default());
+    for i in 0..4096u64 {
+        // A large-stride pseudo-random walk.
+        d.access(LineAddr::new((i * 7919) % (1 << 22)));
+    }
+    assert!(
+        d.stats().row_hit_ratio() < 0.2,
+        "random traffic should thrash rows: {}",
+        d.stats().row_hit_ratio()
+    );
+}
+
+#[test]
+fn blocked_sequential_traffic_mostly_row_hits() {
+    let mut d = Dram::new(DramConfig::default());
+    for l in 0..4096u64 {
+        d.access(LineAddr::new(l));
+    }
+    assert!(
+        d.stats().row_hit_ratio() > 0.9,
+        "sequential traffic should hit rows: {}",
+        d.stats().row_hit_ratio()
+    );
+}
+
+#[test]
+fn interleaved_streams_thrash_shared_banks() {
+    // Two streams far apart, interleaved reference-by-reference: each
+    // access to a bank alternates rows.
+    let mut d = Dram::new(DramConfig::default());
+    for i in 0..2048u64 {
+        d.access(LineAddr::new(i));
+        d.access(LineAddr::new(1 << 20 | i));
+    }
+    assert!(
+        d.stats().row_hit_ratio() < 0.1,
+        "interleaved far streams must conflict: {}",
+        d.stats().row_hit_ratio()
+    );
+}
+
+#[test]
+fn single_channel_config_routes_everything_to_zero() {
+    let cfg = DramConfig { channels: 1, ..DramConfig::default() };
+    let d = Dram::new(cfg);
+    for l in [0u64, 1, 17, 4095] {
+        assert_eq!(d.channel_of(LineAddr::new(l)), 0);
+    }
+}
+
+#[test]
+fn fsb_total_equals_sum_of_classes() {
+    let mut fsb = Fsb::new(FsbConfig::default());
+    let mut t = 0;
+    for i in 0..300u64 {
+        let class = match i % 3 {
+            0 => TrafficClass::Demand,
+            1 => TrafficClass::Prefetch,
+            _ => TrafficClass::WriteBack,
+        };
+        t = fsb.transfer_data(t, class);
+    }
+    let sum = fsb.busy_cycles(TrafficClass::Demand)
+        + fsb.busy_cycles(TrafficClass::Prefetch)
+        + fsb.busy_cycles(TrafficClass::WriteBack);
+    assert_eq!(sum, fsb.total_busy_cycles());
+    assert_eq!(sum, 300 * FsbConfig::default().t_data);
+    // Back-to-back transfers: the bus is 100% utilized over the interval.
+    assert!((fsb.utilization(t) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn fsb_requests_cost_less_than_data() {
+    let cfg = FsbConfig::default();
+    assert!(cfg.t_request < cfg.t_data);
+    let mut fsb = Fsb::new(cfg);
+    let r = fsb.transfer_request(0, TrafficClass::Demand);
+    let d = fsb.transfer_data(r, TrafficClass::Demand);
+    assert_eq!(r, cfg.t_request);
+    assert_eq!(d, cfg.t_request + cfg.t_data);
+}

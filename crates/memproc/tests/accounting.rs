@@ -1,0 +1,122 @@
+//! Cross-checks of the memory processor's time accounting: response ≤
+//! occupancy, busy+mem decomposition, and location sensitivity.
+
+use ulmt_core::AlgorithmSpec;
+use ulmt_memproc::{
+    FixedLatencyMemory, MemProcConfig, MemProcLocation, MemProcessor, TableMemory,
+};
+use ulmt_simcore::LineAddr;
+
+fn drive(mut mp: MemProcessor, misses: &[u64]) -> MemProcessor {
+    let mut mem = FixedLatencyMemory::new(mp.config().location);
+    for &m in misses {
+        let now = mp.busy_until();
+        let step = mp.process(LineAddr::new(m), now, &mut mem);
+        assert!(step.response_done <= step.occupancy_done);
+        assert!(step.response_done >= now);
+    }
+    mp
+}
+
+fn misses(n: u64) -> Vec<u64> {
+    (0..n).map(|i| (i * 131) % 4096).collect()
+}
+
+#[test]
+fn occupancy_sums_decompose_into_busy_plus_mem() {
+    let mp = drive(
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4096).build()),
+        &misses(512),
+    );
+    let s = mp.stats();
+    // The per-step occupancy mean times steps equals total busy + mem.
+    let total = s.occupancy.mean() * s.steps as f64;
+    let parts = (s.busy_cycles + s.mem_cycles) as f64;
+    assert!(
+        (total - parts).abs() / parts < 1e-9,
+        "occupancy total {total} vs busy+mem {parts}"
+    );
+    assert_eq!(s.steps, 512);
+}
+
+#[test]
+fn response_never_exceeds_occupancy_mean() {
+    for spec in [
+        AlgorithmSpec::base(4096),
+        AlgorithmSpec::chain(4096),
+        AlgorithmSpec::repl(4096),
+        AlgorithmSpec::seq4(),
+    ] {
+        let mp = drive(MemProcessor::new(MemProcConfig::default(), spec.build()), &misses(256));
+        let s = mp.stats();
+        assert!(
+            s.response.mean() <= s.occupancy.mean(),
+            "{}: response {} occupancy {}",
+            mp.algorithm_name(),
+            s.response.mean(),
+            s.occupancy.mean()
+        );
+    }
+}
+
+#[test]
+fn seq_ulmt_has_no_table_memory_stall() {
+    let mp = drive(
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::seq4().build()),
+        &misses(256),
+    );
+    assert_eq!(mp.stats().mem_cycles, 0, "the sequential ULMT keeps all state in registers");
+    assert!(mp.stats().busy_cycles > 0);
+}
+
+#[test]
+fn north_bridge_memory_is_strictly_slower() {
+    let mut dram = FixedLatencyMemory::new(MemProcLocation::InDram);
+    let mut nb = FixedLatencyMemory::new(MemProcLocation::NorthBridge);
+    for i in 0..64u64 {
+        let a = ulmt_simcore::Addr::new(i * 8192);
+        assert!(nb.fetch(a, 0) > dram.fetch(a, 0));
+    }
+}
+
+#[test]
+fn empty_stats_are_zero() {
+    let mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(1024).build());
+    let s = mp.stats();
+    assert_eq!(s.ipc(), 0.0);
+    assert_eq!(s.mem_fraction(), 0.0);
+    assert_eq!(s.steps, 0);
+    assert!(mp.is_idle_at(0));
+}
+
+#[test]
+fn back_to_back_steps_never_overlap() {
+    let mut mp =
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4096).build());
+    let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
+    let mut prev_end = 0;
+    for &m in &misses(128) {
+        let step = mp.process(LineAddr::new(m), prev_end, &mut mem);
+        assert!(step.response_done >= prev_end);
+        prev_end = step.occupancy_done;
+    }
+}
+
+#[test]
+fn larger_tables_raise_memory_stall_fraction() {
+    // A table far beyond the 32 KB private cache stalls more.
+    let small = drive(
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(1024).build()),
+        &misses(1024),
+    );
+    let large = drive(
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(64 * 1024).build()),
+        &(0..1024u64).map(|i| (i * 131) % 60_000).collect::<Vec<_>>(),
+    );
+    assert!(
+        large.stats().mem_fraction() > small.stats().mem_fraction(),
+        "large {} vs small {}",
+        large.stats().mem_fraction(),
+        small.stats().mem_fraction()
+    );
+}

@@ -1,0 +1,168 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A discrete-event simulator is only reproducible if events scheduled for
+//! the same cycle are dispatched in a well-defined order. [`EventQueue`]
+//! guarantees FIFO order among same-cycle events by pairing every entry with
+//! a monotonically increasing sequence number.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A time-ordered queue of events with deterministic FIFO tie-breaking.
+///
+/// Events pushed for the same cycle are popped in push order. This makes
+/// whole-system simulations bit-reproducible across runs, which the test
+/// suite and the experiment harness rely on.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(3, 'c');
+/// q.push(1, 'a');
+/// q.push(3, 'd');
+/// assert_eq!(q.peek_time(), Some(1));
+/// assert_eq!(q.pop(), Some((1, 'a')));
+/// assert_eq!(q.pop(), Some((3, 'c')));
+/// assert_eq!(q.pop(), Some((3, 'd')));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with space for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for (t, e) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            q.push(t, e);
+        }
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(7, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.push(5, "a");
+        q.push(1, "b");
+        assert_eq!(q.pop(), Some((1, "b")));
+        q.push(2, "c");
+        q.push(5, "d");
+        assert_eq!(q.pop(), Some((2, "c")));
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.pop(), Some((5, "d")));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! First-come-first-served resource occupancy model.
+//!
+//! Buses, DRAM channels and the memory processor serve one request at a
+//! time. [`Server`] models such a resource: a request arriving at time `t`
+//! with service time `d` starts at `max(t, next_free)` and completes `d`
+//! cycles later. The server also tracks total busy time, from which the
+//! utilization figures of the paper (Figure 11) are derived.
+
+use crate::Cycle;
+
+/// A single-ported FCFS resource with busy-time accounting.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::Server;
+///
+/// let mut bus = Server::new();
+/// assert_eq!(bus.serve(100, 10), 110); // idle: starts immediately
+/// assert_eq!(bus.serve(105, 10), 120); // queued behind the first request
+/// assert_eq!(bus.busy_cycles(), 20);
+/// assert!((bus.utilization(120) - 20.0 / 120.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    next_free: Cycle,
+    busy: Cycle,
+    requests: u64,
+}
+
+impl Server {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Serves a request arriving at `now` that occupies the resource for
+    /// `duration` cycles. Returns the completion time.
+    pub fn serve(&mut self, now: Cycle, duration: Cycle) -> Cycle {
+        let start = self.next_free.max(now);
+        self.next_free = start + duration;
+        self.busy += duration;
+        self.requests += 1;
+        self.next_free
+    }
+
+    /// Like [`Server::serve`] but also returns the start time, which callers
+    /// use to account queuing delay separately from service time.
+    pub fn serve_with_start(&mut self, now: Cycle, duration: Cycle) -> (Cycle, Cycle) {
+        let start = self.next_free.max(now);
+        self.next_free = start + duration;
+        self.busy += duration;
+        self.requests += 1;
+        (start, self.next_free)
+    }
+
+    /// Earliest time a new request could start service.
+    pub fn next_free(&self) -> Cycle {
+        self.next_free
+    }
+
+    /// Returns `true` if the server would be idle at `now`.
+    pub fn is_idle_at(&self, now: Cycle) -> bool {
+        self.next_free <= now
+    }
+
+    /// Total cycles spent servicing requests.
+    pub fn busy_cycles(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Fraction of `elapsed` cycles this server was busy. Returns 0 for an
+    /// empty interval.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = Server::new();
+        let (start, end) = s.serve_with_start(50, 7);
+        assert_eq!((start, end), (50, 57));
+    }
+
+    #[test]
+    fn busy_server_queues() {
+        let mut s = Server::new();
+        s.serve(0, 100);
+        let (start, end) = s.serve_with_start(10, 5);
+        assert_eq!((start, end), (100, 105));
+        assert_eq!(s.busy_cycles(), 105);
+        assert_eq!(s.requests(), 2);
+    }
+
+    #[test]
+    fn late_arrival_after_idle_gap() {
+        let mut s = Server::new();
+        s.serve(0, 10);
+        // Arrives long after the server drained; no queuing.
+        let (start, _) = s.serve_with_start(1000, 10);
+        assert_eq!(start, 1000);
+        assert_eq!(s.busy_cycles(), 20);
+    }
+
+    #[test]
+    fn utilization_empty_interval() {
+        let s = Server::new();
+        assert_eq!(s.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn idle_check() {
+        let mut s = Server::new();
+        assert!(s.is_idle_at(0));
+        s.serve(0, 10);
+        assert!(!s.is_idle_at(5));
+        assert!(s.is_idle_at(10));
+    }
+}

@@ -1,0 +1,288 @@
+//! Statistics primitives used to produce the paper's figures.
+//!
+//! * [`BinnedHistogram`] — fixed-edge histogram; Figure 6 of the paper bins
+//!   inter-miss times into `[0,80) [80,200) [200,280) [280,inf)` cycles.
+//! * [`Mean`] — online arithmetic mean, used for response/occupancy times
+//!   (Figure 10).
+//! * [`Summary`] — count/min/max/mean in one value.
+
+use std::fmt;
+
+use crate::Cycle;
+
+/// Histogram over `u64` samples with caller-supplied bin upper edges.
+///
+/// A sample `x` falls into the first bin whose (exclusive) upper edge is
+/// greater than `x`; samples at or above the last edge fall into a final
+/// overflow bin. With edges `[80, 200, 280]` the bins are exactly those of
+/// Figure 6 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::stats::BinnedHistogram;
+///
+/// let mut h = BinnedHistogram::new(&[80, 200, 280]);
+/// for x in [10, 79, 80, 250, 1000] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.counts(), &[2, 1, 1, 1]);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinnedHistogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl BinnedHistogram {
+    /// Creates a histogram with the given strictly increasing upper edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: &[u64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        BinnedHistogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            total: 0,
+        }
+    }
+
+    /// The histogram used by Figure 6: `[0,80) [80,200) [200,280) [280,inf)`.
+    pub fn inter_miss() -> Self {
+        Self::new(&[80, 200, 280])
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        let bin = self.edges.iter().position(|&e| x < e).unwrap_or(self.edges.len());
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bin counts; the last entry is the overflow bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bin fractions of the total (all zero if nothing recorded).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin upper edges.
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Human-readable bin labels, e.g. `[0,80)`, `[280,inf)`.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::with_capacity(self.counts.len());
+        let mut lo = 0u64;
+        for &e in &self.edges {
+            labels.push(format!("[{lo},{e})"));
+            lo = e;
+        }
+        labels.push(format!("[{lo},inf)"));
+        labels
+    }
+}
+
+/// Online arithmetic mean over `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::stats::Mean;
+///
+/// let mut m = Mean::new();
+/// m.add(10.0);
+/// m.add(20.0);
+/// assert_eq!(m.mean(), 15.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mean {
+    sum: f64,
+    count: u64,
+}
+
+impl Mean {
+    /// Creates an empty mean.
+    pub fn new() -> Self {
+        Mean::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+    }
+
+    /// Current mean (0.0 when no samples have been added).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl fmt::Display for Mean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} (n={})", self.mean(), self.count)
+    }
+}
+
+/// Count, minimum, maximum and mean of a stream of cycle values.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    count: u64,
+    min: Cycle,
+    max: Cycle,
+    sum: u128,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, min: Cycle::MAX, max: 0, sum: 0 }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, x: Cycle) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value, or `None` if empty.
+    pub fn min(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<Cycle> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "empty")
+        } else {
+            write!(f, "n={} min={} mean={:.1} max={}", self.count, self.min, self.mean(), self.max)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bin_assignment() {
+        let mut h = BinnedHistogram::inter_miss();
+        h.record(0);
+        h.record(79);
+        h.record(80);
+        h.record(199);
+        h.record(200);
+        h.record(279);
+        h.record(280);
+        h.record(u64::MAX);
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        let fr = h.fractions();
+        assert!(fr.iter().all(|&f| (f - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn histogram_labels() {
+        let h = BinnedHistogram::inter_miss();
+        assert_eq!(h.labels(), vec!["[0,80)", "[80,200)", "[200,280)", "[280,inf)"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_edges() {
+        let _ = BinnedHistogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = BinnedHistogram::new(&[5]);
+        assert_eq!(h.fractions(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_basic() {
+        let mut m = Mean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(1.0);
+        m.add(2.0);
+        m.add(3.0);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut s = Summary::new();
+        assert_eq!(s.min(), None);
+        for x in [5u64, 1, 9] {
+            s.record(x);
+        }
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(9));
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(format!("{s}"), "n=3 min=1 mean=5.0 max=9");
+    }
+}

@@ -1,0 +1,88 @@
+//! One-stop experiment runner.
+
+use ulmt_workloads::WorkloadSpec;
+
+use crate::config::SystemConfig;
+use crate::result::RunResult;
+use crate::scheme::PrefetchScheme;
+use crate::sim::SystemSim;
+
+/// Builder for a single simulation run.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_system::{Experiment, PrefetchScheme, SystemConfig};
+/// use ulmt_workloads::{App, WorkloadSpec};
+///
+/// let result = Experiment::new(
+///     SystemConfig::default(),
+///     WorkloadSpec::new(App::Tree).scale(1.0 / 16.0),
+/// )
+/// .scheme(PrefetchScheme::Conven4Repl)
+/// .run();
+/// assert_eq!(result.scheme, "Conven4+Repl");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: SystemConfig,
+    workload: WorkloadSpec,
+    scheme: PrefetchScheme,
+}
+
+impl Experiment {
+    /// Creates an experiment with the default scheme (`NoPref`).
+    pub fn new(config: SystemConfig, workload: WorkloadSpec) -> Self {
+        Experiment { config, workload, scheme: PrefetchScheme::NoPref }
+    }
+
+    /// Selects the prefetching scheme.
+    pub fn scheme(mut self, scheme: PrefetchScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Overrides the system configuration.
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The workload this experiment runs.
+    pub fn workload(&self) -> &WorkloadSpec {
+        &self.workload
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(self) -> RunResult {
+        SystemSim::new(self.config, &self.workload, self.scheme).run()
+    }
+}
+
+/// Runs every scheme of Figure 7 on one workload and returns the results
+/// in [`PrefetchScheme::FIGURE7`] order.
+pub fn run_figure7_schemes(config: SystemConfig, workload: &WorkloadSpec) -> Vec<RunResult> {
+    PrefetchScheme::FIGURE7
+        .iter()
+        .map(|&s| Experiment::new(config, workload.clone()).scheme(s).run())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulmt_workloads::App;
+
+    #[test]
+    fn builder_roundtrip() {
+        let e = Experiment::new(
+            SystemConfig::default(),
+            WorkloadSpec::new(App::Gap).scale(1.0 / 128.0).iterations(2),
+        )
+        .scheme(PrefetchScheme::Base);
+        assert_eq!(e.workload().app, App::Gap);
+        let r = e.run();
+        assert_eq!(r.scheme, "Base");
+        assert_eq!(r.app, "Gap");
+    }
+}

@@ -1,0 +1,109 @@
+//! Human-readable run reports.
+
+use crate::result::RunResult;
+
+impl RunResult {
+    /// Renders a compact multi-line summary of the run, suitable for
+    /// terminal output or a lab notebook.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ulmt_system::{Experiment, PrefetchScheme, SystemConfig};
+    /// use ulmt_workloads::{App, WorkloadSpec};
+    ///
+    /// let r = Experiment::new(
+    ///     SystemConfig::small(),
+    ///     WorkloadSpec::new(App::Tree).scale(1.0 / 16.0).iterations(2),
+    /// )
+    /// .scheme(PrefetchScheme::Repl)
+    /// .run();
+    /// let text = r.summary();
+    /// assert!(text.contains("Tree"));
+    /// assert!(text.contains("BeyondL2"));
+    /// ```
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{} / {}\n", self.app, self.scheme));
+        s.push_str(&format!(
+            "  execution: {} cycles ({} refs, {} L2 misses to memory)\n",
+            self.exec_cycles, self.refs, self.l2_misses
+        ));
+        let total = self.breakdown.total().max(1) as f64;
+        s.push_str(&format!(
+            "  breakdown: Busy {:.1}%  UptoL2 {:.1}%  BeyondL2 {:.1}%\n",
+            100.0 * self.breakdown.busy as f64 / total,
+            100.0 * self.breakdown.upto_l2 as f64 / total,
+            100.0 * self.breakdown.beyond_l2 as f64 / total,
+        ));
+        if self.prefetch.issued > 0 {
+            s.push_str(&format!(
+                "  prefetching: {} issued; hits {}  delayed {}  replaced {}  redundant {}\n",
+                self.prefetch.issued,
+                self.prefetch.hits,
+                self.prefetch.delayed_hits,
+                self.prefetch.replaced,
+                self.prefetch.redundant
+            ));
+        }
+        if let Some(u) = &self.ulmt {
+            s.push_str(&format!(
+                "  ULMT: {} observations ({} dropped); response {:.0}c occupancy {:.0}c ipc {:.2}\n",
+                u.steps,
+                u.dropped_observations,
+                u.response.mean(),
+                u.occupancy.mean(),
+                u.ipc()
+            ));
+        }
+        s.push_str(&format!(
+            "  memory: FSB {:.1}% busy ({:.1}% prefetch traffic); DRAM row hits {:.1}%\n",
+            100.0 * self.fsb_utilization,
+            100.0 * self.fsb_prefetch_utilization,
+            100.0 * self.dram_row_hit_ratio
+        ));
+        let fr = self.inter_miss.fractions();
+        let labels = self.inter_miss.labels();
+        s.push_str("  inter-miss:");
+        for (label, f) in labels.iter().zip(fr) {
+            s.push_str(&format!(" {label} {:.0}%", 100.0 * f));
+        }
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Experiment, PrefetchScheme, SystemConfig};
+    use ulmt_workloads::{App, WorkloadSpec};
+
+    #[test]
+    fn summary_covers_all_sections() {
+        let r = Experiment::new(
+            SystemConfig::small(),
+            WorkloadSpec::new(App::Mcf).scale(1.0 / 32.0).iterations(2),
+        )
+        .scheme(PrefetchScheme::Repl)
+        .run();
+        let text = r.summary();
+        for needle in
+            ["Mcf / Repl", "execution:", "breakdown:", "prefetching:", "ULMT:", "memory:", "inter-miss:"]
+        {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn nopref_summary_omits_prefetch_sections() {
+        let r = Experiment::new(
+            SystemConfig::small(),
+            WorkloadSpec::new(App::Tree).scale(1.0 / 16.0).iterations(2),
+        )
+        .scheme(PrefetchScheme::NoPref)
+        .run();
+        let text = r.summary();
+        assert!(!text.contains("ULMT:"));
+        assert!(!text.contains("prefetching:"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Results of one simulated run.
+
+use ulmt_cpu::StallBreakdown;
+use ulmt_memproc::UlmtStats;
+use ulmt_simcore::stats::BinnedHistogram;
+use ulmt_simcore::Cycle;
+
+/// Figure 9 bookkeeping: what happened to L2 misses and pushed prefetches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchEffect {
+    /// Pushed lines later touched by a demand access — fully eliminated
+    /// misses.
+    pub hits: u64,
+    /// Demand misses satisfied by an in-flight prefetch (the push stole
+    /// the MSHR) — partially eliminated misses.
+    pub delayed_hits: u64,
+    /// L2 misses that paid (close to) the full latency.
+    pub non_pref_misses: u64,
+    /// Pushed lines evicted before any demand touch.
+    pub replaced: u64,
+    /// Pushes dropped on arrival because the L2 already had the line.
+    pub redundant: u64,
+    /// Pushes dropped for other reasons (write-back queue, MSHRs, pending
+    /// set).
+    pub dropped_other: u64,
+    /// Prefetch requests the ULMT issued into queue 3.
+    pub issued: u64,
+}
+
+impl PrefetchEffect {
+    /// Coverage: fraction of the original misses fully or partially
+    /// eliminated, relative to `original_misses` (a NoPref run's count).
+    pub fn coverage(&self, original_misses: u64) -> f64 {
+        if original_misses == 0 {
+            0.0
+        } else {
+            (self.hits + self.delayed_hits) as f64 / original_misses as f64
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme label (e.g. `"Conven4+Repl"`).
+    pub scheme: String,
+    /// Application name.
+    pub app: String,
+    /// Total execution time in cycles.
+    pub exec_cycles: Cycle,
+    /// Busy / UptoL2 / BeyondL2 split (Figure 7).
+    pub breakdown: StallBreakdown,
+    /// Demand L2 misses that reached memory.
+    pub l2_misses: u64,
+    /// Demand references issued by the CPU.
+    pub refs: u64,
+    /// Histogram of cycles between consecutive L2 misses arriving at
+    /// memory (Figure 6).
+    pub inter_miss: BinnedHistogram,
+    /// Figure 9 categories.
+    pub prefetch: PrefetchEffect,
+    /// ULMT execution statistics, if a ULMT ran (Figure 10).
+    pub ulmt: Option<UlmtStats>,
+    /// Overall FSB utilization (Figure 11).
+    pub fsb_utilization: f64,
+    /// FSB utilization attributable to memory-side prefetch pushes.
+    pub fsb_prefetch_utilization: f64,
+    /// DRAM row-buffer hit ratio.
+    pub dram_row_hit_ratio: f64,
+    /// Prefetch requests dropped by the Filter module.
+    pub filter_dropped: u64,
+    /// Observations dropped because queue 2 was full.
+    pub observations_dropped: u64,
+}
+
+impl RunResult {
+    /// Speedup of this run relative to a reference execution time.
+    pub fn speedup_vs(&self, reference_cycles: Cycle) -> f64 {
+        if self.exec_cycles == 0 {
+            0.0
+        } else {
+            reference_cycles as f64 / self.exec_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_math() {
+        let e = PrefetchEffect { hits: 30, delayed_hits: 20, ..Default::default() };
+        assert!((e.coverage(100) - 0.5).abs() < 1e-12);
+        assert_eq!(e.coverage(0), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! The prefetching schemes evaluated in Figures 7–11.
+
+use ulmt_core::AlgorithmSpec;
+use ulmt_memproc::MemProcLocation;
+use ulmt_workloads::App;
+
+/// A named prefetching configuration (the bars of Figure 7 plus the
+/// Figure 8 location study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchScheme {
+    /// No prefetching of any kind.
+    NoPref,
+    /// Processor-side 4-stream sequential prefetcher only (Table 4).
+    Conven4,
+    /// ULMT running the conventional Base correlation algorithm.
+    Base,
+    /// ULMT running the Chain algorithm.
+    Chain,
+    /// ULMT running the Replicated algorithm (memory processor in DRAM).
+    Repl,
+    /// Replicated with the memory processor in the North Bridge chip
+    /// (`ReplMC` in Figure 10).
+    ReplMc,
+    /// The adaptive ULMT of Section 3.3.3: re-decides between sequential
+    /// and Replicated prefetching on-the-fly from the observed miss
+    /// stream (an extension experiment; not one of the paper's bars).
+    Adaptive,
+    /// `Conven4` + Replicated ULMT (the paper's best generic scheme).
+    Conven4Repl,
+    /// `Conven4` + Replicated with the memory processor in the North
+    /// Bridge chip (`Conven4+ReplMC` in Figure 8).
+    Conven4ReplMc,
+    /// The per-application customization of Table 5 (on top of Conven4):
+    /// CG runs `Seq1+Repl` in Verbose mode, MST and Mcf run Repl with
+    /// `NumLevels = 4`, everything else falls back to `Conven4+Repl`.
+    Custom,
+}
+
+/// What a scheme instantiates.
+#[derive(Debug, Clone)]
+pub struct SchemeSetup {
+    /// Enable the processor-side `Conven4` prefetcher.
+    pub conven4: bool,
+    /// ULMT algorithm, if any.
+    pub ulmt: Option<AlgorithmSpec>,
+    /// Where the memory processor sits.
+    pub location: MemProcLocation,
+    /// Verbose mode: the ULMT also observes processor-side prefetch
+    /// requests (Section 3.2).
+    pub verbose: bool,
+}
+
+impl PrefetchScheme {
+    /// The seven bars of Figure 7 in order.
+    pub const FIGURE7: [PrefetchScheme; 7] = [
+        PrefetchScheme::NoPref,
+        PrefetchScheme::Conven4,
+        PrefetchScheme::Base,
+        PrefetchScheme::Chain,
+        PrefetchScheme::Repl,
+        PrefetchScheme::Conven4Repl,
+        PrefetchScheme::Custom,
+    ];
+
+    /// Label as the figures print it.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetchScheme::NoPref => "NoPref",
+            PrefetchScheme::Conven4 => "Conven4",
+            PrefetchScheme::Base => "Base",
+            PrefetchScheme::Chain => "Chain",
+            PrefetchScheme::Repl => "Repl",
+            PrefetchScheme::ReplMc => "ReplMC",
+            PrefetchScheme::Adaptive => "Adaptive",
+            PrefetchScheme::Conven4Repl => "Conven4+Repl",
+            PrefetchScheme::Conven4ReplMc => "Conven4+ReplMC",
+            PrefetchScheme::Custom => "Custom",
+        }
+    }
+
+    /// Instantiates the scheme for `app`, using a correlation table with
+    /// `num_rows` rows (Table 2 sizes it per application).
+    pub fn setup(self, app: App, num_rows: usize) -> SchemeSetup {
+        let repl = AlgorithmSpec::repl(num_rows);
+        match self {
+            PrefetchScheme::NoPref => SchemeSetup {
+                conven4: false,
+                ulmt: None,
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::Conven4 => SchemeSetup {
+                conven4: true,
+                ulmt: None,
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::Base => SchemeSetup {
+                conven4: false,
+                ulmt: Some(AlgorithmSpec::base(num_rows)),
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::Chain => SchemeSetup {
+                conven4: false,
+                ulmt: Some(AlgorithmSpec::chain(num_rows)),
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::Repl => SchemeSetup {
+                conven4: false,
+                ulmt: Some(repl),
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::ReplMc => SchemeSetup {
+                conven4: false,
+                ulmt: Some(repl),
+                location: MemProcLocation::NorthBridge,
+                verbose: false,
+            },
+            PrefetchScheme::Adaptive => SchemeSetup {
+                conven4: false,
+                ulmt: Some(AlgorithmSpec::Adaptive(
+                    ulmt_core::table::TableParams::repl_default(num_rows),
+                )),
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::Conven4Repl => SchemeSetup {
+                conven4: true,
+                ulmt: Some(repl),
+                location: MemProcLocation::InDram,
+                verbose: false,
+            },
+            PrefetchScheme::Conven4ReplMc => SchemeSetup {
+                conven4: true,
+                ulmt: Some(repl),
+                location: MemProcLocation::NorthBridge,
+                verbose: false,
+            },
+            PrefetchScheme::Custom => match app {
+                // Table 5: Seq1+Repl in Verbose mode.
+                App::Cg => SchemeSetup {
+                    conven4: true,
+                    ulmt: Some(AlgorithmSpec::seq1_repl(num_rows)),
+                    location: MemProcLocation::InDram,
+                    verbose: true,
+                },
+                // Table 5: Repl with NumLevels = 4.
+                App::Mst | App::Mcf => SchemeSetup {
+                    conven4: true,
+                    ulmt: Some(AlgorithmSpec::repl_levels(num_rows, 4)),
+                    location: MemProcLocation::InDram,
+                    verbose: false,
+                },
+                _ => SchemeSetup {
+                    conven4: true,
+                    ulmt: Some(repl),
+                    location: MemProcLocation::InDram,
+                    verbose: false,
+                },
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetchScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_order() {
+        let labels: Vec<_> = PrefetchScheme::FIGURE7.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["NoPref", "Conven4", "Base", "Chain", "Repl", "Conven4+Repl", "Custom"]
+        );
+    }
+
+    #[test]
+    fn custom_follows_table5() {
+        let cg = PrefetchScheme::Custom.setup(App::Cg, 1024);
+        assert!(cg.verbose);
+        assert_eq!(cg.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("seq1+repl"));
+
+        let mst = PrefetchScheme::Custom.setup(App::Mst, 1024);
+        assert!(!mst.verbose);
+        assert_eq!(mst.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("repl(l4)"));
+
+        let ft = PrefetchScheme::Custom.setup(App::Ft, 1024);
+        assert_eq!(ft.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("repl"));
+        assert!(ft.conven4);
+    }
+
+    #[test]
+    fn replmc_moves_the_processor() {
+        let s = PrefetchScheme::Conven4ReplMc.setup(App::Gap, 1024);
+        assert_eq!(s.location, MemProcLocation::NorthBridge);
+    }
+
+    #[test]
+    fn adaptive_scheme_builds() {
+        let s = PrefetchScheme::Adaptive.setup(App::Gap, 1024);
+        assert_eq!(s.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("adaptive"));
+        assert!(!s.conven4);
+    }
+
+    #[test]
+    fn nopref_disables_everything() {
+        let s = PrefetchScheme::NoPref.setup(App::Gap, 1024);
+        assert!(!s.conven4);
+        assert!(s.ulmt.is_none());
+    }
+}

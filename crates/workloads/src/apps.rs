@@ -1,0 +1,591 @@
+//! The nine application models.
+//!
+//! Every application is expressed as a [`SteppedWorkload`]: a *core*
+//! sequence of steps that repeats identically every outer iteration (this
+//! is what makes miss streams learnable — "pair-based schemes ... work for
+//! any miss patterns as long as miss address sequences repeat"), plus a
+//! per-iteration *noise* component that models the part of the access
+//! stream that does not repeat (fresh allocations, input-dependent
+//! branches, tree re-balancing).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ulmt_simcore::{Addr, LineAddr};
+
+use crate::trace::TraceRecord;
+
+/// Base of the application heap in the simulated physical address space.
+pub const HEAP_BASE_LINE: u64 = 0x10_0000; // line number, = 64 MB
+
+/// One fixed step of an application's core loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Byte address referenced. Sequential applications touch both 32-B
+    /// halves of each 64-B L2 line (two steps), so the L1 miss stream is
+    /// unit-stride at L1-line granularity — what `Conven4` watches.
+    pub addr: Addr,
+    /// Instructions of computation before the reference.
+    pub gap_insns: u32,
+    /// Address depends on the previous reference's value.
+    pub dependent: bool,
+    /// The reference is a store.
+    pub is_write: bool,
+}
+
+impl Step {
+    /// The L2 line this step touches.
+    pub fn l2_line(&self) -> LineAddr {
+        self.addr.line(LineAddr::L2_LINE)
+    }
+}
+
+/// A workload whose core loop repeats every iteration, with optional
+/// per-iteration noise replacing a fraction of steps by random lines, and
+/// optional short-distance *reuse* references that hit the L2 (real
+/// applications re-touch recent data; these produce the `UptoL2`
+/// component of Figure 7 and never reach the ULMT).
+#[derive(Debug, Clone)]
+pub struct SteppedWorkload {
+    core: Vec<Step>,
+    iterations: usize,
+    /// Probability that a step's address is replaced by a random line for
+    /// this iteration only.
+    noise_fraction: f64,
+    /// Line range noise is drawn from.
+    noise_lo: u64,
+    noise_span: u64,
+    /// Probability that a core step is followed by a revisit of a recent
+    /// line.
+    reuse_fraction: f64,
+    /// How many recent distinct lines are candidates for reuse. Sized by
+    /// the caller to stay within the (scaled) L2.
+    reuse_window: usize,
+    recent: std::collections::VecDeque<Step>,
+    pending_reuse: Option<TraceRecord>,
+    rng: SmallRng,
+    pos: usize,
+    iter: usize,
+}
+
+impl SteppedWorkload {
+    /// Creates a workload repeating `core` for `iterations`, with noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is empty, `iterations` is zero, or the noise
+    /// region is empty while `noise_fraction > 0`.
+    pub fn new(
+        core: Vec<Step>,
+        iterations: usize,
+        noise_fraction: f64,
+        noise_region: std::ops::Range<u64>,
+        seed: u64,
+    ) -> Self {
+        assert!(!core.is_empty(), "core sequence must be non-empty");
+        assert!(iterations > 0, "need at least one iteration");
+        let noise_span = noise_region.end.saturating_sub(noise_region.start);
+        assert!(
+            noise_fraction == 0.0 || noise_span > 0,
+            "noise requires a non-empty region"
+        );
+        SteppedWorkload {
+            core,
+            iterations,
+            noise_fraction,
+            noise_lo: noise_region.start,
+            noise_span: noise_span.max(1),
+            reuse_fraction: 0.0,
+            reuse_window: 1,
+            recent: std::collections::VecDeque::new(),
+            pending_reuse: None,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            pos: 0,
+            iter: 0,
+        }
+    }
+
+    /// Enables reuse references: after a core step, with probability
+    /// `fraction`, revisit one of the last `window` lines (a likely L2
+    /// hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero while `fraction > 0`.
+    pub fn with_reuse(mut self, fraction: f64, window: usize) -> Self {
+        assert!(fraction == 0.0 || window > 0, "reuse requires a window");
+        self.reuse_fraction = fraction;
+        self.reuse_window = window.max(1);
+        self
+    }
+
+    /// References per iteration.
+    pub fn refs_per_iteration(&self) -> usize {
+        self.core.len()
+    }
+
+    /// Total references this workload will produce.
+    pub fn total_refs(&self) -> usize {
+        self.core.len() * self.iterations
+    }
+}
+
+impl Iterator for SteppedWorkload {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if let Some(reuse) = self.pending_reuse.take() {
+            return Some(reuse);
+        }
+        if self.iter >= self.iterations {
+            return None;
+        }
+        let step = self.core[self.pos];
+        self.pos += 1;
+        if self.pos == self.core.len() {
+            self.pos = 0;
+            self.iter += 1;
+        }
+        let addr = if self.noise_fraction > 0.0 && self.rng.gen_bool(self.noise_fraction) {
+            LineAddr::new(self.noise_lo + self.rng.gen_range(0..self.noise_span)).to_byte_addr()
+        } else {
+            step.addr
+        };
+        self.recent.push_back(step);
+        if self.recent.len() > self.reuse_window {
+            self.recent.pop_front();
+        }
+        if self.reuse_fraction > 0.0 && self.rng.gen_bool(self.reuse_fraction) {
+            let pick = self.rng.gen_range(0..self.recent.len());
+            let prev = self.recent[pick];
+            self.pending_reuse = Some(TraceRecord {
+                addr: prev.addr,
+                gap_insns: self.rng.gen_range(8..40),
+                dependent: prev.dependent,
+                is_write: false,
+            });
+        }
+        Some(TraceRecord {
+            addr,
+            gap_insns: step.gap_insns,
+            dependent: step.dependent,
+            is_write: step.is_write,
+        })
+    }
+}
+
+fn line_addr(n: u64) -> Addr {
+    LineAddr::new(HEAP_BASE_LINE + n).to_byte_addr()
+}
+
+/// The second 32-B half of line `n` (used by sequential applications so
+/// the L1 miss stream is unit-stride).
+fn half_addr(n: u64) -> Addr {
+    line_addr(n).offset(32)
+}
+
+fn gap(rng: &mut SmallRng, lo: u32, hi: u32) -> u32 {
+    rng.gen_range(lo..hi)
+}
+
+/// A random permutation of `0..n`.
+fn permutation(rng: &mut SmallRng, n: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    // Fisher-Yates.
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// A permutation of `0..n` made of sequential runs of ~`run_len` lines in
+/// shuffled chunk order (unstructured meshes renumbered for locality).
+fn runs_permutation(rng: &mut SmallRng, n: u64, run_len: u64) -> Vec<u64> {
+    let chunks = n.div_ceil(run_len);
+    let order = permutation(rng, chunks);
+    let mut v = Vec::with_capacity(n as usize);
+    for c in order {
+        let start = c * run_len;
+        for l in start..(start + run_len).min(n) {
+            v.push(l);
+        }
+    }
+    v
+}
+
+/// CG (NAS): conjugate gradient. Twelve unit-stride streams — sparse
+/// matrix rows plus vectors — visited in interleaved blocks of 16 lines,
+/// fully regular and repeating. Any single moment has one active stream
+/// (so sequential prefetching predicts almost every miss, as in
+/// Figure 5), but the twelve alive streams churn the prefetcher's four
+/// registers at block boundaries — the effect the CG customization
+/// exploits (Section 5.2).
+pub fn cg(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    const STREAMS: u64 = 12;
+    const BLOCK: u64 = 16;
+    let per = footprint_lines / STREAMS;
+    let mut core = Vec::with_capacity((2 * per * STREAMS) as usize);
+    let mut block_start = 0;
+    while block_start < per {
+        for s in 0..STREAMS {
+            for i in block_start..(block_start + BLOCK).min(per) {
+                let l = s * per + i;
+                let write = s == STREAMS - 1 && i % 4 == 0; // y-vector updates
+                core.push(Step {
+                    addr: line_addr(l),
+                    gap_insns: gap(&mut rng, 240, 420),
+                    dependent: false,
+                    is_write: write,
+                });
+                core.push(Step {
+                    addr: half_addr(l),
+                    gap_insns: gap(&mut rng, 4, 16),
+                    dependent: false,
+                    is_write: write,
+                });
+            }
+        }
+        block_start += BLOCK;
+    }
+    core
+}
+
+/// Equake (SpecFP): unstructured-mesh sweep — fixed irregular chunk order
+/// with short sequential runs inside chunks; some indirection.
+pub fn equake(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let order = runs_permutation(&mut rng, footprint_lines, 8);
+    let mut core = Vec::with_capacity(order.len() * 2);
+    for l in order {
+        let dependent = rng.gen_bool(0.25);
+        let write = rng.gen_bool(0.1);
+        core.push(Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 90, 170),
+            dependent,
+            is_write: write,
+        });
+        core.push(Step {
+            addr: half_addr(l),
+            gap_insns: gap(&mut rng, 2, 8),
+            dependent: false,
+            is_write: write,
+        });
+    }
+    core
+}
+
+/// FT (NAS): 3-D FFT — a sequential pass followed by a large-stride
+/// transpose pass over the same array.
+pub fn ft(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut core = Vec::with_capacity(3 * footprint_lines as usize);
+    // Sequential pass, touching both halves of every line.
+    for l in 0..footprint_lines {
+        core.push(Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 150, 260),
+            dependent: false,
+            is_write: false,
+        });
+        core.push(Step {
+            addr: half_addr(l),
+            gap_insns: gap(&mut rng, 4, 16),
+            dependent: false,
+            is_write: false,
+        });
+    }
+    // Transpose pass: stride of 64 lines.
+    const STRIDE: u64 = 64;
+    for off in 0..STRIDE {
+        let mut l = off;
+        while l < footprint_lines {
+            core.push(Step {
+                addr: line_addr(l),
+                gap_insns: gap(&mut rng, 150, 260),
+                dependent: false,
+                is_write: rng.gen_bool(0.3),
+            });
+            l += STRIDE;
+        }
+    }
+    core
+}
+
+/// Gap (SpecInt): group-theory solver — repeatable irregular walks over a
+/// large workset, partly pointer-linked.
+pub fn gap_app(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let order = permutation(&mut rng, footprint_lines);
+    order
+        .into_iter()
+        .map(|l| Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 120, 240),
+            dependent: rng.gen_bool(0.2),
+            is_write: rng.gen_bool(0.08),
+        })
+        .collect()
+}
+
+/// Mcf (SpecInt): network-simplex pointer chasing over arc lists — fully
+/// dependent, no sequentiality at all.
+pub fn mcf(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let order = permutation(&mut rng, footprint_lines);
+    order
+        .into_iter()
+        .map(|l| Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 60, 140),
+            dependent: true,
+            is_write: rng.gen_bool(0.05),
+        })
+        .collect()
+}
+
+/// MST (Olden): minimum spanning tree over adjacency lists — dependent
+/// chains that repeat very faithfully, rewarding deeper `NumLevels`
+/// (the Table 5 customization).
+pub fn mst(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let order = permutation(&mut rng, footprint_lines);
+    order
+        .into_iter()
+        .map(|l| Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 40, 110),
+            dependent: true,
+            is_write: rng.gen_bool(0.04),
+        })
+        .collect()
+}
+
+/// Parser (SpecInt): dictionary lookups — a repeatable core plus a large
+/// input-dependent component, giving the lowest predictability of the
+/// nine.
+pub fn parser(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let order = permutation(&mut rng, footprint_lines);
+    order
+        .into_iter()
+        .map(|l| Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 260, 420),
+            dependent: rng.gen_bool(0.3),
+            is_write: rng.gen_bool(0.06),
+        })
+        .collect()
+    // The non-repeating 40% is supplied as noise by the WorkloadSpec.
+}
+
+/// Number of lines per conflict group and their L2-set-aliasing stride.
+/// Lines 2048 apart share an L2 set (2048 sets, Table 3); four such lines
+/// plus the set's ordinary traffic exceed the 4 ways.
+const CONFLICT_GROUP: u64 = 4;
+const CONFLICT_STRIDE: u64 = 2048;
+
+/// Lines of `classes` conflict groups starting at `base`.
+fn conflict_lines(base: u64, classes: u64) -> Vec<u64> {
+    let mut v = Vec::with_capacity((classes * CONFLICT_GROUP) as usize);
+    for c in 0..classes {
+        for k in 0..CONFLICT_GROUP {
+            v.push(base + c + k * CONFLICT_STRIDE);
+        }
+    }
+    v
+}
+
+/// Sparse (SparseBench): GMRES with compressed-row storage — a sequential
+/// index stream driving dependent gathers, a fraction of which land in
+/// L2-set-aliased hot groups (the cache conflicts of Figure 9).
+pub fn sparse(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rows = footprint_lines / 9;
+    let index_base = 0u64;
+    let data_base = rows; // data region follows the index region
+    let data_span = footprint_lines - rows;
+    let conflicts = conflict_lines(data_base, (rows / 40).max(8));
+    let mut core = Vec::with_capacity((rows * 9) as usize);
+    for r in 0..rows {
+        // Index load: sequential, independent.
+        core.push(Step {
+            addr: line_addr(index_base + r),
+            gap_insns: gap(&mut rng, 30, 60),
+            dependent: false,
+            is_write: false,
+        });
+        // Eight gathers: fixed per matrix, dependent on the index load.
+        for _ in 0..8 {
+            let target = if rng.gen_bool(0.3) {
+                conflicts[rng.gen_range(0..conflicts.len())]
+            } else {
+                data_base + rng.gen_range(0..data_span)
+            };
+            core.push(Step {
+                addr: line_addr(target),
+                gap_insns: gap(&mut rng, 30, 70),
+                dependent: true,
+                is_write: rng.gen_bool(0.1),
+            });
+        }
+    }
+    core
+}
+
+/// Tree (Barnes-Hut): N-body tree walks — a small footprint revisited with
+/// per-iteration perturbation; upper-tree nodes live in L2-set-aliased
+/// groups, so pushes and ordinary traffic conflict (Figure 9's Tree
+/// breakdown).
+pub fn tree(footprint_lines: u64, seed: u64) -> Vec<Step> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let body_lines = footprint_lines;
+    let hot = conflict_lines(0, (footprint_lines / 48).max(4));
+    let order = runs_permutation(&mut rng, body_lines, 2);
+    let mut core = Vec::with_capacity(order.len() * 3 / 2);
+    let root_group = hot.len().min(8);
+    for (i, l) in order.into_iter().enumerate() {
+        // Every few body accesses walk back through the upper tree: the
+        // root area is extremely hot, the mid levels moderately so.
+        if i % 3 == 0 {
+            let h = if i % 2 == 0 {
+                hot[(i / 3) % root_group]
+            } else {
+                hot[(i / 3) % hot.len()]
+            };
+            core.push(Step {
+                addr: line_addr(h),
+                gap_insns: gap(&mut rng, 30, 70),
+                dependent: true,
+                is_write: false,
+            });
+        }
+        core.push(Step {
+            addr: line_addr(l),
+            gap_insns: gap(&mut rng, 30, 80),
+            dependent: true,
+            is_write: rng.gen_bool(0.05),
+        });
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceStats;
+
+    fn stats_of(core: Vec<Step>, noise: f64, span: u64, iters: usize) -> TraceStats {
+        let w = SteppedWorkload::new(core, iters, noise, 0..span.max(1), 42);
+        TraceStats::from_records(w)
+    }
+
+    #[test]
+    fn stepped_workload_repeats_core() {
+        let core = vec![
+            Step { addr: line_addr(1), gap_insns: 5, dependent: false, is_write: false },
+            Step { addr: line_addr(2), gap_insns: 5, dependent: false, is_write: false },
+        ];
+        let w = SteppedWorkload::new(core, 3, 0.0, 0..1, 1);
+        assert_eq!(w.total_refs(), 6);
+        let lines: Vec<u64> = w.map(|r| r.l2_line().raw()).collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], lines[2]);
+        assert_eq!(lines[1], lines[5]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a: Vec<Step> = mcf(1000, 7);
+        let b: Vec<Step> = mcf(1000, 7);
+        assert_eq!(a, b);
+        let c: Vec<Step> = mcf(1000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cg_is_regular_and_multi_stream() {
+        let core = cg(1200, 1);
+        let s = stats_of(core.clone(), 0.0, 1, 1);
+        // Block-interleaved streams: 15 of 16 line transitions within a
+        // block are sequential, stream switches are not.
+        assert!(s.sequential_fraction > 0.8, "{}", s.sequential_fraction);
+        assert!(s.sequential_fraction < 0.99);
+        assert_eq!(s.dependent_fraction, 0.0);
+        // Each stream is unit-stride: the second line of stream 0's first
+        // block follows the first (2 steps per line).
+        assert_eq!(core[2].l2_line().delta(core[0].l2_line()), 1);
+        // After a 16-line block, the next stream starts far away.
+        assert!(core[32].l2_line().delta(core[30].l2_line()).abs() > 16);
+    }
+
+    #[test]
+    fn mcf_is_fully_dependent_and_irregular() {
+        let s = stats_of(mcf(2000, 1), 0.0, 1, 1);
+        assert!(s.dependent_fraction > 0.99);
+        assert!(s.sequential_fraction < 0.05);
+        assert_eq!(s.footprint_lines, 2000);
+    }
+
+    #[test]
+    fn equake_has_short_runs() {
+        let s = stats_of(equake(4096, 1), 0.0, 1, 1);
+        // Runs of 8: 7 of every 8 transitions are sequential.
+        assert!(s.sequential_fraction > 0.7, "{}", s.sequential_fraction);
+    }
+
+    #[test]
+    fn ft_covers_footprint_twice_per_iteration() {
+        // Sequential pass touches both halves of each line (2 steps) and
+        // the transpose pass touches each line once.
+        let core = ft(4096, 1);
+        assert_eq!(core.len(), 3 * 4096);
+        let s = stats_of(core, 0.0, 1, 1);
+        assert_eq!(s.footprint_lines, 4096);
+        // Half sequential (first pass), half strided.
+        assert!(s.sequential_fraction > 0.4 && s.sequential_fraction < 0.6);
+    }
+
+    #[test]
+    fn sparse_mixes_index_stream_and_dependent_gathers() {
+        let s = stats_of(sparse(9000, 1), 0.0, 1, 1);
+        // 8 of 9 refs are gathers.
+        assert!(s.dependent_fraction > 0.85);
+        // Conflict groups alias L2 sets: check the stride is present.
+        let core = sparse(9000, 1);
+        let has_conflict = core.iter().any(|st| {
+            core.iter().any(|other| {
+                let d = st.l2_line().delta(other.l2_line());
+                d == CONFLICT_STRIDE as i64
+            })
+        });
+        assert!(has_conflict);
+    }
+
+    #[test]
+    fn tree_revisits_hot_lines() {
+        let core = tree(1024, 1);
+        let mut counts = std::collections::HashMap::new();
+        for st in &core {
+            *counts.entry(st.l2_line().raw()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 10, "hot lines should be revisited, max={max}");
+    }
+
+    #[test]
+    fn noise_varies_across_iterations() {
+        let core = mcf(500, 3);
+        let w = SteppedWorkload::new(core, 2, 0.5, 0..100_000, 9);
+        let recs: Vec<u64> = w.map(|r| r.l2_line().raw()).collect();
+        let (a, b) = recs.split_at(500);
+        assert_ne!(a, b, "noise must differ between iterations");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_core_rejected() {
+        let _ = SteppedWorkload::new(Vec::new(), 1, 0.0, 0..1, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Compact binary serialization of reference traces.
+//!
+//! Synthetic generators are deterministic, but users of a trace-driven
+//! simulator routinely want to capture a reference stream once and replay
+//! it later (or feed in traces produced elsewhere). The format is a
+//! fixed 12-byte little-endian record:
+//!
+//! ```text
+//! byte 0..8   address (u64 LE), with the two low *flag* bits borrowed:
+//!             bit 0 = dependent, bit 1 = is_write (addresses are at
+//!             least 4-byte aligned in practice; the codec rejects
+//!             addresses that would collide with the flag bits)
+//! byte 8..12  gap_insns (u32 LE)
+//! ```
+
+use ulmt_simcore::Addr;
+
+use crate::trace::TraceRecord;
+
+/// Bytes per encoded record.
+pub const RECORD_BYTES: usize = 12;
+
+/// Error produced by the trace codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCodecError {
+    /// The input length is not a multiple of [`RECORD_BYTES`].
+    TruncatedInput {
+        /// Number of leftover bytes.
+        leftover: usize,
+    },
+    /// An address uses the low two bits reserved for flags.
+    UnalignedAddress {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCodecError::TruncatedInput { leftover } => {
+                write!(f, "trace ends mid-record ({leftover} leftover bytes)")
+            }
+            TraceCodecError::UnalignedAddress { addr } => {
+                write!(f, "address {addr:#x} uses the flag bits (must be 4-byte aligned)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+/// Encodes one record.
+///
+/// # Errors
+///
+/// Returns [`TraceCodecError::UnalignedAddress`] if the address is not
+/// 4-byte aligned (the low two bits carry the flags).
+pub fn encode_record(rec: &TraceRecord) -> Result<[u8; RECORD_BYTES], TraceCodecError> {
+    let addr = rec.addr.raw();
+    if addr & 0b11 != 0 {
+        return Err(TraceCodecError::UnalignedAddress { addr });
+    }
+    let tagged = addr | rec.dependent as u64 | ((rec.is_write as u64) << 1);
+    let mut out = [0u8; RECORD_BYTES];
+    out[..8].copy_from_slice(&tagged.to_le_bytes());
+    out[8..].copy_from_slice(&rec.gap_insns.to_le_bytes());
+    Ok(out)
+}
+
+/// Decodes one record from exactly [`RECORD_BYTES`] bytes.
+pub fn decode_record(bytes: &[u8; RECORD_BYTES]) -> TraceRecord {
+    let tagged = u64::from_le_bytes(bytes[..8].try_into().expect("slice length is 8"));
+    let gap_insns = u32::from_le_bytes(bytes[8..].try_into().expect("slice length is 4"));
+    TraceRecord {
+        addr: Addr::new(tagged & !0b11),
+        gap_insns,
+        dependent: tagged & 0b1 != 0,
+        is_write: tagged & 0b10 != 0,
+    }
+}
+
+/// Encodes a whole stream.
+///
+/// # Errors
+///
+/// Propagates the first per-record error.
+pub fn encode<I: IntoIterator<Item = TraceRecord>>(
+    records: I,
+) -> Result<Vec<u8>, TraceCodecError> {
+    let mut out = Vec::new();
+    for rec in records {
+        out.extend_from_slice(&encode_record(&rec)?);
+    }
+    Ok(out)
+}
+
+/// Decodes a byte buffer back into records.
+///
+/// # Errors
+///
+/// Returns [`TraceCodecError::TruncatedInput`] if `bytes` is not a whole
+/// number of records.
+pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceCodecError> {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        return Err(TraceCodecError::TruncatedInput { leftover: bytes.len() % RECORD_BYTES });
+    }
+    Ok(bytes
+        .chunks_exact(RECORD_BYTES)
+        .map(|c| decode_record(c.try_into().expect("chunk length is RECORD_BYTES")))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{App, WorkloadSpec};
+
+    #[test]
+    fn roundtrip_single_record() {
+        let rec = TraceRecord {
+            addr: Addr::new(0x1234_5678),
+            gap_insns: 321,
+            dependent: true,
+            is_write: false,
+        };
+        let bytes = encode_record(&rec).unwrap();
+        assert_eq!(decode_record(&bytes), rec);
+    }
+
+    #[test]
+    fn roundtrip_full_workload() {
+        let spec = WorkloadSpec::new(App::Tree).scale(1.0 / 16.0).iterations(2);
+        let original: Vec<_> = spec.build().collect();
+        let bytes = encode(original.iter().copied()).unwrap();
+        assert_eq!(bytes.len(), original.len() * RECORD_BYTES);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for (dep, write) in [(false, false), (true, false), (false, true), (true, true)] {
+            let rec = TraceRecord {
+                addr: Addr::new(64),
+                gap_insns: 7,
+                dependent: dep,
+                is_write: write,
+            };
+            let decoded = decode_record(&encode_record(&rec).unwrap());
+            assert_eq!(decoded, rec);
+        }
+    }
+
+    #[test]
+    fn rejects_unaligned_address() {
+        let rec = TraceRecord::load(Addr::new(0x1001), 0);
+        assert_eq!(
+            encode_record(&rec),
+            Err(TraceCodecError::UnalignedAddress { addr: 0x1001 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_buffer() {
+        let rec = TraceRecord::load(Addr::new(64), 0);
+        let mut bytes = encode(vec![rec]).unwrap();
+        bytes.pop();
+        assert_eq!(decode(&bytes), Err(TraceCodecError::TruncatedInput { leftover: 11 }));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = TraceCodecError::UnalignedAddress { addr: 0x3 };
+        assert!(e.to_string().contains("flag bits"));
+        let e = TraceCodecError::TruncatedInput { leftover: 5 };
+        assert!(e.to_string().contains("5 leftover"));
+    }
+}

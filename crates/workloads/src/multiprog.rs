@@ -1,0 +1,170 @@
+//! Multiprogrammed workloads (Section 3.4).
+//!
+//! "We model only a uni-programmed environment" says the paper's
+//! evaluation, but Section 3.4 designs for multiprogramming: each
+//! application gets its own ULMT and table, and "the scheduler schedules
+//! and preempts both application and ULMT as a group".
+//!
+//! This module builds the workload side of that experiment: two (or more)
+//! applications time-sliced in epochs, each living in a disjoint physical
+//! address region, so a memory-side observer can attribute every miss to
+//! its application.
+
+use ulmt_simcore::Addr;
+
+use crate::spec::WorkloadSpec;
+use crate::trace::TraceRecord;
+
+/// Lines reserved per application region (64 GB of address space —
+/// comfortably beyond any footprint).
+pub const REGION_LINES: u64 = 1 << 30;
+
+/// A time-sliced interleaving of several applications' reference streams.
+///
+/// Each application `i` is re-based into region `i` (see
+/// [`region_of_addr`]), and the streams alternate every `epoch_refs`
+/// references — a round-robin scheduler with a fixed quantum. Streams
+/// that run out simply drop out of the rotation.
+pub struct MultiprogWorkload {
+    streams: Vec<Box<dyn Iterator<Item = TraceRecord>>>,
+    epoch_refs: usize,
+    current: usize,
+    left_in_epoch: usize,
+    /// Indices of streams that are exhausted.
+    done: Vec<bool>,
+}
+
+impl std::fmt::Debug for MultiprogWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiprogWorkload")
+            .field("apps", &self.streams.len())
+            .field("epoch_refs", &self.epoch_refs)
+            .finish()
+    }
+}
+
+impl MultiprogWorkload {
+    /// Interleaves `specs` with a quantum of `epoch_refs` references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or `epoch_refs` is zero.
+    pub fn new(specs: &[WorkloadSpec], epoch_refs: usize) -> Self {
+        assert!(!specs.is_empty(), "need at least one application");
+        assert!(epoch_refs > 0, "quantum must be positive");
+        let streams: Vec<Box<dyn Iterator<Item = TraceRecord>>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let offset = (i as u64) * REGION_LINES * 64;
+                Box::new(
+                    spec.build()
+                        .map(move |r| TraceRecord { addr: r.addr.offset(offset as i64), ..r }),
+                ) as Box<dyn Iterator<Item = TraceRecord>>
+            })
+            .collect();
+        let n = streams.len();
+        MultiprogWorkload {
+            streams,
+            epoch_refs,
+            current: 0,
+            left_in_epoch: epoch_refs,
+            done: vec![false; n],
+        }
+    }
+
+    fn advance_epoch(&mut self) {
+        let n = self.streams.len();
+        for _ in 0..n {
+            self.current = (self.current + 1) % n;
+            if !self.done[self.current] {
+                break;
+            }
+        }
+        self.left_in_epoch = self.epoch_refs;
+    }
+}
+
+impl Iterator for MultiprogWorkload {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let n = self.streams.len();
+        for _ in 0..=n {
+            if self.done.iter().all(|&d| d) {
+                return None;
+            }
+            if self.done[self.current] || self.left_in_epoch == 0 {
+                self.advance_epoch();
+                continue;
+            }
+            match self.streams[self.current].next() {
+                Some(rec) => {
+                    self.left_in_epoch -= 1;
+                    return Some(rec);
+                }
+                None => {
+                    self.done[self.current] = true;
+                    self.advance_epoch();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Which application region an address belongs to.
+pub fn region_of_addr(addr: Addr) -> usize {
+    (addr.raw() / (REGION_LINES * 64)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::App;
+
+    fn tiny(app: App) -> WorkloadSpec {
+        WorkloadSpec::new(app).scale(1.0 / 64.0).iterations(1)
+    }
+
+    #[test]
+    fn interleaves_in_epochs() {
+        let mp = MultiprogWorkload::new(&[tiny(App::Mcf), tiny(App::Gap)], 10);
+        let regions: Vec<usize> = mp.take(40).map(|r| region_of_addr(r.addr)).collect();
+        // First 10 from app 0, next 10 from app 1, ...
+        assert!(regions[..10].iter().all(|&r| r == 0));
+        assert!(regions[10..20].iter().all(|&r| r == 1));
+        assert!(regions[20..30].iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn exhausted_stream_drops_out() {
+        let a = tiny(App::Tree); // small
+        let b = tiny(App::Mst); // larger
+        let total_a = a.build().count();
+        let total_b = b.build().count();
+        let mp = MultiprogWorkload::new(&[a, b], 1000);
+        let all: Vec<_> = mp.collect();
+        assert_eq!(all.len(), total_a + total_b);
+        // The tail is pure app-1 (app 0 ran out first).
+        let tail_regions: Vec<_> =
+            all[all.len() - 100..].iter().map(|r| region_of_addr(r.addr)).collect();
+        assert!(tail_regions.iter().all(|&r| r == 1));
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let mp = MultiprogWorkload::new(&[tiny(App::Mcf), tiny(App::Mcf)], 50);
+        let mut regions = std::collections::HashSet::new();
+        for r in mp {
+            regions.insert(region_of_addr(r.addr));
+        }
+        assert_eq!(regions.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn rejects_empty() {
+        let _ = MultiprogWorkload::new(&[], 10);
+    }
+}

@@ -1,0 +1,334 @@
+//! Application identities (Table 2) and buildable workload
+//! specifications.
+
+use crate::apps::{self, SteppedWorkload};
+use crate::trace::TraceStats;
+
+/// The nine applications of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum App {
+    /// NAS conjugate gradient (regular).
+    Cg,
+    /// SpecFP2000 seismic wave propagation.
+    Equake,
+    /// NAS 3-D Fourier transform.
+    Ft,
+    /// SpecInt2000 group-theory solver.
+    Gap,
+    /// SpecInt2000 combinatorial optimization (network simplex).
+    Mcf,
+    /// Olden minimum spanning tree.
+    Mst,
+    /// SpecInt2000 word processing.
+    Parser,
+    /// SparseBench GMRES with compressed-row storage.
+    Sparse,
+    /// Barnes-Hut N-body tree code.
+    Tree,
+}
+
+impl App {
+    /// All nine applications, in Table 2 order.
+    pub const ALL: [App; 9] = [
+        App::Cg,
+        App::Equake,
+        App::Ft,
+        App::Gap,
+        App::Mcf,
+        App::Mst,
+        App::Parser,
+        App::Sparse,
+        App::Tree,
+    ];
+
+    /// Display name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Cg => "CG",
+            App::Equake => "Equake",
+            App::Ft => "FT",
+            App::Gap => "Gap",
+            App::Mcf => "Mcf",
+            App::Mst => "MST",
+            App::Parser => "Parser",
+            App::Sparse => "Sparse",
+            App::Tree => "Tree",
+        }
+    }
+
+    /// Benchmark suite (Table 2).
+    pub fn suite(self) -> &'static str {
+        match self {
+            App::Cg | App::Ft => "NAS",
+            App::Equake => "SpecFP2000",
+            App::Gap | App::Mcf | App::Parser => "SpecInt2000",
+            App::Mst => "Olden",
+            App::Sparse => "SparseBench",
+            App::Tree => "Univ. of Hawaii",
+        }
+    }
+
+    /// Problem solved (Table 2).
+    pub fn problem(self) -> &'static str {
+        match self {
+            App::Cg => "Conjugate gradient",
+            App::Equake => "Seismic wave propagation simulation",
+            App::Ft => "3D Fourier transform",
+            App::Gap => "Group theory solver",
+            App::Mcf => "Combinatorial optimization",
+            App::Mst => "Finding minimum spanning tree",
+            App::Parser => "Word processing",
+            App::Sparse => "GMRES with compressed row storage",
+            App::Tree => "Barnes-Hut N-body problem",
+        }
+    }
+
+    /// `NumRows` the paper derives for this application (Table 2), in
+    /// rows.
+    pub fn paper_num_rows(self) -> usize {
+        match self {
+            App::Cg => 64 * 1024,
+            App::Equake => 128 * 1024,
+            App::Ft => 256 * 1024,
+            App::Gap => 128 * 1024,
+            App::Mcf => 32 * 1024,
+            App::Mst => 256 * 1024,
+            App::Parser => 128 * 1024,
+            App::Sparse => 256 * 1024,
+            App::Tree => 8 * 1024,
+        }
+    }
+
+    /// Calibrated footprint (distinct L2 lines) at `scale = 1.0`, sized so
+    /// the Table 2 `NumRows` derivation lands near the paper's values.
+    pub fn base_footprint_lines(self) -> u64 {
+        match self {
+            App::Cg => 45_000,
+            App::Equake => 90_000,
+            App::Ft => 180_000,
+            App::Gap => 90_000,
+            App::Mcf => 22_000,
+            App::Mst => 180_000,
+            App::Parser => 88_000,
+            App::Sparse => 180_000,
+            App::Tree => 4_096,
+        }
+    }
+
+    /// Fraction of core steps followed by a short-distance reuse
+    /// reference (an L2 hit). Pointer codes re-touch nodes frequently.
+    fn reuse_fraction(self) -> f64 {
+        match self {
+            App::Cg => 0.05,
+            App::Equake => 0.20,
+            App::Ft => 0.05,
+            App::Gap => 0.25,
+            App::Mcf => 0.30,
+            App::Mst => 0.20,
+            App::Parser => 0.35,
+            App::Sparse => 0.15,
+            App::Tree => 0.10,
+        }
+    }
+
+    /// Fraction of references that do not repeat across iterations.
+    fn noise_fraction(self) -> f64 {
+        match self {
+            App::Cg => 0.0,
+            App::Equake => 0.03,
+            App::Ft => 0.01,
+            App::Gap => 0.02,
+            App::Mcf => 0.08,
+            App::Mst => 0.01,
+            App::Parser => 0.22,
+            App::Sparse => 0.10,
+            App::Tree => 0.06,
+        }
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A buildable workload: application + scale + iteration count + seed.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_workloads::{App, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::new(App::Tree).scale(0.25).iterations(4);
+/// let trace = spec.build();
+/// assert!(trace.total_refs() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which application.
+    pub app: App,
+    /// Footprint scale factor (1.0 = paper-calibrated size).
+    pub scale_factor: f64,
+    /// Outer iterations; `None` picks a size-dependent default.
+    pub iterations: Option<usize>,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A paper-scale specification of `app` with the default seed.
+    pub fn new(app: App) -> Self {
+        WorkloadSpec { app, scale_factor: 1.0, iterations: None, seed: 0x5eed }
+    }
+
+    /// Scales the footprint by `factor` (useful for fast CI runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scale(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale must be positive");
+        self.scale_factor = factor;
+        self
+    }
+
+    /// Fixes the number of outer iterations.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Sets the generator seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scaled footprint in L2 lines.
+    pub fn footprint_lines(&self) -> u64 {
+        ((self.app.base_footprint_lines() as f64 * self.scale_factor) as u64).max(256)
+    }
+
+    /// Builds the reference stream.
+    pub fn build(&self) -> SteppedWorkload {
+        let lines = self.footprint_lines();
+        let core = match self.app {
+            App::Cg => apps::cg(lines, self.seed),
+            App::Equake => apps::equake(lines, self.seed),
+            App::Ft => apps::ft(lines, self.seed),
+            App::Gap => apps::gap_app(lines, self.seed),
+            App::Mcf => apps::mcf(lines, self.seed),
+            App::Mst => apps::mst(lines, self.seed),
+            App::Parser => apps::parser(lines, self.seed),
+            App::Sparse => apps::sparse(lines, self.seed),
+            App::Tree => apps::tree(lines, self.seed),
+        };
+        let refs_per_iter = core.len();
+        let iterations = self.iterations.unwrap_or_else(|| {
+            // Enough iterations to learn and measure, bounded for runtime.
+            (400_000usize.div_ceil(refs_per_iter)).clamp(3, 30)
+        });
+        let noise_region = apps::HEAP_BASE_LINE..apps::HEAP_BASE_LINE + lines;
+        // Reuse distances stay within the scaled L2: the full-size L2
+        // holds 8192 lines and scales with the footprint.
+        let l2_fraction = lines as f64 / self.app.base_footprint_lines() as f64;
+        let reuse_window = ((8192.0 * l2_fraction * 0.4) as usize).max(32);
+        SteppedWorkload::new(
+            core,
+            iterations,
+            self.app.noise_fraction(),
+            noise_region,
+            self.seed,
+        )
+        .with_reuse(self.app.reuse_fraction(), reuse_window)
+    }
+
+    /// Builds and analyzes the stream in one call.
+    pub fn analyze(&self) -> TraceStats {
+        TraceStats::from_records(self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_build_and_have_character() {
+        for app in App::ALL {
+            let spec = WorkloadSpec::new(app).scale(1.0 / 64.0).iterations(2);
+            let stats = spec.analyze();
+            assert!(stats.refs > 0, "{app}: empty trace");
+            assert!(stats.footprint_lines > 100, "{app}: footprint too small");
+        }
+    }
+
+    #[test]
+    fn sequential_character_ordering() {
+        let seq_frac = |app: App| {
+            WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).analyze().sequential_fraction
+        };
+        // Per-reference-stream sequentiality: Equake/FT notably higher
+        // than the pointer apps (reuse references dilute the raw ratio;
+        // the L2 *miss* stream is far more sequential for these apps).
+        assert!(seq_frac(App::Ft) > 0.3);
+        assert!(seq_frac(App::Equake) > 0.3);
+        assert!(seq_frac(App::Mcf) < 0.05);
+        assert!(seq_frac(App::Mst) < 0.05);
+        assert!(seq_frac(App::Tree) < 0.6);
+    }
+
+    #[test]
+    fn dependence_ordering() {
+        let dep = |app: App| {
+            WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).analyze().dependent_fraction
+        };
+        assert!(dep(App::Mcf) > 0.95);
+        assert!(dep(App::Mst) > 0.95);
+        assert!(dep(App::Tree) > 0.95);
+        assert!(dep(App::Cg) < 0.01);
+        assert!(dep(App::Ft) < 0.01);
+    }
+
+    #[test]
+    fn footprint_ordering_matches_table2() {
+        // Tree smallest, Mcf second smallest, FT/MST/Sparse largest.
+        let fp = |app: App| WorkloadSpec::new(app).footprint_lines();
+        assert!(fp(App::Tree) < fp(App::Mcf));
+        assert!(fp(App::Mcf) < fp(App::Cg));
+        assert!(fp(App::Cg) < fp(App::Equake));
+        assert!(fp(App::Equake) < fp(App::Ft));
+        assert_eq!(fp(App::Ft), fp(App::Mst));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a: Vec<_> = WorkloadSpec::new(App::Gap).scale(0.01).iterations(1).build().collect();
+        let b: Vec<_> = WorkloadSpec::new(App::Gap).scale(0.01).iterations(1).build().collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = WorkloadSpec::new(App::Gap)
+            .scale(0.01)
+            .iterations(1)
+            .seed(99)
+            .build()
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn auto_iterations_bounded() {
+        let tree = WorkloadSpec::new(App::Tree).scale(0.1);
+        let w = tree.build();
+        let iters = w.total_refs() / w.refs_per_iteration();
+        assert!((3..=30).contains(&iters), "iters {iters}");
+    }
+
+    #[test]
+    fn table2_metadata() {
+        assert_eq!(App::Mcf.paper_num_rows(), 32 * 1024);
+        assert_eq!(App::Tree.suite(), "Univ. of Hawaii");
+        assert_eq!(App::Sparse.problem(), "GMRES with compressed row storage");
+        assert_eq!(App::ALL.len(), 9);
+    }
+}

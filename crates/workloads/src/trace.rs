@@ -1,0 +1,151 @@
+//! Trace records and stream analysis.
+
+use ulmt_simcore::{Addr, LineAddr};
+
+/// One memory reference of the main processor's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Non-memory instructions executed before this reference.
+    pub gap_insns: u32,
+    /// `true` if the address depends on the value loaded by the previous
+    /// reference (pointer chasing): the reference cannot issue until the
+    /// previous one completes.
+    pub dependent: bool,
+    /// `true` for a store.
+    pub is_write: bool,
+}
+
+impl TraceRecord {
+    /// A plain independent load.
+    pub fn load(addr: Addr, gap_insns: u32) -> Self {
+        TraceRecord { addr, gap_insns, dependent: false, is_write: false }
+    }
+
+    /// A load whose address depends on the previous reference.
+    pub fn dependent_load(addr: Addr, gap_insns: u32) -> Self {
+        TraceRecord { addr, gap_insns, dependent: true, is_write: false }
+    }
+
+    /// A store.
+    pub fn store(addr: Addr, gap_insns: u32) -> Self {
+        TraceRecord { addr, gap_insns, dependent: false, is_write: true }
+    }
+
+    /// The L2 line (64 B) this reference touches.
+    pub fn l2_line(&self) -> LineAddr {
+        self.addr.line(LineAddr::L2_LINE)
+    }
+}
+
+/// Aggregate properties of a reference stream, used to validate that each
+/// generator reproduces its application's character.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total references.
+    pub refs: u64,
+    /// Distinct L2 lines touched.
+    pub footprint_lines: u64,
+    /// Fraction of consecutive *distinct-line* transitions that move ±1
+    /// L2 line.
+    pub sequential_fraction: f64,
+    /// Fraction of references marked dependent.
+    pub dependent_fraction: f64,
+    /// Fraction of references that are stores.
+    pub write_fraction: f64,
+    /// Mean instruction gap between references.
+    pub mean_gap_insns: f64,
+}
+
+impl FromIterator<TraceRecord> for TraceStats {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        TraceStats::from_records(iter)
+    }
+}
+
+impl TraceStats {
+    /// Computes statistics over a reference stream.
+    pub fn from_records<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut stats = TraceStats::default();
+        let mut last_line: Option<LineAddr> = None;
+        let mut transitions = 0u64;
+        let mut sequential = 0u64;
+        let mut gap_sum = 0u64;
+        let mut dependent = 0u64;
+        let mut writes = 0u64;
+        for r in iter {
+            stats.refs += 1;
+            gap_sum += r.gap_insns as u64;
+            dependent += r.dependent as u64;
+            writes += r.is_write as u64;
+            let line = r.l2_line();
+            seen.insert(line.raw());
+            if let Some(last) = last_line {
+                if line != last {
+                    transitions += 1;
+                    if line.delta(last).abs() == 1 {
+                        sequential += 1;
+                    }
+                }
+            }
+            last_line = Some(line);
+        }
+        stats.footprint_lines = seen.len() as u64;
+        if transitions > 0 {
+            stats.sequential_fraction = sequential as f64 / transitions as f64;
+        }
+        if stats.refs > 0 {
+            stats.dependent_fraction = dependent as f64 / stats.refs as f64;
+            stats.write_fraction = writes as f64 / stats.refs as f64;
+            stats.mean_gap_insns = gap_sum as f64 / stats.refs as f64;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_constructors() {
+        let l = TraceRecord::load(Addr::new(128), 10);
+        assert!(!l.dependent && !l.is_write);
+        assert_eq!(l.l2_line(), LineAddr::new(2));
+        assert!(TraceRecord::dependent_load(Addr::new(0), 0).dependent);
+        assert!(TraceRecord::store(Addr::new(0), 0).is_write);
+    }
+
+    #[test]
+    fn stats_of_sequential_stream() {
+        let recs: Vec<_> = (0..100u64).map(|i| TraceRecord::load(Addr::new(i * 64), 12)).collect();
+        let s = TraceStats::from_records(recs);
+        assert_eq!(s.refs, 100);
+        assert_eq!(s.footprint_lines, 100);
+        assert!(s.sequential_fraction > 0.99);
+        assert_eq!(s.dependent_fraction, 0.0);
+        assert!((s.mean_gap_insns - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_random_stream() {
+        let recs: Vec<_> =
+            (0..100u64).map(|i| TraceRecord::load(Addr::new((i * 7919 % 4096) * 64), 5)).collect();
+        let s = TraceStats::from_records(recs);
+        assert!(s.sequential_fraction < 0.05);
+    }
+
+    #[test]
+    fn same_line_refs_do_not_count_as_transitions() {
+        let recs = vec![
+            TraceRecord::load(Addr::new(0), 0),
+            TraceRecord::load(Addr::new(8), 0),  // same line
+            TraceRecord::load(Addr::new(64), 0), // +1 line
+        ];
+        let s = TraceStats::from_records(recs);
+        assert_eq!(s.footprint_lines, 2);
+        assert!(s.sequential_fraction > 0.99);
+    }
+}

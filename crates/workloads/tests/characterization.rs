@@ -1,0 +1,154 @@
+//! Characterization suite: every application generator is checked against
+//! the miss-stream properties it is supposed to model (DESIGN.md §4).
+
+use ulmt_workloads::{App, TraceStats, WorkloadSpec};
+
+fn stats(app: App, scale: f64) -> TraceStats {
+    WorkloadSpec::new(app).scale(scale).iterations(2).analyze()
+}
+
+#[test]
+fn footprints_scale_linearly() {
+    // Scales large enough that no generator hits the 256-line floor.
+    for app in App::ALL {
+        let s1 = WorkloadSpec::new(app).scale(1.0 / 8.0).footprint_lines();
+        let s2 = WorkloadSpec::new(app).scale(1.0 / 4.0).footprint_lines();
+        let ratio = s2 as f64 / s1 as f64;
+        assert!((1.8..2.2).contains(&ratio), "{app}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn footprint_ordering_is_stable_across_scales() {
+    for scale in [1.0 / 32.0, 1.0 / 8.0, 1.0] {
+        let fp = |a: App| WorkloadSpec::new(a).scale(scale).footprint_lines();
+        assert!(fp(App::Tree) < fp(App::Mcf));
+        assert!(fp(App::Mcf) < fp(App::Cg));
+        assert!(fp(App::Cg) < fp(App::Equake));
+        assert!(fp(App::Equake) < fp(App::Ft));
+    }
+}
+
+#[test]
+fn dependence_classes() {
+    // Pointer codes are (almost) fully dependent; array codes are not.
+    for (app, lo, hi) in [
+        (App::Mcf, 0.9, 1.01),
+        (App::Mst, 0.9, 1.01),
+        (App::Tree, 0.9, 1.01),
+        (App::Sparse, 0.6, 1.0),
+        (App::Cg, 0.0, 0.05),
+        (App::Ft, 0.0, 0.05),
+    ] {
+        let d = stats(app, 1.0 / 32.0).dependent_fraction;
+        assert!((lo..hi).contains(&d), "{app}: dependent {d}");
+    }
+}
+
+#[test]
+fn write_fractions_are_modest() {
+    for app in App::ALL {
+        let w = stats(app, 1.0 / 32.0).write_fraction;
+        assert!(w < 0.35, "{app}: write fraction {w}");
+    }
+}
+
+#[test]
+fn compute_intensity_ordering() {
+    // Parser is the most compute-heavy of the nine; Mcf-class pointer
+    // chasers are the least (per reference).
+    let gap = |a: App| stats(a, 1.0 / 32.0).mean_gap_insns;
+    assert!(gap(App::Parser) > gap(App::Mcf), "parser vs mcf");
+    assert!(gap(App::Cg) > gap(App::Tree), "cg vs tree");
+}
+
+#[test]
+fn cg_core_is_noise_free_and_fully_repeating() {
+    // CG is the regular application: its core loop (without the
+    // reuse-reference decoration) repeats exactly every iteration.
+    use ulmt_workloads::apps::{cg, SteppedWorkload};
+    let core = cg(1200, 0x5eed);
+    let w = SteppedWorkload::new(core, 2, 0.0, 0..1, 0x5eed);
+    let recs: Vec<_> = w.collect();
+    let (a, b) = recs.split_at(recs.len() / 2);
+    assert_eq!(a, b, "CG iterations must repeat exactly");
+}
+
+#[test]
+fn parser_has_the_largest_nonrepeating_component() {
+    // Compare iteration-over-iteration overlap of the touched line sets.
+    let overlap = |app: App| {
+        let spec = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
+        let recs: Vec<_> = spec.build().collect();
+        let half = recs.len() / 2;
+        let set_a: std::collections::HashSet<u64> =
+            recs[..half].iter().map(|r| r.l2_line().raw()).collect();
+        let mut same = 0usize;
+        for r in &recs[half..] {
+            if set_a.contains(&r.l2_line().raw()) {
+                same += 1;
+            }
+        }
+        same as f64 / half as f64
+    };
+    let parser = overlap(App::Parser);
+    let mst = overlap(App::Mst);
+    assert!(parser < mst, "parser {parser} vs mst {mst}");
+}
+
+#[test]
+fn sparse_contains_l2_aliased_conflict_groups() {
+    // Lines exactly 2048 apart share an L2 set (2048 sets at full size).
+    let recs: Vec<_> =
+        WorkloadSpec::new(App::Sparse).scale(1.0 / 16.0).iterations(1).build().collect();
+    let lines: std::collections::HashSet<u64> =
+        recs.iter().map(|r| r.l2_line().raw()).collect();
+    let aliased = lines
+        .iter()
+        .filter(|&&l| lines.contains(&(l + 2048)))
+        .count();
+    assert!(aliased > 8, "aliased groups: {aliased}");
+}
+
+#[test]
+fn tree_fits_in_the_l2_but_thrashes_hot_sets() {
+    let spec = WorkloadSpec::new(App::Tree);
+    // At full scale, Tree's footprint is below the 8192-line L2 — its
+    // misses are conflict misses, as in the paper.
+    assert!(spec.footprint_lines() < 8192);
+}
+
+#[test]
+fn all_generators_bounded_by_declared_footprint() {
+    for app in App::ALL {
+        let spec = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
+        let declared = spec.footprint_lines();
+        let measured = spec.analyze().footprint_lines;
+        // Conflict groups may add a few percent beyond the contiguous
+        // region; noise stays inside it.
+        assert!(
+            measured as f64 <= declared as f64 * 1.15 + 64.0,
+            "{app}: measured {measured} vs declared {declared}"
+        );
+        assert!(
+            measured as f64 >= declared as f64 * 0.5,
+            "{app}: measured {measured} vs declared {declared}"
+        );
+    }
+}
+
+#[test]
+fn seeds_change_patterns_but_not_character() {
+    for app in [App::Mcf, App::Equake] {
+        let a = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).seed(1);
+        let b = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).seed(2);
+        let (sa, sb) = (a.analyze(), b.analyze());
+        let recs_a: Vec<_> = a.build().take(100).collect();
+        let recs_b: Vec<_> = b.build().take(100).collect();
+        assert_ne!(recs_a, recs_b, "{app}: seeds must change the pattern");
+        assert!(
+            (sa.dependent_fraction - sb.dependent_fraction).abs() < 0.05,
+            "{app}: character must be seed-independent"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Operating-system support: page re-mapping and dynamic table sizing
+//! (Section 3.4).
+//!
+//! "Sometimes, a page gets re-mapped. Since ULMTs operate on physical
+//! addresses, such events can cause some table entries to become stale.
+//! ... the operating system can inform the corresponding ULMT when a
+//! re-mapping occurs, passing the old and new physical page number."
+//!
+//! ```text
+//! cargo run --release --example os_remap
+//! ```
+
+use ulmt::core::algorithm::UlmtAlgorithm;
+use ulmt::core::table::{Replicated, TableParams};
+use ulmt::simcore::{LineAddr, PageAddr};
+
+fn lines_of_page(page: u64) -> impl Iterator<Item = LineAddr> {
+    let first = PageAddr::new(page).first_line().raw();
+    (first..first + PageAddr::lines_per_page()).map(LineAddr::new)
+}
+
+fn prediction_quality(table: &Replicated, page: u64) -> f64 {
+    // Fraction of the page's lines whose learned level-1 successor is the
+    // next line of the same page (the pattern trained below).
+    let mut good = 0;
+    let lines: Vec<_> = lines_of_page(page).collect();
+    for w in lines.windows(2) {
+        let preds = table.predict(w[0], 1);
+        if preds[0].contains(&w[1]) {
+            good += 1;
+        }
+    }
+    good as f64 / (lines.len() - 1) as f64
+}
+
+fn main() {
+    let mut table = Replicated::new(TableParams::repl_default(64 * 1024));
+
+    // Train: the application walks pages 100..104 line by line, twice.
+    println!("Training the Replicated table on pages 100..104 ...");
+    for _ in 0..2 {
+        for page in 100..104u64 {
+            for line in lines_of_page(page) {
+                table.process_miss(line);
+            }
+        }
+    }
+    println!(
+        "  prediction quality on page 101: {:.0}%",
+        100.0 * prediction_quality(&table, 101)
+    );
+
+    // The OS re-maps physical page 101 -> 9001 (e.g. page migration).
+    println!("\nOS re-maps physical page 101 -> 9001; notifying the ULMT ...");
+    table.remap_page(PageAddr::new(101), PageAddr::new(9001));
+    println!(
+        "  prediction quality on old page 101: {:.0}% (stale entries relocated)",
+        100.0 * prediction_quality(&table, 101)
+    );
+    println!(
+        "  prediction quality on new page 9001: {:.0}%",
+        100.0 * prediction_quality(&table, 9001)
+    );
+
+    // Dynamic sizing: "if an application does not use the space, its
+    // table shrinks."
+    let before = table.table_size_bytes();
+    table.resize(8 * 1024);
+    println!(
+        "\nDynamic sizing: table shrunk from {} KB to {} KB; recent rows kept:",
+        before / 1024,
+        table.table_size_bytes() / 1024
+    );
+    println!(
+        "  prediction quality on page 9001 after shrink: {:.0}%",
+        100.0 * prediction_quality(&table, 9001)
+    );
+}

@@ -1,0 +1,52 @@
+//! The adaptive ULMT (Section 3.3.3's "decide the algorithm on-the-fly")
+//! run through the full system: it should track the better stock
+//! algorithm on each workload class without being told which.
+
+use ulmt::system::{Experiment, PrefetchScheme, SystemConfig};
+use ulmt::workloads::{App, WorkloadSpec};
+
+fn exec(app: App, scheme: PrefetchScheme) -> u64 {
+    let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(3);
+    Experiment::new(SystemConfig::small(), spec).scheme(scheme).run().exec_cycles
+}
+
+#[test]
+fn adaptive_tracks_repl_on_irregular_workloads() {
+    let nopref = exec(App::Mcf, PrefetchScheme::NoPref);
+    let repl = exec(App::Mcf, PrefetchScheme::Repl);
+    let adaptive = exec(App::Mcf, PrefetchScheme::Adaptive);
+    assert!(adaptive < nopref, "adaptive must speed Mcf up");
+    // Within 15% of the hand-picked Repl configuration.
+    assert!(
+        (adaptive as f64) < repl as f64 * 1.15,
+        "adaptive {adaptive} vs repl {repl}"
+    );
+}
+
+#[test]
+fn adaptive_improves_sequential_workloads_too() {
+    let nopref = exec(App::Equake, PrefetchScheme::NoPref);
+    let adaptive = exec(App::Equake, PrefetchScheme::Adaptive);
+    assert!(adaptive < nopref, "adaptive {adaptive} vs nopref {nopref}");
+}
+
+#[test]
+fn adaptive_never_catastrophic() {
+    // On every application, adaptive stays within 20% of NoPref even
+    // where prefetching cannot help (e.g. Tree).
+    for app in App::ALL {
+        let spec = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
+        let nopref = Experiment::new(SystemConfig::small(), spec.clone())
+            .scheme(PrefetchScheme::NoPref)
+            .run()
+            .exec_cycles;
+        let adaptive = Experiment::new(SystemConfig::small(), spec)
+            .scheme(PrefetchScheme::Adaptive)
+            .run()
+            .exec_cycles;
+        assert!(
+            (adaptive as f64) < nopref as f64 * 1.2,
+            "{app}: adaptive {adaptive} vs nopref {nopref}"
+        );
+    }
+}

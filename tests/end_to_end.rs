@@ -1,0 +1,127 @@
+//! End-to-end integration tests spanning every crate: workload generation
+//! → full-system simulation → result invariants.
+
+use ulmt::system::{Experiment, PrefetchScheme, RunResult, SystemConfig};
+use ulmt::workloads::{App, WorkloadSpec};
+
+fn run(app: App, scheme: PrefetchScheme) -> RunResult {
+    let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(3);
+    Experiment::new(SystemConfig::small(), spec).scheme(scheme).run()
+}
+
+#[test]
+fn scheme_ordering_on_irregular_workloads() {
+    // The paper's headline ordering: Base < Chain < Repl on irregular
+    // applications (Figure 7).
+    for app in [App::Mcf, App::Mst] {
+        let nopref = run(app, PrefetchScheme::NoPref).exec_cycles;
+        let base = run(app, PrefetchScheme::Base).exec_cycles;
+        let chain = run(app, PrefetchScheme::Chain).exec_cycles;
+        let repl = run(app, PrefetchScheme::Repl).exec_cycles;
+        assert!(base < nopref, "{app}: Base should beat NoPref");
+        assert!(chain < base, "{app}: Chain should beat Base");
+        assert!(repl < chain, "{app}: Repl should beat Chain");
+    }
+}
+
+#[test]
+fn conven4_and_repl_are_complementary() {
+    // Conven4 helps sequential apps, Repl helps irregular ones, and the
+    // combination is at least as good as either (Section 5.2).
+    let cg_conv = run(App::Cg, PrefetchScheme::Conven4).exec_cycles;
+    let cg_repl = run(App::Cg, PrefetchScheme::Repl).exec_cycles;
+    let cg_both = run(App::Cg, PrefetchScheme::Conven4Repl).exec_cycles;
+    assert!(cg_conv < cg_repl, "CG is sequential: Conven4 should beat Repl");
+    assert!(cg_both as f64 <= cg_conv as f64 * 1.02);
+
+    let mcf_conv = run(App::Mcf, PrefetchScheme::Conven4).exec_cycles;
+    let mcf_repl = run(App::Mcf, PrefetchScheme::Repl).exec_cycles;
+    let mcf_both = run(App::Mcf, PrefetchScheme::Conven4Repl).exec_cycles;
+    assert!(mcf_repl < mcf_conv, "Mcf is irregular: Repl should beat Conven4");
+    assert!(mcf_both as f64 <= mcf_repl as f64 * 1.02);
+}
+
+#[test]
+fn prefetching_reduces_beyond_l2_not_busy() {
+    let nopref = run(App::Gap, PrefetchScheme::NoPref);
+    let repl = run(App::Gap, PrefetchScheme::Repl);
+    // Busy time is workload-determined and identical.
+    assert_eq!(nopref.breakdown.busy, repl.breakdown.busy);
+    // The savings come out of BeyondL2.
+    assert!(repl.breakdown.beyond_l2 < nopref.breakdown.beyond_l2);
+}
+
+#[test]
+fn coverage_and_misses_are_consistent() {
+    let nopref = run(App::Mst, PrefetchScheme::NoPref);
+    let repl = run(App::Mst, PrefetchScheme::Repl);
+    let p = &repl.prefetch;
+    // Hits + DelayedHits + NonPrefMisses accounts for roughly the
+    // original misses (conflict effects allow some slack).
+    let accounted = p.hits + p.delayed_hits + p.non_pref_misses;
+    let original = nopref.l2_misses;
+    assert!(
+        (accounted as f64) > 0.85 * original as f64,
+        "accounted {accounted} vs original {original}"
+    );
+    assert!(p.coverage(original) > 0.5, "coverage {}", p.coverage(original));
+}
+
+#[test]
+fn location_study_small_penalty() {
+    // Figure 8: moving the memory processor to the North Bridge costs
+    // only a little, thanks to far-ahead prefetching.
+    let dram = run(App::Mst, PrefetchScheme::Conven4Repl).exec_cycles;
+    let mc = run(App::Mst, PrefetchScheme::Conven4ReplMc).exec_cycles;
+    assert!(mc >= dram, "NB location cannot be faster");
+    assert!(
+        (mc as f64) < dram as f64 * 1.25,
+        "NB location should be within ~25%: {mc} vs {dram}"
+    );
+}
+
+#[test]
+fn custom_scheme_beats_generic_on_mst() {
+    // Table 5: NumLevels = 4 pays off for MST — once the deeper table has
+    // had enough iterations to learn (the level-4 entries only fill after
+    // the pattern has repeated).
+    let spec = WorkloadSpec::new(App::Mst).scale(1.0 / 32.0); // auto iterations: ~30
+    let generic = Experiment::new(SystemConfig::small(), spec.clone())
+        .scheme(PrefetchScheme::Conven4Repl)
+        .run()
+        .exec_cycles;
+    let custom = Experiment::new(SystemConfig::small(), spec)
+        .scheme(PrefetchScheme::Custom)
+        .run()
+        .exec_cycles;
+    assert!(custom < generic, "custom {custom} vs generic {generic}");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = run(App::Sparse, PrefetchScheme::Conven4Repl);
+    let b = run(App::Sparse, PrefetchScheme::Conven4Repl);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.l2_misses, b.l2_misses);
+    assert_eq!(a.prefetch.hits, b.prefetch.hits);
+    assert_eq!(a.prefetch.issued, b.prefetch.issued);
+    assert_eq!(a.inter_miss.counts(), b.inter_miss.counts());
+}
+
+#[test]
+fn all_apps_run_all_figure7_schemes() {
+    // Smoke: every (app, scheme) pair completes and accounts its time.
+    for app in App::ALL {
+        let spec = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
+        for scheme in PrefetchScheme::FIGURE7 {
+            let r = Experiment::new(SystemConfig::small(), spec.clone()).scheme(scheme).run();
+            assert!(r.exec_cycles > 0, "{app}/{scheme}");
+            let accounted = r.breakdown.total() as f64;
+            assert!(
+                (accounted - r.exec_cycles as f64).abs() / (r.exec_cycles as f64) < 0.1,
+                "{app}/{scheme}: accounted {accounted} vs {}",
+                r.exec_cycles
+            );
+        }
+    }
+}

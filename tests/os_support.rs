@@ -1,0 +1,135 @@
+//! OS-level support (Section 3.4) exercised through the public API:
+//! page re-mapping, dynamic table sizing, and per-application ULMTs in a
+//! multiprogrammed setting.
+
+use ulmt::core::algorithm::UlmtAlgorithm;
+use ulmt::core::table::{Base, Chain, Replicated, TableParams};
+use ulmt::core::AlgorithmSpec;
+use ulmt::memproc::{FixedLatencyMemory, MemProcConfig, MemProcLocation, MemProcessor};
+use ulmt::simcore::{LineAddr, PageAddr};
+
+fn train_page_walk(alg: &mut dyn UlmtAlgorithm, page: u64, reps: usize) {
+    let first = PageAddr::new(page).first_line().raw();
+    for _ in 0..reps {
+        for l in first..first + PageAddr::lines_per_page() {
+            alg.process_miss(LineAddr::new(l));
+        }
+    }
+}
+
+#[test]
+fn remap_preserves_learning_across_algorithms() {
+    let mut algs: Vec<Box<dyn UlmtAlgorithm>> = vec![
+        Box::new(Base::new(TableParams::base_default(64 * 1024))),
+        Box::new(Chain::new(TableParams::chain_default(64 * 1024))),
+        Box::new(Replicated::new(TableParams::repl_default(64 * 1024))),
+    ];
+    for alg in &mut algs {
+        train_page_walk(alg.as_mut(), 50, 2);
+        alg.remap_page(PageAddr::new(50), PageAddr::new(7000));
+
+        let new_first = PageAddr::new(7000).first_line().raw();
+        let preds = alg.predict(LineAddr::new(new_first + 5), 1);
+        assert!(
+            preds[0].contains(&LineAddr::new(new_first + 6)),
+            "{}: learned successor did not move with the page",
+            alg.name()
+        );
+        // The old page no longer predicts.
+        let old_first = PageAddr::new(50).first_line().raw();
+        let old = alg.predict(LineAddr::new(old_first + 5), 1);
+        assert!(old[0].is_empty(), "{}: stale row survived remap", alg.name());
+    }
+}
+
+#[test]
+fn remap_through_the_memory_processor() {
+    // The OS interface reaches the algorithm through the memory
+    // processor (the scheduler owns the ULMT, Section 3.4).
+    let mut mp =
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(64 * 1024).build());
+    let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
+    let first = PageAddr::new(9).first_line().raw();
+    for _ in 0..2 {
+        for l in first..first + 16 {
+            let now = mp.busy_until();
+            mp.process(LineAddr::new(l), now, &mut mem);
+        }
+    }
+    mp.algorithm_mut().remap_page(PageAddr::new(9), PageAddr::new(4242));
+    let new_first = PageAddr::new(4242).first_line().raw();
+    let preds = mp.algorithm_mut().predict(LineAddr::new(new_first + 3), 1);
+    assert!(preds[0].contains(&LineAddr::new(new_first + 4)));
+}
+
+#[test]
+fn dynamic_sizing_shrinks_and_grows() {
+    let mut repl = Replicated::new(TableParams::repl_default(16 * 1024));
+    train_page_walk(&mut repl, 1, 2);
+    train_page_walk(&mut repl, 2, 2);
+
+    let big = repl.table_size_bytes();
+    repl.resize(2 * 1024);
+    assert!(repl.table_size_bytes() < big / 4);
+    // Recently learned correlations survive the shrink.
+    let first = PageAddr::new(2).first_line().raw();
+    let preds = repl.predict(LineAddr::new(first + 1), 1);
+    assert!(preds[0].contains(&LineAddr::new(first + 2)));
+
+    // Growing back works and keeps state.
+    repl.resize(16 * 1024);
+    let preds = repl.predict(LineAddr::new(first + 1), 1);
+    assert!(preds[0].contains(&LineAddr::new(first + 2)));
+}
+
+#[test]
+fn per_application_ulmts_do_not_interfere() {
+    // "A better approach is to associate a different ULMT, with its own
+    // table, to each application. This eliminates interference."
+    let mut mp_a =
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4 * 1024).build());
+    let mut mp_b =
+        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4 * 1024).build());
+    let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
+
+    // Application A walks 100,101,102...; application B walks the same
+    // *line numbers* in reverse — a shared table would corrupt both.
+    for _ in 0..3 {
+        for i in 0..32u64 {
+            let now = mp_a.busy_until();
+            mp_a.process(LineAddr::new(100 + i), now, &mut mem);
+            let now = mp_b.busy_until();
+            mp_b.process(LineAddr::new(131 - i), now, &mut mem);
+        }
+    }
+    let a = mp_a.algorithm_mut().predict(LineAddr::new(110), 1);
+    let b = mp_b.algorithm_mut().predict(LineAddr::new(110), 1);
+    assert!(a[0].contains(&LineAddr::new(111)), "A sees its own order");
+    assert!(b[0].contains(&LineAddr::new(109)), "B sees its own order");
+}
+
+#[test]
+fn protection_algorithms_never_dereference_application_data() {
+    // The ULMT "can observe the physical addresses ... but it can neither
+    // read from nor write to these addresses": its only memory traffic is
+    // to its own table. Verify every table touch stays inside the table's
+    // address range.
+    let mut repl = Replicated::new(TableParams::repl_default(1024));
+    let table_bytes = repl.table_size_bytes();
+    for i in 0..256u64 {
+        let step = repl.process_miss(LineAddr::new(i * 977));
+        for touch in step
+            .prefetch_cost
+            .table_touches
+            .iter()
+            .chain(step.learn_cost.table_touches.iter())
+        {
+            let base = 0x4000_0000u64;
+            assert!(
+                touch.addr.raw() >= base && touch.addr.raw() + touch.bytes <= base + table_bytes,
+                "table touch outside the table: {:?}",
+                touch
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Invariants lifted directly from the paper's text, checked end-to-end.
+
+use ulmt::core::predict::PredictionScorer;
+use ulmt::core::AlgorithmSpec;
+use ulmt::system::{l2_miss_stream_with, Experiment, PrefetchScheme, SystemConfig};
+use ulmt::workloads::{App, WorkloadSpec};
+
+fn spec(app: App) -> WorkloadSpec {
+    WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(4)
+}
+
+#[test]
+fn dependent_misses_dominate_the_200_280_bin() {
+    // Figure 6: "The most significant bin is [200,280) ... since the
+    // round-trip latency to memory is 208-243 cycles, dependent misses
+    // are likely to fall in this bin."
+    for app in [App::Mcf, App::Mst] {
+        let r = Experiment::new(SystemConfig::small(), spec(app))
+            .scheme(PrefetchScheme::NoPref)
+            .run();
+        let fr = r.inter_miss.fractions();
+        assert!(fr[2] > 0.4, "{app}: [200,280) fraction {fr:?}");
+    }
+}
+
+#[test]
+fn ulmt_occupancy_stays_under_200_cycles() {
+    // "the figure shows that, in all the algorithms, the occupancy time
+    // is less than 200 cycles. Consequently, the ULMT is fast enough to
+    // process most of the L2 misses."
+    for scheme in [PrefetchScheme::Base, PrefetchScheme::Chain, PrefetchScheme::Repl] {
+        let r = Experiment::new(SystemConfig::small(), spec(App::Mcf)).scheme(scheme).run();
+        let u = r.ulmt.expect("ULMT ran");
+        assert!(
+            u.occupancy.mean() < 200.0,
+            "{scheme}: occupancy {}",
+            u.occupancy.mean()
+        );
+    }
+}
+
+#[test]
+fn repl_has_the_lowest_response_time() {
+    // Figure 10: "Repl has the lowest response time".
+    let response = |scheme| {
+        let r = Experiment::new(SystemConfig::small(), spec(App::Gap)).scheme(scheme).run();
+        r.ulmt.expect("ULMT ran").response.mean()
+    };
+    let chain = response(PrefetchScheme::Chain);
+    let repl = response(PrefetchScheme::Repl);
+    assert!(repl < chain, "repl {repl} vs chain {chain}");
+    // And the North Bridge location roughly doubles it.
+    let repl_mc = response(PrefetchScheme::ReplMc);
+    assert!(repl_mc > repl * 1.2, "mc {repl_mc} vs dram {repl}");
+}
+
+#[test]
+fn repl_prediction_beats_chain_at_deep_levels() {
+    // Figure 5: "Repl almost always outperforms Chain by a wide margin"
+    // at levels 2 and 3.
+    let config = SystemConfig::small();
+    let wl = spec(App::Gap).iterations(8);
+    let misses: Vec<_> = l2_miss_stream_with(&config, &wl).collect();
+    let rows = (4 * wl.footprint_lines() as usize).next_power_of_two();
+    let accuracy = |spec: AlgorithmSpec| {
+        let mut alg = spec.build();
+        let mut scorer = PredictionScorer::new(3);
+        for &m in &misses {
+            scorer.observe(alg.as_mut(), m);
+        }
+        (scorer.accuracy(2), scorer.accuracy(3))
+    };
+    let (chain2, chain3) = accuracy(AlgorithmSpec::chain(rows));
+    let (repl2, repl3) = accuracy(AlgorithmSpec::repl(rows));
+    assert!(repl2 >= chain2, "level2 repl {repl2} chain {chain2}");
+    assert!(repl3 >= chain3, "level3 repl {repl3} chain {chain3}");
+}
+
+#[test]
+fn beyond_l2_is_the_main_nopref_component() {
+    // "On average, BeyondL2 is the most significant component of the
+    // execution time under NoPref" (44% in the paper).
+    let mut beyond = 0.0;
+    for app in App::ALL {
+        let wl = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
+        let r = Experiment::new(SystemConfig::small(), wl)
+            .scheme(PrefetchScheme::NoPref)
+            .run();
+        beyond += r.breakdown.fraction_beyond_l2();
+    }
+    let avg = beyond / App::ALL.len() as f64;
+    assert!(avg > 0.4, "average BeyondL2 fraction {avg}");
+}
+
+#[test]
+fn memory_side_prefetching_adds_only_one_way_traffic() {
+    // Figure 11's explanation: pushes add one-way (reply) traffic, so the
+    // utilization increase stays moderate.
+    let base = Experiment::new(SystemConfig::small(), spec(App::Mcf))
+        .scheme(PrefetchScheme::NoPref)
+        .run();
+    let repl = Experiment::new(SystemConfig::small(), spec(App::Mcf))
+        .scheme(PrefetchScheme::Repl)
+        .run();
+    assert!(repl.fsb_utilization > base.fsb_utilization);
+    assert!(
+        repl.fsb_utilization < 3.0 * base.fsb_utilization,
+        "prefetching should not explode bus utilization: {} vs {}",
+        repl.fsb_utilization,
+        base.fsb_utilization
+    );
+}
+
+#[test]
+fn sparse_and_tree_have_the_smallest_speedups() {
+    // Section 5.2 / Figure 9: "Sparse and Tree, the applications with the
+    // smallest speedups" (cache conflicts + inaccurate prefetches).
+    let speedup = |app: App| {
+        let wl = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(3);
+        let base = Experiment::new(SystemConfig::small(), wl.clone())
+            .scheme(PrefetchScheme::NoPref)
+            .run();
+        let repl = Experiment::new(SystemConfig::small(), wl)
+            .scheme(PrefetchScheme::Repl)
+            .run();
+        repl.speedup_vs(base.exec_cycles)
+    };
+    let tree = speedup(App::Tree);
+    let mcf = speedup(App::Mcf);
+    let mst = speedup(App::Mst);
+    assert!(tree < mcf, "tree {tree} vs mcf {mcf}");
+    assert!(tree < mst, "tree {tree} vs mst {mst}");
+}

@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) on the core data structures:
+//! correlation tables, the filter, the stream detector, caches, and the
+//! cost model — exercised with arbitrary miss streams.
+
+use proptest::prelude::*;
+use ulmt::cache::{AccessOutcome, Cache, CacheConfig, PushOutcome};
+use ulmt::core::algorithm::UlmtAlgorithm;
+use ulmt::core::stream::StreamDetector;
+use ulmt::core::table::{Base, Chain, Replicated, TableParams};
+use ulmt::core::Filter;
+use ulmt::simcore::LineAddr;
+
+fn lines() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..512, 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every algorithm survives arbitrary miss streams, never prefetches
+    /// more than NumLevels * NumSucc lines, and keeps its costs phased
+    /// correctly (prefetch phase never writes the table).
+    #[test]
+    fn algorithms_bounded_and_phase_correct(misses in lines()) {
+        let params = TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 };
+        let mut algs: Vec<Box<dyn UlmtAlgorithm>> = vec![
+            Box::new(Base::new(TableParams { num_levels: 1, ..params })),
+            Box::new(Chain::new(params)),
+            Box::new(Replicated::new(params)),
+        ];
+        for alg in &mut algs {
+            for &m in &misses {
+                let step = alg.process_miss(LineAddr::new(m));
+                prop_assert!(
+                    step.prefetches.len() <= params.num_levels * params.num_succ,
+                    "{}: {} prefetches", alg.name(), step.prefetches.len()
+                );
+                prop_assert!(step.prefetch_cost.table_touches.iter().all(|t| !t.is_write));
+                prop_assert!(step.total_insns() > 0);
+            }
+        }
+    }
+
+    /// Replicated's predictions always come from actually observed
+    /// successor pairs: any level-1 prediction for X was at some point the
+    /// very next miss after X.
+    #[test]
+    fn repl_level1_predictions_are_sound(misses in lines()) {
+        let params = TableParams { num_rows: 1024, assoc: 2, num_succ: 4, num_levels: 2 };
+        let mut repl = Replicated::new(params);
+        let mut observed_pairs = std::collections::HashSet::new();
+        let mut last: Option<u64> = None;
+        for &m in &misses {
+            if let Some(l) = last {
+                observed_pairs.insert((l, m));
+            }
+            repl.process_miss(LineAddr::new(m));
+            last = Some(m);
+        }
+        for &m in &misses {
+            for p in &repl.predict(LineAddr::new(m), 1)[0] {
+                prop_assert!(
+                    observed_pairs.contains(&(m, p.raw())),
+                    "predicted {} after {m} but that pair never occurred", p.raw()
+                );
+            }
+        }
+    }
+
+    /// The filter admits each address at most once per window and never
+    /// remembers more than its capacity.
+    #[test]
+    fn filter_window_semantics(addrs in proptest::collection::vec(0u64..64, 1..200),
+                               cap in 1usize..40) {
+        let mut f = Filter::new(cap);
+        let mut window: Vec<u64> = Vec::new();
+        for &a in &addrs {
+            let expect = !window.contains(&a);
+            prop_assert_eq!(f.admit(LineAddr::new(a)), expect);
+            if expect {
+                window.push(a);
+                if window.len() > cap {
+                    window.remove(0);
+                }
+            }
+            prop_assert!(f.len() <= cap);
+        }
+        prop_assert_eq!(f.admitted() + f.dropped(), addrs.len() as u64);
+    }
+
+    /// The stream detector never predicts lines it could not justify: all
+    /// prefetches continue an arithmetic progression through the observed
+    /// miss.
+    #[test]
+    fn stream_prefetches_are_progressions(misses in lines()) {
+        let mut d = StreamDetector::new(4, 6);
+        for &m in &misses {
+            let prefetches = d.observe(LineAddr::new(m));
+            for w in prefetches.windows(2) {
+                let delta = w[1].delta(w[0]);
+                prop_assert_eq!(delta.abs(), 1, "non-unit stride in prefetch run");
+            }
+        }
+    }
+
+    /// Cache invariant: a line is never both valid and pending; fills only
+    /// complete lines with MSHRs; the number of pending ways equals the
+    /// number of allocated MSHRs.
+    #[test]
+    fn cache_mshr_way_consistency(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_size: 64,
+            mshrs: 4,
+            wb_capacity: 4,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut outstanding = Vec::new();
+        for (line, push) in ops {
+            let line = LineAddr::new(line);
+            if push {
+                if let PushOutcome::StoleMshr { .. } = cache.push(line) {
+                    outstanding.retain(|&l| l != line);
+                }
+            } else {
+                match cache.access(line, false) {
+                    AccessOutcome::Miss { .. } => outstanding.push(line),
+                    AccessOutcome::Blocked => {
+                        // Drain one to make progress.
+                        if let Some(l) = outstanding.pop() {
+                            cache.fill(l, false);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(cache.mshrs().in_use(), outstanding.len());
+        }
+        // Drain everything; all MSHRs must free.
+        for l in outstanding {
+            cache.fill(l, false);
+        }
+        prop_assert_eq!(cache.mshrs().in_use(), 0);
+    }
+
+    /// Page remapping is an involution on predictions: remapping A->B then
+    /// B->A restores the original prediction set.
+    #[test]
+    fn remap_roundtrip(misses in proptest::collection::vec(0u64..256, 16..128)) {
+        use ulmt::simcore::PageAddr;
+        let params = TableParams { num_rows: 4096, assoc: 2, num_succ: 2, num_levels: 2 };
+        let mut repl = Replicated::new(params);
+        for &m in &misses {
+            repl.process_miss(LineAddr::new(m));
+        }
+        let probe: Vec<LineAddr> = misses.iter().map(|&m| LineAddr::new(m)).collect();
+        let before: Vec<_> = probe.iter().map(|&p| repl.predict(p, 2)).collect();
+        // Lines 0..256 are pages 0..4; round-trip pages 0..4 through high
+        // page numbers.
+        for p in 0..4u64 {
+            repl.remap_page(PageAddr::new(p), PageAddr::new(1000 + p));
+        }
+        for p in 0..4u64 {
+            repl.remap_page(PageAddr::new(1000 + p), PageAddr::new(p));
+        }
+        let after: Vec<_> = probe.iter().map(|&p| repl.predict(p, 2)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,93 @@
+//! Full-system checks of the L2 push-accept rules (Section 2.1) — the
+//! drop/steal outcomes observed through end-to-end counters.
+
+use ulmt::system::{Experiment, PrefetchScheme, SystemConfig};
+use ulmt::workloads::{App, WorkloadSpec};
+
+fn run(app: App, scheme: PrefetchScheme) -> ulmt::system::RunResult {
+    let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(4);
+    Experiment::new(SystemConfig::small(), spec).scheme(scheme).run()
+}
+
+#[test]
+fn pushes_partition_into_the_figure9_categories() {
+    // Every issued prefetch either got filtered, squashed against demand,
+    // or arrived at the L2 as a push with exactly one outcome. At the
+    // L2, arrivals = steals + accepts + drops; accepted pushes later
+    // become Hits, Replaced, or remain resident.
+    let r = run(App::Gap, PrefetchScheme::Repl);
+    let p = &r.prefetch;
+    assert!(p.issued > 0);
+    let arrived_effects = p.hits + p.delayed_hits + p.replaced + p.redundant + p.dropped_other;
+    // Residency at end-of-run means effects can be slightly below
+    // arrivals, never above issued minus filter drops.
+    assert!(
+        arrived_effects <= p.issued - r.filter_dropped,
+        "effects {arrived_effects} vs issued {} - filtered {}",
+        p.issued,
+        r.filter_dropped
+    );
+    assert!(p.hits > 0, "some pushes must be demanded");
+    assert!(p.delayed_hits > 0, "some pushes must steal waiting MSHRs");
+}
+
+#[test]
+fn redundant_pushes_exist_for_noisy_workloads() {
+    // Parser's noise makes the ULMT prefetch lines that demand fetched
+    // on its own: those arrive to find the line present.
+    let r = run(App::Parser, PrefetchScheme::Repl);
+    assert!(r.prefetch.redundant > 0);
+}
+
+#[test]
+fn replaced_pushes_dominate_on_conflicted_workloads() {
+    // Sparse's conflict sets evict pushed lines before use (Figure 9's
+    // huge Replaced bar for Sparse).
+    let r = run(App::Sparse, PrefetchScheme::Repl);
+    assert!(
+        r.prefetch.replaced > r.prefetch.hits,
+        "replaced {} vs hits {}",
+        r.prefetch.replaced,
+        r.prefetch.hits
+    );
+}
+
+#[test]
+fn no_pushes_means_no_push_outcomes() {
+    for scheme in [PrefetchScheme::NoPref, PrefetchScheme::Conven4] {
+        let r = run(App::Gap, scheme);
+        let p = &r.prefetch;
+        assert_eq!(p.issued, 0);
+        assert_eq!(p.hits + p.delayed_hits + p.replaced + p.redundant, 0);
+    }
+}
+
+#[test]
+fn filter_absorbs_repeat_prefetches() {
+    // Replicated re-prefetches overlapping successor windows; the Filter
+    // must drop a meaningful share.
+    let r = run(App::Mst, PrefetchScheme::Repl);
+    assert!(
+        r.filter_dropped > r.prefetch.issued / 10,
+        "filter dropped {} of {}",
+        r.filter_dropped,
+        r.prefetch.issued
+    );
+}
+
+#[test]
+fn three_way_multiprogramming_runs_clean() {
+    use ulmt::system::{MultiprogExperiment, TablePolicy};
+    let apps = vec![
+        WorkloadSpec::new(App::Mcf).scale(1.0 / 32.0).iterations(2),
+        WorkloadSpec::new(App::Gap).scale(1.0 / 32.0).iterations(2),
+        WorkloadSpec::new(App::Tree).scale(1.0 / 32.0).iterations(2),
+    ];
+    let total_refs: usize = apps.iter().map(|a| a.build().count()).sum();
+    let r = MultiprogExperiment::new(SystemConfig::small(), apps)
+        .quantum(700)
+        .policy(TablePolicy::PerApplication)
+        .run();
+    assert_eq!(r.refs as usize, total_refs);
+    assert!(r.prefetch.hits + r.prefetch.delayed_hits > 0);
+}
