@@ -1,23 +1,44 @@
-//! Criterion micro-benchmarks of the response/occupancy-critical
-//! operations: one `process_miss` step per algorithm, the Filter, and the
-//! stream detector. These are the software paths whose latency Figure 10
-//! models.
+//! Micro-benchmarks of the response/occupancy-critical operations: one
+//! `process_miss` step per algorithm, the Filter, and the MRU list. These
+//! are the software paths whose latency Figure 10 models.
+//!
+//! Self-contained timing harness (no external benchmark crate): each
+//! benchmark warms up, then reports the mean wall time per operation over
+//! a fixed iteration budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use ulmt_core::algorithm::UlmtAlgorithm;
 use ulmt_core::seq::SeqUlmt;
-use ulmt_core::table::{Base, Chain, Replicated, TableParams};
+use ulmt_core::table::{Base, Chain, MruList, Replicated, TableParams};
 use ulmt_core::Filter;
 use ulmt_simcore::LineAddr;
+
+const WARMUP: u64 = 20_000;
+const ITERS: u64 = 200_000;
+
+fn bench<F: FnMut(u64)>(name: &str, mut op: F) {
+    for i in 0..WARMUP {
+        op(i);
+    }
+    let start = Instant::now();
+    for i in 0..ITERS {
+        op(i);
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<24} {:>10.1} ns/op  ({ITERS} iterations in {:.1} ms)",
+        elapsed.as_nanos() as f64 / ITERS as f64,
+        elapsed.as_secs_f64() * 1e3
+    );
+}
 
 fn trained_sequence() -> Vec<LineAddr> {
     (0..1024u64).map(|i| LineAddr::new((i * 769) % 65_536)).collect()
 }
 
-fn bench_process_miss(c: &mut Criterion) {
+fn bench_process_miss() {
     let seq = trained_sequence();
-    let mut group = c.benchmark_group("process_miss");
     macro_rules! bench_alg {
         ($name:expr, $alg:expr) => {
             let mut alg = $alg;
@@ -26,33 +47,38 @@ fn bench_process_miss(c: &mut Criterion) {
                     alg.process_miss(m);
                 }
             }
-            let mut i = 0;
-            group.bench_function($name, |b| {
-                b.iter(|| {
-                    let m = seq[i % seq.len()];
-                    i += 1;
-                    black_box(alg.process_miss(black_box(m)))
-                })
+            bench($name, |i| {
+                let m = seq[(i as usize) % seq.len()];
+                black_box(alg.process_miss(black_box(m)));
             });
         };
     }
-    bench_alg!("base", Base::new(TableParams::base_default(64 * 1024)));
-    bench_alg!("chain", Chain::new(TableParams::chain_default(64 * 1024)));
-    bench_alg!("repl", Replicated::new(TableParams::repl_default(64 * 1024)));
-    bench_alg!("seq4", SeqUlmt::seq4());
-    group.finish();
+    bench_alg!("process_miss/base", Base::new(TableParams::base_default(64 * 1024)));
+    bench_alg!("process_miss/chain", Chain::new(TableParams::chain_default(64 * 1024)));
+    bench_alg!("process_miss/repl", Replicated::new(TableParams::repl_default(64 * 1024)));
+    bench_alg!("process_miss/seq4", SeqUlmt::seq4());
 }
 
-fn bench_filter(c: &mut Criterion) {
+fn bench_filter() {
     let mut filter = Filter::new(32);
-    let mut i = 0u64;
-    c.bench_function("filter_admit", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(filter.admit(LineAddr::new(i % 48)))
-        })
+    bench("filter_admit", |i| {
+        black_box(filter.admit(LineAddr::new(i % 48)));
     });
 }
 
-criterion_group!(benches, bench_process_miss, bench_filter);
-criterion_main!(benches);
+fn bench_mru_insert() {
+    // The storage hot path: duplicate re-insertions and evictions in a
+    // NumSucc-sized list (the `rotate_right` path of `insert_mru`).
+    let mut l = MruList::new(4);
+    bench("mru_insert_mru", |i| {
+        l.insert_mru(LineAddr::new(i % 6));
+        black_box(l.mru());
+    });
+}
+
+fn main() {
+    println!("micro-benchmarks ({ITERS} iterations each)");
+    bench_process_miss();
+    bench_filter();
+    bench_mru_insert();
+}

@@ -1,0 +1,151 @@
+//! Harness smoke target: a reduced-scale Figure 7 sweep run twice — once
+//! serially (one worker) and once on the parallel harness — followed by a
+//! bit-identity check of every result and a machine-readable wall-time
+//! report written to `BENCH_harness.json`.
+//!
+//! Environment:
+//!
+//! * `ULMT_SCALE` — profile (`small` | `mid` | `paper`); defaults to
+//!   `small` here (unlike the figure generators) so the smoke run stays
+//!   in seconds.
+//! * `SWEEP_APPS` — comma-separated application names (default
+//!   `Mcf,Gap`).
+//! * `ULMT_WORKERS` — worker override for the parallel leg.
+//! * `BENCH_OUT` — output path (default `BENCH_harness.json`).
+//!
+//! Exits non-zero if any parallel result differs from its serial twin.
+
+use std::fmt::Write as _;
+
+use ulmt_bench::profile::Profile;
+use ulmt_system::{runner, Experiment, PrefetchScheme, SweepResult};
+use ulmt_workloads::App;
+
+fn parse_apps() -> Vec<App> {
+    let raw = std::env::var("SWEEP_APPS").unwrap_or_else(|_| "Mcf,Gap".to_string());
+    raw.split(',')
+        .map(|name| {
+            let name = name.trim();
+            App::ALL
+                .iter()
+                .copied()
+                .find(|a| a.name().eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| panic!("unknown app {name:?} in SWEEP_APPS"))
+        })
+        .collect()
+}
+
+fn experiments(profile: &Profile, apps: &[App]) -> Vec<Experiment> {
+    apps.iter()
+        .flat_map(|&app| {
+            PrefetchScheme::FIGURE7
+                .iter()
+                .map(move |&s| (app, s))
+        })
+        .map(|(app, s)| Experiment::new(profile.config, profile.workload(app)).scheme(s))
+        .collect()
+}
+
+fn json_report(
+    profile: &Profile,
+    apps: &[App],
+    serial: &SweepResult,
+    parallel: &SweepResult,
+    identical: bool,
+) -> String {
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"profile\": \"{}\",", profile.name);
+    let _ = writeln!(
+        j,
+        "  \"apps\": [{}],",
+        apps.iter().map(|a| format!("\"{}\"", a.name())).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(j, "  \"schemes\": {},", PrefetchScheme::FIGURE7.len());
+    let _ = writeln!(j, "  \"runs\": {},", serial.results.len());
+    let _ = writeln!(
+        j,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let _ = writeln!(j, "  \"serial_workers\": {},", serial.workers);
+    let _ = writeln!(j, "  \"parallel_workers\": {},", parallel.workers);
+    let _ = writeln!(j, "  \"serial_wall_ms\": {:.3},", ms(serial.wall_nanos));
+    let _ = writeln!(j, "  \"parallel_wall_ms\": {:.3},", ms(parallel.wall_nanos));
+    let _ = writeln!(
+        j,
+        "  \"speedup\": {:.3},",
+        serial.wall_nanos as f64 / parallel.wall_nanos.max(1) as f64
+    );
+    let _ = writeln!(j, "  \"serial_cycles_per_sec\": {:.0},", serial.cycles_per_wall_sec());
+    let _ =
+        writeln!(j, "  \"parallel_cycles_per_sec\": {:.0},", parallel.cycles_per_wall_sec());
+    let _ = writeln!(j, "  \"results_identical\": {identical},");
+    j.push_str("  \"runs_detail\": [\n");
+    for (i, r) in serial.results.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"app\": \"{}\", \"scheme\": \"{}\", \"exec_cycles\": {}, \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}}}{}",
+            r.app,
+            r.scheme,
+            r.exec_cycles,
+            ms(r.wall_nanos),
+            ms(parallel.results[i].wall_nanos),
+            if i + 1 < serial.results.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn main() {
+    // Default to the small profile: this binary is the smoke target and
+    // should finish in seconds. ULMT_SCALE still overrides.
+    let profile = if std::env::var("ULMT_SCALE").is_ok() {
+        Profile::from_env()
+    } else {
+        Profile::small()
+    };
+    let apps = parse_apps();
+    eprintln!(
+        "sweep: Figure 7 schemes x {:?} at {} scale",
+        apps.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        profile.name
+    );
+
+    eprintln!("serial pass (1 worker) ...");
+    let serial = runner::run_experiments_with(experiments(&profile, &apps), 1);
+    // Floor the parallel leg at 2 workers so the threaded path is always
+    // exercised, even on a single-core host (where the speedup will
+    // honestly be ~1x).
+    let workers = runner::worker_count().max(2);
+    eprintln!("parallel pass ({workers} workers) ...");
+    let parallel = runner::run_experiments_with(experiments(&profile, &apps), workers);
+
+    let mut identical = true;
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        if s.fingerprint() != p.fingerprint() {
+            eprintln!("MISMATCH: {}/{} differs between serial and parallel", s.app, s.scheme);
+            identical = false;
+        }
+    }
+
+    eprint!("{}", parallel.throughput_report());
+    eprintln!(
+        "serial {:.1} ms, parallel {:.1} ms -> speedup {:.2}x on {workers} workers",
+        serial.wall_nanos as f64 / 1e6,
+        parallel.wall_nanos as f64 / 1e6,
+        serial.wall_nanos as f64 / parallel.wall_nanos.max(1) as f64
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_harness.json".to_string());
+    let report = json_report(&profile, &apps, &serial, &parallel, identical);
+    std::fs::write(&out, &report).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+
+    if !identical {
+        std::process::exit(1);
+    }
+    println!("sweep ok: {} runs identical serial/parallel", serial.results.len());
+}

@@ -89,6 +89,7 @@ pub fn fig5(profile: &Profile) -> String {
 /// Figure 6: distribution of cycles between consecutive L2 misses
 /// arriving at memory (NoPref).
 pub fn fig6(runner: &mut Runner) -> String {
+    runner.warm_grid(&App::ALL, &[PrefetchScheme::NoPref]);
     let mut out = String::new();
     out.push_str("Figure 6. Time between L2 misses at memory (NoPref)\n");
     let labels = ulmt_simcore::stats::BinnedHistogram::inter_miss().labels();
@@ -118,6 +119,7 @@ pub fn fig6(runner: &mut Runner) -> String {
 
 /// Figure 7: normalized execution time under the seven schemes.
 pub fn fig7(runner: &mut Runner) -> String {
+    runner.warm_grid(&App::ALL, &PrefetchScheme::FIGURE7);
     let mut out = String::new();
     out.push_str("Figure 7. Execution time normalized to NoPref (Busy/UptoL2/BeyondL2)\n");
     for app in App::ALL {
@@ -157,6 +159,7 @@ pub fn fig7(runner: &mut Runner) -> String {
 pub fn fig8(runner: &mut Runner) -> String {
     let schemes =
         [PrefetchScheme::NoPref, PrefetchScheme::Conven4Repl, PrefetchScheme::Conven4ReplMc];
+    runner.warm_grid(&App::ALL, &schemes);
     let mut out = String::new();
     out.push_str("Figure 8. Execution time vs. memory processor location\n");
     out.push_str(&format!("{:<8}", "App"));
@@ -191,6 +194,8 @@ pub fn fig9(runner: &mut Runner) -> String {
         PrefetchScheme::Conven4Repl,
         PrefetchScheme::Conven4ReplMc,
     ];
+    runner.warm_grid(&App::ALL, &schemes);
+    runner.warm_grid(&App::ALL, &[PrefetchScheme::NoPref]);
     let mut out = String::new();
     out.push_str("Figure 9. L2 misses + prefetches, normalized to NoPref misses\n");
     let groups: Vec<(String, Vec<App>)> = vec![
@@ -243,6 +248,7 @@ pub fn fig10(runner: &mut Runner) -> String {
         PrefetchScheme::Repl,
         PrefetchScheme::ReplMc,
     ];
+    runner.warm_grid(&App::ALL, &schemes);
     let mut out = String::new();
     out.push_str("Figure 10. Average ULMT response/occupancy (main-processor cycles)\n");
     out.push_str(&format!(
@@ -285,6 +291,7 @@ pub fn fig11(runner: &mut Runner) -> String {
         PrefetchScheme::Conven4Repl,
         PrefetchScheme::Conven4ReplMc,
     ];
+    runner.warm_grid(&App::ALL, &schemes);
     let mut out = String::new();
     out.push_str("Figure 11. FSB utilization (average over applications)\n");
     out.push_str(&format!(

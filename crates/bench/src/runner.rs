@@ -35,6 +35,44 @@ impl Runner {
         })
     }
 
+    /// Pre-fills the cache for any not-yet-run `(app, scheme)` pairs by
+    /// fanning the missing simulations across the `ulmt_system::runner`
+    /// worker pool. Results are identical to running them one by one
+    /// through [`Runner::run`] — the simulations are deterministic — so
+    /// the figure generators can warm their whole grid up front and then
+    /// read every result from the cache.
+    pub fn warm<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (App, PrefetchScheme)>,
+    {
+        let mut missing: Vec<(App, PrefetchScheme)> = Vec::new();
+        for p in pairs {
+            if !self.cache.contains_key(&p) && !missing.contains(&p) {
+                missing.push(p);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        eprintln!(
+            "  running {} simulations on {} workers ...",
+            missing.len(),
+            ulmt_system::worker_count().min(missing.len())
+        );
+        let profile = &self.profile;
+        let results = ulmt_system::parallel_map(missing.clone(), |(app, scheme)| {
+            Experiment::new(profile.config, profile.workload(app)).scheme(scheme).run()
+        });
+        for (key, r) in missing.into_iter().zip(results) {
+            self.cache.insert(key, r);
+        }
+    }
+
+    /// [`Runner::warm`] over the full `apps` × `schemes` grid.
+    pub fn warm_grid(&mut self, apps: &[App], schemes: &[PrefetchScheme]) {
+        self.warm(apps.iter().flat_map(|&a| schemes.iter().map(move |&s| (a, s))));
+    }
+
     /// Speedup of `scheme` over NoPref for `app`.
     pub fn speedup(&mut self, app: App, scheme: PrefetchScheme) -> f64 {
         let base = self.run(app, PrefetchScheme::NoPref).exec_cycles;
@@ -60,6 +98,22 @@ mod tests {
         let b = r.run(App::Tree, PrefetchScheme::NoPref).exec_cycles;
         assert_eq!(a, b);
         assert_eq!(r.cache.len(), 1);
+    }
+
+    #[test]
+    fn warm_matches_serial_runs() {
+        let schemes = [PrefetchScheme::NoPref, PrefetchScheme::Repl];
+        let mut warmed = Runner::new(Profile::small());
+        warmed.warm_grid(&[App::Tree], &schemes);
+        assert_eq!(warmed.cache.len(), 2);
+        let mut cold = Runner::new(Profile::small());
+        for s in schemes {
+            assert_eq!(
+                warmed.run(App::Tree, s).fingerprint(),
+                cold.run(App::Tree, s).fingerprint(),
+                "warm/serial divergence under {s}"
+            );
+        }
     }
 
     #[test]

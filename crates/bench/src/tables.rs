@@ -94,9 +94,13 @@ pub fn table2(scale: f64) -> String {
     ));
     let mb = |rows: usize, bytes: u64| rows as f64 * bytes as f64 / (1024.0 * 1024.0);
     let mut sums = (0usize, 0f64, 0f64, 0f64);
-    for app in App::ALL {
-        let spec = WorkloadSpec::new(app).scale(scale);
-        let rows = derive_num_rows(&spec);
+    // Each app's NumRows derivation replays its miss stream repeatedly —
+    // independent work, so derive all apps in parallel.
+    let derived: Vec<usize> = ulmt_system::parallel_map(
+        App::ALL.iter().map(|&a| WorkloadSpec::new(a).scale(scale)).collect(),
+        |spec| derive_num_rows(&spec),
+    );
+    for (app, rows) in App::ALL.into_iter().zip(derived) {
         let paper_rows = (App::paper_num_rows(app) as f64 * scale) as usize;
         let (b, c, r) = (mb(rows, 20), mb(rows, 12), mb(rows, 28));
         sums.0 += rows;

@@ -4,8 +4,8 @@
 //! same accept/steal/drop semantics. Any divergence in hit/miss outcomes
 //! or final contents is a bug in the optimized implementation.
 
-use proptest::prelude::*;
 use ulmt_cache::{AccessOutcome, Cache, CacheConfig, PushOutcome};
+use ulmt_simcore::rng::Pcg32;
 use ulmt_simcore::LineAddr;
 
 /// Brute-force model: per set, a MRU-ordered list of (line, pending).
@@ -129,22 +129,25 @@ enum Op {
     Push(u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..96).prop_map(Op::Access),
-            (0u64..96).prop_map(Op::Fill),
-            (0u64..96).prop_map(Op::Push),
-        ],
-        1..500,
-    )
+fn random_ops(rng: &mut Pcg32) -> Vec<Op> {
+    let len = rng.gen_range_usize(1..500);
+    (0..len)
+        .map(|_| {
+            let line = rng.gen_range_u64(0..96);
+            match rng.gen_range_u32(0..3) {
+                0 => Op::Access(line),
+                1 => Op::Fill(line),
+                _ => Op::Push(line),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_matches_reference_model(ops in ops()) {
+#[test]
+fn cache_matches_reference_model() {
+    let mut rng = Pcg32::seed_from_u64(0xcac4e);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng);
         let cfg = CacheConfig {
             size_bytes: 2048, // 16 sets x 2 ways
             assoc: 2,
@@ -159,7 +162,7 @@ proptest! {
                 Op::Access(l) => {
                     let got = outcome_name(&cache.access(LineAddr::new(l), false));
                     let want = model.access(l);
-                    prop_assert_eq!(got, want, "access {}", l);
+                    assert_eq!(got, want, "access {}", l);
                 }
                 Op::Fill(l) => {
                     cache.fill(LineAddr::new(l), false);
@@ -168,13 +171,13 @@ proptest! {
                 Op::Push(l) => {
                     let got = push_name(&cache.push(LineAddr::new(l)));
                     let want = model.push(l);
-                    prop_assert_eq!(got, want, "push {}", l);
+                    assert_eq!(got, want, "push {}", l);
                 }
             }
         }
         // Final contents agree.
         for l in 0..96 {
-            prop_assert_eq!(
+            assert_eq!(
                 cache.contains(LineAddr::new(l)),
                 model.contains(l),
                 "final contents differ at line {}", l

@@ -36,14 +36,26 @@ impl MruList {
     }
 
     /// Inserts `x` as the MRU entry, de-duplicating and evicting the LRU
-    /// entry if the list is full.
+    /// entry if the list is full. A zero-capacity list stores nothing.
+    ///
+    /// This is the hottest operation of every Learning step (one call per
+    /// NumSucc slot per level), so it avoids `Vec::remove` + `Vec::insert`
+    /// — which would shift the tail twice — in favor of a single
+    /// `rotate_right` of the prefix that actually moves.
     pub fn insert_mru(&mut self, x: LineAddr) {
         if let Some(pos) = self.items.iter().position(|&i| i == x) {
-            self.items.remove(pos);
-        } else if self.items.len() >= self.cap {
-            self.items.pop();
+            // Already present: rotate it to the front, shifting only the
+            // entries ahead of it down by one.
+            self.items[..=pos].rotate_right(1);
+        } else if self.items.len() < self.cap {
+            self.items.push(x);
+            self.items.rotate_right(1);
+        } else if self.cap > 0 {
+            // Full: the rotation moves the LRU entry into slot 0, where
+            // the new address overwrites it.
+            self.items.rotate_right(1);
+            self.items[0] = x;
         }
-        self.items.insert(0, x);
     }
 
     /// The MRU entry, if any.
@@ -403,6 +415,90 @@ mod tests {
         assert_eq!(l.as_slice(), &[line(4), line(2), line(3)]);
         assert_eq!(l.mru(), Some(line(4)));
         assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn mru_list_duplicate_reinsertion_at_every_position() {
+        // Re-inserting the entry at position `pos` must move exactly it to
+        // the front and leave the relative order of everything else alone.
+        let cap = 5;
+        for pos in 0..cap {
+            let mut l = MruList::new(cap);
+            // Build [5, 4, 3, 2, 1] (5 is MRU).
+            for n in 1..=cap as u64 {
+                l.insert_mru(line(n));
+            }
+            let before: Vec<LineAddr> = l.iter().collect();
+            let target = before[pos];
+            l.insert_mru(target);
+            let mut expected = vec![target];
+            expected.extend(before.iter().copied().filter(|&i| i != target));
+            assert_eq!(l.as_slice(), &expected[..], "re-insert at position {pos}");
+            assert_eq!(l.len(), cap);
+        }
+    }
+
+    #[test]
+    fn mru_list_capacity_one() {
+        let mut l = MruList::new(1);
+        assert!(l.is_empty());
+        l.insert_mru(line(1));
+        assert_eq!(l.as_slice(), &[line(1)]);
+        l.insert_mru(line(1)); // duplicate: no change, no growth
+        assert_eq!(l.as_slice(), &[line(1)]);
+        l.insert_mru(line(2)); // replaces the only entry
+        assert_eq!(l.as_slice(), &[line(2)]);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn mru_list_capacity_zero_stores_nothing() {
+        let mut l = MruList::new(0);
+        l.insert_mru(line(1));
+        l.insert_mru(line(1));
+        l.insert_mru(line(2));
+        assert!(l.is_empty());
+        assert_eq!(l.mru(), None);
+        assert_eq!(l.capacity(), 0);
+    }
+
+    #[test]
+    fn mru_list_eviction_is_strict_lru() {
+        let mut l = MruList::new(3);
+        for n in [1, 2, 3] {
+            l.insert_mru(line(n));
+        }
+        // Touch 1 so the LRU entry becomes 2.
+        l.insert_mru(line(1));
+        l.insert_mru(line(4)); // must evict 2, not 3
+        assert_eq!(l.as_slice(), &[line(4), line(1), line(3)]);
+        l.insert_mru(line(5)); // must evict 3
+        assert_eq!(l.as_slice(), &[line(5), line(4), line(1)]);
+    }
+
+    #[test]
+    fn mru_list_matches_remove_insert_reference() {
+        // The rotate_right implementation must be observationally
+        // identical to the straightforward remove+insert version on
+        // arbitrary streams.
+        for cap in 1..=4usize {
+            let mut fast = MruList::new(cap);
+            let mut reference: Vec<u64> = Vec::new();
+            let mut x: u64 = 0x9e3779b9;
+            for _ in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let n = (x >> 33) % 7;
+                fast.insert_mru(line(n));
+                if let Some(pos) = reference.iter().position(|&i| i == n) {
+                    reference.remove(pos);
+                } else if reference.len() >= cap {
+                    reference.pop();
+                }
+                reference.insert(0, n);
+                let expected: Vec<LineAddr> = reference.iter().map(|&i| line(i)).collect();
+                assert_eq!(fast.as_slice(), &expected[..], "cap {cap}");
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Edge-case behavior of the correlation structures: broken chains,
 //! shallow tables probed deeply, and prediction-depth mismatches.
 
-use proptest::prelude::*;
 use ulmt_core::algorithm::UlmtAlgorithm;
+use ulmt_simcore::rng::Pcg32;
 use ulmt_core::table::{Base, Chain, Replicated, TableParams};
 use ulmt_simcore::LineAddr;
 
@@ -68,12 +68,13 @@ fn replicated_survives_pointer_self_replacement() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Chain and Replicated never prefetch the same line twice in one step.
-    #[test]
-    fn steps_never_duplicate_prefetches(misses in proptest::collection::vec(0u64..64, 1..200)) {
+/// Chain and Replicated never prefetch the same line twice in one step.
+#[test]
+fn steps_never_duplicate_prefetches() {
+    let mut rng = Pcg32::seed_from_u64(0xd0d0);
+    for _ in 0..48 {
+        let len = rng.gen_range_usize(1..200);
+        let misses: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0..64)).collect();
         let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 3 };
         let mut algs: Vec<Box<dyn UlmtAlgorithm>> =
             vec![Box::new(Chain::new(p)), Box::new(Replicated::new(p))];
@@ -82,29 +83,30 @@ proptest! {
                 let step = alg.process_miss(line(m));
                 let mut seen = std::collections::HashSet::new();
                 for pf in &step.prefetches {
-                    prop_assert!(seen.insert(pf.raw()), "{} duplicated {pf}", alg.name());
+                    assert!(seen.insert(pf.raw()), "{} duplicated {pf}", alg.name());
                 }
             }
         }
     }
+}
 
-    /// The trace codec round-trips arbitrary aligned records.
-    #[test]
-    fn codec_roundtrips_arbitrary_records(
-        recs in proptest::collection::vec((0u64..1_000_000, 0u32..10_000, any::<bool>(), any::<bool>()), 1..100)
-    ) {
-        use ulmt_workloads::codec;
-        use ulmt_workloads::TraceRecord;
-        let records: Vec<TraceRecord> = recs
-            .iter()
-            .map(|&(a, g, d, w)| TraceRecord {
-                addr: ulmt_simcore::Addr::new(a * 4), // aligned
-                gap_insns: g,
-                dependent: d,
-                is_write: w,
+/// The trace codec round-trips arbitrary aligned records.
+#[test]
+fn codec_roundtrips_arbitrary_records() {
+    use ulmt_workloads::codec;
+    use ulmt_workloads::TraceRecord;
+    let mut rng = Pcg32::seed_from_u64(0xc0dec);
+    for _ in 0..48 {
+        let len = rng.gen_range_usize(1..100);
+        let records: Vec<TraceRecord> = (0..len)
+            .map(|_| TraceRecord {
+                addr: ulmt_simcore::Addr::new(rng.gen_range_u64(0..1_000_000) * 4), // aligned
+                gap_insns: rng.gen_range_u32(0..10_000),
+                dependent: rng.gen_bool(0.5),
+                is_write: rng.gen_bool(0.5),
             })
             .collect();
         let bytes = codec::encode(records.iter().copied()).expect("aligned by construction");
-        prop_assert_eq!(codec::decode(&bytes).expect("roundtrip"), records);
+        assert_eq!(codec::decode(&bytes).expect("roundtrip"), records);
     }
 }

@@ -34,11 +34,15 @@
 
 pub mod addr;
 pub mod event;
+pub mod hash;
+pub mod rng;
 pub mod server;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, PageAddr};
 pub use event::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use rng::Pcg32;
 pub use server::Server;
 
 /// Global simulation time, measured in 1.6 GHz main-processor cycles.

@@ -1,0 +1,186 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! The workload generators and the randomized tests need reproducible
+//! randomness without pulling an external crate into the (offline) build.
+//! [`Pcg32`] is an implementation of the PCG-XSH-RR generator: 64 bits of
+//! state, 32 bits of output per step, excellent statistical quality for
+//! its size, and a trivially auditable transition function.
+
+/// PCG-XSH-RR 64/32 pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::rng::Pcg32;
+///
+/// let mut a = Pcg32::seed_from_u64(42);
+/// let mut b = Pcg32::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let x = a.gen_range_u64(0..10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+/// SplitMix64 step, used to spread a user seed over the PCG state space.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Pcg32 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let initstate = splitmix64(&mut sm);
+        let initseq = splitmix64(&mut sm);
+        let mut rng = Pcg32 { state: 0, inc: (initseq << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.next_u32();
+        rng
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// A uniform `u64` in `range` (widening-multiply method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end.checked_sub(range.start).expect("range start <= end");
+        assert!(span > 0, "empty range");
+        range.start + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// A uniform `u32` in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_u32(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.gen_range_u64(range.start as u64..range.end as u64) as u32
+    }
+
+    /// A uniform `usize` in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        self.gen_f64() < p
+    }
+
+    /// Fisher-Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range_usize(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg32::seed_from_u64(7);
+        let mut b = Pcg32::seed_from_u64(7);
+        let mut c = Pcg32::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range_u64(5..17);
+            assert!((5..17).contains(&x));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 12];
+        let mut rng = Pcg32::seed_from_u64(2);
+        for _ in 0..10_000 {
+            seen[rng.gen_range_usize(0..12)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut buckets = [0u32; 16];
+        for _ in 0..160_000 {
+            buckets[(rng.next_u32() >> 28) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order");
+    }
+}

@@ -61,11 +61,16 @@ impl Experiment {
 
 /// Runs every scheme of Figure 7 on one workload and returns the results
 /// in [`PrefetchScheme::FIGURE7`] order.
+///
+/// The runs are independent, so they are fanned across the
+/// [`crate::runner`] worker pool; results still come back in
+/// `FIGURE7` order, identical to a serial sweep.
 pub fn run_figure7_schemes(config: SystemConfig, workload: &WorkloadSpec) -> Vec<RunResult> {
-    PrefetchScheme::FIGURE7
+    let experiments: Vec<Experiment> = PrefetchScheme::FIGURE7
         .iter()
-        .map(|&s| Experiment::new(config, workload.clone()).scheme(s).run())
-        .collect()
+        .map(|&s| Experiment::new(config, workload.clone()).scheme(s))
+        .collect();
+    crate::runner::run_experiments(experiments).results
 }
 
 #[cfg(test)]

@@ -44,13 +44,18 @@ pub mod miss_stream;
 pub mod multiprog;
 pub mod report;
 pub mod result;
+pub mod runner;
 pub mod scheme;
 pub mod sim;
 
 pub use config::{PathLatencies, QueueDepths, SystemConfig};
 pub use experiment::Experiment;
 pub use miss_stream::{l2_miss_stream, l2_miss_stream_with};
-pub use multiprog::{MultiprogExperiment, TablePolicy};
+pub use multiprog::{compare_policies, MultiprogExperiment, TablePolicy};
 pub use result::{PrefetchEffect, RunResult};
+pub use runner::{
+    parallel_map, parallel_map_with, run_experiments, run_experiments_with, worker_count,
+    SweepResult,
+};
 pub use scheme::PrefetchScheme;
 pub use sim::SystemSim;

@@ -102,7 +102,8 @@ impl MultiprogExperiment {
             .map(|a| a.app.name())
             .collect::<Vec<_>>()
             .join("+");
-        SystemSim::from_parts(
+        let footprint: u64 = self.apps.iter().map(|a| a.footprint_lines()).sum();
+        SystemSim::from_parts_hinted(
             self.config,
             Box::new(trace),
             false,
@@ -110,9 +111,35 @@ impl MultiprogExperiment {
             false,
             label.to_string(),
             apps,
+            footprint,
         )
         .run()
     }
+}
+
+/// Runs one mix under both table policies — [`TablePolicy::Shared`] and
+/// [`TablePolicy::PerApplication`] — as two independent simulations fanned
+/// across the [`crate::runner`] worker pool, and returns
+/// `(shared, per_application)`.
+///
+/// This is the Section 3.4 comparison as a single call; on a multi-core
+/// host the two runs overlap, halving the wall time.
+pub fn compare_policies(
+    config: SystemConfig,
+    apps: Vec<WorkloadSpec>,
+    epoch_refs: usize,
+) -> (RunResult, RunResult) {
+    let experiments: Vec<MultiprogExperiment> =
+        [TablePolicy::Shared, TablePolicy::PerApplication]
+            .into_iter()
+            .map(|p| {
+                MultiprogExperiment::new(config, apps.clone()).quantum(epoch_refs).policy(p)
+            })
+            .collect();
+    let mut results = crate::runner::parallel_map(experiments, MultiprogExperiment::run);
+    let per_app = results.pop().expect("per-application result");
+    let shared = results.pop().expect("shared result");
+    (shared, per_app)
 }
 
 #[cfg(test)]
@@ -133,14 +160,9 @@ mod tests {
         // short quantum the two miss streams interleave at the table and
         // corrupt each other's successor lists; per-application tables do
         // not.
-        let shared = MultiprogExperiment::new(SystemConfig::small(), mix())
-            .quantum(200)
-            .policy(TablePolicy::Shared)
-            .run();
-        let per_app = MultiprogExperiment::new(SystemConfig::small(), mix())
-            .quantum(200)
-            .policy(TablePolicy::PerApplication)
-            .run();
+        let (shared, per_app) = compare_policies(SystemConfig::small(), mix(), 200);
+        assert_eq!(shared.scheme, "Multiprog(shared)");
+        assert_eq!(per_app.scheme, "Multiprog(per-app)");
         assert!(
             per_app.exec_cycles <= shared.exec_cycles,
             "per-app {} vs shared {}",

@@ -69,6 +69,13 @@ impl RunResult {
             s.push_str(&format!(" {label} {:.0}%", 100.0 * f));
         }
         s.push('\n');
+        if self.wall_nanos > 0 {
+            s.push_str(&format!(
+                "  host: {:.1} ms wall, {:.0} simulated cycles/s\n",
+                self.wall_nanos as f64 / 1e6,
+                self.cycles_per_wall_sec()
+            ));
+        }
         s
     }
 }
@@ -87,9 +94,17 @@ mod tests {
         .scheme(PrefetchScheme::Repl)
         .run();
         let text = r.summary();
-        for needle in
-            ["Mcf / Repl", "execution:", "breakdown:", "prefetching:", "ULMT:", "memory:", "inter-miss:"]
-        {
+        for needle in [
+            "Mcf / Repl",
+            "execution:",
+            "breakdown:",
+            "prefetching:",
+            "ULMT:",
+            "memory:",
+            "inter-miss:",
+            "host:",
+            "cycles/s",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

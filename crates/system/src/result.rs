@@ -1,9 +1,11 @@
 //! Results of one simulated run.
 
+use std::hash::{Hash, Hasher};
+
 use ulmt_cpu::StallBreakdown;
 use ulmt_memproc::UlmtStats;
 use ulmt_simcore::stats::BinnedHistogram;
-use ulmt_simcore::Cycle;
+use ulmt_simcore::{Cycle, FxHasher};
 
 /// Figure 9 bookkeeping: what happened to L2 misses and pushed prefetches.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,6 +73,11 @@ pub struct RunResult {
     pub filter_dropped: u64,
     /// Observations dropped because queue 2 was full.
     pub observations_dropped: u64,
+    /// Wall-clock time the host spent simulating this run, in
+    /// nanoseconds. Purely a harness measurement: it is excluded from
+    /// [`RunResult::fingerprint`] so that timing jitter never makes two
+    /// otherwise identical runs compare unequal.
+    pub wall_nanos: u64,
 }
 
 impl RunResult {
@@ -81,6 +88,63 @@ impl RunResult {
         } else {
             reference_cycles as f64 / self.exec_cycles as f64
         }
+    }
+
+    /// Simulation throughput: simulated cycles per wall-clock second.
+    pub fn cycles_per_wall_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.exec_cycles as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// A 64-bit digest of every *deterministic* field of the result —
+    /// everything except [`RunResult::wall_nanos`]. Two runs of the same
+    /// experiment produce equal fingerprints regardless of host load or
+    /// how many harness workers were active; the parallel-vs-serial
+    /// equivalence tests and the sweep smoke binary compare these.
+    ///
+    /// Floats are hashed via their exact bit patterns, so this is
+    /// bit-identity, not approximate equality.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        let f = |h: &mut FxHasher, x: f64| x.to_bits().hash(h);
+        self.scheme.hash(&mut h);
+        self.app.hash(&mut h);
+        self.exec_cycles.hash(&mut h);
+        self.breakdown.busy.hash(&mut h);
+        self.breakdown.upto_l2.hash(&mut h);
+        self.breakdown.beyond_l2.hash(&mut h);
+        self.l2_misses.hash(&mut h);
+        self.refs.hash(&mut h);
+        self.inter_miss.edges().hash(&mut h);
+        self.inter_miss.counts().hash(&mut h);
+        self.prefetch.hits.hash(&mut h);
+        self.prefetch.delayed_hits.hash(&mut h);
+        self.prefetch.non_pref_misses.hash(&mut h);
+        self.prefetch.replaced.hash(&mut h);
+        self.prefetch.redundant.hash(&mut h);
+        self.prefetch.dropped_other.hash(&mut h);
+        self.prefetch.issued.hash(&mut h);
+        self.ulmt.is_some().hash(&mut h);
+        if let Some(u) = &self.ulmt {
+            f(&mut h, u.response.mean());
+            u.response.count().hash(&mut h);
+            f(&mut h, u.occupancy.mean());
+            u.occupancy.count().hash(&mut h);
+            u.busy_cycles.hash(&mut h);
+            u.mem_cycles.hash(&mut h);
+            u.insns.hash(&mut h);
+            u.steps.hash(&mut h);
+            u.dropped_observations.hash(&mut h);
+        }
+        f(&mut h, self.fsb_utilization);
+        f(&mut h, self.fsb_prefetch_utilization);
+        f(&mut h, self.dram_row_hit_ratio);
+        self.filter_dropped.hash(&mut h);
+        self.observations_dropped.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -93,5 +157,28 @@ mod tests {
         let e = PrefetchEffect { hits: 30, delayed_hits: 20, ..Default::default() };
         assert!((e.coverage(100) - 0.5).abs() < 1e-12);
         assert_eq!(e.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_time_but_sees_everything_else() {
+        let run = || {
+            crate::Experiment::new(
+                crate::SystemConfig::small(),
+                ulmt_workloads::WorkloadSpec::new(ulmt_workloads::App::Tree)
+                    .scale(1.0 / 16.0)
+                    .iterations(2),
+            )
+            .scheme(crate::PrefetchScheme::Repl)
+            .run()
+        };
+        let a = run();
+        let mut b = run();
+        b.wall_nanos = a.wall_nanos.wrapping_add(123_456);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.exec_cycles += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.fsb_utilization += 1e-12;
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

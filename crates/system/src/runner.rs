@@ -1,0 +1,288 @@
+//! Parallel experiment harness.
+//!
+//! Every figure and table of the paper is produced by sweeping
+//! applications × schemes through independent [`Experiment`] runs — an
+//! embarrassingly parallel workload. This module fans such runs across a
+//! worker pool of scoped OS threads (`std` only, no external crates)
+//! while keeping the one property the experiment pipeline depends on:
+//! **results come back in input order, bit-identical to a serial run**.
+//! Each simulation is fully deterministic and shares no mutable state, so
+//! parallel execution cannot perturb the measurements — only the wall
+//! clock.
+//!
+//! Workers default to [`std::thread::available_parallelism`] and can be
+//! pinned with the `ULMT_WORKERS` environment variable (e.g.
+//! `ULMT_WORKERS=1` forces serial execution for debugging).
+//!
+//! # Example
+//!
+//! ```
+//! use ulmt_system::runner::{run_experiments, parallel_map};
+//! use ulmt_system::{Experiment, PrefetchScheme, SystemConfig};
+//! use ulmt_workloads::{App, WorkloadSpec};
+//!
+//! let experiments: Vec<Experiment> = [PrefetchScheme::NoPref, PrefetchScheme::Repl]
+//!     .into_iter()
+//!     .map(|s| {
+//!         let spec = WorkloadSpec::new(App::Tree).scale(1.0 / 16.0).iterations(2);
+//!         Experiment::new(SystemConfig::small(), spec).scheme(s)
+//!     })
+//!     .collect();
+//! let sweep = run_experiments(experiments);
+//! assert_eq!(sweep.results.len(), 2);
+//! assert_eq!(sweep.results[0].scheme, "NoPref"); // input order preserved
+//! assert!(sweep.cycles_per_wall_sec() > 0.0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::experiment::Experiment;
+use crate::result::RunResult;
+
+/// Number of workers the harness uses by default: `ULMT_WORKERS` if set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("ULMT_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `workers` scoped threads and
+/// returns the results **in input order**.
+///
+/// Work is distributed dynamically (an atomic cursor over the job list),
+/// so a few slow jobs — e.g. paper-scale FT next to small Tree runs — do
+/// not idle the rest of the pool. With `workers == 1` (or a single item)
+/// no threads are spawned and the items are mapped inline.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated once all
+/// workers have stopped).
+pub fn parallel_map_with<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Jobs are claimed exactly once via the atomic cursor; the mutexes
+    // only hand values across the thread boundary and are never contended.
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let result = f(item);
+                *slots[i].lock().expect("result mutex poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+/// [`parallel_map_with`] using the default [`worker_count`].
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(items, worker_count(), f)
+}
+
+/// The outcome of one sweep: per-run results (in input order) plus the
+/// sweep's wall-clock throughput.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One [`RunResult`] per input experiment, in input order.
+    pub results: Vec<RunResult>,
+    /// Wall-clock time of the whole sweep in nanoseconds.
+    pub wall_nanos: u64,
+    /// Workers the sweep ran with.
+    pub workers: usize,
+}
+
+impl SweepResult {
+    /// Total simulated cycles across all runs.
+    pub fn total_cycles(&self) -> u64 {
+        self.results.iter().map(|r| r.exec_cycles).sum()
+    }
+
+    /// Sweep throughput: simulated cycles per wall-clock second.
+    ///
+    /// On an N-core machine this approaches N × the single-run
+    /// throughput; the ratio against a serial sweep is the harness
+    /// speedup recorded in `BENCH_harness.json`.
+    pub fn cycles_per_wall_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// A compact human-readable throughput report: one line per run plus
+    /// the sweep aggregate.
+    pub fn throughput_report(&self) -> String {
+        let mut s = String::new();
+        for r in &self.results {
+            s.push_str(&format!(
+                "  {:<8} {:<16} {:>12} cycles {:>8.1} ms {:>12.0} cyc/s\n",
+                r.app,
+                r.scheme,
+                r.exec_cycles,
+                r.wall_nanos as f64 / 1e6,
+                r.cycles_per_wall_sec()
+            ));
+        }
+        s.push_str(&format!(
+            "sweep: {} runs on {} workers, {:.1} ms wall, {:.0} simulated cycles/s\n",
+            self.results.len(),
+            self.workers,
+            self.wall_nanos as f64 / 1e6,
+            self.cycles_per_wall_sec()
+        ));
+        s
+    }
+}
+
+/// Runs `experiments` on `workers` threads, collecting results in input
+/// order with sweep timing.
+pub fn run_experiments_with(experiments: Vec<Experiment>, workers: usize) -> SweepResult {
+    let start = Instant::now();
+    let results = parallel_map_with(experiments, workers, Experiment::run);
+    SweepResult {
+        results,
+        wall_nanos: start.elapsed().as_nanos() as u64,
+        workers,
+    }
+}
+
+/// Runs `experiments` on the default worker pool.
+pub fn run_experiments(experiments: Vec<Experiment>) -> SweepResult {
+    run_experiments_with(experiments, worker_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::scheme::PrefetchScheme;
+    use ulmt_workloads::{App, WorkloadSpec};
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        // Jobs with deliberately inverted cost ordering: the first jobs
+        // are the slowest, so a naive completion-order collection would
+        // return them last.
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map_with(items.clone(), 8, |i| {
+            let spin = (40 - i) * 1000;
+            let mut acc = i;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            i * 2
+        });
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_with(empty, 4, |x: u32| x).is_empty());
+        assert_eq!(parallel_map_with(vec![7u32], 4, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_respects_env_override() {
+        // The test environment may or may not set ULMT_WORKERS; only
+        // check the invariant that holds either way.
+        assert!(worker_count() >= 1);
+    }
+
+    /// The satellite acceptance test: a parallel sweep returns
+    /// bit-identical `RunResult`s, in the same order, as the serial path
+    /// for all `PrefetchScheme::FIGURE7` schemes on two apps.
+    #[test]
+    fn parallel_sweep_matches_serial_figure7() {
+        let experiments = |apps: &[App]| -> Vec<Experiment> {
+            apps.iter()
+                .flat_map(|&app| {
+                    PrefetchScheme::FIGURE7.iter().map(move |&s| {
+                        let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(3);
+                        Experiment::new(SystemConfig::small(), spec).scheme(s)
+                    })
+                })
+                .collect()
+        };
+        let apps = [App::Mcf, App::Gap];
+        let serial = run_experiments_with(experiments(&apps), 1);
+        let parallel = run_experiments_with(experiments(&apps), 4);
+        assert_eq!(parallel.workers, 4);
+        assert_eq!(serial.results.len(), 14);
+        assert_eq!(parallel.results.len(), 14);
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(s.scheme, p.scheme);
+            assert_eq!(s.app, p.app);
+            assert_eq!(s.exec_cycles, p.exec_cycles);
+            assert_eq!(
+                s.fingerprint(),
+                p.fingerprint(),
+                "diverged on {}/{}",
+                s.app,
+                s.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_throughput_is_measured() {
+        let spec = WorkloadSpec::new(App::Tree).scale(1.0 / 16.0).iterations(2);
+        let sweep = run_experiments(vec![
+            Experiment::new(SystemConfig::small(), spec.clone()),
+            Experiment::new(SystemConfig::small(), spec).scheme(PrefetchScheme::Repl),
+        ]);
+        assert!(sweep.wall_nanos > 0);
+        assert!(sweep.total_cycles() > 0);
+        assert!(sweep.cycles_per_wall_sec() > 0.0);
+        let report = sweep.throughput_report();
+        assert!(report.contains("sweep:"), "{report}");
+        assert!(report.contains("cyc/s"), "{report}");
+        // Per-run wall time was recorded by the simulator itself.
+        assert!(sweep.results.iter().all(|r| r.wall_nanos > 0));
+    }
+}

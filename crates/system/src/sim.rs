@@ -6,7 +6,8 @@
 //! blocks when the window or a dependence stalls it; memory replies and
 //! ULMT pushes wake it back up.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::time::Instant;
 
 use ulmt_cache::{AccessOutcome, Cache, PrefetchOrigin, PushOutcome};
 use ulmt_core::Filter;
@@ -14,8 +15,9 @@ use ulmt_cpu::conven::L1_LINE;
 use ulmt_cpu::{Conven4, MissWindow, ServiceLevel, StallBreakdown, WindowVerdict};
 use ulmt_dram::{Dram, Fsb, TrafficClass};
 use ulmt_memproc::{FixedLatencyMemory, MemProcConfig, MemProcessor};
+use ulmt_simcore::hash::{fx_map_with_capacity, fx_set_with_capacity};
 use ulmt_simcore::stats::BinnedHistogram;
-use ulmt_simcore::{Cycle, EventQueue, LineAddr};
+use ulmt_simcore::{Cycle, EventQueue, FxHashMap, FxHashSet, LineAddr};
 use ulmt_workloads::{TraceRecord, WorkloadSpec};
 
 use crate::config::SystemConfig;
@@ -92,7 +94,7 @@ pub struct SystemSim {
     window: MissWindow,
     breakdown: StallBreakdown,
     next_id: u64,
-    id_to_line: HashMap<u64, LineAddr>,
+    id_to_line: FxHashMap<u64, LineAddr>,
     pending_record: Option<TraceRecord>,
     pending_busy_done: bool,
     blocked: Option<BlockOn>,
@@ -101,7 +103,7 @@ pub struct SystemSim {
     conven4: Option<Conven4>,
     l1: Cache,
     l2: Cache,
-    outstanding: HashMap<LineAddr, OutstandingLine>,
+    outstanding: FxHashMap<LineAddr, OutstandingLine>,
 
     // --- memory system ---
     fsb: Fsb,
@@ -109,11 +111,11 @@ pub struct SystemSim {
     demand_q: VecDeque<(LineAddr, ReqKind)>,
     prefetch_q: VecDeque<LineAddr>,
     channel_busy: Vec<bool>,
-    inflight_dram: HashMap<LineAddr, ReqKind>,
+    inflight_dram: FxHashMap<LineAddr, ReqKind>,
     /// Push replies between the memory controller and the L2; a matching
     /// demand request is dropped and satisfied by the push stealing its
     /// MSHR.
-    inflight_push_replies: std::collections::HashSet<LineAddr>,
+    inflight_push_replies: FxHashSet<LineAddr>,
 
     // --- ULMT ---
     memproc: Option<MemProcessor>,
@@ -162,7 +164,7 @@ impl SystemSim {
             let mp_cfg = MemProcConfig { location: setup.location, ..cfg.memproc };
             MemProcessor::new(mp_cfg, spec.build())
         });
-        Self::from_parts(
+        Self::from_parts_hinted(
             cfg,
             Box::new(workload.build()),
             setup.conven4,
@@ -170,6 +172,7 @@ impl SystemSim {
             setup.verbose,
             scheme.label().to_string(),
             workload.app.name().to_string(),
+            workload.footprint_lines(),
         )
     }
 
@@ -186,18 +189,54 @@ impl SystemSim {
         scheme_label: String,
         app_label: String,
     ) -> Self {
+        Self::from_parts_hinted(
+            cfg,
+            trace,
+            conven4,
+            memproc,
+            verbose,
+            scheme_label,
+            app_label,
+            0,
+        )
+    }
+
+    /// [`SystemSim::from_parts`] plus a workload footprint hint (distinct
+    /// lines the trace is expected to touch, 0 for unknown) used to
+    /// pre-size the event queue and the hot-path address maps so the
+    /// steady state allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_hinted(
+        cfg: SystemConfig,
+        trace: Box<dyn Iterator<Item = TraceRecord>>,
+        conven4: bool,
+        memproc: Option<MemProcessor>,
+        verbose: bool,
+        scheme_label: String,
+        app_label: String,
+        footprint_hint: u64,
+    ) -> Self {
         let location =
             memproc.as_ref().map(|mp| mp.config().location).unwrap_or_default();
         let table_mem = FixedLatencyMemory::new(location);
+        // The maps only ever hold in-flight state, so their steady-state
+        // sizes are bounded by the machine, not the footprint: the miss
+        // window caps demand ids, the L2 MSHRs cap outstanding lines, and
+        // the NB queues cap memory transactions. The event queue scales
+        // with concurrent activity; larger footprints sustain more of it,
+        // so let the hint raise its initial capacity (bounded — this is an
+        // optimization, never a multi-MB up-front allocation).
+        let inflight_cap = cfg.queues.demand + cfg.queues.prefetch + cfg.dram.channels;
+        let event_cap = 1024usize.max((footprint_hint as usize / 4).min(1 << 14));
         SystemSim {
             trace,
-            events: EventQueue::with_capacity(1024),
+            events: EventQueue::with_capacity(event_cap),
             cpu_cursor: 0,
             insn_count: 0,
             window: MissWindow::new(cfg.cpu.max_pending_loads, cfg.cpu.rob_insns),
             breakdown: StallBreakdown::new(),
             next_id: 0,
-            id_to_line: HashMap::new(),
+            id_to_line: fx_map_with_capacity(cfg.cpu.max_pending_loads),
             pending_record: None,
             pending_busy_done: false,
             blocked: None,
@@ -206,17 +245,17 @@ impl SystemSim {
             conven4: conven4.then(Conven4::table4_default),
             l1: Cache::new(cfg.l1),
             l2: Cache::new(cfg.l2),
-            outstanding: HashMap::new(),
+            outstanding: fx_map_with_capacity(cfg.l2.mshrs),
             fsb: Fsb::new(cfg.fsb),
             dram: Dram::new(cfg.dram),
-            demand_q: VecDeque::new(),
-            prefetch_q: VecDeque::new(),
+            demand_q: VecDeque::with_capacity(cfg.queues.demand),
+            prefetch_q: VecDeque::with_capacity(cfg.queues.prefetch),
             channel_busy: vec![false; cfg.dram.channels],
-            inflight_dram: HashMap::new(),
-            inflight_push_replies: std::collections::HashSet::new(),
+            inflight_dram: fx_map_with_capacity(inflight_cap),
+            inflight_push_replies: fx_set_with_capacity(cfg.queues.prefetch),
             memproc,
             table_mem,
-            obs_q: VecDeque::new(),
+            obs_q: VecDeque::with_capacity(cfg.queues.observation),
             filter: Filter::new(cfg.filter_entries),
             verbose,
             refs: 0,
@@ -242,6 +281,7 @@ impl SystemSim {
     /// Panics if the simulation deadlocks (an internal invariant
     /// violation).
     pub fn run(mut self) -> RunResult {
+        let wall_start = Instant::now();
         self.events.push(0, Event::CpuResume);
         while let Some((t, ev)) = self.events.pop() {
             self.handle(t, ev);
@@ -257,7 +297,7 @@ impl SystemSim {
             self.outstanding.len(),
             self.demand_q.len()
         );
-        self.finish()
+        self.finish(wall_start.elapsed().as_nanos() as u64)
     }
 
     fn handle(&mut self, t: Cycle, ev: Event) {
@@ -771,7 +811,7 @@ impl SystemSim {
     // Results
     // ------------------------------------------------------------------
 
-    fn finish(self) -> RunResult {
+    fn finish(self, wall_nanos: u64) -> RunResult {
         let l2_stats = self.l2.stats();
         let elapsed = self.end_time.max(1);
         let observations_dropped = self.memproc_stats_dropped();
@@ -798,6 +838,7 @@ impl SystemSim {
             dram_row_hit_ratio: self.dram.stats().row_hit_ratio(),
             filter_dropped: self.filter.dropped(),
             observations_dropped,
+            wall_nanos,
         }
     }
 

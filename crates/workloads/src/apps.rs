@@ -8,8 +8,7 @@
 //! stream that does not repeat (fresh allocations, input-dependent
 //! branches, tree re-balancing).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use ulmt_simcore::rng::Pcg32;
 use ulmt_simcore::{Addr, LineAddr};
 
 use crate::trace::TraceRecord;
@@ -62,7 +61,7 @@ pub struct SteppedWorkload {
     reuse_window: usize,
     recent: std::collections::VecDeque<Step>,
     pending_reuse: Option<TraceRecord>,
-    rng: SmallRng,
+    rng: Pcg32,
     pos: usize,
     iter: usize,
 }
@@ -98,7 +97,7 @@ impl SteppedWorkload {
             reuse_window: 1,
             recent: std::collections::VecDeque::new(),
             pending_reuse: None,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            rng: Pcg32::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             pos: 0,
             iter: 0,
         }
@@ -146,7 +145,7 @@ impl Iterator for SteppedWorkload {
             self.iter += 1;
         }
         let addr = if self.noise_fraction > 0.0 && self.rng.gen_bool(self.noise_fraction) {
-            LineAddr::new(self.noise_lo + self.rng.gen_range(0..self.noise_span)).to_byte_addr()
+            LineAddr::new(self.noise_lo + self.rng.gen_range_u64(0..self.noise_span)).to_byte_addr()
         } else {
             step.addr
         };
@@ -155,11 +154,11 @@ impl Iterator for SteppedWorkload {
             self.recent.pop_front();
         }
         if self.reuse_fraction > 0.0 && self.rng.gen_bool(self.reuse_fraction) {
-            let pick = self.rng.gen_range(0..self.recent.len());
+            let pick = self.rng.gen_range_usize(0..self.recent.len());
             let prev = self.recent[pick];
             self.pending_reuse = Some(TraceRecord {
                 addr: prev.addr,
-                gap_insns: self.rng.gen_range(8..40),
+                gap_insns: self.rng.gen_range_u32(8..40),
                 dependent: prev.dependent,
                 is_write: false,
             });
@@ -183,24 +182,20 @@ fn half_addr(n: u64) -> Addr {
     line_addr(n).offset(32)
 }
 
-fn gap(rng: &mut SmallRng, lo: u32, hi: u32) -> u32 {
-    rng.gen_range(lo..hi)
+fn gap(rng: &mut Pcg32, lo: u32, hi: u32) -> u32 {
+    rng.gen_range_u32(lo..hi)
 }
 
 /// A random permutation of `0..n`.
-fn permutation(rng: &mut SmallRng, n: u64) -> Vec<u64> {
+fn permutation(rng: &mut Pcg32, n: u64) -> Vec<u64> {
     let mut v: Vec<u64> = (0..n).collect();
-    // Fisher-Yates.
-    for i in (1..v.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        v.swap(i, j);
-    }
+    rng.shuffle(&mut v);
     v
 }
 
 /// A permutation of `0..n` made of sequential runs of ~`run_len` lines in
 /// shuffled chunk order (unstructured meshes renumbered for locality).
-fn runs_permutation(rng: &mut SmallRng, n: u64, run_len: u64) -> Vec<u64> {
+fn runs_permutation(rng: &mut Pcg32, n: u64, run_len: u64) -> Vec<u64> {
     let chunks = n.div_ceil(run_len);
     let order = permutation(rng, chunks);
     let mut v = Vec::with_capacity(n as usize);
@@ -221,7 +216,7 @@ fn runs_permutation(rng: &mut SmallRng, n: u64, run_len: u64) -> Vec<u64> {
 /// registers at block boundaries — the effect the CG customization
 /// exploits (Section 5.2).
 pub fn cg(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     const STREAMS: u64 = 12;
     const BLOCK: u64 = 16;
     let per = footprint_lines / STREAMS;
@@ -254,7 +249,7 @@ pub fn cg(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// Equake (SpecFP): unstructured-mesh sweep — fixed irregular chunk order
 /// with short sequential runs inside chunks; some indirection.
 pub fn equake(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let order = runs_permutation(&mut rng, footprint_lines, 8);
     let mut core = Vec::with_capacity(order.len() * 2);
     for l in order {
@@ -279,7 +274,7 @@ pub fn equake(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// FT (NAS): 3-D FFT — a sequential pass followed by a large-stride
 /// transpose pass over the same array.
 pub fn ft(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let mut core = Vec::with_capacity(3 * footprint_lines as usize);
     // Sequential pass, touching both halves of every line.
     for l in 0..footprint_lines {
@@ -316,7 +311,7 @@ pub fn ft(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// Gap (SpecInt): group-theory solver — repeatable irregular walks over a
 /// large workset, partly pointer-linked.
 pub fn gap_app(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let order = permutation(&mut rng, footprint_lines);
     order
         .into_iter()
@@ -332,7 +327,7 @@ pub fn gap_app(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// Mcf (SpecInt): network-simplex pointer chasing over arc lists — fully
 /// dependent, no sequentiality at all.
 pub fn mcf(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let order = permutation(&mut rng, footprint_lines);
     order
         .into_iter()
@@ -349,7 +344,7 @@ pub fn mcf(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// chains that repeat very faithfully, rewarding deeper `NumLevels`
 /// (the Table 5 customization).
 pub fn mst(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let order = permutation(&mut rng, footprint_lines);
     order
         .into_iter()
@@ -366,7 +361,7 @@ pub fn mst(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// input-dependent component, giving the lowest predictability of the
 /// nine.
 pub fn parser(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let order = permutation(&mut rng, footprint_lines);
     order
         .into_iter()
@@ -401,7 +396,7 @@ fn conflict_lines(base: u64, classes: u64) -> Vec<u64> {
 /// index stream driving dependent gathers, a fraction of which land in
 /// L2-set-aliased hot groups (the cache conflicts of Figure 9).
 pub fn sparse(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let rows = footprint_lines / 9;
     let index_base = 0u64;
     let data_base = rows; // data region follows the index region
@@ -419,9 +414,9 @@ pub fn sparse(footprint_lines: u64, seed: u64) -> Vec<Step> {
         // Eight gathers: fixed per matrix, dependent on the index load.
         for _ in 0..8 {
             let target = if rng.gen_bool(0.3) {
-                conflicts[rng.gen_range(0..conflicts.len())]
+                conflicts[rng.gen_range_usize(0..conflicts.len())]
             } else {
-                data_base + rng.gen_range(0..data_span)
+                data_base + rng.gen_range_u64(0..data_span)
             };
             core.push(Step {
                 addr: line_addr(target),
@@ -439,7 +434,7 @@ pub fn sparse(footprint_lines: u64, seed: u64) -> Vec<Step> {
 /// groups, so pushes and ordinary traffic conflict (Figure 9's Tree
 /// breakdown).
 pub fn tree(footprint_lines: u64, seed: u64) -> Vec<Step> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let body_lines = footprint_lines;
     let hot = conflict_lines(0, (footprint_lines / 48).max(4));
     let order = runs_permutation(&mut rng, body_lines, 2);

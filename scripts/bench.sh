@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Harness smoke target: reduced-scale Figure 7 sweep, serial vs parallel,
+# with a bit-identity check between the two. Writes BENCH_harness.json
+# (wall-times, speedup, per-run detail) to the repo root.
+#
+# Knobs (all optional):
+#   ULMT_WORKERS  worker count for the parallel leg (default: all cores)
+#   SWEEP_APPS    comma-separated apps (default: Mcf,Gap)
+#   ULMT_SCALE    small | mid | paper (default: small)
+#   BENCH_OUT     output path (default: BENCH_harness.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p ulmt-bench --bin sweep
+exec cargo run --release -q -p ulmt-bench --bin sweep

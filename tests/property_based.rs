@@ -1,27 +1,30 @@
-//! Property-based tests (proptest) on the core data structures:
-//! correlation tables, the filter, the stream detector, caches, and the
-//! cost model — exercised with arbitrary miss streams.
+//! Randomized property tests on the core data structures: correlation
+//! tables, the filter, the stream detector, caches, and the cost model —
+//! exercised with arbitrary miss streams from the in-repo PRNG.
 
-use proptest::prelude::*;
 use ulmt::cache::{AccessOutcome, Cache, CacheConfig, PushOutcome};
 use ulmt::core::algorithm::UlmtAlgorithm;
 use ulmt::core::stream::StreamDetector;
 use ulmt::core::table::{Base, Chain, Replicated, TableParams};
 use ulmt::core::Filter;
+use ulmt::simcore::rng::Pcg32;
 use ulmt::simcore::LineAddr;
 
-fn lines() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..512, 1..400)
+const CASES: u64 = 64;
+
+fn lines(rng: &mut Pcg32) -> Vec<u64> {
+    let len = rng.gen_range_usize(1..400);
+    (0..len).map(|_| rng.gen_range_u64(0..512)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every algorithm survives arbitrary miss streams, never prefetches
-    /// more than NumLevels * NumSucc lines, and keeps its costs phased
-    /// correctly (prefetch phase never writes the table).
-    #[test]
-    fn algorithms_bounded_and_phase_correct(misses in lines()) {
+/// Every algorithm survives arbitrary miss streams, never prefetches
+/// more than NumLevels * NumSucc lines, and keeps its costs phased
+/// correctly (prefetch phase never writes the table).
+#[test]
+fn algorithms_bounded_and_phase_correct() {
+    let mut rng = Pcg32::seed_from_u64(0xa16);
+    for _ in 0..CASES {
+        let misses = lines(&mut rng);
         let params = TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 };
         let mut algs: Vec<Box<dyn UlmtAlgorithm>> = vec![
             Box::new(Base::new(TableParams { num_levels: 1, ..params })),
@@ -31,21 +34,27 @@ proptest! {
         for alg in &mut algs {
             for &m in &misses {
                 let step = alg.process_miss(LineAddr::new(m));
-                prop_assert!(
+                assert!(
                     step.prefetches.len() <= params.num_levels * params.num_succ,
-                    "{}: {} prefetches", alg.name(), step.prefetches.len()
+                    "{}: {} prefetches",
+                    alg.name(),
+                    step.prefetches.len()
                 );
-                prop_assert!(step.prefetch_cost.table_touches.iter().all(|t| !t.is_write));
-                prop_assert!(step.total_insns() > 0);
+                assert!(step.prefetch_cost.table_touches.iter().all(|t| !t.is_write));
+                assert!(step.total_insns() > 0);
             }
         }
     }
+}
 
-    /// Replicated's predictions always come from actually observed
-    /// successor pairs: any level-1 prediction for X was at some point the
-    /// very next miss after X.
-    #[test]
-    fn repl_level1_predictions_are_sound(misses in lines()) {
+/// Replicated's predictions always come from actually observed successor
+/// pairs: any level-1 prediction for X was at some point the very next
+/// miss after X.
+#[test]
+fn repl_level1_predictions_are_sound() {
+    let mut rng = Pcg32::seed_from_u64(0x50a2d);
+    for _ in 0..CASES {
+        let misses = lines(&mut rng);
         let params = TableParams { num_rows: 1024, assoc: 2, num_succ: 4, num_levels: 2 };
         let mut repl = Replicated::new(params);
         let mut observed_pairs = std::collections::HashSet::new();
@@ -59,55 +68,71 @@ proptest! {
         }
         for &m in &misses {
             for p in &repl.predict(LineAddr::new(m), 1)[0] {
-                prop_assert!(
+                assert!(
                     observed_pairs.contains(&(m, p.raw())),
-                    "predicted {} after {m} but that pair never occurred", p.raw()
+                    "predicted {} after {m} but that pair never occurred",
+                    p.raw()
                 );
             }
         }
     }
+}
 
-    /// The filter admits each address at most once per window and never
-    /// remembers more than its capacity.
-    #[test]
-    fn filter_window_semantics(addrs in proptest::collection::vec(0u64..64, 1..200),
-                               cap in 1usize..40) {
+/// The filter admits each address at most once per window and never
+/// remembers more than its capacity.
+#[test]
+fn filter_window_semantics() {
+    let mut rng = Pcg32::seed_from_u64(0xf117e2);
+    for _ in 0..CASES {
+        let len = rng.gen_range_usize(1..200);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0..64)).collect();
+        let cap = rng.gen_range_usize(1..40);
         let mut f = Filter::new(cap);
         let mut window: Vec<u64> = Vec::new();
         for &a in &addrs {
             let expect = !window.contains(&a);
-            prop_assert_eq!(f.admit(LineAddr::new(a)), expect);
+            assert_eq!(f.admit(LineAddr::new(a)), expect);
             if expect {
                 window.push(a);
                 if window.len() > cap {
                     window.remove(0);
                 }
             }
-            prop_assert!(f.len() <= cap);
+            assert!(f.len() <= cap);
         }
-        prop_assert_eq!(f.admitted() + f.dropped(), addrs.len() as u64);
+        assert_eq!(f.admitted() + f.dropped(), addrs.len() as u64);
     }
+}
 
-    /// The stream detector never predicts lines it could not justify: all
-    /// prefetches continue an arithmetic progression through the observed
-    /// miss.
-    #[test]
-    fn stream_prefetches_are_progressions(misses in lines()) {
+/// The stream detector never predicts lines it could not justify: all
+/// prefetches continue an arithmetic progression through the observed
+/// miss.
+#[test]
+fn stream_prefetches_are_progressions() {
+    let mut rng = Pcg32::seed_from_u64(0x52ea7);
+    for _ in 0..CASES {
+        let misses = lines(&mut rng);
         let mut d = StreamDetector::new(4, 6);
         for &m in &misses {
             let prefetches = d.observe(LineAddr::new(m));
             for w in prefetches.windows(2) {
                 let delta = w[1].delta(w[0]);
-                prop_assert_eq!(delta.abs(), 1, "non-unit stride in prefetch run");
+                assert_eq!(delta.abs(), 1, "non-unit stride in prefetch run");
             }
         }
     }
+}
 
-    /// Cache invariant: a line is never both valid and pending; fills only
-    /// complete lines with MSHRs; the number of pending ways equals the
-    /// number of allocated MSHRs.
-    #[test]
-    fn cache_mshr_way_consistency(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+/// Cache invariant: a line is never both valid and pending; fills only
+/// complete lines with MSHRs; the number of pending ways equals the
+/// number of allocated MSHRs.
+#[test]
+fn cache_mshr_way_consistency() {
+    let mut rng = Pcg32::seed_from_u64(0xca54e);
+    for _ in 0..CASES {
+        let len = rng.gen_range_usize(1..300);
+        let ops: Vec<(u64, bool)> =
+            (0..len).map(|_| (rng.gen_range_u64(0..64), rng.gen_bool(0.5))).collect();
         let cfg = CacheConfig {
             size_bytes: 1024,
             assoc: 2,
@@ -135,20 +160,25 @@ proptest! {
                     _ => {}
                 }
             }
-            prop_assert_eq!(cache.mshrs().in_use(), outstanding.len());
+            assert_eq!(cache.mshrs().in_use(), outstanding.len());
         }
         // Drain everything; all MSHRs must free.
         for l in outstanding {
             cache.fill(l, false);
         }
-        prop_assert_eq!(cache.mshrs().in_use(), 0);
+        assert_eq!(cache.mshrs().in_use(), 0);
     }
+}
 
-    /// Page remapping is an involution on predictions: remapping A->B then
-    /// B->A restores the original prediction set.
-    #[test]
-    fn remap_roundtrip(misses in proptest::collection::vec(0u64..256, 16..128)) {
-        use ulmt::simcore::PageAddr;
+/// Page remapping is an involution on predictions: remapping A->B then
+/// B->A restores the original prediction set.
+#[test]
+fn remap_roundtrip() {
+    use ulmt::simcore::PageAddr;
+    let mut rng = Pcg32::seed_from_u64(0x2e3a9);
+    for _ in 0..CASES {
+        let len = rng.gen_range_usize(16..128);
+        let misses: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0..256)).collect();
         let params = TableParams { num_rows: 4096, assoc: 2, num_succ: 2, num_levels: 2 };
         let mut repl = Replicated::new(params);
         for &m in &misses {
@@ -165,6 +195,6 @@ proptest! {
             repl.remap_page(PageAddr::new(1000 + p), PageAddr::new(p));
         }
         let after: Vec<_> = probe.iter().map(|&p| repl.predict(p, 2)).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
 }
