@@ -18,7 +18,9 @@ fn speedup_with_alg(
     verbose: bool,
     conven4: bool,
 ) -> f64 {
-    let base = Experiment::new(config, spec.clone()).scheme(PrefetchScheme::NoPref).run();
+    let base = Experiment::new(config, spec.clone())
+        .scheme(PrefetchScheme::NoPref)
+        .run();
     let memproc = MemProcessor::new(MemProcConfig { ..config.memproc }, alg.build());
     let r = SystemSim::from_parts(
         config,
@@ -34,7 +36,9 @@ fn speedup_with_alg(
 }
 
 fn speedup_with_config(config: SystemConfig, spec: &WorkloadSpec, scheme: PrefetchScheme) -> f64 {
-    let base = Experiment::new(config, spec.clone()).scheme(PrefetchScheme::NoPref).run();
+    let base = Experiment::new(config, spec.clone())
+        .scheme(PrefetchScheme::NoPref)
+        .run();
     let r = Experiment::new(config, spec.clone()).scheme(scheme).run();
     r.speedup_vs(base.exec_cycles)
 }
@@ -44,7 +48,9 @@ fn main() {
     println!("Ablation studies (profile: {})\n", profile.name);
 
     let rows_for = |spec: &WorkloadSpec| {
-        (spec.footprint_lines() as usize).next_power_of_two().max(1024)
+        (spec.footprint_lines() as usize)
+            .next_power_of_two()
+            .max(1024)
     };
 
     println!("NumLevels sweep (Replicated, MST) — the Table 5 deeper-levels customization:");
@@ -75,13 +81,22 @@ fn main() {
     let cg = profile.workload(App::Cg);
     let rows = rows_for(&cg);
     for verbose in [false, true] {
-        let s = speedup_with_alg(profile.config, &cg, AlgorithmSpec::repl(rows), verbose, true);
+        let s = speedup_with_alg(
+            profile.config,
+            &cg,
+            AlgorithmSpec::repl(rows),
+            verbose,
+            true,
+        );
         println!("  verbose={verbose}: speedup {s:.2}");
     }
 
     println!("\nFilter size sweep (Repl, Equake):");
     for entries in [1usize, 8, 32, 128] {
-        let config = SystemConfig { filter_entries: entries, ..profile.config };
+        let config = SystemConfig {
+            filter_entries: entries,
+            ..profile.config
+        };
         let s = speedup_with_config(config, &profile.workload(App::Equake), PrefetchScheme::Repl);
         println!("  filter={entries:>4}: speedup {s:.2}");
     }

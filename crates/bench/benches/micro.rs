@@ -34,7 +34,9 @@ fn bench<F: FnMut(u64)>(name: &str, mut op: F) {
 }
 
 fn trained_sequence() -> Vec<LineAddr> {
-    (0..1024u64).map(|i| LineAddr::new((i * 769) % 65_536)).collect()
+    (0..1024u64)
+        .map(|i| LineAddr::new((i * 769) % 65_536))
+        .collect()
 }
 
 fn bench_process_miss() {
@@ -53,9 +55,18 @@ fn bench_process_miss() {
             });
         };
     }
-    bench_alg!("process_miss/base", Base::new(TableParams::base_default(64 * 1024)));
-    bench_alg!("process_miss/chain", Chain::new(TableParams::chain_default(64 * 1024)));
-    bench_alg!("process_miss/repl", Replicated::new(TableParams::repl_default(64 * 1024)));
+    bench_alg!(
+        "process_miss/base",
+        Base::new(TableParams::base_default(64 * 1024))
+    );
+    bench_alg!(
+        "process_miss/chain",
+        Chain::new(TableParams::chain_default(64 * 1024))
+    );
+    bench_alg!(
+        "process_miss/repl",
+        Replicated::new(TableParams::repl_default(64 * 1024))
+    );
     bench_alg!("process_miss/seq4", SeqUlmt::seq4());
 }
 

@@ -17,10 +17,15 @@ use ulmt_workloads::App;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("Conflict-aware suppression experiment (profile: {})\n", profile.name);
+    println!(
+        "Conflict-aware suppression experiment (profile: {})\n",
+        profile.name
+    );
     for app in [App::Sparse, App::Tree] {
         let spec = profile.workload(app);
-        let rows = (spec.footprint_lines() as usize).next_power_of_two().max(1024);
+        let rows = (spec.footprint_lines() as usize)
+            .next_power_of_two()
+            .max(1024);
         let sets = profile.config.l2.num_sets();
         let base = Experiment::new(profile.config, spec.clone())
             .scheme(PrefetchScheme::NoPref)

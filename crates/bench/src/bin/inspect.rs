@@ -12,7 +12,10 @@ use ulmt_system::{Experiment, PrefetchScheme};
 use ulmt_workloads::App;
 
 fn parse_app(name: &str) -> Option<App> {
-    App::ALL.iter().copied().find(|a| a.name().eq_ignore_ascii_case(name))
+    App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
 fn main() {
@@ -39,7 +42,9 @@ fn main() {
     ];
     let mut baseline = None;
     for scheme in schemes {
-        let r = Experiment::new(profile.config, spec.clone()).scheme(scheme).run();
+        let r = Experiment::new(profile.config, spec.clone())
+            .scheme(scheme)
+            .run();
         let base = *baseline.get_or_insert(r.exec_cycles);
         println!("[speedup {:.2}]", r.speedup_vs(base));
         print!("{}", r.summary());

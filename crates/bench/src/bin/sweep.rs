@@ -12,12 +12,20 @@
 //!   `Mcf,Gap`).
 //! * `ULMT_WORKERS` — worker override for the parallel leg.
 //! * `BENCH_OUT` — output path (default `BENCH_harness.json`).
+//! * `ULMT_FAULT_SEED` — when set, adds a third leg that runs the sweep
+//!   twice under stress fault injection with that seed and checks that
+//!   the two fault reports are identical (determinism gate).
 //!
-//! Exits non-zero if any parallel result differs from its serial twin.
+//! The report is written atomically (temp file + rename), so an
+//! interrupted run never leaves a truncated `BENCH_harness.json`.
+//!
+//! Exits non-zero if any parallel result differs from its serial twin,
+//! if any job fails, or if the fault leg is non-deterministic.
 
 use std::fmt::Write as _;
 
 use ulmt_bench::profile::Profile;
+use ulmt_simcore::FaultConfig;
 use ulmt_system::{runner, Experiment, PrefetchScheme, SweepResult};
 use ulmt_workloads::App;
 
@@ -37,11 +45,7 @@ fn parse_apps() -> Vec<App> {
 
 fn experiments(profile: &Profile, apps: &[App]) -> Vec<Experiment> {
     apps.iter()
-        .flat_map(|&app| {
-            PrefetchScheme::FIGURE7
-                .iter()
-                .map(move |&s| (app, s))
-        })
+        .flat_map(|&app| PrefetchScheme::FIGURE7.iter().map(move |&s| (app, s)))
         .map(|(app, s)| Experiment::new(profile.config, profile.workload(app)).scheme(s))
         .collect()
 }
@@ -60,14 +64,19 @@ fn json_report(
     let _ = writeln!(
         j,
         "  \"apps\": [{}],",
-        apps.iter().map(|a| format!("\"{}\"", a.name())).collect::<Vec<_>>().join(", ")
+        apps.iter()
+            .map(|a| format!("\"{}\"", a.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(j, "  \"schemes\": {},", PrefetchScheme::FIGURE7.len());
     let _ = writeln!(j, "  \"runs\": {},", serial.results.len());
     let _ = writeln!(
         j,
         "  \"host_parallelism\": {},",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     let _ = writeln!(j, "  \"serial_workers\": {},", serial.workers);
     let _ = writeln!(j, "  \"parallel_workers\": {},", parallel.workers);
@@ -78,12 +87,53 @@ fn json_report(
         "  \"speedup\": {:.3},",
         serial.wall_nanos as f64 / parallel.wall_nanos.max(1) as f64
     );
-    let _ = writeln!(j, "  \"serial_cycles_per_sec\": {:.0},", serial.cycles_per_wall_sec());
-    let _ =
-        writeln!(j, "  \"parallel_cycles_per_sec\": {:.0},", parallel.cycles_per_wall_sec());
+    let _ = writeln!(
+        j,
+        "  \"serial_cycles_per_sec\": {:.0},",
+        serial.cycles_per_wall_sec()
+    );
+    let _ = writeln!(
+        j,
+        "  \"parallel_cycles_per_sec\": {:.0},",
+        parallel.cycles_per_wall_sec()
+    );
     let _ = writeln!(j, "  \"results_identical\": {identical},");
+    let _ = writeln!(
+        j,
+        "  \"failed_jobs\": {},",
+        serial.failed.len() + parallel.failed.len()
+    );
+    let _ = writeln!(
+        j,
+        "  \"retried_jobs\": {},",
+        serial.retried + parallel.retried
+    );
+    j.push_str("  \"failures\": [\n");
+    let failures: Vec<_> = serial
+        .failed
+        .iter()
+        .map(|f| ("serial", f))
+        .chain(parallel.failed.iter().map(|f| ("parallel", f)))
+        .collect();
+    for (i, (leg, f)) in failures.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"leg\": \"{leg}\", \"app\": \"{}\", \"scheme\": \"{}\", \"attempts\": {}, \"error\": {:?}}}{}",
+            f.app,
+            f.scheme,
+            f.attempts,
+            f.error,
+            if i + 1 < failures.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
     j.push_str("  \"runs_detail\": [\n");
     for (i, r) in serial.results.iter().enumerate() {
+        let parallel_wall = parallel
+            .results
+            .get(i)
+            .map(|p| ms(p.wall_nanos))
+            .unwrap_or(0.0);
         let _ = writeln!(
             j,
             "    {{\"app\": \"{}\", \"scheme\": \"{}\", \"exec_cycles\": {}, \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}}}{}",
@@ -91,7 +141,7 @@ fn json_report(
             r.scheme,
             r.exec_cycles,
             ms(r.wall_nanos),
-            ms(parallel.results[i].wall_nanos),
+            parallel_wall,
             if i + 1 < serial.results.len() { "," } else { "" }
         );
     }
@@ -123,11 +173,54 @@ fn main() {
     eprintln!("parallel pass ({workers} workers) ...");
     let parallel = runner::run_experiments_with(experiments(&profile, &apps), workers);
 
-    let mut identical = true;
+    let mut identical = serial.results.len() == parallel.results.len();
     for (s, p) in serial.results.iter().zip(&parallel.results) {
         if s.fingerprint() != p.fingerprint() {
-            eprintln!("MISMATCH: {}/{} differs between serial and parallel", s.app, s.scheme);
+            eprintln!(
+                "MISMATCH: {}/{} differs between serial and parallel",
+                s.app, s.scheme
+            );
             identical = false;
+        }
+    }
+    for f in serial.failed.iter().chain(&parallel.failed) {
+        eprintln!(
+            "FAILED: {}/{} after {} attempt(s): {}",
+            f.app, f.scheme, f.attempts, f.error
+        );
+    }
+
+    // Optional determinism leg: the same fault seed must produce the same
+    // fault report (and the same fingerprints) twice in a row.
+    let mut faults_deterministic = true;
+    if let Ok(raw) = std::env::var("ULMT_FAULT_SEED") {
+        if let Ok(seed) = raw.trim().parse::<u64>() {
+            eprintln!("fault pass (seed {seed}, twice) ...");
+            let faulted = |p: &Profile, apps: &[App]| -> SweepResult {
+                let exps = experiments(p, apps)
+                    .into_iter()
+                    .map(|e| e.faults(FaultConfig::stress(seed)).twin(false))
+                    .collect();
+                runner::run_experiments_with(exps, workers)
+            };
+            let a = faulted(&profile, &apps);
+            let b = faulted(&profile, &apps);
+            for (ra, rb) in a.results.iter().zip(&b.results) {
+                if ra.fingerprint() != rb.fingerprint() || ra.fault != rb.fault {
+                    eprintln!(
+                        "FAULT NONDETERMINISM: {}/{} differs across identical seeds",
+                        ra.app, ra.scheme
+                    );
+                    faults_deterministic = false;
+                }
+            }
+            if a.results.len() != b.results.len() {
+                faults_deterministic = false;
+            }
+            eprintln!(
+                "fault pass: {} runs, deterministic = {faults_deterministic}",
+                a.results.len()
+            );
         }
     }
 
@@ -141,11 +234,15 @@ fn main() {
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_harness.json".to_string());
     let report = json_report(&profile, &apps, &serial, &parallel, identical);
-    std::fs::write(&out, &report).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    ulmt_bench::atomic_write(&out, &report).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
 
-    if !identical {
+    let all_completed = serial.failed.is_empty() && parallel.failed.is_empty();
+    if !identical || !all_completed || !faults_deterministic {
         std::process::exit(1);
     }
-    println!("sweep ok: {} runs identical serial/parallel", serial.results.len());
+    println!(
+        "sweep ok: {} runs identical serial/parallel",
+        serial.results.len()
+    );
 }

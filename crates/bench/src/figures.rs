@@ -18,24 +18,44 @@ fn pct(x: f64) -> String {
 fn fig5_algorithms(num_rows: usize) -> Vec<(String, Box<dyn UlmtAlgorithm>)> {
     // "The experiments for the pair-based schemes use large tables ...
     // NumRows is 256 K, Assoc is 4, and NumSucc is 4."
-    let params = TableParams { num_rows, assoc: 4, num_succ: 4, num_levels: 3 };
+    let params = TableParams {
+        num_rows,
+        assoc: 4,
+        num_succ: 4,
+        num_levels: 3,
+    };
     let mk_seq4 = || Box::new(SeqUlmt::seq4());
     vec![
-        ("Seq1".into(), Box::new(SeqUlmt::seq1()) as Box<dyn UlmtAlgorithm>),
+        (
+            "Seq1".into(),
+            Box::new(SeqUlmt::seq1()) as Box<dyn UlmtAlgorithm>,
+        ),
         ("Seq4".into(), mk_seq4()),
-        ("Base".into(), Box::new(Base::new(TableParams { num_levels: 1, ..params }))),
+        (
+            "Base".into(),
+            Box::new(Base::new(TableParams {
+                num_levels: 1,
+                ..params
+            })),
+        ),
         (
             "Seq4+Base".into(),
             Box::new(Combined::new(vec![
                 mk_seq4(),
-                Box::new(Base::new(TableParams { num_levels: 1, ..params })),
+                Box::new(Base::new(TableParams {
+                    num_levels: 1,
+                    ..params
+                })),
             ])),
         ),
         ("Chain".into(), Box::new(Chain::new(params))),
         ("Repl".into(), Box::new(Replicated::new(params))),
         (
             "Seq4+Repl".into(),
-            Box::new(Combined::new(vec![mk_seq4(), Box::new(Replicated::new(params))])),
+            Box::new(Combined::new(vec![
+                mk_seq4(),
+                Box::new(Replicated::new(params)),
+            ])),
         ),
     ]
 }
@@ -157,8 +177,11 @@ pub fn fig7(runner: &mut Runner) -> String {
 
 /// Figure 8: memory-processor location (in-DRAM vs North Bridge).
 pub fn fig8(runner: &mut Runner) -> String {
-    let schemes =
-        [PrefetchScheme::NoPref, PrefetchScheme::Conven4Repl, PrefetchScheme::Conven4ReplMc];
+    let schemes = [
+        PrefetchScheme::NoPref,
+        PrefetchScheme::Conven4Repl,
+        PrefetchScheme::Conven4ReplMc,
+    ];
     runner.warm_grid(&App::ALL, &schemes);
     let mut out = String::new();
     out.push_str("Figure 8. Execution time vs. memory processor location\n");
@@ -203,7 +226,11 @@ pub fn fig9(runner: &mut Runner) -> String {
         ("Tree".into(), vec![App::Tree]),
         (
             "Avg-other-7".into(),
-            App::ALL.iter().copied().filter(|a| *a != App::Sparse && *a != App::Tree).collect(),
+            App::ALL
+                .iter()
+                .copied()
+                .filter(|a| *a != App::Sparse && *a != App::Tree)
+                .collect(),
         ),
     ];
     for (label, apps) in groups {
@@ -355,7 +382,12 @@ mod tests {
             }
             accs.push((name, scorer.accuracy(1)));
         }
-        let get = |n: &str| accs.iter().find(|(a, _)| a == n).expect("algorithm exists").1;
+        let get = |n: &str| {
+            accs.iter()
+                .find(|(a, _)| a == n)
+                .expect("algorithm exists")
+                .1
+        };
         // Pair-based predicts Mcf; sequential cannot.
         assert!(get("Base") > 0.45, "base {}", get("Base"));
         assert!(get("Seq4") < 0.1, "seq4 {}", get("Seq4"));

@@ -1,0 +1,58 @@
+//! Small filesystem helpers for the bench binaries.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file (`<path>.tmp.<pid>`) which is persisted and then renamed
+/// over the destination. A crash, panic, or watchdog kill mid-write can
+/// therefore never leave a truncated or interleaved JSON report behind —
+/// readers see either the old complete file or the new complete file.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension(format!(
+        "{}tmp.{}",
+        path.extension()
+            .map(|e| format!("{}.", e.to_string_lossy()))
+            .unwrap_or_default(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original destination is untouched.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("ulmt_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        atomic_write(&path, "{\"v\": 1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 1}\n");
+        atomic_write(&path, "{\"v\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\": 2}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,9 +18,11 @@
 //! full-size system.
 
 pub mod figures;
+pub mod io;
 pub mod profile;
 pub mod runner;
 pub mod tables;
 
+pub use io::atomic_write;
 pub use profile::Profile;
 pub use runner::Runner;

@@ -18,20 +18,38 @@ pub struct Profile {
 impl Profile {
     /// 1/16-scale: 1 KB L1 / 32 KB L2. Runs in seconds.
     pub fn small() -> Self {
-        Profile { name: "small", config: SystemConfig::small(), scale: 1.0 / 16.0 }
+        Profile {
+            name: "small",
+            config: SystemConfig::small(),
+            scale: 1.0 / 16.0,
+        }
     }
 
     /// 1/4-scale: 4 KB L1 / 128 KB L2. The default.
     pub fn mid() -> Self {
         let mut config = SystemConfig::default();
-        config.l1 = CacheConfig { size_bytes: 4 * 1024, ..config.l1 };
-        config.l2 = CacheConfig { size_bytes: 128 * 1024, ..config.l2 };
-        Profile { name: "mid", config, scale: 0.25 }
+        config.l1 = CacheConfig {
+            size_bytes: 4 * 1024,
+            ..config.l1
+        };
+        config.l2 = CacheConfig {
+            size_bytes: 128 * 1024,
+            ..config.l2
+        };
+        Profile {
+            name: "mid",
+            config,
+            scale: 0.25,
+        }
     }
 
     /// Full scale: the Table 3 machine with paper-calibrated workloads.
     pub fn paper() -> Self {
-        Profile { name: "paper", config: SystemConfig::default(), scale: 1.0 }
+        Profile {
+            name: "paper",
+            config: SystemConfig::default(),
+            scale: 1.0,
+        }
     }
 
     /// Reads `ULMT_SCALE` (default `mid`).

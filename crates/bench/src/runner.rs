@@ -18,7 +18,10 @@ pub struct Runner {
 impl Runner {
     /// Creates a runner for `profile`.
     pub fn new(profile: Profile) -> Self {
-        Runner { profile, cache: HashMap::new() }
+        Runner {
+            profile,
+            cache: HashMap::new(),
+        }
     }
 
     /// The active profile.
@@ -31,7 +34,9 @@ impl Runner {
         let profile = &self.profile;
         self.cache.entry((app, scheme)).or_insert_with(|| {
             eprintln!("  running {} / {scheme} ...", app.name());
-            Experiment::new(profile.config, profile.workload(app)).scheme(scheme).run()
+            Experiment::new(profile.config, profile.workload(app))
+                .scheme(scheme)
+                .run()
         })
     }
 
@@ -61,7 +66,9 @@ impl Runner {
         );
         let profile = &self.profile;
         let results = ulmt_system::parallel_map(missing.clone(), |(app, scheme)| {
-            Experiment::new(profile.config, profile.workload(app)).scheme(scheme).run()
+            Experiment::new(profile.config, profile.workload(app))
+                .scheme(scheme)
+                .run()
         });
         for (key, r) in missing.into_iter().zip(results) {
             self.cache.insert(key, r);
@@ -70,7 +77,10 @@ impl Runner {
 
     /// [`Runner::warm`] over the full `apps` × `schemes` grid.
     pub fn warm_grid(&mut self, apps: &[App], schemes: &[PrefetchScheme]) {
-        self.warm(apps.iter().flat_map(|&a| schemes.iter().map(move |&s| (a, s))));
+        self.warm(
+            apps.iter()
+                .flat_map(|&a| schemes.iter().map(move |&s| (a, s))),
+        );
     }
 
     /// Speedup of `scheme` over NoPref for `app`.

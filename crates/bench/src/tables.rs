@@ -68,7 +68,12 @@ pub fn derive_num_rows(workload: &WorkloadSpec) -> usize {
     let misses: Vec<_> = l2_miss_stream(workload).collect();
     let mut rows = 1024usize;
     loop {
-        let params = TableParams { num_rows: rows, assoc: 2, num_succ: 1, num_levels: 1 };
+        let params = TableParams {
+            num_rows: rows,
+            assoc: 2,
+            num_succ: 1,
+            num_levels: 1,
+        };
         let mut table = ulmt_core::table::RowTable::new(&params, 8, ());
         for &m in &misses {
             table.find_or_alloc(m);
@@ -97,7 +102,10 @@ pub fn table2(scale: f64) -> String {
     // Each app's NumRows derivation replays its miss stream repeatedly —
     // independent work, so derive all apps in parallel.
     let derived: Vec<usize> = ulmt_system::parallel_map(
-        App::ALL.iter().map(|&a| WorkloadSpec::new(a).scale(scale)).collect(),
+        App::ALL
+            .iter()
+            .map(|&a| WorkloadSpec::new(a).scale(scale))
+            .collect(),
         |spec| derive_num_rows(&spec),
     );
     for (app, rows) in App::ALL.into_iter().zip(derived) {
@@ -137,7 +145,10 @@ pub fn table2(scale: f64) -> String {
 
 /// Table 3: the simulated architecture.
 pub fn table3() -> String {
-    format!("Table 3. Parameters of the simulated architecture\n{}", SystemConfig::default().table3())
+    format!(
+        "Table 3. Parameters of the simulated architecture\n{}",
+        SystemConfig::default().table3()
+    )
 }
 
 /// Table 4: algorithm parameter values.
@@ -150,11 +161,36 @@ pub fn table4() -> String {
     ));
     let rows = [
         ("Base", "Software ULMT", "Base", "NumSucc=4, Assoc=4"),
-        ("Chain", "Software ULMT", "Chain", "NumSucc=2, Assoc=2, NumLevels=3"),
-        ("Replicated", "Software ULMT", "Repl", "NumSucc=2, Assoc=2, NumLevels=3"),
-        ("Sequential 1-stream", "Software ULMT", "Seq1", "NumSeq=1, NumPref=6"),
-        ("Sequential 4-streams", "Software ULMT", "Seq4", "NumSeq=4, NumPref=6"),
-        ("Sequential 4-streams", "Hardware in L1", "Conven4", "NumSeq=4, NumPref=6"),
+        (
+            "Chain",
+            "Software ULMT",
+            "Chain",
+            "NumSucc=2, Assoc=2, NumLevels=3",
+        ),
+        (
+            "Replicated",
+            "Software ULMT",
+            "Repl",
+            "NumSucc=2, Assoc=2, NumLevels=3",
+        ),
+        (
+            "Sequential 1-stream",
+            "Software ULMT",
+            "Seq1",
+            "NumSeq=1, NumPref=6",
+        ),
+        (
+            "Sequential 4-streams",
+            "Software ULMT",
+            "Seq4",
+            "NumSeq=4, NumPref=6",
+        ),
+        (
+            "Sequential 4-streams",
+            "Hardware in L1",
+            "Conven4",
+            "NumSeq=4, NumPref=6",
+        ),
     ];
     for (alg, imp, name, params) in rows {
         s.push_str(&format!("{alg:<26} {imp:<22} {name:<10} {params}\n"));
@@ -169,7 +205,11 @@ pub fn table5() -> String {
     for app in [App::Cg, App::Mst, App::Mcf] {
         let setup = PrefetchScheme::Custom.setup(app, 64 * 1024);
         let ulmt = setup.ulmt.as_ref().map(|u| u.label()).unwrap_or_default();
-        let mode = if setup.verbose { "Verbose" } else { "Non-Verbose" };
+        let mode = if setup.verbose {
+            "Verbose"
+        } else {
+            "Non-Verbose"
+        };
         s.push_str(&format!("{:<8} {ulmt:<14} {mode}\n", app.name()));
     }
     s

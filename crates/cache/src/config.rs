@@ -21,17 +21,35 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Main processor L1 data cache: 16 KB, 2-way, 32 B lines (Table 3).
     pub fn l1() -> Self {
-        CacheConfig { size_bytes: 16 * 1024, assoc: 2, line_size: 32, mshrs: 16, wb_capacity: 8 }
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            assoc: 2,
+            line_size: 32,
+            mshrs: 16,
+            wb_capacity: 8,
+        }
     }
 
     /// Main processor L2 data cache: 512 KB, 4-way, 64 B lines (Table 3).
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 512 * 1024, assoc: 4, line_size: 64, mshrs: 16, wb_capacity: 16 }
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            assoc: 4,
+            line_size: 64,
+            mshrs: 16,
+            wb_capacity: 16,
+        }
     }
 
     /// Memory processor L1 data cache: 32 KB, 2-way, 32 B lines (Table 3).
     pub fn memproc_l1() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, assoc: 2, line_size: 32, mshrs: 4, wb_capacity: 4 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 2,
+            line_size: 32,
+            mshrs: 4,
+            wb_capacity: 4,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -44,23 +62,38 @@ impl CacheConfig {
         self.num_sets() * self.assoc
     }
 
+    /// Checks the geometry without panicking, returning a descriptive
+    /// message for the first inconsistency found.
+    pub fn check(&self) -> Result<(), String> {
+        if !self.line_size.is_power_of_two() {
+            return Err("line size must be a power of two".to_string());
+        }
+        if self.assoc == 0 {
+            return Err("associativity must be positive".to_string());
+        }
+        if self.mshrs == 0 {
+            return Err("MSHR count must be positive".to_string());
+        }
+        let set_bytes = self.line_size * self.assoc as u64;
+        if !self.size_bytes.is_multiple_of(set_bytes) {
+            return Err("capacity must be a whole number of sets".to_string());
+        }
+        if self.num_sets() == 0 || !self.num_sets().is_power_of_two() {
+            return Err("set count must be a power of two".to_string());
+        }
+        Ok(())
+    }
+
     /// Validates the geometry, panicking with a descriptive message on
-    /// inconsistent parameters.
+    /// inconsistent parameters. Prefer [`CacheConfig::check`] where a
+    /// recoverable error is wanted.
     ///
     /// # Panics
     ///
     /// Panics if the line size is not a power of two, if the capacity is not
     /// divisible into whole sets, or if associativity/MSHR count is zero.
     pub fn validate(&self) {
-        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(self.assoc > 0, "associativity must be positive");
-        assert!(self.mshrs > 0, "MSHR count must be positive");
-        assert_eq!(
-            self.size_bytes % (self.line_size * self.assoc as u64),
-            0,
-            "capacity must be a whole number of sets"
-        );
-        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+        self.check().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -88,12 +121,40 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_line() {
-        CacheConfig { line_size: 48, ..CacheConfig::l1() }.validate();
+        CacheConfig {
+            line_size: 48,
+            ..CacheConfig::l1()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "whole number of sets")]
     fn rejects_ragged_capacity() {
-        CacheConfig { size_bytes: 1000, ..CacheConfig::l1() }.validate();
+        CacheConfig {
+            size_bytes: 1000,
+            ..CacheConfig::l1()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn check_reports_without_panicking() {
+        assert!(CacheConfig::l2().check().is_ok());
+        let zero_ways = CacheConfig {
+            assoc: 0,
+            ..CacheConfig::l1()
+        };
+        assert!(zero_ways.check().unwrap_err().contains("associativity"));
+        let zero_sets = CacheConfig {
+            size_bytes: 0,
+            ..CacheConfig::l1()
+        };
+        assert!(zero_sets.check().unwrap_err().contains("power of two"));
+        let zero_mshrs = CacheConfig {
+            mshrs: 0,
+            ..CacheConfig::l1()
+        };
+        assert!(zero_mshrs.check().unwrap_err().contains("MSHR"));
     }
 }

@@ -228,7 +228,9 @@ impl Cache {
     /// Demand access (load or store) to `line`.
     pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessOutcome {
         self.stats.demand_accesses += 1;
-        self.access_inner(line, is_write, /*demand=*/ true, /*prefetch=*/ false)
+        self.access_inner(
+            line, is_write, /*demand=*/ true, /*prefetch=*/ false,
+        )
     }
 
     /// Access initiated by a processor-side prefetcher. Does not count as a
@@ -263,7 +265,9 @@ impl Cache {
             if demand {
                 self.stats.demand_hits += 1;
             }
-            return AccessOutcome::Hit { first_touch_of_prefetch: first_touch };
+            return AccessOutcome::Hit {
+                first_touch_of_prefetch: first_touch,
+            };
         }
 
         if let Some(mshr) = self.mshrs.find(line) {
@@ -277,7 +281,10 @@ impl Cache {
                     self.ways[idx].dirty = true;
                 }
             }
-            return AccessOutcome::MissMerged { mshr, prefetch_initiated };
+            return AccessOutcome::MissMerged {
+                mshr,
+                prefetch_initiated,
+            };
         }
 
         if !self.mshrs.has_free() {
@@ -307,7 +314,10 @@ impl Cache {
         if demand {
             self.stats.demand_misses += 1;
         }
-        AccessOutcome::Miss { mshr, evicted_dirty }
+        AccessOutcome::Miss {
+            mshr,
+            evicted_dirty,
+        }
     }
 
     /// Completes the in-flight fill of `line`. Returns `true` if a demand
@@ -470,11 +480,16 @@ mod tests {
     #[test]
     fn hit_after_fill() {
         let mut c = tiny();
-        assert!(matches!(c.access(line(0), false), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(line(0), false),
+            AccessOutcome::Miss { .. }
+        ));
         assert!(c.fill(line(0), false));
         assert!(matches!(
             c.access(line(0), false),
-            AccessOutcome::Hit { first_touch_of_prefetch: None }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: None
+            }
         ));
         assert_eq!(c.stats().demand_hits, 1);
         assert_eq!(c.stats().demand_misses, 1);
@@ -487,15 +502,27 @@ mod tests {
             panic!("expected miss");
         };
         let out = c.access(line(0), false);
-        assert_eq!(out, AccessOutcome::MissMerged { mshr, prefetch_initiated: false });
+        assert_eq!(
+            out,
+            AccessOutcome::MissMerged {
+                mshr,
+                prefetch_initiated: false
+            }
+        );
         assert_eq!(c.stats().demand_merged, 1);
     }
 
     #[test]
     fn blocked_when_mshrs_exhausted() {
         let mut c = tiny();
-        assert!(matches!(c.access(line(0), false), AccessOutcome::Miss { .. }));
-        assert!(matches!(c.access(line(1), false), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(line(0), false),
+            AccessOutcome::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(line(1), false),
+            AccessOutcome::Miss { .. }
+        ));
         assert_eq!(c.access(line(4), false), AccessOutcome::Blocked);
         assert_eq!(c.stats().blocked, 1);
     }
@@ -511,8 +538,14 @@ mod tests {
             mshrs: 4,
             wb_capacity: 4,
         });
-        assert!(matches!(c.access(line(0), false), AccessOutcome::Miss { .. }));
-        assert!(matches!(c.access(line(2), false), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(line(0), false),
+            AccessOutcome::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(line(2), false),
+            AccessOutcome::Miss { .. }
+        ));
         assert_eq!(c.access(line(4), false), AccessOutcome::Blocked);
     }
 
@@ -557,12 +590,19 @@ mod tests {
         assert!(matches!(c.push(line(0)), PushOutcome::Accepted { .. }));
         assert_eq!(c.prefetched_lines(), 1);
         let out = c.access(line(0), false);
-        assert_eq!(out, AccessOutcome::Hit { first_touch_of_prefetch: Some(PrefetchOrigin::Push) });
+        assert_eq!(
+            out,
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: Some(PrefetchOrigin::Push)
+            }
+        );
         assert_eq!(c.stats().prefetch_first_touches, 1);
         // Second touch is an ordinary hit.
         assert_eq!(
             c.access(line(0), false),
-            AccessOutcome::Hit { first_touch_of_prefetch: None }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: None
+            }
         );
         assert_eq!(c.stats().prefetch_first_touches, 1);
     }
@@ -570,9 +610,17 @@ mod tests {
     #[test]
     fn push_steals_pending_mshr() {
         let mut c = tiny();
-        assert!(matches!(c.access(line(0), false), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(line(0), false),
+            AccessOutcome::Miss { .. }
+        ));
         let out = c.push(line(0));
-        assert_eq!(out, PushOutcome::StoleMshr { demand_was_waiting: true });
+        assert_eq!(
+            out,
+            PushOutcome::StoleMshr {
+                demand_was_waiting: true
+            }
+        );
         assert!(c.contains(line(0)));
         // The original reply arrives later and is ignored.
         assert!(!c.fill(line(0), false));
@@ -630,31 +678,44 @@ mod tests {
     #[test]
     fn processor_prefetch_then_demand_is_delayed_hit() {
         let mut c = tiny();
-        assert!(matches!(c.access_prefetch(line(0)), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access_prefetch(line(0)),
+            AccessOutcome::Miss { .. }
+        ));
         let out = c.access(line(0), false);
         assert!(matches!(
             out,
-            AccessOutcome::MissMerged { prefetch_initiated: true, .. }
+            AccessOutcome::MissMerged {
+                prefetch_initiated: true,
+                ..
+            }
         ));
         // Fill completes; demand was waiting.
         assert!(c.fill(line(0), false));
         // Line is not marked prefetched: the demand already claimed it.
         assert_eq!(
             c.access(line(0), false),
-            AccessOutcome::Hit { first_touch_of_prefetch: None }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: None
+            }
         );
     }
 
     #[test]
     fn prefetch_initiated_fill_without_demand_sets_bit() {
         let mut c = tiny();
-        assert!(matches!(c.access_prefetch(line(0)), AccessOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access_prefetch(line(0)),
+            AccessOutcome::Miss { .. }
+        ));
         assert!(!c.fill(line(0), false));
         assert_eq!(c.prefetched_lines(), 1);
         // A processor-side prefetch fill carries the CpuSide origin.
         assert_eq!(
             c.access(line(0), false),
-            AccessOutcome::Hit { first_touch_of_prefetch: Some(PrefetchOrigin::CpuSide) }
+            AccessOutcome::Hit {
+                first_touch_of_prefetch: Some(PrefetchOrigin::CpuSide)
+            }
         );
         assert_eq!(c.stats().cpu_prefetch_first_touches, 1);
         assert_eq!(c.stats().prefetch_first_touches, 0);

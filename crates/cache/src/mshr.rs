@@ -51,7 +51,9 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        MshrFile { slots: vec![None; capacity] }
+        MshrFile {
+            slots: vec![None; capacity],
+        }
     }
 
     /// Allocates a register for `line`. Returns `None` when all registers
@@ -69,7 +71,11 @@ impl MshrFile {
     ) -> Option<MshrId> {
         debug_assert!(self.find(line).is_none(), "duplicate MSHR for {line}");
         let idx = self.slots.iter().position(Option::is_none)?;
-        self.slots[idx] = Some(Mshr { line, demand_waiting, prefetch_initiated });
+        self.slots[idx] = Some(Mshr {
+            line,
+            demand_waiting,
+            prefetch_initiated,
+        });
         Some(MshrId(idx))
     }
 

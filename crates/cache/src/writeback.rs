@@ -34,7 +34,11 @@ pub struct WriteBackQueue {
 impl WriteBackQueue {
     /// Creates a queue holding at most `capacity` lines.
     pub fn new(capacity: usize) -> Self {
-        WriteBackQueue { queue: VecDeque::with_capacity(capacity), capacity, overflowed: 0 }
+        WriteBackQueue {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            overflowed: 0,
+        }
     }
 
     /// Enqueues a dirty line. Returns `false` (and counts an overflow) if

@@ -180,7 +180,8 @@ fn cache_matches_reference_model() {
             assert_eq!(
                 cache.contains(LineAddr::new(l)),
                 model.contains(l),
-                "final contents differ at line {}", l
+                "final contents differ at line {}",
+                l
             );
         }
     }

@@ -102,13 +102,19 @@ impl Combined {
 
 impl std::fmt::Debug for Combined {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Combined").field("name", &self.name()).finish()
+        f.debug_struct("Combined")
+            .field("name", &self.name())
+            .finish()
     }
 }
 
 impl UlmtAlgorithm for Combined {
     fn name(&self) -> String {
-        self.parts.iter().map(|p| p.name()).collect::<Vec<_>>().join("+")
+        self.parts
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join("+")
     }
 
     fn process_miss(&mut self, miss: LineAddr) -> StepResult {
@@ -179,7 +185,9 @@ impl SeqElseCorr {
 
 impl std::fmt::Debug for SeqElseCorr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SeqElseCorr").field("name", &self.name()).finish()
+        f.debug_struct("SeqElseCorr")
+            .field("name", &self.name())
+            .finish()
     }
 }
 

@@ -41,7 +41,10 @@ impl ConflictAwareUlmt {
     ///
     /// Panics if `l2_sets` is not a power of two or `factor <= 1`.
     pub fn new(inner: Box<dyn UlmtAlgorithm>, l2_sets: usize, factor: f64) -> Self {
-        assert!(l2_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            l2_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(factor > 1.0, "factor must exceed 1");
         ConflictAwareUlmt {
             inner,
@@ -89,13 +92,17 @@ impl UlmtAlgorithm for ConflictAwareUlmt {
         self.total += 1;
         let mut step = self.inner.process_miss(miss);
         let before = step.prefetches.len();
-        let conflicted: Vec<bool> =
-            step.prefetches.iter().map(|&p| self.is_conflicted(p)).collect();
+        let conflicted: Vec<bool> = step
+            .prefetches
+            .iter()
+            .map(|&p| self.is_conflicted(p))
+            .collect();
         let mut keep = conflicted.iter().map(|c| !c);
         step.prefetches.retain(|_| keep.next().unwrap_or(true));
         self.suppressed += (before - step.prefetches.len()) as u64;
         // The pressure check is a table-free counter lookup per address.
-        step.prefetch_cost.add_insns(insn_cost::PER_STREAM_CHECK * before as u64);
+        step.prefetch_cost
+            .add_insns(insn_cost::PER_STREAM_CHECK * before as u64);
         step
     }
 
@@ -136,11 +143,18 @@ mod tests {
                 c.process_miss(LineAddr::new(10_000 + b * 97));
             }
         }
-        assert!(c.suppressed() > 0, "conflict-set prefetches must be suppressed");
+        assert!(
+            c.suppressed() > 0,
+            "conflict-set prefetches must be suppressed"
+        );
         // And the surviving prefetches avoid the hot set.
         let step = c.process_miss(LineAddr::new(5));
         for p in &step.prefetches {
-            assert_ne!(p.raw() & 127, 5, "prefetch into the conflicted set survived");
+            assert_ne!(
+                p.raw() & 127,
+                5,
+                "prefetch into the conflicted set survived"
+            );
         }
     }
 
@@ -150,7 +164,11 @@ mod tests {
         for i in 0..2000u64 {
             c.process_miss(LineAddr::new((i * 131) % 1024));
         }
-        assert_eq!(c.suppressed(), 0, "uniform pressure must not trigger suppression");
+        assert_eq!(
+            c.suppressed(),
+            0,
+            "uniform pressure must not trigger suppression"
+        );
     }
 
     #[test]

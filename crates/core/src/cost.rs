@@ -50,12 +50,20 @@ impl Cost {
 
     /// Records a read of `bytes` bytes at `addr`.
     pub fn read(&mut self, addr: Addr, bytes: u64) {
-        self.table_touches.push(TableTouch { addr, bytes, is_write: false });
+        self.table_touches.push(TableTouch {
+            addr,
+            bytes,
+            is_write: false,
+        });
     }
 
     /// Records a write of `bytes` bytes at `addr`.
     pub fn write(&mut self, addr: Addr, bytes: u64) {
-        self.table_touches.push(TableTouch { addr, bytes, is_write: true });
+        self.table_touches.push(TableTouch {
+            addr,
+            bytes,
+            is_write: true,
+        });
     }
 
     /// Merges `other` into `self`, preserving access order.

@@ -37,7 +37,12 @@ impl RegionRoutedUlmt {
         assert!(!threads.is_empty(), "need at least one ULMT");
         assert!(region_lines > 0, "region size must be positive");
         let n = threads.len();
-        RegionRoutedUlmt { region_lines, threads, routed: vec![0; n], unrouted: 0 }
+        RegionRoutedUlmt {
+            region_lines,
+            threads,
+            routed: vec![0; n],
+            unrouted: 0,
+        }
     }
 
     /// Region (application) index of a miss line.
@@ -116,7 +121,10 @@ mod tests {
 
     fn router() -> RegionRoutedUlmt {
         RegionRoutedUlmt::new(
-            vec![AlgorithmSpec::repl(1024).build(), AlgorithmSpec::repl(1024).build()],
+            vec![
+                AlgorithmSpec::repl(1024).build(),
+                AlgorithmSpec::repl(1024).build(),
+            ],
             REGION,
         )
     }

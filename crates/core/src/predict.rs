@@ -118,7 +118,12 @@ mod tests {
     use crate::seq::SeqUlmt;
     use crate::table::{Chain, Replicated, TableParams};
 
-    fn run<A: UlmtAlgorithm>(alg: &mut A, levels: usize, seq: &[u64], reps: usize) -> PredictionScorer {
+    fn run<A: UlmtAlgorithm>(
+        alg: &mut A,
+        levels: usize,
+        seq: &[u64],
+        reps: usize,
+    ) -> PredictionScorer {
         let mut scorer = PredictionScorer::new(levels);
         for _ in 0..reps {
             for &n in seq {
@@ -156,7 +161,12 @@ mod tests {
         // The paper's a,b,c / b,e,b,f example: Chain's level-2 prediction
         // follows the MRU path through b and misses c.
         let pattern: Vec<u64> = vec![1, 2, 3, 90, 91, 2, 4, 2, 5, 92, 93];
-        let params = TableParams { num_rows: 1024, assoc: 4, num_succ: 4, num_levels: 3 };
+        let params = TableParams {
+            num_rows: 1024,
+            assoc: 4,
+            num_succ: 4,
+            num_levels: 3,
+        };
         let mut chain = Chain::new(params);
         let chain_score = run(&mut chain, 2, &pattern, 10);
         let mut repl = Replicated::new(params);

@@ -125,7 +125,8 @@ impl UlmtAlgorithm for ProfilingUlmt {
         let mut step = StepResult::new();
         // Profiling is all learning: histogram updates off the critical
         // path, no prefetches generated.
-        step.learn_cost.add_insns(insn_cost::STEP_OVERHEAD + 2 * insn_cost::PER_INSERT);
+        step.learn_cost
+            .add_insns(insn_cost::STEP_OVERHEAD + 2 * insn_cost::PER_INSERT);
         step
     }
 

@@ -65,8 +65,18 @@ fn measure(alg: &mut dyn UlmtAlgorithm) -> (f64, f64) {
     for &m in &seq {
         let step = alg.process_miss(m);
         // Row accesses are the touches bigger than a bare 4-byte tag probe.
-        pf_rows += step.prefetch_cost.table_touches.iter().filter(|t| t.bytes > 4).count();
-        ln_rows += step.learn_cost.table_touches.iter().filter(|t| t.is_write).count();
+        pf_rows += step
+            .prefetch_cost
+            .table_touches
+            .iter()
+            .filter(|t| t.bytes > 4)
+            .count();
+        ln_rows += step
+            .learn_cost
+            .table_touches
+            .iter()
+            .filter(|t| t.is_write)
+            .count();
         steps += 1;
     }
     (pf_rows as f64 / steps as f64, ln_rows as f64 / steps as f64)
@@ -76,7 +86,10 @@ fn measure(alg: &mut dyn UlmtAlgorithm) -> (f64, f64) {
 pub fn table1(num_levels: usize) -> Vec<AlgorithmProperties> {
     let rows = 4096;
     let base_params = TableParams::base_default(rows);
-    let multi = TableParams { num_levels, ..TableParams::chain_default(rows) };
+    let multi = TableParams {
+        num_levels,
+        ..TableParams::chain_default(rows)
+    };
 
     let mut base = Base::new(base_params);
     let (base_pf, base_ln) = measure(&mut base);
@@ -134,7 +147,11 @@ mod tests {
         // Chain: NumLevels row accesses in the prefetching step, 1 in
         // learning.
         assert_eq!(chain.levels_prefetched, 3);
-        assert!(chain.prefetch_row_accesses > 2.5, "{}", chain.prefetch_row_accesses);
+        assert!(
+            chain.prefetch_row_accesses > 2.5,
+            "{}",
+            chain.prefetch_row_accesses
+        );
         assert!((chain.learn_row_accesses - 1.0).abs() < 0.01);
         assert!(!chain.true_mru_per_level);
         assert_eq!(chain.response, ResponseClass::High);

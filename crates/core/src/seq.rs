@@ -41,7 +41,9 @@ impl SeqUlmt {
     ///
     /// Panics if either parameter is zero.
     pub fn new(num_seq: usize, num_pref: usize) -> Self {
-        SeqUlmt { detector: StreamDetector::new(num_seq, num_pref) }
+        SeqUlmt {
+            detector: StreamDetector::new(num_seq, num_pref),
+        }
     }
 
     /// Like [`SeqUlmt::new`], with the issue window starting `offset`
@@ -79,11 +81,11 @@ impl UlmtAlgorithm for SeqUlmt {
         // All state fits in registers / a few cache lines: the cost is
         // purely computational and small.
         step.prefetch_cost.add_insns(
-            insn_cost::STEP_OVERHEAD
-                + insn_cost::PER_STREAM_CHECK * self.detector.num_seq() as u64,
+            insn_cost::STEP_OVERHEAD + insn_cost::PER_STREAM_CHECK * self.detector.num_seq() as u64,
         );
         let prefetches = self.detector.observe(miss);
-        step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH * prefetches.len() as u64);
+        step.prefetch_cost
+            .add_insns(insn_cost::PER_PREFETCH * prefetches.len() as u64);
         step.prefetches = prefetches;
         step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
         step

@@ -54,12 +54,18 @@ pub enum AlgorithmSpec {
 impl AlgorithmSpec {
     /// `Seq1` from Table 4.
     pub fn seq1() -> Self {
-        AlgorithmSpec::Seq { num_seq: 1, num_pref: 6 }
+        AlgorithmSpec::Seq {
+            num_seq: 1,
+            num_pref: 6,
+        }
     }
 
     /// `Seq4` from Table 4.
     pub fn seq4() -> Self {
-        AlgorithmSpec::Seq { num_seq: 4, num_pref: 6 }
+        AlgorithmSpec::Seq {
+            num_seq: 4,
+            num_pref: 6,
+        }
     }
 
     /// `Base` with Table 4 parameters and the given `NumRows`.
@@ -80,7 +86,10 @@ impl AlgorithmSpec {
     /// `Repl` with a customized `NumLevels` (the MST/Mcf customization of
     /// Table 5 uses `NumLevels = 4`).
     pub fn repl_levels(num_rows: usize, num_levels: usize) -> Self {
-        AlgorithmSpec::Repl(TableParams { num_levels, ..TableParams::repl_default(num_rows) })
+        AlgorithmSpec::Repl(TableParams {
+            num_levels,
+            ..TableParams::repl_default(num_rows)
+        })
     }
 
     /// `Seq1+Repl` — the CG customization of Table 5 (run in Verbose
@@ -106,9 +115,11 @@ impl AlgorithmSpec {
             AlgorithmSpec::Chain(_) => "chain".into(),
             AlgorithmSpec::Repl(p) if p.num_levels != 3 => format!("repl(l{})", p.num_levels),
             AlgorithmSpec::Repl(_) => "repl".into(),
-            AlgorithmSpec::Combined(parts) => {
-                parts.iter().map(AlgorithmSpec::label).collect::<Vec<_>>().join("+")
-            }
+            AlgorithmSpec::Combined(parts) => parts
+                .iter()
+                .map(AlgorithmSpec::label)
+                .collect::<Vec<_>>()
+                .join("+"),
             AlgorithmSpec::SeqElse { num_seq, corr, .. } => {
                 format!("seq{num_seq}+{}", corr.label())
             }
@@ -120,21 +131,22 @@ impl AlgorithmSpec {
     pub fn build(&self) -> Box<dyn UlmtAlgorithm> {
         match self {
             AlgorithmSpec::Null => Box::new(NullAlgorithm),
-            AlgorithmSpec::Seq { num_seq, num_pref } => {
-                Box::new(SeqUlmt::new(*num_seq, *num_pref))
-            }
+            AlgorithmSpec::Seq { num_seq, num_pref } => Box::new(SeqUlmt::new(*num_seq, *num_pref)),
             AlgorithmSpec::Base(p) => Box::new(Base::new(*p)),
             AlgorithmSpec::Chain(p) => Box::new(Chain::new(*p)),
             AlgorithmSpec::Repl(p) => Box::new(Replicated::new(*p)),
-            AlgorithmSpec::Combined(parts) => {
-                Box::new(Combined::new(parts.iter().map(AlgorithmSpec::build).collect()))
-            }
-            AlgorithmSpec::SeqElse { num_seq, num_pref, offset, corr } => {
-                Box::new(SeqElseCorr::new(
-                    SeqUlmt::with_lookahead_offset(*num_seq, *num_pref, *offset),
-                    corr.build(),
-                ))
-            }
+            AlgorithmSpec::Combined(parts) => Box::new(Combined::new(
+                parts.iter().map(AlgorithmSpec::build).collect(),
+            )),
+            AlgorithmSpec::SeqElse {
+                num_seq,
+                num_pref,
+                offset,
+                corr,
+            } => Box::new(SeqElseCorr::new(
+                SeqUlmt::with_lookahead_offset(*num_seq, *num_pref, *offset),
+                corr.build(),
+            )),
             AlgorithmSpec::Adaptive(p) => Box::new(AdaptiveUlmt::new(*p)),
         }
     }
@@ -179,7 +191,11 @@ mod tests {
             }
         }
         let step = alg.process_miss(LineAddr::new(10));
-        assert!(step.prefetches.contains(&LineAddr::new(200)), "{:?}", step.prefetches);
+        assert!(
+            step.prefetches.contains(&LineAddr::new(200)),
+            "{:?}",
+            step.prefetches
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl StreamDetector {
     ///
     /// Panics if either parameter is zero.
     pub fn new(num_seq: usize, num_pref: usize) -> Self {
-        assert!(num_seq > 0 && num_pref > 0, "NumSeq and NumPref must be positive");
+        assert!(
+            num_seq > 0 && num_pref > 0,
+            "NumSeq and NumPref must be positive"
+        );
         StreamDetector {
             num_seq,
             num_pref,
@@ -155,7 +158,12 @@ impl StreamDetector {
         if up || down {
             let stride: i64 = if up { 1 } else { -1 };
             let frontier = miss.offset((self.offset + self.num_pref as i64) * stride);
-            let stream = Stream { next: miss.offset(stride), stride, frontier, lru: clock };
+            let stream = Stream {
+                next: miss.offset(stride),
+                stride,
+                frontier,
+                lru: clock,
+            };
             if self.streams.len() < self.num_seq {
                 self.streams.push(stream);
             } else {
@@ -178,7 +186,12 @@ impl StreamDetector {
     /// `next + (k−1) · stride` for every active stream.
     pub fn predict(&self, levels: usize) -> Vec<Vec<LineAddr>> {
         (0..levels as i64)
-            .map(|k| self.streams.iter().map(|s| s.next.offset(k * s.stride)).collect())
+            .map(|k| {
+                self.streams
+                    .iter()
+                    .map(|s| s.next.offset(k * s.stride))
+                    .collect()
+            })
             .collect()
     }
 }

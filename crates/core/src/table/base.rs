@@ -50,7 +50,10 @@ impl Base {
     /// single level of successors by definition).
     pub fn new(params: TableParams) -> Self {
         params.validate();
-        assert_eq!(params.num_levels, 1, "Base stores exactly one level of successors");
+        assert_eq!(
+            params.num_levels, 1,
+            "Base stores exactly one level of successors"
+        );
         let row_bytes = params.flat_row_bytes();
         Base {
             table: RowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
@@ -71,7 +74,10 @@ impl Base {
 
     /// Shrinks or grows the table (Section 3.4 dynamic sizing).
     pub fn resize(&mut self, num_rows: usize) {
-        let new_params = TableParams { num_rows, ..self.params };
+        let new_params = TableParams {
+            num_rows,
+            ..self.params
+        };
         self.table.resize(&new_params);
         self.params = new_params;
         self.last = None;
@@ -88,7 +94,10 @@ impl Base {
         let ptr = self.table.lookup(miss)?;
         let row_addr = self.table.row_addr(ptr);
         step.prefetch_cost.read(row_addr, self.table.row_bytes());
-        let row = self.table.get(ptr).expect("fresh pointer from lookup is valid");
+        let row = self
+            .table
+            .get(ptr)
+            .expect("fresh pointer from lookup is valid");
         for succ in row.iter() {
             step.prefetches.push(succ);
             step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
@@ -147,7 +156,8 @@ impl UlmtAlgorithm for Base {
     }
 
     fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
-        self.table.remap_page(old, new, |row, o, n| row.remap_page(o, n));
+        self.table
+            .remap_page(old, new, |row, o, n| row.remap_page(o, n));
     }
 
     fn table_size_bytes(&self) -> u64 {
@@ -164,7 +174,12 @@ mod tests {
     }
 
     fn small() -> Base {
-        Base::new(TableParams { num_rows: 256, assoc: 4, num_succ: 4, num_levels: 1 })
+        Base::new(TableParams {
+            num_rows: 256,
+            assoc: 4,
+            num_succ: 4,
+            num_levels: 1,
+        })
     }
 
     /// Replays the miss sequence of Figure 4: a, b, c, a, d, c.
@@ -218,7 +233,12 @@ mod tests {
         base.process_miss(line(1));
         let step = base.process_miss(line(2));
         // Learning writes the last row (successor insert) and the new row.
-        let writes = step.learn_cost.table_touches.iter().filter(|t| t.is_write).count();
+        let writes = step
+            .learn_cost
+            .table_touches
+            .iter()
+            .filter(|t| t.is_write)
+            .count();
         assert_eq!(writes, 2);
         // Prefetch phase never writes.
         assert!(step.prefetch_cost.table_touches.iter().all(|t| !t.is_write));

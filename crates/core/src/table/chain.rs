@@ -91,12 +91,18 @@ impl UlmtAlgorithm for Chain {
                 step.prefetch_cost.read(addr, 4);
                 step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
             }
-            let Some(ptr) = self.table.lookup(cur) else { break };
+            let Some(ptr) = self.table.lookup(cur) else {
+                break;
+            };
             if level == 0 {
                 found_first = Some(ptr);
             }
-            step.prefetch_cost.read(self.table.row_addr(ptr), self.table.row_bytes());
-            let row = self.table.get(ptr).expect("fresh pointer from lookup is valid");
+            step.prefetch_cost
+                .read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self
+                .table
+                .get(ptr)
+                .expect("fresh pointer from lookup is valid");
             let mru = row.mru();
             for succ in row.iter() {
                 if !step.prefetches.contains(&succ) {
@@ -138,7 +144,9 @@ impl UlmtAlgorithm for Chain {
         let mut out = vec![Vec::new(); levels];
         let mut cur = miss;
         for level in out.iter_mut() {
-            let Some(row) = self.table.peek(cur) else { break };
+            let Some(row) = self.table.peek(cur) else {
+                break;
+            };
             *level = row.iter().collect();
             match row.mru() {
                 Some(next) => cur = next,
@@ -149,7 +157,8 @@ impl UlmtAlgorithm for Chain {
     }
 
     fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
-        self.table.remap_page(old, new, |row, o, n| row.remap_page(o, n));
+        self.table
+            .remap_page(old, new, |row, o, n| row.remap_page(o, n));
     }
 
     fn table_size_bytes(&self) -> u64 {
@@ -166,7 +175,12 @@ mod tests {
     }
 
     fn small() -> Chain {
-        Chain::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 2 })
+        Chain::new(TableParams {
+            num_rows: 256,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 2,
+        })
     }
 
     #[test]
@@ -196,15 +210,27 @@ mod tests {
         let step = chain.process_miss(line(a));
         assert!(step.prefetches.contains(&line(b)));
         // c is not among the prefetches: the MRU path from b leads to e/f.
-        assert!(!step.prefetches.contains(&line(c)), "prefetches {:?}", step.prefetches);
+        assert!(
+            !step.prefetches.contains(&line(c)),
+            "prefetches {:?}",
+            step.prefetches
+        );
     }
 
     #[test]
     fn response_cost_grows_with_levels() {
-        let shallow =
-            Chain::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 1 });
-        let deep =
-            Chain::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 });
+        let shallow = Chain::new(TableParams {
+            num_rows: 256,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 1,
+        });
+        let deep = Chain::new(TableParams {
+            num_rows: 256,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 3,
+        });
         let train = |mut c: Chain| {
             for _ in 0..3 {
                 for n in 1..=4u64 {

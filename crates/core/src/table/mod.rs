@@ -36,19 +36,34 @@ impl TableParams {
     /// Base defaults from Table 4: `NumSucc = 4`, `Assoc = 4` (Joseph &
     /// Grunwald's values), one level.
     pub fn base_default(num_rows: usize) -> Self {
-        TableParams { num_rows, assoc: 4, num_succ: 4, num_levels: 1 }
+        TableParams {
+            num_rows,
+            assoc: 4,
+            num_succ: 4,
+            num_levels: 1,
+        }
     }
 
     /// Chain defaults from Table 4: `NumSucc = 2`, `Assoc = 2`,
     /// `NumLevels = 3`.
     pub fn chain_default(num_rows: usize) -> Self {
-        TableParams { num_rows, assoc: 2, num_succ: 2, num_levels: 3 }
+        TableParams {
+            num_rows,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 3,
+        }
     }
 
     /// Replicated defaults from Table 4: `NumSucc = 2`, `Assoc = 2`,
     /// `NumLevels = 3`.
     pub fn repl_default(num_rows: usize) -> Self {
-        TableParams { num_rows, assoc: 2, num_succ: 2, num_levels: 3 }
+        TableParams {
+            num_rows,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 3,
+        }
     }
 
     /// Number of sets.
@@ -76,10 +91,23 @@ impl TableParams {
     /// `assoc`, or the set count is not a power of two (required by the
     /// trivial low-bits hash).
     pub fn validate(&self) {
-        assert!(self.num_rows > 0 && self.assoc > 0, "table dimensions must be positive");
-        assert!(self.num_succ > 0 && self.num_levels > 0, "NumSucc/NumLevels must be positive");
-        assert_eq!(self.num_rows % self.assoc, 0, "NumRows must be a multiple of Assoc");
-        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.num_rows > 0 && self.assoc > 0,
+            "table dimensions must be positive"
+        );
+        assert!(
+            self.num_succ > 0 && self.num_levels > 0,
+            "NumSucc/NumLevels must be positive"
+        );
+        assert_eq!(
+            self.num_rows % self.assoc,
+            0,
+            "NumRows must be a multiple of Assoc"
+        );
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 
@@ -112,6 +140,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of Assoc")]
     fn validate_rejects_ragged() {
-        TableParams { num_rows: 10, assoc: 4, num_succ: 2, num_levels: 1 }.validate();
+        TableParams {
+            num_rows: 10,
+            assoc: 4,
+            num_succ: 2,
+            num_levels: 1,
+        }
+        .validate();
     }
 }

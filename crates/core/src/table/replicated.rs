@@ -30,7 +30,9 @@ pub(crate) struct ReplRow {
 
 impl ReplRow {
     fn new(num_levels: usize, num_succ: usize) -> Self {
-        ReplRow { levels: (0..num_levels).map(|_| MruList::new(num_succ)).collect() }
+        ReplRow {
+            levels: (0..num_levels).map(|_| MruList::new(num_succ)).collect(),
+        }
     }
 }
 
@@ -94,7 +96,10 @@ impl Replicated {
 
     /// Shrinks or grows the table (Section 3.4 dynamic sizing).
     pub fn resize(&mut self, num_rows: usize) {
-        let new_params = TableParams { num_rows, ..self.params };
+        let new_params = TableParams {
+            num_rows,
+            ..self.params
+        };
         self.table.resize(&new_params);
         self.params = new_params;
         self.pointers.clear();
@@ -118,8 +123,12 @@ impl UlmtAlgorithm for Replicated {
         }
         let found = self.table.lookup(miss);
         if let Some(ptr) = found {
-            step.prefetch_cost.read(self.table.row_addr(ptr), self.table.row_bytes());
-            let row = self.table.get(ptr).expect("fresh pointer from lookup is valid");
+            step.prefetch_cost
+                .read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self
+                .table
+                .get(ptr)
+                .expect("fresh pointer from lookup is valid");
             for level in &row.levels {
                 for succ in level.iter() {
                     if !step.prefetches.contains(&succ) {
@@ -141,7 +150,10 @@ impl UlmtAlgorithm for Replicated {
                 row.levels[i].insert_mru(miss);
                 // Each level is a small slice of the row.
                 let level_bytes = 4 * self.params.num_succ as u64;
-                step.learn_cost.write(addr.offset((4 + i as u64 * level_bytes) as i64), level_bytes);
+                step.learn_cost.write(
+                    addr.offset((4 + i as u64 * level_bytes) as i64),
+                    level_bytes,
+                );
                 step.learn_cost.add_insns(insn_cost::PER_INSERT);
             }
         }
@@ -191,7 +203,12 @@ mod tests {
     }
 
     fn small() -> Replicated {
-        Replicated::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 2 })
+        Replicated::new(TableParams {
+            num_rows: 256,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 2,
+        })
     }
 
     #[test]
@@ -247,8 +264,12 @@ mod tests {
     fn pointer_staleness_is_tolerated() {
         // 1 set x 2 ways: allocating a third row invalidates the oldest
         // pointer; learning must skip it without panicking.
-        let mut repl =
-            Replicated::new(TableParams { num_rows: 2, assoc: 2, num_succ: 2, num_levels: 2 });
+        let mut repl = Replicated::new(TableParams {
+            num_rows: 2,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 2,
+        });
         repl.process_miss(line(1));
         repl.process_miss(line(2));
         repl.process_miss(line(3)); // replaces row 1, pointers partly stale
@@ -259,8 +280,12 @@ mod tests {
     #[test]
     fn deeper_levels_with_numlevels4() {
         // The MST/Mcf customization (Table 5): NumLevels = 4.
-        let mut repl =
-            Replicated::new(TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 4 });
+        let mut repl = Replicated::new(TableParams {
+            num_rows: 256,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 4,
+        });
         for _ in 0..3 {
             for n in [1u64, 2, 3, 4, 5] {
                 repl.process_miss(line(n));
@@ -315,8 +340,10 @@ mod tests {
     #[test]
     fn space_requirement_scales_with_levels() {
         let l3 = Replicated::new(TableParams::repl_default(1024));
-        let l4 =
-            Replicated::new(TableParams { num_levels: 4, ..TableParams::repl_default(1024) });
+        let l4 = Replicated::new(TableParams {
+            num_levels: 4,
+            ..TableParams::repl_default(1024)
+        });
         assert!(l4.table_size_bytes() > l3.table_size_bytes());
         assert_eq!(l3.table_size_bytes(), 1024 * 28);
     }

@@ -32,7 +32,10 @@ pub struct MruList {
 impl MruList {
     /// Creates an empty list holding at most `cap` entries.
     pub fn new(cap: usize) -> Self {
-        MruList { items: Vec::with_capacity(cap), cap }
+        MruList {
+            items: Vec::with_capacity(cap),
+            cap,
+        }
     }
 
     /// Inserts `x` as the MRU entry, de-duplicating and evicting the LRU
@@ -240,7 +243,8 @@ impl<R: Clone> RowTable<R> {
 
     /// Memory address of the row behind `ptr`.
     pub fn row_addr(&self, ptr: RowPtr) -> Addr {
-        self.base_addr.offset((ptr.slot as u64 * self.row_bytes) as i64)
+        self.base_addr
+            .offset((ptr.slot as u64 * self.row_bytes) as i64)
     }
 
     /// Bytes per row.
@@ -254,8 +258,7 @@ impl<R: Clone> RowTable<R> {
         let start = self.set_of(line) * self.assoc;
         let row_bytes = self.row_bytes;
         let base = self.base_addr;
-        (start..start + self.assoc)
-            .map(move |slot| base.offset((slot as u64 * row_bytes) as i64))
+        (start..start + self.assoc).map(move |slot| base.offset((slot as u64 * row_bytes) as i64))
     }
 
     fn set_of(&self, line: LineAddr) -> usize {
@@ -277,7 +280,10 @@ impl<R: Clone> RowTable<R> {
             if slot.valid && slot.tag == line {
                 slot.lru = clock;
                 self.stats.hits += 1;
-                return Some(RowPtr { slot: i, gen: slot.gen });
+                return Some(RowPtr {
+                    slot: i,
+                    gen: slot.gen,
+                });
             }
         }
         None
@@ -301,7 +307,11 @@ impl<R: Clone> RowTable<R> {
             .set_range(line)
             .min_by_key(|&i| (self.slots[i].valid, self.slots[i].lru))
             .expect("associativity is positive");
-        let kind = if self.slots[victim].valid { AllocKind::Replaced } else { AllocKind::Fresh };
+        let kind = if self.slots[victim].valid {
+            AllocKind::Replaced
+        } else {
+            AllocKind::Fresh
+        };
         if kind == AllocKind::Replaced {
             self.stats.replacements += 1;
         }
@@ -313,7 +323,13 @@ impl<R: Clone> RowTable<R> {
         slot.gen += 1;
         slot.lru = clock;
         slot.row = self.template.clone();
-        (RowPtr { slot: victim, gen: slot.gen }, kind)
+        (
+            RowPtr {
+                slot: victim,
+                gen: slot.gen,
+            },
+            kind,
+        )
     }
 
     /// Dereferences `ptr` if it is still valid (same generation).
@@ -353,10 +369,13 @@ impl<R: Clone> RowTable<R> {
         let mut moved = 0;
         for offset in 0..PageAddr::lines_per_page() {
             let old_line = LineAddr::new(old.first_line().raw() + offset);
-            let Some(src) = self.lookup(old_line) else { continue };
+            let Some(src) = self.lookup(old_line) else {
+                continue;
+            };
             let template = self.template.clone();
             let mut row = std::mem::replace(
-                self.get_mut(src).expect("fresh pointer from lookup is valid"),
+                self.get_mut(src)
+                    .expect("fresh pointer from lookup is valid"),
                 template,
             );
             self.slots[src.slot].valid = false;
@@ -364,7 +383,9 @@ impl<R: Clone> RowTable<R> {
             rewrite(&mut row, old, new);
             let new_line = LineAddr::new(new.first_line().raw() + offset);
             let (dst, _) = self.find_or_alloc(new_line);
-            *self.get_mut(dst).expect("fresh pointer from alloc is valid") = row;
+            *self
+                .get_mut(dst)
+                .expect("fresh pointer from alloc is valid") = row;
             moved += 1;
         }
         moved
@@ -387,7 +408,9 @@ impl<R: Clone> RowTable<R> {
         *self = RowTable::new(new_params, row_bytes, self.template.clone());
         for (_, tag, row) in live {
             let (ptr, _) = self.find_or_alloc(tag);
-            *self.get_mut(ptr).expect("fresh pointer from alloc is valid") = row;
+            *self
+                .get_mut(ptr)
+                .expect("fresh pointer from alloc is valid") = row;
         }
     }
 }
@@ -397,7 +420,12 @@ mod tests {
     use super::*;
 
     fn params(rows: usize, assoc: usize) -> TableParams {
-        TableParams { num_rows: rows, assoc, num_succ: 2, num_levels: 1 }
+        TableParams {
+            num_rows: rows,
+            assoc,
+            num_succ: 2,
+            num_levels: 1,
+        }
     }
 
     fn line(n: u64) -> LineAddr {
@@ -572,10 +600,9 @@ mod tests {
             row.insert_mru(line(lpp * 2 + 11)); // successor in the same page
             row.insert_mru(line(5)); // successor elsewhere
         }
-        let moved =
-            t.remap_page(PageAddr::new(2), PageAddr::new(6), |row, old, new| {
-                row.remap_page(old, new);
-            });
+        let moved = t.remap_page(PageAddr::new(2), PageAddr::new(6), |row, old, new| {
+            row.remap_page(old, new);
+        });
         assert_eq!(moved, 1);
         assert!(t.lookup(old_line).is_none());
         let new_line = line(lpp * 6 + 10);

@@ -2,8 +2,8 @@
 //! shallow tables probed deeply, and prediction-depth mismatches.
 
 use ulmt_core::algorithm::UlmtAlgorithm;
-use ulmt_simcore::rng::Pcg32;
 use ulmt_core::table::{Base, Chain, Replicated, TableParams};
+use ulmt_simcore::rng::Pcg32;
 use ulmt_simcore::LineAddr;
 
 fn line(n: u64) -> LineAddr {
@@ -14,7 +14,12 @@ fn line(n: u64) -> LineAddr {
 fn chain_stops_at_missing_intermediate_rows() {
     // Train a -> b only; b has no row beyond its allocation, so Chain's
     // walk must stop after level 1 without panicking.
-    let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 3 };
+    let p = TableParams {
+        num_rows: 64,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 3,
+    };
     let mut chain = Chain::new(p);
     chain.process_miss(line(1));
     chain.process_miss(line(2));
@@ -24,7 +29,12 @@ fn chain_stops_at_missing_intermediate_rows() {
 
 #[test]
 fn predict_with_more_levels_than_stored_pads_empty() {
-    let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 2 };
+    let p = TableParams {
+        num_rows: 64,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 2,
+    };
     let mut repl = Replicated::new(p);
     for _ in 0..3 {
         for n in [1u64, 2, 3] {
@@ -48,7 +58,12 @@ fn predict_zero_levels_is_empty() {
 #[test]
 fn single_row_tables_work() {
     // Degenerate geometry: 1 set x 1 way.
-    let p = TableParams { num_rows: 1, assoc: 1, num_succ: 1, num_levels: 1 };
+    let p = TableParams {
+        num_rows: 1,
+        assoc: 1,
+        num_succ: 1,
+        num_levels: 1,
+    };
     let mut base = Base::new(p);
     for n in 0..32u64 {
         base.process_miss(line(n));
@@ -61,7 +76,12 @@ fn single_row_tables_work() {
 fn replicated_survives_pointer_self_replacement() {
     // A 1-set table where the new miss's allocation evicts the row one of
     // its own learning pointers targets.
-    let p = TableParams { num_rows: 2, assoc: 2, num_succ: 2, num_levels: 3 };
+    let p = TableParams {
+        num_rows: 2,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 3,
+    };
     let mut repl = Replicated::new(p);
     for n in 0..64u64 {
         repl.process_miss(line(n * 7));
@@ -75,7 +95,12 @@ fn steps_never_duplicate_prefetches() {
     for _ in 0..48 {
         let len = rng.gen_range_usize(1..200);
         let misses: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0..64)).collect();
-        let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 3 };
+        let p = TableParams {
+            num_rows: 64,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 3,
+        };
         let mut algs: Vec<Box<dyn UlmtAlgorithm>> =
             vec![Box::new(Chain::new(p)), Box::new(Replicated::new(p))];
         for alg in &mut algs {

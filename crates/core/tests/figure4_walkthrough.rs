@@ -27,11 +27,21 @@ fn feed(alg: &mut dyn UlmtAlgorithm, seq: &[u64]) {
 /// The figure's parameters: NumRows=4 is too small for distinct rows here,
 /// so use a comfortably larger table with the figure's NumSucc/NumLevels.
 fn base_params() -> TableParams {
-    TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 1 }
+    TableParams {
+        num_rows: 64,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 1,
+    }
 }
 
 fn multi_params() -> TableParams {
-    TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 2 }
+    TableParams {
+        num_rows: 64,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 2,
+    }
 }
 
 #[test]
@@ -73,8 +83,18 @@ fn figure4c_replicated() {
 fn chain_and_repl_agree_with_base_at_level_one() {
     // Section 5.1: "for level 1, Chain and Repl are equivalent to Base"
     // (with equal NumSucc).
-    let p1 = TableParams { num_rows: 256, assoc: 4, num_succ: 4, num_levels: 1 };
-    let p3 = TableParams { num_rows: 256, assoc: 4, num_succ: 4, num_levels: 3 };
+    let p1 = TableParams {
+        num_rows: 256,
+        assoc: 4,
+        num_succ: 4,
+        num_levels: 1,
+    };
+    let p3 = TableParams {
+        num_rows: 256,
+        assoc: 4,
+        num_succ: 4,
+        num_levels: 3,
+    };
     let mut base = Base::new(p1);
     let mut chain = Chain::new(p3);
     let mut repl = Replicated::new(p3);
@@ -95,7 +115,12 @@ fn chain_and_repl_agree_with_base_at_level_one() {
 
 #[test]
 fn repl_prefetches_with_one_row_read_chain_with_many() {
-    let p = TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 };
+    let p = TableParams {
+        num_rows: 256,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 3,
+    };
     let mut chain = Chain::new(p);
     let mut repl = Replicated::new(p);
     for _ in 0..4 {
@@ -107,10 +132,21 @@ fn repl_prefetches_with_one_row_read_chain_with_many() {
     let chain_step = chain.process_miss(line(0));
     let repl_step = repl.process_miss(line(0));
     let row_reads = |cost: &ulmt_core::cost::Cost| {
-        cost.table_touches.iter().filter(|t| t.bytes > 4 && !t.is_write).count()
+        cost.table_touches
+            .iter()
+            .filter(|t| t.bytes > 4 && !t.is_write)
+            .count()
     };
-    assert_eq!(row_reads(&repl_step.prefetch_cost), 1, "Repl: single row access");
-    assert_eq!(row_reads(&chain_step.prefetch_cost), 3, "Chain: NumLevels row accesses");
+    assert_eq!(
+        row_reads(&repl_step.prefetch_cost),
+        1,
+        "Repl: single row access"
+    );
+    assert_eq!(
+        row_reads(&chain_step.prefetch_cost),
+        3,
+        "Chain: NumLevels row accesses"
+    );
     // And both prefetched the same 3 levels of this purely cyclic stream.
     assert_eq!(chain_step.prefetches.len(), repl_step.prefetches.len());
 }
@@ -119,7 +155,12 @@ fn repl_prefetches_with_one_row_read_chain_with_many() {
 fn response_insns_ordering_matches_table1() {
     // Response time ordering Chain > Base ~ Repl, measured in prefetch
     // phase work on a trained table.
-    let p = TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 };
+    let p = TableParams {
+        num_rows: 256,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 3,
+    };
     let train: Vec<u64> = (0..32).map(|i| i * 8).collect();
     let mut base = Base::new(TableParams { num_levels: 1, ..p });
     let mut chain = Chain::new(p);
@@ -145,7 +186,12 @@ fn response_insns_ordering_matches_table1() {
 fn all_algorithms_handle_duplicate_misses_in_a_row() {
     // A line missing repeatedly back-to-back (e.g. set thrash) must not
     // corrupt any structure.
-    let p = TableParams { num_rows: 64, assoc: 2, num_succ: 2, num_levels: 2 };
+    let p = TableParams {
+        num_rows: 64,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 2,
+    };
     let mut algs: Vec<Box<dyn UlmtAlgorithm>> = vec![
         Box::new(Base::new(TableParams { num_levels: 1, ..p })),
         Box::new(Chain::new(p)),
@@ -164,7 +210,12 @@ fn all_algorithms_handle_duplicate_misses_in_a_row() {
 fn tables_respect_associativity_conflicts() {
     // 8 rows, 2-way: 4 sets. Lines 0, 4, 8 collide in set 0; learning all
     // three evicts the LRU row.
-    let p = TableParams { num_rows: 8, assoc: 2, num_succ: 2, num_levels: 1 };
+    let p = TableParams {
+        num_rows: 8,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 1,
+    };
     let mut base = Base::new(p);
     // Train rows for lines 0, 4, 8 (all set 0).
     for &n in &[0u64, 100, 4, 100, 8, 100] {

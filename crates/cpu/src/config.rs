@@ -40,15 +40,29 @@ impl CpuConfig {
         insns.div_ceil(self.issue_width)
     }
 
-    /// Validates the configuration.
+    /// Checks the configuration without panicking, returning a
+    /// descriptive message for the first invalid parameter.
+    pub fn check(&self) -> Result<(), String> {
+        if self.issue_width == 0 {
+            return Err("issue width must be positive".to_string());
+        }
+        if self.rob_insns == 0 {
+            return Err("ROB size must be positive".to_string());
+        }
+        if self.max_pending_loads == 0 {
+            return Err("pending loads must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration. Prefer [`CpuConfig::check`] where a
+    /// recoverable error is wanted.
     ///
     /// # Panics
     ///
     /// Panics if any parameter is zero.
     pub fn validate(&self) {
-        assert!(self.issue_width > 0, "issue width must be positive");
-        assert!(self.rob_insns > 0, "ROB size must be positive");
-        assert!(self.max_pending_loads > 0, "pending loads must be positive");
+        self.check().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

@@ -43,7 +43,10 @@ impl Conven4 {
     ///
     /// Panics if either parameter is zero.
     pub fn new(num_seq: usize, num_pref: usize) -> Self {
-        Conven4 { detector: StreamDetector::new(num_seq, num_pref), issued: 0 }
+        Conven4 {
+            detector: StreamDetector::new(num_seq, num_pref),
+            issued: 0,
+        }
     }
 
     /// Table 4's default configuration (`NumSeq = 4`, `NumPref = 6`).

@@ -87,7 +87,11 @@ impl StallBreakdown {
             return (0.0, 0.0, 0.0);
         }
         let t = reference_total as f64;
-        (self.busy as f64 / t, self.upto_l2 as f64 / t, self.beyond_l2 as f64 / t)
+        (
+            self.busy as f64 / t,
+            self.upto_l2 as f64 / t,
+            self.beyond_l2 as f64 / t,
+        )
     }
 }
 

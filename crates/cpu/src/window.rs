@@ -62,8 +62,15 @@ impl MissWindow {
     ///
     /// Panics if either limit is zero.
     pub fn new(max_pending: usize, rob_insns: u64) -> Self {
-        assert!(max_pending > 0 && rob_insns > 0, "window limits must be positive");
-        MissWindow { max_pending, rob_insns, pending: Vec::with_capacity(max_pending) }
+        assert!(
+            max_pending > 0 && rob_insns > 0,
+            "window limits must be positive"
+        );
+        MissWindow {
+            max_pending,
+            rob_insns,
+            pending: Vec::with_capacity(max_pending),
+        }
     }
 
     /// Records a newly issued miss `id` at instruction index `insn_idx`.
@@ -73,7 +80,10 @@ impl MissWindow {
     /// Panics if the window is already full or `id` is already present —
     /// callers must consult [`MissWindow::check`] first.
     pub fn issue(&mut self, id: u64, insn_idx: u64) {
-        assert!(self.pending.len() < self.max_pending, "issuing past a full window");
+        assert!(
+            self.pending.len() < self.max_pending,
+            "issuing past a full window"
+        );
         assert!(
             self.pending.iter().all(|p| p.id != id),
             "duplicate outstanding miss id {id}"

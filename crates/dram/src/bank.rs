@@ -42,17 +42,36 @@ impl DramConfig {
         self.channels * self.banks_per_channel
     }
 
-    /// Validates the geometry.
+    /// Checks the geometry without panicking, returning a descriptive
+    /// message for the first inconsistency found.
+    pub fn check(&self) -> Result<(), String> {
+        if !self.channels.is_power_of_two() {
+            return Err("channel count must be a power of two".to_string());
+        }
+        if !self.banks_per_channel.is_power_of_two() {
+            return Err("bank count must be a power of two".to_string());
+        }
+        if !self.row_bytes.is_power_of_two() {
+            return Err("row size must be a power of two".to_string());
+        }
+        if self.t_row_miss < self.t_row_hit {
+            return Err("row miss cannot be faster than row hit".to_string());
+        }
+        if self.t_transfer == 0 {
+            return Err("channel transfer time must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    /// Validates the geometry. Prefer [`DramConfig::check`] where a
+    /// recoverable error is wanted.
     ///
     /// # Panics
     ///
     /// Panics if any dimension is zero or not a power of two where
     /// required.
     pub fn validate(&self) {
-        assert!(self.channels.is_power_of_two(), "channel count must be a power of two");
-        assert!(self.banks_per_channel.is_power_of_two(), "bank count must be a power of two");
-        assert!(self.row_bytes.is_power_of_two(), "row size must be a power of two");
-        assert!(self.t_row_miss >= self.t_row_hit, "row miss cannot be faster than row hit");
+        self.check().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -108,7 +127,11 @@ impl Dram {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate();
-        Dram { open_rows: vec![None; cfg.num_banks()], cfg, stats: DramStats::default() }
+        Dram {
+            open_rows: vec![None; cfg.num_banks()],
+            cfg,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration.
@@ -132,8 +155,7 @@ impl Dram {
     pub fn access(&mut self, line: LineAddr) -> DramAccess {
         let channel = self.channel_of(line);
         let within_channel = line.raw() >> self.cfg.channels.trailing_zeros();
-        let bank_in_channel =
-            (within_channel as usize) & (self.cfg.banks_per_channel - 1);
+        let bank_in_channel = (within_channel as usize) & (self.cfg.banks_per_channel - 1);
         let bank = channel * self.cfg.banks_per_channel + bank_in_channel;
         let lines_per_row = self.cfg.row_bytes / LineAddr::L2_LINE;
         let row = (within_channel >> self.cfg.banks_per_channel.trailing_zeros()) / lines_per_row;
@@ -145,7 +167,11 @@ impl Dram {
             self.stats.row_hits += 1;
         }
         DramAccess {
-            latency: if row_hit { self.cfg.t_row_hit } else { self.cfg.t_row_miss },
+            latency: if row_hit {
+                self.cfg.t_row_hit
+            } else {
+                self.cfg.t_row_miss
+            },
             row_hit,
             channel,
         }
@@ -201,7 +227,11 @@ mod tests {
             d.access(LineAddr::new(i));
         }
         // 16 banks cold + occasional row crossings; overwhelmingly hits.
-        assert!(d.stats().row_hit_ratio() > 0.9, "ratio {}", d.stats().row_hit_ratio());
+        assert!(
+            d.stats().row_hit_ratio() > 0.9,
+            "ratio {}",
+            d.stats().row_hit_ratio()
+        );
     }
 
     #[test]

@@ -39,7 +39,26 @@ impl Default for FsbConfig {
         // Main-processor round trip = 2 * t_propagate + t_request + t_data
         //   + NB overhead (44) + DRAM row hit (21) = 208
         // => 2 * t_propagate = 208 - 4 - 32 - 44 - 21 = 107 ≈ 2 * 53.
-        FsbConfig { t_request: 4, t_data: 32, t_propagate: 53 }
+        FsbConfig {
+            t_request: 4,
+            t_data: 32,
+            t_propagate: 53,
+        }
+    }
+}
+
+impl FsbConfig {
+    /// Checks the timing parameters without panicking: the bus phases
+    /// must take time (a zero-occupancy phase would give the bus infinite
+    /// bandwidth and break utilization accounting).
+    pub fn check(&self) -> Result<(), String> {
+        if self.t_request == 0 {
+            return Err("FSB request phase must take at least one cycle".to_string());
+        }
+        if self.t_data == 0 {
+            return Err("FSB data phase must take at least one cycle".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -65,7 +84,11 @@ pub struct Fsb {
 impl Fsb {
     /// Creates an idle bus.
     pub fn new(cfg: FsbConfig) -> Self {
-        Fsb { cfg, bus: Server::new(), busy_by_class: [0; 3] }
+        Fsb {
+            cfg,
+            bus: Server::new(),
+            busy_by_class: [0; 3],
+        }
     }
 
     /// The configuration.

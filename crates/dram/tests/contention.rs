@@ -59,7 +59,10 @@ fn interleaved_streams_thrash_shared_banks() {
 
 #[test]
 fn single_channel_config_routes_everything_to_zero() {
-    let cfg = DramConfig { channels: 1, ..DramConfig::default() };
+    let cfg = DramConfig {
+        channels: 1,
+        ..DramConfig::default()
+    };
     let d = Dram::new(cfg);
     for l in [0u64, 1, 17, 4095] {
         assert_eq!(d.channel_of(LineAddr::new(l)), 0);

@@ -78,7 +78,21 @@ impl Default for MemProcConfig {
 impl MemProcConfig {
     /// A North Bridge-located memory processor (`ReplMC` in Figure 8).
     pub fn north_bridge() -> Self {
-        MemProcConfig { location: MemProcLocation::NorthBridge, ..Self::default() }
+        MemProcConfig {
+            location: MemProcLocation::NorthBridge,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the parameters without panicking, returning a descriptive
+    /// message for the first invalid one.
+    pub fn check(&self) -> Result<(), String> {
+        if self.cycles_per_insn == 0 {
+            return Err("memory processor cycles/insn must be positive".to_string());
+        }
+        self.cache
+            .check()
+            .map_err(|e| format!("memory processor cache: {e}"))
     }
 }
 
@@ -117,7 +131,10 @@ pub struct FixedLatencyMemory {
 impl FixedLatencyMemory {
     /// Creates a memory with all rows closed.
     pub fn new(location: MemProcLocation) -> Self {
-        FixedLatencyMemory { location, open_row: None }
+        FixedLatencyMemory {
+            location,
+            open_row: None,
+        }
     }
 }
 
@@ -280,13 +297,12 @@ impl MemProcessor {
     /// # Panics
     ///
     /// Panics in debug builds if called while still busy.
-    pub fn process(
-        &mut self,
-        miss: LineAddr,
-        now: Cycle,
-        mem: &mut dyn TableMemory,
-    ) -> UlmtStep {
-        debug_assert!(now >= self.busy_until, "ULMT is busy until {}", self.busy_until);
+    pub fn process(&mut self, miss: LineAddr, now: Cycle, mem: &mut dyn TableMemory) -> UlmtStep {
+        debug_assert!(
+            now >= self.busy_until,
+            "ULMT is busy until {}",
+            self.busy_until
+        );
         let step = self.algorithm.process_miss(miss);
 
         let mut t = now;
@@ -301,7 +317,11 @@ impl MemProcessor {
         self.stats.response.add((response_done - now) as f64);
         self.stats.occupancy.add((occupancy_done - now) as f64);
 
-        UlmtStep { prefetches: step.prefetches, response_done, occupancy_done }
+        UlmtStep {
+            prefetches: step.prefetches,
+            response_done,
+            occupancy_done,
+        }
     }
 
     /// Replays one phase's cost against the clock and the private cache.
@@ -312,7 +332,11 @@ impl MemProcessor {
         let line_size = self.cfg.cache.line_size;
         for touch in &cost.table_touches {
             let first = touch.addr.line(line_size).raw();
-            let last = touch.addr.offset(touch.bytes.max(1) as i64 - 1).line(line_size).raw();
+            let last = touch
+                .addr
+                .offset(touch.bytes.max(1) as i64 - 1)
+                .line(line_size)
+                .raw();
             for lineno in first..=last {
                 let line = LineAddr::new(lineno);
                 let before = *t;
@@ -349,12 +373,7 @@ mod tests {
         LineAddr::new(n)
     }
 
-    fn run_steps(
-        mp: &mut MemProcessor,
-        mem: &mut dyn TableMemory,
-        seq: &[u64],
-        reps: usize,
-    ) {
+    fn run_steps(mp: &mut MemProcessor, mem: &mut dyn TableMemory, seq: &[u64], reps: usize) {
         for _ in 0..reps {
             for &n in seq {
                 let now = mp.busy_until();
@@ -365,8 +384,7 @@ mod tests {
 
     #[test]
     fn response_precedes_occupancy() {
-        let mut mp =
-            MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(1024).build());
+        let mut mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(1024).build());
         let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
         let step = mp.process(line(5), 0, &mut mem);
         assert!(step.response_done <= step.occupancy_done);
@@ -378,14 +396,21 @@ mod tests {
     fn repl_response_is_low_and_occupancy_under_200() {
         // Figure 6/10 viability: occupancy must stay under ~200 cycles so
         // the ULMT keeps up with back-to-back dependent misses.
-        let mut mp =
-            MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4096).build());
+        let mut mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4096).build());
         let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
         let seq: Vec<u64> = (0..32).map(|i| i * 37 + 3).collect();
         run_steps(&mut mp, &mut mem, &seq, 6);
         let stats = mp.stats();
-        assert!(stats.occupancy.mean() < 200.0, "occupancy {}", stats.occupancy.mean());
-        assert!(stats.response.mean() < 100.0, "response {}", stats.response.mean());
+        assert!(
+            stats.occupancy.mean() < 200.0,
+            "occupancy {}",
+            stats.occupancy.mean()
+        );
+        assert!(
+            stats.response.mean() < 100.0,
+            "response {}",
+            stats.response.mean()
+        );
     }
 
     #[test]
@@ -422,8 +447,7 @@ mod tests {
     fn cache_reuse_lowers_learning_cost() {
         // Replicated's learning touches rows that were updated recently,
         // so the private cache should show a healthy hit rate.
-        let mut mp =
-            MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(1024).build());
+        let mut mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(1024).build());
         let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
         let seq: Vec<u64> = (0..8).collect();
         run_steps(&mut mp, &mut mem, &seq, 16);
@@ -434,8 +458,7 @@ mod tests {
 
     #[test]
     fn dropped_observation_counter() {
-        let mut mp =
-            MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::seq1().build());
+        let mut mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::seq1().build());
         mp.record_dropped_observation();
         mp.record_dropped_observation();
         assert_eq!(mp.stats().dropped_observations, 2);
@@ -443,8 +466,7 @@ mod tests {
 
     #[test]
     fn idle_tracking() {
-        let mut mp =
-            MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::seq1().build());
+        let mut mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::seq1().build());
         let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
         assert!(mp.is_idle_at(0));
         let step = mp.process(line(1), 0, &mut mem);

@@ -2,9 +2,7 @@
 //! occupancy, busy+mem decomposition, and location sensitivity.
 
 use ulmt_core::AlgorithmSpec;
-use ulmt_memproc::{
-    FixedLatencyMemory, MemProcConfig, MemProcLocation, MemProcessor, TableMemory,
-};
+use ulmt_memproc::{FixedLatencyMemory, MemProcConfig, MemProcLocation, MemProcessor, TableMemory};
 use ulmt_simcore::LineAddr;
 
 fn drive(mut mp: MemProcessor, misses: &[u64]) -> MemProcessor {
@@ -47,7 +45,10 @@ fn response_never_exceeds_occupancy_mean() {
         AlgorithmSpec::repl(4096),
         AlgorithmSpec::seq4(),
     ] {
-        let mp = drive(MemProcessor::new(MemProcConfig::default(), spec.build()), &misses(256));
+        let mp = drive(
+            MemProcessor::new(MemProcConfig::default(), spec.build()),
+            &misses(256),
+        );
         let s = mp.stats();
         assert!(
             s.response.mean() <= s.occupancy.mean(),
@@ -65,7 +66,11 @@ fn seq_ulmt_has_no_table_memory_stall() {
         MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::seq4().build()),
         &misses(256),
     );
-    assert_eq!(mp.stats().mem_cycles, 0, "the sequential ULMT keeps all state in registers");
+    assert_eq!(
+        mp.stats().mem_cycles,
+        0,
+        "the sequential ULMT keeps all state in registers"
+    );
     assert!(mp.stats().busy_cycles > 0);
 }
 
@@ -91,8 +96,7 @@ fn empty_stats_are_zero() {
 
 #[test]
 fn back_to_back_steps_never_overlap() {
-    let mut mp =
-        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4096).build());
+    let mut mp = MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4096).build());
     let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
     let mut prev_end = 0;
     for &m in &misses(128) {
@@ -110,7 +114,10 @@ fn larger_tables_raise_memory_stall_fraction() {
         &misses(1024),
     );
     let large = drive(
-        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(64 * 1024).build()),
+        MemProcessor::new(
+            MemProcConfig::default(),
+            AlgorithmSpec::repl(64 * 1024).build(),
+        ),
         &(0..1024u64).map(|i| (i * 131) % 60_000).collect::<Vec<_>>(),
     );
     assert!(

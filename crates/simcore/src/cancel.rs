@@ -1,0 +1,72 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between a watchdog
+//! (the experiment harness, a timeout thread, a user interrupt) and the
+//! simulation main loop, which polls it between events and winds down
+//! gracefully instead of being killed mid-state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Clones observe the same underlying flag; once cancelled, a token stays
+/// cancelled forever.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` once [`CancelToken::cancel`] has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+        c.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        std::thread::spawn(move || c.cancel())
+            .join()
+            .expect("no panic");
+        assert!(t.is_cancelled());
+    }
+}

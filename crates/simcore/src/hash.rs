@@ -103,7 +103,11 @@ mod tests {
         for i in 0..256u64 {
             low_bits.insert(hash_of(i) & 0xff);
         }
-        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+        assert!(
+            low_bits.len() > 128,
+            "only {} distinct low bytes",
+            low_bits.len()
+        );
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   of buses, DRAM channels and the memory processor.
 //! * [`stats`] — counters, histograms and utilization trackers used to
 //!   produce every figure of the evaluation.
+//! * [`fault`] — deterministic, seeded fault injection consulted by the
+//!   system simulator to exercise its overflow/drop/squash paths.
+//! * [`CancelToken`] — cooperative cancellation polled by the simulation
+//!   main loop so watchdogs can stop runaway runs gracefully.
 //!
 //! # Example
 //!
@@ -33,14 +37,18 @@
 //! ```
 
 pub mod addr;
+pub mod cancel;
 pub mod event;
+pub mod fault;
 pub mod hash;
 pub mod rng;
 pub mod server;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, PageAddr};
+pub use cancel::CancelToken;
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultCounts, FaultPlan, ObservationFault};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Pcg32;
 pub use server::Server;

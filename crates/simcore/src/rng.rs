@@ -42,7 +42,10 @@ impl Pcg32 {
         let mut sm = seed;
         let initstate = splitmix64(&mut sm);
         let initseq = splitmix64(&mut sm);
-        let mut rng = Pcg32 { state: 0, inc: (initseq << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(initstate);
         rng.next_u32();
@@ -71,7 +74,10 @@ impl Pcg32 {
     ///
     /// Panics if the range is empty.
     pub fn gen_range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        let span = range.end.checked_sub(range.start).expect("range start <= end");
+        let span = range
+            .end
+            .checked_sub(range.start)
+            .expect("range start <= end");
         assert!(span > 0, "empty range");
         range.start + ((self.next_u64() as u128 * span as u128) >> 64) as u64
     }
@@ -181,6 +187,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input in order");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
     }
 }

@@ -62,7 +62,11 @@ impl BinnedHistogram {
 
     /// Records one sample.
     pub fn record(&mut self, x: u64) {
-        let bin = self.edges.iter().position(|&e| x < e).unwrap_or(self.edges.len());
+        let bin = self
+            .edges
+            .iter()
+            .position(|&e| x < e)
+            .unwrap_or(self.edges.len());
         self.counts[bin] += 1;
         self.total += 1;
     }
@@ -77,7 +81,10 @@ impl BinnedHistogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Total number of recorded samples.
@@ -172,7 +179,12 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, min: Cycle::MAX, max: 0, sum: 0 }
+        Summary {
+            count: 0,
+            min: Cycle::MAX,
+            max: 0,
+            sum: 0,
+        }
     }
 
     /// Records one value.
@@ -219,7 +231,14 @@ impl fmt::Display for Summary {
         if self.count == 0 {
             write!(f, "empty")
         } else {
-            write!(f, "n={} min={} mean={:.1} max={}", self.count, self.min, self.mean(), self.max)
+            write!(
+                f,
+                "n={} min={} mean={:.1} max={}",
+                self.count,
+                self.min,
+                self.mean(),
+                self.max
+            )
         }
     }
 }
@@ -247,7 +266,10 @@ mod tests {
     #[test]
     fn histogram_labels() {
         let h = BinnedHistogram::inter_miss();
-        assert_eq!(h.labels(), vec!["[0,80)", "[80,200)", "[200,280)", "[280,inf)"]);
+        assert_eq!(
+            h.labels(),
+            vec!["[0,80)", "[80,200)", "[200,280)", "[280,inf)"]
+        );
     }
 
     #[test]

@@ -24,8 +24,7 @@ fn event_queue_is_a_stable_priority_queue() {
             q.push(t, i);
         }
         // Reference: stable sort by time.
-        let mut expected: Vec<(u64, usize)> =
-            times.iter().copied().zip(0..times.len()).collect();
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..times.len()).collect();
         expected.sort_by_key(|&(t, _)| t);
         let mut popped = Vec::new();
         while let Some(item) = q.pop() {

@@ -6,6 +6,8 @@ use ulmt_dram::{DramConfig, FsbConfig};
 use ulmt_memproc::MemProcConfig;
 use ulmt_simcore::Cycle;
 
+use crate::error::ConfigError;
+
 /// Fixed pipeline latencies along the miss path, chosen so the
 /// contention-free round trip from the main processor matches Table 3:
 /// 208 cycles on a DRAM row hit and 243 on a row miss.
@@ -27,7 +29,12 @@ pub struct PathLatencies {
 
 impl Default for PathLatencies {
     fn default() -> Self {
-        PathLatencies { l2_lookup: 12, fsb_propagate: 25, nb_to_dram: 11, deliver: 3 }
+        PathLatencies {
+            l2_lookup: 12,
+            fsb_propagate: 25,
+            nb_to_dram: 11,
+            deliver: 3,
+        }
     }
 }
 
@@ -45,7 +52,11 @@ pub struct QueueDepths {
 
 impl Default for QueueDepths {
     fn default() -> Self {
-        QueueDepths { demand: 16, observation: 16, prefetch: 16 }
+        QueueDepths {
+            demand: 16,
+            observation: 16,
+            prefetch: 16,
+        }
     }
 }
 
@@ -96,9 +107,69 @@ impl SystemConfig {
     /// is preserved at a fraction of the runtime.
     pub fn small() -> Self {
         let mut cfg = SystemConfig::default();
-        cfg.l1 = CacheConfig { size_bytes: 2 * 1024, ..cfg.l1 };
-        cfg.l2 = CacheConfig { size_bytes: 32 * 1024, ..cfg.l2 };
+        cfg.l1 = CacheConfig {
+            size_bytes: 2 * 1024,
+            ..cfg.l1
+        };
+        cfg.l2 = CacheConfig {
+            size_bytes: 32 * 1024,
+            ..cfg.l2
+        };
         cfg
+    }
+
+    /// Validates the whole configuration, returning the first structural
+    /// problem found as a typed [`ConfigError`].
+    ///
+    /// Every simulator constructor calls this up front, so an inconsistent
+    /// configuration surfaces as one descriptive error instead of a panic
+    /// (or a deadlock) deep inside a component.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queues.demand == 0 {
+            return Err(ConfigError::ZeroQueueDepth { queue: "demand" });
+        }
+        if self.queues.observation == 0 {
+            return Err(ConfigError::ZeroQueueDepth {
+                queue: "observation",
+            });
+        }
+        if self.queues.prefetch == 0 {
+            return Err(ConfigError::ZeroQueueDepth { queue: "prefetch" });
+        }
+        if self.filter_entries == 0 {
+            return Err(ConfigError::ZeroFilterEntries);
+        }
+        self.cpu
+            .check()
+            .map_err(|reason| ConfigError::Cpu { reason })?;
+        self.l1.check().map_err(|reason| ConfigError::Cache {
+            which: "L1",
+            reason,
+        })?;
+        self.l2.check().map_err(|reason| ConfigError::Cache {
+            which: "L2",
+            reason,
+        })?;
+        self.dram
+            .check()
+            .map_err(|reason| ConfigError::Dram { reason })?;
+        self.fsb
+            .check()
+            .map_err(|reason| ConfigError::Fsb { reason })?;
+        self.memproc
+            .check()
+            .map_err(|reason| ConfigError::MemProc { reason })?;
+        for (which, latency) in [
+            ("l2_lookup", self.path.l2_lookup),
+            ("fsb_propagate", self.path.fsb_propagate),
+            ("nb_to_dram", self.path.nb_to_dram),
+            ("deliver", self.path.deliver),
+        ] {
+            if latency == 0 {
+                return Err(ConfigError::InconsistentPathLatency { which });
+            }
+        }
+        Ok(())
     }
 
     /// Contention-free demand round trip on a DRAM row hit, for
@@ -159,19 +230,18 @@ impl SystemConfig {
             self.memproc.cache.line_size,
             self.memproc.l1_hit
         ));
-        s.push_str(
-            "  Memory proc RT latency: in NB 100/65 cycles, in DRAM 56/21 (row miss/hit)\n",
-        );
+        s.push_str("  Memory proc RT latency: in NB 100/65 cycles, in DRAM 56/21 (row miss/hit)\n");
         s.push_str(&format!(
             "  DRAM: {} channels x {} banks, {}-B rows; transfer {} cycles/line\n",
-            self.dram.channels, self.dram.banks_per_channel, self.dram.row_bytes,
+            self.dram.channels,
+            self.dram.banks_per_channel,
+            self.dram.row_bytes,
             self.dram.t_transfer
         ));
         s.push_str("OTHER\n");
         s.push_str(&format!(
             "  Queues 1-3 depth: {}/{}/{}; Filter: {} entries, FIFO\n",
-            self.queues.demand, self.queues.observation, self.queues.prefetch,
-            self.filter_entries
+            self.queues.demand, self.queues.observation, self.queues.prefetch, self.filter_entries
         ));
         s
     }
@@ -186,6 +256,120 @@ mod tests {
         let cfg = SystemConfig::default();
         assert_eq!(cfg.round_trip_row_hit(), 208);
         assert_eq!(cfg.round_trip_row_miss(), 243);
+    }
+
+    #[test]
+    fn validate_accepts_table3_and_small() {
+        assert_eq!(SystemConfig::default().validate(), Ok(()));
+        assert_eq!(SystemConfig::small().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_zero_queue() {
+        for (queue, cfg) in [
+            (
+                "demand",
+                SystemConfig {
+                    queues: QueueDepths {
+                        demand: 0,
+                        ..QueueDepths::default()
+                    },
+                    ..SystemConfig::default()
+                },
+            ),
+            (
+                "observation",
+                SystemConfig {
+                    queues: QueueDepths {
+                        observation: 0,
+                        ..QueueDepths::default()
+                    },
+                    ..SystemConfig::default()
+                },
+            ),
+            (
+                "prefetch",
+                SystemConfig {
+                    queues: QueueDepths {
+                        prefetch: 0,
+                        ..QueueDepths::default()
+                    },
+                    ..SystemConfig::default()
+                },
+            ),
+        ] {
+            assert_eq!(cfg.validate(), Err(ConfigError::ZeroQueueDepth { queue }));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_filter() {
+        let cfg = SystemConfig {
+            filter_entries: 0,
+            ..SystemConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroFilterEntries));
+    }
+
+    #[test]
+    fn validate_rejects_bad_cache_geometry() {
+        let mut cfg = SystemConfig::default();
+        cfg.l2 = ulmt_cache::CacheConfig { assoc: 0, ..cfg.l2 };
+        match cfg.validate() {
+            Err(ConfigError::Cache {
+                which: "L2",
+                reason,
+            }) => {
+                assert!(reason.contains("associativity"), "{reason}");
+            }
+            other => panic!("expected L2 cache error, got {other:?}"),
+        }
+        let mut cfg = SystemConfig::default();
+        cfg.l1 = ulmt_cache::CacheConfig {
+            line_size: 48,
+            ..cfg.l1
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::Cache { which: "L1", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_cpu_dram_fsb_memproc() {
+        let mut cfg = SystemConfig::default();
+        cfg.cpu.issue_width = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::Cpu { .. })));
+
+        let mut cfg = SystemConfig::default();
+        cfg.dram.t_row_hit = cfg.dram.t_row_miss + 1;
+        assert!(matches!(cfg.validate(), Err(ConfigError::Dram { .. })));
+
+        let mut cfg = SystemConfig::default();
+        cfg.fsb.t_data = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::Fsb { .. })));
+
+        let mut cfg = SystemConfig::default();
+        cfg.memproc.cycles_per_insn = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::MemProc { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_path_latencies() {
+        let mut cfg = SystemConfig::default();
+        cfg.path.nb_to_dram = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::InconsistentPathLatency {
+                which: "nb_to_dram"
+            })
+        );
+        let mut cfg = SystemConfig::default();
+        cfg.path.deliver = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InconsistentPathLatency { which: "deliver" })
+        ));
     }
 
     #[test]

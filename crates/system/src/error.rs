@@ -1,0 +1,174 @@
+//! Typed errors for configuration validation and guarded runs.
+//!
+//! Historically an inconsistent [`SystemConfig`](crate::SystemConfig)
+//! panicked somewhere deep inside a component constructor, killing a whole
+//! sweep. [`ConfigError`] turns every such case into a value the harness
+//! can report per job, and [`SimAbort`] does the same for runs stopped by
+//! the cycle-budget watchdog or a cancellation token.
+
+use ulmt_simcore::Cycle;
+
+/// A structural problem in a [`SystemConfig`](crate::SystemConfig),
+/// detected by [`SystemConfig::validate`](crate::SystemConfig::validate)
+/// before any component is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A Figure 3 queue was configured with depth 0.
+    ZeroQueueDepth {
+        /// Which queue (`"demand"`, `"observation"`, `"prefetch"`).
+        queue: &'static str,
+    },
+    /// The Filter module has no entries.
+    ZeroFilterEntries,
+    /// A cache geometry is inconsistent (zero ways/sets, ragged capacity,
+    /// non-power-of-two line).
+    Cache {
+        /// Which cache (`"L1"`, `"L2"`).
+        which: &'static str,
+        /// The underlying geometry complaint.
+        reason: String,
+    },
+    /// The main-processor parameters are invalid.
+    Cpu {
+        /// The underlying complaint.
+        reason: String,
+    },
+    /// The DRAM geometry or timing is inconsistent.
+    Dram {
+        /// The underlying complaint.
+        reason: String,
+    },
+    /// The front-side-bus timing is inconsistent.
+    Fsb {
+        /// The underlying complaint.
+        reason: String,
+    },
+    /// The memory-processor parameters are invalid.
+    MemProc {
+        /// The underlying complaint.
+        reason: String,
+    },
+    /// A fixed path latency is inconsistent with the pipeline model (every
+    /// stage of the miss path must take at least one cycle, or events
+    /// would re-enter the same stage in the same cycle).
+    InconsistentPathLatency {
+        /// Which latency (`"l2_lookup"`, `"fsb_propagate"`, ...).
+        which: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroQueueDepth { queue } => {
+                write!(f, "queue depth for the {queue} queue must be at least 1")
+            }
+            ConfigError::ZeroFilterEntries => {
+                write!(f, "the Filter module needs at least 1 entry")
+            }
+            ConfigError::Cache { which, reason } => write!(f, "{which} cache: {reason}"),
+            ConfigError::Cpu { reason } => write!(f, "CPU: {reason}"),
+            ConfigError::Dram { reason } => write!(f, "DRAM: {reason}"),
+            ConfigError::Fsb { reason } => write!(f, "FSB: {reason}"),
+            ConfigError::MemProc { reason } => write!(f, "memory processor: {reason}"),
+            ConfigError::InconsistentPathLatency { which } => {
+                write!(f, "path latency {which} must be at least 1 cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why a guarded simulation stopped before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The run's [`CancelToken`](ulmt_simcore::CancelToken) was cancelled.
+    Cancelled,
+    /// The run exceeded its cycle budget (a runaway-simulation watchdog).
+    CycleBudgetExceeded {
+        /// The budget that was exceeded, in simulated cycles.
+        budget: Cycle,
+    },
+}
+
+/// A simulation stopped cooperatively by the watchdog machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimAbort {
+    /// Why the run stopped.
+    pub reason: AbortReason,
+    /// Simulated cycle at which the run stopped.
+    pub at_cycle: Cycle,
+}
+
+impl std::fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            AbortReason::Cancelled => {
+                write!(f, "simulation cancelled at cycle {}", self.at_cycle)
+            }
+            AbortReason::CycleBudgetExceeded { budget } => write!(
+                f,
+                "simulation exceeded its cycle budget ({budget}) at cycle {}",
+                self.at_cycle
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimAbort {}
+
+/// Everything that can stop a guarded [`Experiment`](crate::Experiment)
+/// run short of a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The run was stopped by the watchdog machinery.
+    Aborted(SimAbort),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "invalid configuration: {e}"),
+            RunError::Aborted(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+impl From<SimAbort> for RunError {
+    fn from(a: SimAbort) -> Self {
+        RunError::Aborted(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = ConfigError::ZeroQueueDepth {
+            queue: "observation",
+        };
+        assert!(e.to_string().contains("observation"));
+        let a = SimAbort {
+            reason: AbortReason::CycleBudgetExceeded { budget: 1000 },
+            at_cycle: 1001,
+        };
+        assert!(a.to_string().contains("1000"));
+        let r: RunError = a.into();
+        assert!(r.to_string().contains("cycle budget"));
+        let r: RunError = ConfigError::ZeroFilterEntries.into();
+        assert!(r.to_string().contains("Filter"));
+    }
+}

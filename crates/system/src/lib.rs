@@ -39,6 +39,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod experiment;
 pub mod miss_stream;
 pub mod multiprog;
@@ -49,13 +50,14 @@ pub mod scheme;
 pub mod sim;
 
 pub use config::{PathLatencies, QueueDepths, SystemConfig};
+pub use error::{AbortReason, ConfigError, RunError, SimAbort};
 pub use experiment::Experiment;
 pub use miss_stream::{l2_miss_stream, l2_miss_stream_with};
 pub use multiprog::{compare_policies, MultiprogExperiment, TablePolicy};
-pub use result::{PrefetchEffect, RunResult};
+pub use result::{FaultReport, PrefetchEffect, RunResult, TwinDelta};
 pub use runner::{
-    parallel_map, parallel_map_with, run_experiments, run_experiments_with, worker_count,
-    SweepResult,
+    parallel_map, parallel_map_with, run_experiments, run_experiments_resilient,
+    run_experiments_with, try_parallel_map_with, worker_count, JobFailure, JobOutcome, SweepResult,
 };
 pub use scheme::PrefetchScheme;
 pub use sim::SystemSim;

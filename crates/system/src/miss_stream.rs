@@ -25,7 +25,12 @@ where
 {
     /// Filters `refs` through caches of the given geometries.
     pub fn new(refs: I, l1_cfg: CacheConfig, l2_cfg: CacheConfig) -> Self {
-        MissStream { refs, l1: Cache::new(l1_cfg), l2: Cache::new(l2_cfg), l1_line: l1_cfg.line_size }
+        MissStream {
+            refs,
+            l1: Cache::new(l1_cfg),
+            l2: Cache::new(l2_cfg),
+            l1_line: l1_cfg.line_size,
+        }
     }
 
     fn filter_one(&mut self, rec: &ulmt_workloads::TraceRecord) -> Option<LineAddr> {

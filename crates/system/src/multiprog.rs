@@ -83,15 +83,19 @@ impl MultiprogExperiment {
                 self.apps
                     .iter()
                     .map(|a| {
-                        let rows =
-                            (a.footprint_lines() as usize).next_power_of_two().max(1024);
+                        let rows = (a.footprint_lines() as usize).next_power_of_two().max(1024);
                         AlgorithmSpec::repl(rows).build()
                     })
                     .collect(),
                 REGION_LINES,
             )),
         };
-        let memproc = MemProcessor::new(MemProcConfig { ..self.config.memproc }, alg);
+        let memproc = MemProcessor::new(
+            MemProcConfig {
+                ..self.config.memproc
+            },
+            alg,
+        );
         let label = match self.policy {
             TablePolicy::Shared => "Multiprog(shared)",
             TablePolicy::PerApplication => "Multiprog(per-app)",
@@ -129,13 +133,14 @@ pub fn compare_policies(
     apps: Vec<WorkloadSpec>,
     epoch_refs: usize,
 ) -> (RunResult, RunResult) {
-    let experiments: Vec<MultiprogExperiment> =
-        [TablePolicy::Shared, TablePolicy::PerApplication]
-            .into_iter()
-            .map(|p| {
-                MultiprogExperiment::new(config, apps.clone()).quantum(epoch_refs).policy(p)
-            })
-            .collect();
+    let experiments: Vec<MultiprogExperiment> = [TablePolicy::Shared, TablePolicy::PerApplication]
+        .into_iter()
+        .map(|p| {
+            MultiprogExperiment::new(config, apps.clone())
+                .quantum(epoch_refs)
+                .policy(p)
+        })
+        .collect();
     let mut results = crate::runner::parallel_map(experiments, MultiprogExperiment::run);
     let per_app = results.pop().expect("per-application result");
     let shared = results.pop().expect("shared result");
@@ -175,7 +180,9 @@ mod tests {
     #[test]
     fn multiprog_accounts_all_references() {
         let refs: usize = mix().iter().map(|a| a.build().count()).sum();
-        let r = MultiprogExperiment::new(SystemConfig::small(), mix()).quantum(500).run();
+        let r = MultiprogExperiment::new(SystemConfig::small(), mix())
+            .quantum(500)
+            .run();
         assert_eq!(r.refs as usize, refs);
         assert!(r.exec_cycles > 0);
     }

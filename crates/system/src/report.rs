@@ -69,6 +69,27 @@ impl RunResult {
             s.push_str(&format!(" {label} {:.0}%", 100.0 * f));
         }
         s.push('\n');
+        if self.demand_q_overflow + self.prefetch_q_overflow + self.observations_dropped > 0 {
+            s.push_str(&format!(
+                "  pressure: q1 overflow {}  q2 dropped {}  q3 overflow {}\n",
+                self.demand_q_overflow, self.observations_dropped, self.prefetch_q_overflow
+            ));
+        }
+        if let Some(fault) = &self.fault {
+            s.push_str(&format!(
+                "  faults (seed {}): {} injected, {} absorbed",
+                fault.seed,
+                fault.injected.total(),
+                fault.absorbed
+            ));
+            if let Some(twin) = &fault.twin {
+                s.push_str(&format!(
+                    "; {:.2}x vs fault-free twin ({:+} coverage events, {:+} L2 misses)",
+                    twin.slowdown, twin.coverage_events_delta, twin.l2_miss_delta
+                ));
+            }
+            s.push('\n');
+        }
         if self.wall_nanos > 0 {
             s.push_str(&format!(
                 "  host: {:.1} ms wall, {:.0} simulated cycles/s\n",
@@ -120,5 +141,19 @@ mod tests {
         let text = r.summary();
         assert!(!text.contains("ULMT:"));
         assert!(!text.contains("prefetching:"));
+    }
+
+    #[test]
+    fn faulted_summary_reports_injection_and_twin() {
+        let r = Experiment::new(
+            SystemConfig::small(),
+            WorkloadSpec::new(App::Mcf).scale(1.0 / 16.0).iterations(2),
+        )
+        .scheme(PrefetchScheme::Repl)
+        .faults(ulmt_simcore::FaultConfig::stress(7))
+        .run();
+        let text = r.summary();
+        assert!(text.contains("faults (seed 7):"), "{text}");
+        assert!(text.contains("vs fault-free twin"), "{text}");
     }
 }

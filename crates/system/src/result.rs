@@ -5,7 +5,7 @@ use std::hash::{Hash, Hasher};
 use ulmt_cpu::StallBreakdown;
 use ulmt_memproc::UlmtStats;
 use ulmt_simcore::stats::BinnedHistogram;
-use ulmt_simcore::{Cycle, FxHasher};
+use ulmt_simcore::{Cycle, FaultCounts, FxHasher};
 
 /// Figure 9 bookkeeping: what happened to L2 misses and pushed prefetches.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,6 +41,51 @@ impl PrefetchEffect {
     }
 }
 
+/// How a run behaved relative to its fault-free twin (the same
+/// experiment run without fault injection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwinDelta {
+    /// Execution time of the fault-free twin, in cycles.
+    pub base_exec_cycles: Cycle,
+    /// Slowdown of the faulted run: `faulted / fault-free` execution time.
+    pub slowdown: f64,
+    /// Fully or partially eliminated misses in the twin
+    /// (`hits + delayed_hits`).
+    pub base_coverage_events: u64,
+    /// Coverage events gained (positive) or lost (negative) under faults.
+    pub coverage_events_delta: i64,
+    /// Demand L2 misses gained or lost under faults.
+    pub l2_miss_delta: i64,
+}
+
+/// What fault injection did to one run, and how the system absorbed it.
+///
+/// The report is fully deterministic: two runs of the same experiment with
+/// the same [`FaultConfig`](ulmt_simcore::FaultConfig) seed produce equal
+/// reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// Seed of the fault stream.
+    pub seed: u64,
+    /// Discrete fault events injected, by class.
+    pub injected: FaultCounts,
+    /// Fault events absorbed by an existing graceful-degradation path
+    /// (queue-2 drop accounting, overflow drops, delayed delivery, added
+    /// latency). A run that completes absorbs every injected fault — the
+    /// simulator has no other way out but a panic, which the stress tests
+    /// assert never happens.
+    pub absorbed: u64,
+    /// Comparison against the fault-free twin run, when one was executed.
+    pub twin: Option<TwinDelta>,
+}
+
+impl FaultReport {
+    /// `true` when every injected fault was absorbed gracefully.
+    pub fn fully_absorbed(&self) -> bool {
+        self.absorbed == self.injected.total()
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -73,6 +118,14 @@ pub struct RunResult {
     pub filter_dropped: u64,
     /// Observations dropped because queue 2 was full.
     pub observations_dropped: u64,
+    /// Demand-queue (queue 1) arrivals that found the queue at or beyond
+    /// its configured depth.
+    pub demand_q_overflow: u64,
+    /// ULMT prefetches (queue 3) dropped because the queue was full.
+    pub prefetch_q_overflow: u64,
+    /// Fault-injection report, when the run executed under a
+    /// [`FaultPlan`](ulmt_simcore::FaultPlan).
+    pub fault: Option<FaultReport>,
     /// Wall-clock time the host spent simulating this run, in
     /// nanoseconds. Purely a harness measurement: it is excluded from
     /// [`RunResult::fingerprint`] so that timing jitter never makes two
@@ -144,6 +197,14 @@ impl RunResult {
         f(&mut h, self.dram_row_hit_ratio);
         self.filter_dropped.hash(&mut h);
         self.observations_dropped.hash(&mut h);
+        self.demand_q_overflow.hash(&mut h);
+        self.prefetch_q_overflow.hash(&mut h);
+        self.fault.is_some().hash(&mut h);
+        if let Some(fault) = &self.fault {
+            fault.seed.hash(&mut h);
+            fault.injected.hash(&mut h);
+            fault.absorbed.hash(&mut h);
+        }
         h.finish()
     }
 }
@@ -154,7 +215,11 @@ mod tests {
 
     #[test]
     fn coverage_math() {
-        let e = PrefetchEffect { hits: 30, delayed_hits: 20, ..Default::default() };
+        let e = PrefetchEffect {
+            hits: 30,
+            delayed_hits: 20,
+            ..Default::default()
+        };
         assert!((e.coverage(100) - 0.5).abs() < 1e-12);
         assert_eq!(e.coverage(0), 0.0);
     }

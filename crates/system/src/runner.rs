@@ -34,24 +34,58 @@
 //! assert!(sweep.cycles_per_wall_sec() > 0.0);
 //! ```
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, Once, PoisonError};
+use std::time::{Duration, Instant};
 
 use crate::experiment::Experiment;
 use crate::result::RunResult;
 
+/// Parses a `ULMT_WORKERS`-style override: `Some(n)` for a positive
+/// integer, `None` for anything else (empty, non-numeric, zero).
+pub fn parse_workers(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
 /// Number of workers the harness uses by default: `ULMT_WORKERS` if set
 /// to a positive integer, otherwise the machine's available parallelism.
+///
+/// An unusable `ULMT_WORKERS` value (non-numeric or `0`) used to fall
+/// through silently; it now warns once on stderr and falls back to the
+/// machine default, so a typo in a sweep script cannot silently serialize
+/// (or mis-parallelize) a whole figure run.
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("ULMT_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("ULMT_WORKERS") {
+        Ok(v) => parse_workers(&v).unwrap_or_else(|| {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "warning: ULMT_WORKERS={v:?} is not a positive integer; \
+                     falling back to available parallelism"
+                );
+            });
+            default()
+        }),
+        Err(_) => default(),
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Bounded retry budget for transient job failures: `ULMT_RETRIES` as a
+/// non-negative integer (capped at 8), default 1.
+pub fn retry_budget() -> u32 {
+    match std::env::var("ULMT_RETRIES") {
+        Ok(v) => v.trim().parse::<u32>().map(|n| n.min(8)).unwrap_or(1),
+        Err(_) => 1,
+    }
 }
 
 /// Applies `f` to every item on a pool of `workers` scoped threads and
@@ -82,6 +116,9 @@ where
     }
     // Jobs are claimed exactly once via the atomic cursor; the mutexes
     // only hand values across the thread boundary and are never contended.
+    // Poisoning is recovered everywhere: a worker that panicked mid-`f`
+    // never holds a lock across the panic, so the protected values stay
+    // consistent and one dead worker must not cascade into harness aborts.
     let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
@@ -94,11 +131,11 @@ where
                 }
                 let item = jobs[i]
                     .lock()
-                    .expect("job mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
                     .expect("each job is claimed exactly once");
                 let result = f(item);
-                *slots[i].lock().expect("result mutex poisoned") = Some(result);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -106,10 +143,86 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .expect("result mutex poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every claimed job stores a result")
         })
         .collect()
+}
+
+/// One job's outcome under the resilient harness: how many attempts it
+/// took and either its value or the final error message.
+#[derive(Debug, Clone)]
+pub struct JobOutcome<R> {
+    /// Attempts executed (1 = first try succeeded or failed terminally).
+    pub attempts: u32,
+    /// The job's value, or the error that exhausted its attempts.
+    pub result: Result<R, String>,
+}
+
+/// [`parallel_map_with`] with per-job panic isolation and bounded retry.
+///
+/// Each job runs under `catch_unwind`: a panicking job is retried up to
+/// `retries` more times (with a small backoff that grows with the attempt
+/// number — panics can be transient host conditions such as memory
+/// pressure), while a job that returns `Err` is treated as deterministic
+/// and fails immediately. Results come back in input order; one poisoned
+/// job can no longer take down the whole map.
+pub fn try_parallel_map_with<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    retries: u32,
+    f: F,
+) -> Vec<JobOutcome<R>>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(T) -> Result<R, String> + Sync,
+{
+    parallel_map_with(items, workers, |item: T| {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| f(item.clone())));
+            match caught {
+                Ok(Ok(value)) => {
+                    return JobOutcome {
+                        attempts,
+                        result: Ok(value),
+                    }
+                }
+                Ok(Err(e)) => {
+                    return JobOutcome {
+                        attempts,
+                        result: Err(e),
+                    }
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    if attempts > retries {
+                        return JobOutcome {
+                            attempts,
+                            result: Err(format!("panicked: {msg}")),
+                        };
+                    }
+                    // Backoff-in-attempts: 10 ms, 20 ms, 40 ms, ... gives
+                    // transient host conditions room to clear without
+                    // stalling the pool noticeably.
+                    std::thread::sleep(Duration::from_millis(10u64 << (attempts - 1).min(6)));
+                }
+            }
+        }
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// [`parallel_map_with`] using the default [`worker_count`].
@@ -122,12 +235,40 @@ where
     parallel_map_with(items, worker_count(), f)
 }
 
+/// One experiment the sweep could not complete, itemized for the report.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Index of the experiment in the input vector.
+    pub index: usize,
+    /// Application label of the failed experiment.
+    pub app: String,
+    /// Scheme label of the failed experiment.
+    pub scheme: String,
+    /// Attempts executed before giving up.
+    pub attempts: u32,
+    /// The final error (a typed [`crate::error::RunError`] rendered to
+    /// text, or `panicked: ...` for an isolated panic).
+    pub error: String,
+}
+
 /// The outcome of one sweep: per-run results (in input order) plus the
-/// sweep's wall-clock throughput.
+/// sweep's wall-clock throughput and any jobs that could not complete.
+///
+/// A sweep degrades gracefully: a panicking or watchdog-cancelled job is
+/// removed from [`SweepResult::results`] and itemized in
+/// [`SweepResult::failed`] instead of aborting the other jobs. When
+/// `failed` is empty, `results` is exactly the historical all-success
+/// vector (input order, one entry per experiment).
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// One [`RunResult`] per input experiment, in input order.
+    /// One [`RunResult`] per *completed* experiment, in input order.
     pub results: Vec<RunResult>,
+    /// Experiments that failed after exhausting their retry budget, in
+    /// input order.
+    pub failed: Vec<JobFailure>,
+    /// Total retry attempts across all jobs (0 when every job succeeded
+    /// on its first try).
+    pub retried: u64,
     /// Wall-clock time of the whole sweep in nanoseconds.
     pub wall_nanos: u64,
     /// Workers the sweep ran with.
@@ -135,6 +276,16 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
+    /// Jobs the sweep was asked to run (completed + failed).
+    pub fn total_jobs(&self) -> usize {
+        self.results.len() + self.failed.len()
+    }
+
+    /// Jobs that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results.len()
+    }
+
     /// Total simulated cycles across all runs.
     pub fn total_cycles(&self) -> u64 {
         self.results.iter().map(|r| r.exec_cycles).sum()
@@ -167,10 +318,19 @@ impl SweepResult {
                 r.cycles_per_wall_sec()
             ));
         }
+        for fail in &self.failed {
+            s.push_str(&format!(
+                "  {:<8} {:<16} FAILED after {} attempt(s): {}\n",
+                fail.app, fail.scheme, fail.attempts, fail.error
+            ));
+        }
         s.push_str(&format!(
-            "sweep: {} runs on {} workers, {:.1} ms wall, {:.0} simulated cycles/s\n",
-            self.results.len(),
+            "sweep: {}/{} runs completed on {} workers ({} retried), {:.1} ms wall, \
+             {:.0} simulated cycles/s\n",
+            self.completed(),
+            self.total_jobs(),
             self.workers,
+            self.retried,
             self.wall_nanos as f64 / 1e6,
             self.cycles_per_wall_sec()
         ));
@@ -178,16 +338,52 @@ impl SweepResult {
     }
 }
 
-/// Runs `experiments` on `workers` threads, collecting results in input
-/// order with sweep timing.
-pub fn run_experiments_with(experiments: Vec<Experiment>, workers: usize) -> SweepResult {
+/// Runs `experiments` on `workers` threads with `retries` retry attempts
+/// per job, collecting completed results in input order and itemizing
+/// failures instead of propagating them.
+pub fn run_experiments_resilient(
+    experiments: Vec<Experiment>,
+    workers: usize,
+    retries: u32,
+) -> SweepResult {
     let start = Instant::now();
-    let results = parallel_map_with(experiments, workers, Experiment::run);
+    let labels: Vec<(String, String)> = experiments.iter().map(Experiment::labels).collect();
+    let outcomes = try_parallel_map_with(experiments, workers, retries, |e: Experiment| {
+        e.run_guarded().map_err(|err| err.to_string())
+    });
+    let mut results = Vec::new();
+    let mut failed = Vec::new();
+    let mut retried = 0u64;
+    for (index, outcome) in outcomes.into_iter().enumerate() {
+        retried += u64::from(outcome.attempts.saturating_sub(1));
+        match outcome.result {
+            Ok(r) => results.push(r),
+            Err(error) => {
+                let (app, scheme) = labels[index].clone();
+                failed.push(JobFailure {
+                    index,
+                    app,
+                    scheme,
+                    attempts: outcome.attempts,
+                    error,
+                });
+            }
+        }
+    }
     SweepResult {
         results,
+        failed,
+        retried,
         wall_nanos: start.elapsed().as_nanos() as u64,
         workers,
     }
+}
+
+/// Runs `experiments` on `workers` threads, collecting results in input
+/// order with sweep timing. Jobs are panic-isolated and retried per
+/// [`retry_budget`]; failures land in [`SweepResult::failed`].
+pub fn run_experiments_with(experiments: Vec<Experiment>, workers: usize) -> SweepResult {
+    run_experiments_resilient(experiments, workers, retry_budget())
 }
 
 /// Runs `experiments` on the default worker pool.
@@ -232,6 +428,65 @@ mod tests {
         // The test environment may or may not set ULMT_WORKERS; only
         // check the invariant that holds either way.
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_and_rejects_garbage() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 12 "), Some(12));
+        assert_eq!(parse_workers("0"), None);
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("four"), None);
+        assert_eq!(parse_workers("-3"), None);
+        assert_eq!(parse_workers("2.5"), None);
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_panics_and_counts_attempts() {
+        let items: Vec<u32> = (0..6).collect();
+        let outcomes = try_parallel_map_with(items, 3, 0, |i: u32| {
+            if i == 2 {
+                panic!("job {i} exploded");
+            }
+            if i == 4 {
+                return Err(format!("job {i} refused"));
+            }
+            Ok(i * 10)
+        });
+        assert_eq!(outcomes.len(), 6);
+        for (i, o) in outcomes.iter().enumerate() {
+            match i {
+                2 => {
+                    let err = o.result.as_ref().unwrap_err();
+                    assert!(
+                        err.contains("panicked") && err.contains("exploded"),
+                        "{err}"
+                    );
+                }
+                4 => {
+                    assert_eq!(o.result.as_ref().unwrap_err(), "job 4 refused");
+                    assert_eq!(o.attempts, 1, "typed errors must not be retried");
+                }
+                _ => assert_eq!(*o.result.as_ref().unwrap(), i as u32 * 10),
+            }
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_retries_transient_panics() {
+        use std::sync::atomic::AtomicU32;
+        let attempts_seen = AtomicU32::new(0);
+        let outcomes = try_parallel_map_with(vec![()], 1, 2, |_| {
+            // Fail the first two attempts, succeed on the third: a
+            // transient condition that clears under retry.
+            if attempts_seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            Ok(42u32)
+        });
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].attempts, 3);
+        assert_eq!(*outcomes[0].result.as_ref().unwrap(), 42);
     }
 
     /// The satellite acceptance test: a parallel sweep returns

@@ -180,7 +180,15 @@ mod tests {
         let labels: Vec<_> = PrefetchScheme::FIGURE7.iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
-            vec!["NoPref", "Conven4", "Base", "Chain", "Repl", "Conven4+Repl", "Custom"]
+            vec![
+                "NoPref",
+                "Conven4",
+                "Base",
+                "Chain",
+                "Repl",
+                "Conven4+Repl",
+                "Custom"
+            ]
         );
     }
 
@@ -188,14 +196,23 @@ mod tests {
     fn custom_follows_table5() {
         let cg = PrefetchScheme::Custom.setup(App::Cg, 1024);
         assert!(cg.verbose);
-        assert_eq!(cg.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("seq1+repl"));
+        assert_eq!(
+            cg.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(),
+            Some("seq1+repl")
+        );
 
         let mst = PrefetchScheme::Custom.setup(App::Mst, 1024);
         assert!(!mst.verbose);
-        assert_eq!(mst.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("repl(l4)"));
+        assert_eq!(
+            mst.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(),
+            Some("repl(l4)")
+        );
 
         let ft = PrefetchScheme::Custom.setup(App::Ft, 1024);
-        assert_eq!(ft.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("repl"));
+        assert_eq!(
+            ft.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(),
+            Some("repl")
+        );
         assert!(ft.conven4);
     }
 
@@ -208,7 +225,10 @@ mod tests {
     #[test]
     fn adaptive_scheme_builds() {
         let s = PrefetchScheme::Adaptive.setup(App::Gap, 1024);
-        assert_eq!(s.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(), Some("adaptive"));
+        assert_eq!(
+            s.ulmt.as_ref().map(AlgorithmSpec::label).as_deref(),
+            Some("adaptive")
+        );
         assert!(!s.conven4);
     }
 

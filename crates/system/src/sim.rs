@@ -17,12 +17,20 @@ use ulmt_dram::{Dram, Fsb, TrafficClass};
 use ulmt_memproc::{FixedLatencyMemory, MemProcConfig, MemProcessor};
 use ulmt_simcore::hash::{fx_map_with_capacity, fx_set_with_capacity};
 use ulmt_simcore::stats::BinnedHistogram;
-use ulmt_simcore::{Cycle, EventQueue, FxHashMap, FxHashSet, LineAddr};
+use ulmt_simcore::{
+    CancelToken, Cycle, EventQueue, FaultPlan, FxHashMap, FxHashSet, LineAddr, ObservationFault,
+};
 use ulmt_workloads::{TraceRecord, WorkloadSpec};
 
 use crate::config::SystemConfig;
-use crate::result::{PrefetchEffect, RunResult};
+use crate::error::{AbortReason, ConfigError, SimAbort};
+use crate::result::{FaultReport, PrefetchEffect, RunResult};
 use crate::scheme::PrefetchScheme;
+
+/// How many events the guarded main loop lets pass between polls of the
+/// (atomic) cancellation token. Budget checks are per-event; only the
+/// cross-thread flag is amortized.
+pub const CANCEL_POLL_EVENTS: u32 = 256;
 
 /// Who a memory transaction belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +50,11 @@ enum Event {
     /// A request arrived at the North Bridge.
     RequestAtNb { line: LineAddr, kind: ReqKind },
     /// A DRAM transaction produced its data at the memory controller.
-    DramDone { line: LineAddr, kind: ReqKind, channel: usize },
+    DramDone {
+        line: LineAddr,
+        kind: ReqKind,
+        channel: usize,
+    },
     /// Data arrived at the L2 cache (demand reply or push).
     ReplyAtL2 { line: LineAddr, kind: ReqKind },
     /// The ULMT's Prefetching step produced addresses.
@@ -50,6 +62,8 @@ enum Event {
     /// The ULMT finished its Learning step and can take the next
     /// observation.
     UlmtFree,
+    /// A fault-delayed observation finally reaches queue 2.
+    DelayedObservation { line: LineAddr },
     /// A DRAM channel finished its transfer slot and can start the next
     /// transaction (bank access latency overlaps with earlier transfers).
     ChannelFree { channel: usize },
@@ -124,6 +138,18 @@ pub struct SystemSim {
     filter: Filter,
     verbose: bool,
 
+    // --- robustness machinery ---
+    /// Deterministic fault injection, consulted at the observation,
+    /// memory-processor and DRAM-dispatch hooks.
+    faults: Option<FaultPlan>,
+    /// Injected fault events that were routed through an existing
+    /// graceful-degradation path.
+    faults_absorbed: u64,
+    /// Cooperative cancellation, polled in the main loop.
+    cancel: Option<CancelToken>,
+    /// Watchdog: abort once simulated time exceeds this many cycles.
+    cycle_budget: Option<Cycle>,
+
     // --- statistics ---
     refs: u64,
     l2_miss_requests: u64,
@@ -157,14 +183,33 @@ impl SystemSim {
     /// The correlation table is sized from the workload's footprint by the
     /// Table 2 rule (smallest power of two comfortably above the distinct
     /// miss lines), scaled with the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails
+    /// [`SystemConfig::validate`]; use [`SystemSim::try_new`] for a
+    /// recoverable error.
     pub fn new(cfg: SystemConfig, workload: &WorkloadSpec, scheme: PrefetchScheme) -> Self {
+        Self::try_new(cfg, workload, scheme).unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"))
+    }
+
+    /// [`SystemSim::new`] returning a typed [`ConfigError`] instead of
+    /// panicking on an invalid configuration.
+    pub fn try_new(
+        cfg: SystemConfig,
+        workload: &WorkloadSpec,
+        scheme: PrefetchScheme,
+    ) -> Result<Self, ConfigError> {
         let num_rows = table_rows_for(workload);
         let setup = scheme.setup(workload.app, num_rows);
         let memproc = setup.ulmt.as_ref().map(|spec| {
-            let mp_cfg = MemProcConfig { location: setup.location, ..cfg.memproc };
+            let mp_cfg = MemProcConfig {
+                location: setup.location,
+                ..cfg.memproc
+            };
             MemProcessor::new(mp_cfg, spec.build())
         });
-        Self::from_parts_hinted(
+        Self::try_from_parts_hinted(
             cfg,
             Box::new(workload.build()),
             setup.conven4,
@@ -180,6 +225,10 @@ impl SystemSim {
     /// memory processor. This is the hook for multiprogrammed runs and
     /// hand-rolled customizations that the [`PrefetchScheme`] presets do
     /// not cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`].
     pub fn from_parts(
         cfg: SystemConfig,
         trace: Box<dyn Iterator<Item = TraceRecord>>,
@@ -205,6 +254,11 @@ impl SystemSim {
     /// lines the trace is expected to touch, 0 for unknown) used to
     /// pre-size the event queue and the hot-path address maps so the
     /// steady state allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`]; use
+    /// [`SystemSim::try_from_parts_hinted`] for a recoverable error.
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts_hinted(
         cfg: SystemConfig,
@@ -216,8 +270,37 @@ impl SystemSim {
         app_label: String,
         footprint_hint: u64,
     ) -> Self {
-        let location =
-            memproc.as_ref().map(|mp| mp.config().location).unwrap_or_default();
+        Self::try_from_parts_hinted(
+            cfg,
+            trace,
+            conven4,
+            memproc,
+            verbose,
+            scheme_label,
+            app_label,
+            footprint_hint,
+        )
+        .unwrap_or_else(|e| panic!("invalid SystemConfig: {e}"))
+    }
+
+    /// [`SystemSim::from_parts_hinted`] returning a typed [`ConfigError`]
+    /// instead of panicking on an invalid configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_parts_hinted(
+        cfg: SystemConfig,
+        trace: Box<dyn Iterator<Item = TraceRecord>>,
+        conven4: bool,
+        memproc: Option<MemProcessor>,
+        verbose: bool,
+        scheme_label: String,
+        app_label: String,
+        footprint_hint: u64,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let location = memproc
+            .as_ref()
+            .map(|mp| mp.config().location)
+            .unwrap_or_default();
         let table_mem = FixedLatencyMemory::new(location);
         // The maps only ever hold in-flight state, so their steady-state
         // sizes are bounded by the machine, not the footprint: the miss
@@ -228,7 +311,7 @@ impl SystemSim {
         // optimization, never a multi-MB up-front allocation).
         let inflight_cap = cfg.queues.demand + cfg.queues.prefetch + cfg.dram.channels;
         let event_cap = 1024usize.max((footprint_hint as usize / 4).min(1 << 14));
-        SystemSim {
+        Ok(SystemSim {
             trace,
             events: EventQueue::with_capacity(event_cap),
             cpu_cursor: 0,
@@ -258,6 +341,10 @@ impl SystemSim {
             obs_q: VecDeque::with_capacity(cfg.queues.observation),
             filter: Filter::new(cfg.filter_entries),
             verbose,
+            faults: None,
+            faults_absorbed: 0,
+            cancel: None,
+            cycle_budget: None,
             refs: 0,
             l2_miss_requests: 0,
             inter_miss: BinnedHistogram::inter_miss(),
@@ -271,7 +358,28 @@ impl SystemSim {
             scheme_label,
             app_label,
             cfg,
-        }
+        })
+    }
+
+    /// Installs a deterministic fault-injection plan. Every fault the plan
+    /// produces is routed through an existing overflow/drop/squash path,
+    /// and the run's [`RunResult`] carries a [`FaultReport`].
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Installs a cooperative cancellation token, polled between events in
+    /// the main loop. A guarded run stops with
+    /// [`AbortReason::Cancelled`] shortly after the token fires.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Installs a cycle-budget watchdog: a guarded run stops with
+    /// [`AbortReason::CycleBudgetExceeded`] once simulated time passes
+    /// `budget` cycles.
+    pub fn set_cycle_budget(&mut self, budget: Cycle) {
+        self.cycle_budget = Some(budget);
     }
 
     /// Runs the simulation to completion and returns the measurements.
@@ -279,11 +387,51 @@ impl SystemSim {
     /// # Panics
     ///
     /// Panics if the simulation deadlocks (an internal invariant
+    /// violation), or if a watchdog installed via
+    /// [`SystemSim::set_cancel_token`] / [`SystemSim::set_cycle_budget`]
+    /// fires — use [`SystemSim::run_guarded`] to observe those as values.
+    pub fn run(self) -> RunResult {
+        self.run_guarded().unwrap_or_else(|a| panic!("{a}"))
+    }
+
+    /// Runs the simulation to completion, stopping cooperatively if the
+    /// cancellation token fires or the cycle budget is exceeded.
+    ///
+    /// The watchdog checks are cooperative and sit in the main event loop:
+    /// the cycle budget is compared against every event timestamp (a
+    /// runaway simulation is caught within one event), while the atomic
+    /// cancellation flag is polled every [`CANCEL_POLL_EVENTS`] events to
+    /// keep it off the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks (an internal invariant
     /// violation).
-    pub fn run(mut self) -> RunResult {
+    pub fn run_guarded(mut self) -> Result<RunResult, SimAbort> {
         let wall_start = Instant::now();
         self.events.push(0, Event::CpuResume);
+        let mut since_cancel_poll: u32 = 0;
         while let Some((t, ev)) = self.events.pop() {
+            if let Some(budget) = self.cycle_budget {
+                if t > budget {
+                    return Err(SimAbort {
+                        reason: AbortReason::CycleBudgetExceeded { budget },
+                        at_cycle: t,
+                    });
+                }
+            }
+            if let Some(token) = &self.cancel {
+                since_cancel_poll += 1;
+                if since_cancel_poll >= CANCEL_POLL_EVENTS {
+                    since_cancel_poll = 0;
+                    if token.is_cancelled() {
+                        return Err(SimAbort {
+                            reason: AbortReason::Cancelled,
+                            at_cycle: t,
+                        });
+                    }
+                }
+            }
             self.handle(t, ev);
             if self.done {
                 break;
@@ -297,7 +445,7 @@ impl SystemSim {
             self.outstanding.len(),
             self.demand_q.len()
         );
-        self.finish(wall_start.elapsed().as_nanos() as u64)
+        Ok(self.finish(wall_start.elapsed().as_nanos() as u64))
     }
 
     fn handle(&mut self, t: Cycle, ev: Event) {
@@ -308,10 +456,15 @@ impl SystemSim {
                 }
             }
             Event::RequestAtNb { line, kind } => self.request_at_nb(line, kind, t),
-            Event::DramDone { line, kind, channel } => self.dram_done(line, kind, channel, t),
+            Event::DramDone {
+                line,
+                kind,
+                channel,
+            } => self.dram_done(line, kind, channel, t),
             Event::ReplyAtL2 { line, kind } => self.reply_at_l2(line, kind, t),
             Event::UlmtPrefetches { lines } => self.enqueue_prefetches(lines, t),
             Event::UlmtFree => self.ulmt_next(t),
+            Event::DelayedObservation { line } => self.deliver_observation(line, t),
             Event::ChannelFree { channel } => {
                 self.channel_busy[channel] = false;
                 self.dispatch_channels(t);
@@ -436,8 +589,10 @@ impl SystemSim {
 
         let (l1_missed, l1_allocated) = match self.l1.access(l1_line, rec.is_write) {
             AccessOutcome::Hit { .. } => {
-                self.last_ref =
-                    LastRef::Done { at: t + self.cfg.cpu.l1_hit, level: ServiceLevel::L1 };
+                self.last_ref = LastRef::Done {
+                    at: t + self.cfg.cpu.l1_hit,
+                    level: ServiceLevel::L1,
+                };
                 (false, false)
             }
             AccessOutcome::Miss { .. } => (true, true),
@@ -461,12 +616,16 @@ impl SystemSim {
         }
 
         match self.l2.access(l2_line, rec.is_write) {
-            AccessOutcome::Hit { first_touch_of_prefetch } => {
+            AccessOutcome::Hit {
+                first_touch_of_prefetch,
+            } => {
                 if first_touch_of_prefetch == Some(PrefetchOrigin::Push) {
                     self.effect.hits += 1;
                 }
-                self.last_ref =
-                    LastRef::Done { at: t + self.cfg.cpu.l2_hit, level: ServiceLevel::L2 };
+                self.last_ref = LastRef::Done {
+                    at: t + self.cfg.cpu.l2_hit,
+                    level: ServiceLevel::L2,
+                };
                 if l1_allocated {
                     self.l1.fill(l1_line, false);
                 }
@@ -524,13 +683,21 @@ impl SystemSim {
             }
             AccessOutcome::MissMerged { .. } => {
                 if l1_allocated {
-                    self.outstanding.entry(l2_line).or_default().l1_fills.push(l1_line);
+                    self.outstanding
+                        .entry(l2_line)
+                        .or_default()
+                        .l1_fills
+                        .push(l1_line);
                 }
             }
             AccessOutcome::Miss { evicted_dirty, .. } => {
                 self.send_writeback(evicted_dirty, t);
                 if l1_allocated {
-                    self.outstanding.entry(l2_line).or_default().l1_fills.push(l1_line);
+                    self.outstanding
+                        .entry(l2_line)
+                        .or_default()
+                        .l1_fills
+                        .push(l1_line);
                 }
                 self.send_request(l2_line, ReqKind::CpuPrefetch, t);
             }
@@ -551,7 +718,9 @@ impl SystemSim {
             ReqKind::Demand => TrafficClass::Demand,
             ReqKind::CpuPrefetch | ReqKind::UlmtPush => TrafficClass::Prefetch,
         };
-        let on_bus = self.fsb.transfer_request(t + self.cfg.path.l2_lookup, class);
+        let on_bus = self
+            .fsb
+            .transfer_request(t + self.cfg.path.l2_lookup, class);
         self.events.push(
             on_bus + self.cfg.path.fsb_propagate,
             Event::RequestAtNb { line, kind },
@@ -603,7 +772,10 @@ impl SystemSim {
         self.dispatch_channels(t);
     }
 
-    /// Queue 2: offer an observation to the ULMT.
+    /// Queue 2: offer an observation to the ULMT, consulting the fault
+    /// plan first. Every fault routes through an existing graceful path:
+    /// drops use the queue-2 drop accounting, duplicates compete for
+    /// queue-2 space, delays re-enter this path later via an event.
     fn observe(&mut self, line: LineAddr, kind: ReqKind, t: Cycle) {
         let observable = match kind {
             ReqKind::Demand => true,
@@ -613,17 +785,68 @@ impl SystemSim {
         if !observable || self.memproc.is_none() {
             return;
         }
-        let idle = self.memproc.as_ref().expect("checked above").is_idle_at(t);
+        let mut duplicate = false;
+        if let Some(plan) = self.faults.as_mut() {
+            let fault = plan.on_observation();
+            if plan.take_queue_reduction() {
+                self.cfg.queues.demand = (self.cfg.queues.demand / 2).max(1);
+                self.cfg.queues.observation = (self.cfg.queues.observation / 2).max(1);
+                self.cfg.queues.prefetch = (self.cfg.queues.prefetch / 2).max(1);
+                // Excess queued observations are dropped through the
+                // normal overflow path as new ones arrive; nothing is
+                // truncated behind the accounting's back.
+                self.faults_absorbed += 1;
+            }
+            match fault {
+                Some(ObservationFault::Drop) => {
+                    self.memproc
+                        .as_mut()
+                        .expect("checked above")
+                        .record_dropped_observation();
+                    self.faults_absorbed += 1;
+                    return;
+                }
+                Some(ObservationFault::Duplicate) => duplicate = true,
+                Some(ObservationFault::Delay(d)) => {
+                    // Absorbed at scheduling: the observation rejoins the
+                    // normal delivery path via the event queue (and is
+                    // simply discarded if the run drains first).
+                    self.events.push(t + d, Event::DelayedObservation { line });
+                    self.faults_absorbed += 1;
+                    return;
+                }
+                None => {}
+            }
+        }
+        self.deliver_observation(line, t);
+        if duplicate {
+            self.faults_absorbed += 1;
+            self.deliver_observation(line, t);
+        }
+    }
+
+    /// The fault-free tail of [`SystemSim::observe`]: hand `line` to the
+    /// ULMT now if it is idle, queue it if there is room, otherwise drop
+    /// the *oldest* queued observation to make room (the newest
+    /// observation is the most likely to still be timely — Section 3.2's
+    /// queue 2 behaves as a sliding window over the miss stream).
+    fn deliver_observation(&mut self, line: LineAddr, t: Cycle) {
+        let idle = self.memproc.as_ref().expect("caller checked").is_idle_at(t);
         if idle && self.obs_q.is_empty() {
             self.ulmt_process(line, t);
-        } else if self.obs_q.len() < self.cfg.queues.observation {
-            self.obs_q.push_back(line);
-        } else {
+            return;
+        }
+        // `while`, not `if`: a forced mid-run queue-depth reduction can
+        // leave the queue over the new depth, and each arrival then drains
+        // it back down through the normal drop accounting.
+        while self.obs_q.len() >= self.cfg.queues.observation {
+            self.obs_q.pop_front();
             self.memproc
                 .as_mut()
-                .expect("checked above")
+                .expect("caller checked")
                 .record_dropped_observation();
         }
+        self.obs_q.push_back(line);
     }
 
     fn dispatch_channels(&mut self, t: Cycle) {
@@ -652,6 +875,19 @@ impl SystemSim {
             let Some((line, kind)) = pick else { continue };
             self.channel_busy[c] = true;
             let access = self.dram.access(line);
+            // Fault hook: a transient bank-busy spike adds core-access
+            // latency to this one transaction; the reply path is latency-
+            // tolerant, so the spike is absorbed as an ordinary slow access.
+            let busy_spike = match self.faults.as_mut() {
+                Some(plan) => {
+                    let b = plan.dram_busy();
+                    if b > 0 {
+                        self.faults_absorbed += 1;
+                    }
+                    b
+                }
+                None => 0,
+            };
             let injection = if kind == ReqKind::UlmtPush {
                 self.memproc
                     .as_ref()
@@ -662,15 +898,25 @@ impl SystemSim {
             };
             let data_at_controller = t
                 + injection
+                + busy_spike
                 + self.cfg.path.nb_to_dram
                 + access.latency
                 + self.cfg.dram.t_transfer;
             self.inflight_dram.insert(line, kind);
             // The channel's issue rate is bounded by its transfer time;
             // the bank access pipelines underneath earlier transfers.
-            self.events
-                .push(t + self.cfg.dram.t_transfer, Event::ChannelFree { channel: c });
-            self.events.push(data_at_controller, Event::DramDone { line, kind, channel: c });
+            self.events.push(
+                t + self.cfg.dram.t_transfer,
+                Event::ChannelFree { channel: c },
+            );
+            self.events.push(
+                data_at_controller,
+                Event::DramDone {
+                    line,
+                    kind,
+                    channel: c,
+                },
+            );
         }
     }
 
@@ -707,19 +953,19 @@ impl SystemSim {
             ReqKind::UlmtPush => {
                 self.inflight_push_replies.remove(&line);
                 match self.l2.push(line) {
-                PushOutcome::StoleMshr { demand_was_waiting } => {
-                    if demand_was_waiting {
-                        self.effect.delayed_hits += 1;
+                    PushOutcome::StoleMshr { demand_was_waiting } => {
+                        if demand_was_waiting {
+                            self.effect.delayed_hits += 1;
+                        }
+                        self.complete_line(line, t);
                     }
-                    self.complete_line(line, t);
-                }
-                PushOutcome::Accepted { evicted_dirty } => {
-                    self.send_writeback(evicted_dirty, t);
-                }
-                PushOutcome::DroppedPresent
-                | PushOutcome::DroppedWriteback
-                | PushOutcome::DroppedNoMshr
-                | PushOutcome::DroppedSetPending => {}
+                    PushOutcome::Accepted { evicted_dirty } => {
+                        self.send_writeback(evicted_dirty, t);
+                    }
+                    PushOutcome::DroppedPresent
+                    | PushOutcome::DroppedWriteback
+                    | PushOutcome::DroppedNoMshr
+                    | PushOutcome::DroppedSetPending => {}
                 }
             }
         }
@@ -746,8 +992,7 @@ impl SystemSim {
             }
         }
         self.maybe_wake_cpu(line, t);
-        if self.finished_trace && self.blocked.is_none() && self.window.is_empty() && !self.done
-        {
+        if self.finished_trace && self.blocked.is_none() && self.window.is_empty() && !self.done {
             self.done = true;
             self.end_time = self.cpu_cursor.max(t);
         }
@@ -758,12 +1003,31 @@ impl SystemSim {
     // ------------------------------------------------------------------
 
     fn ulmt_process(&mut self, miss: LineAddr, t: Cycle) {
-        let Some(mp) = self.memproc.as_mut() else { return };
-        let start = t.max(mp.busy_until());
+        // Fault hook: a transient stall (e.g. the memory processor's OS
+        // thread being descheduled) delays the Prefetching step; the
+        // existing occupancy accounting absorbs it as ordinary busy time.
+        let stall = match self.faults.as_mut() {
+            Some(plan) => {
+                let s = plan.memproc_stall();
+                if s > 0 {
+                    self.faults_absorbed += 1;
+                }
+                s
+            }
+            None => 0,
+        };
+        let Some(mp) = self.memproc.as_mut() else {
+            return;
+        };
+        let start = t.max(mp.busy_until()) + stall;
         let step = mp.process(miss, start, &mut self.table_mem);
         if !step.prefetches.is_empty() {
-            self.events
-                .push(step.response_done, Event::UlmtPrefetches { lines: step.prefetches });
+            self.events.push(
+                step.response_done,
+                Event::UlmtPrefetches {
+                    lines: step.prefetches,
+                },
+            );
         }
         self.events.push(step.occupancy_done, Event::UlmtFree);
     }
@@ -815,6 +1079,12 @@ impl SystemSim {
         let l2_stats = self.l2.stats();
         let elapsed = self.end_time.max(1);
         let observations_dropped = self.memproc_stats_dropped();
+        let fault = self.faults.as_ref().map(|plan| FaultReport {
+            seed: plan.config().seed,
+            injected: plan.counts(),
+            absorbed: self.faults_absorbed,
+            twin: None, // filled by Experiment when a twin run is requested
+        });
         RunResult {
             scheme: self.scheme_label,
             app: self.app_label,
@@ -826,24 +1096,27 @@ impl SystemSim {
             prefetch: PrefetchEffect {
                 replaced: l2_stats.prefetch_replaced_untouched,
                 redundant: l2_stats.pushes_dropped_present,
-                dropped_other: l2_stats.pushes_dropped()
-                    - l2_stats.pushes_dropped_present,
+                dropped_other: l2_stats.pushes_dropped() - l2_stats.pushes_dropped_present,
                 ..self.effect
             },
             ulmt: self.memproc.map(|mp| mp.stats().clone()),
             fsb_utilization: self.fsb.utilization(elapsed),
-            fsb_prefetch_utilization: self
-                .fsb
-                .utilization_of(TrafficClass::Prefetch, elapsed),
+            fsb_prefetch_utilization: self.fsb.utilization_of(TrafficClass::Prefetch, elapsed),
             dram_row_hit_ratio: self.dram.stats().row_hit_ratio(),
             filter_dropped: self.filter.dropped(),
             observations_dropped,
+            demand_q_overflow: self.demand_q_overflow,
+            prefetch_q_overflow: self.prefetch_q_overflow,
+            fault,
             wall_nanos,
         }
     }
 
     fn memproc_stats_dropped(&self) -> u64 {
-        self.memproc.as_ref().map(|mp| mp.stats().dropped_observations).unwrap_or(0)
+        self.memproc
+            .as_ref()
+            .map(|mp| mp.stats().dropped_observations)
+            .unwrap_or(0)
     }
 }
 
@@ -947,5 +1220,88 @@ mod tests {
         assert!(repl.fsb_utilization >= base.fsb_utilization);
         assert!(repl.fsb_prefetch_utilization > 0.0);
         assert_eq!(base.fsb_prefetch_utilization, 0.0);
+    }
+
+    fn run_with_queues(depths: crate::config::QueueDepths) -> RunResult {
+        let mut cfg = SystemConfig::small();
+        cfg.queues = depths;
+        let spec = WorkloadSpec::new(App::Mcf).scale(1.0 / 16.0).iterations(3);
+        SystemSim::new(cfg, &spec, PrefetchScheme::Repl).run()
+    }
+
+    /// Queue 2 drops the *oldest* observation on overflow (the paper's
+    /// sliding-window semantics): a cramped queue must therefore still
+    /// observe — and prefetch from — the *recent* part of the miss
+    /// stream, not just its prefix.
+    #[test]
+    fn observation_queue_drops_oldest_on_overflow() {
+        use crate::config::QueueDepths;
+        let tight = run_with_queues(QueueDepths {
+            demand: 16,
+            observation: 2,
+            prefetch: 16,
+        });
+        assert!(
+            tight.observations_dropped > 0,
+            "depth-2 queue never overflowed"
+        );
+        // Drop-oldest keeps the window current: the ULMT still learns
+        // correlations and produces useful prefetches under pressure.
+        assert!(
+            tight.prefetch.hits + tight.prefetch.delayed_hits > 0,
+            "drop-oldest should preserve recent observations: {:?}",
+            tight.prefetch
+        );
+    }
+
+    /// Overflow counters move consistently with queue pressure: shrinking
+    /// a queue never reduces its overflow count.
+    #[test]
+    fn overflow_counters_monotone_in_queue_pressure() {
+        use crate::config::QueueDepths;
+        let roomy = run_with_queues(QueueDepths::default());
+        let tight = run_with_queues(QueueDepths {
+            demand: 16,
+            observation: 2,
+            prefetch: 2,
+        });
+        assert!(
+            tight.observations_dropped >= roomy.observations_dropped,
+            "tight {} < roomy {}",
+            tight.observations_dropped,
+            roomy.observations_dropped
+        );
+        assert!(
+            tight.prefetch_q_overflow >= roomy.prefetch_q_overflow,
+            "tight {} < roomy {}",
+            tight.prefetch_q_overflow,
+            roomy.prefetch_q_overflow
+        );
+    }
+
+    /// The pathological all-depth-1 configuration is legal and must
+    /// complete (slowly, lossily) rather than wedge or panic.
+    #[test]
+    fn depth_one_queues_complete_without_panic() {
+        use crate::config::QueueDepths;
+        let r = run_with_queues(QueueDepths {
+            demand: 1,
+            observation: 1,
+            prefetch: 1,
+        });
+        assert!(r.exec_cycles > 0);
+        assert!(r.refs > 0);
+        // Every scheme in the Figure 7 set survives the same squeeze.
+        for scheme in PrefetchScheme::FIGURE7 {
+            let mut cfg = SystemConfig::small();
+            cfg.queues = QueueDepths {
+                demand: 1,
+                observation: 1,
+                prefetch: 1,
+            };
+            let spec = WorkloadSpec::new(App::Tree).scale(1.0 / 16.0).iterations(2);
+            let r = SystemSim::new(cfg, &spec, scheme).run();
+            assert!(r.exec_cycles > 0, "{scheme:?} wedged");
+        }
     }
 }

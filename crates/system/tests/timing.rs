@@ -136,7 +136,9 @@ fn queue2_overflow_drops_observations() {
     // occupancy; with a 1-deep observation queue some must be dropped.
     let mut cfg = SystemConfig::small();
     cfg.queues.observation = 1;
-    let spec = WorkloadSpec::new(ulmt_workloads::App::Cg).scale(1.0 / 16.0).iterations(2);
+    let spec = WorkloadSpec::new(ulmt_workloads::App::Cg)
+        .scale(1.0 / 16.0)
+        .iterations(2);
     let r = SystemSim::new(cfg, &spec, PrefetchScheme::Repl).run();
     assert!(r.observations_dropped > 0);
 }
@@ -145,7 +147,9 @@ fn queue2_overflow_drops_observations() {
 fn verbose_mode_feeds_prefetch_requests_to_the_ulmt() {
     // Compare ULMT observation counts with Conven4 on, Verbose vs
     // Non-Verbose, on a sequential workload: Verbose must see more.
-    let spec = WorkloadSpec::new(ulmt_workloads::App::Cg).scale(1.0 / 16.0).iterations(2);
+    let spec = WorkloadSpec::new(ulmt_workloads::App::Cg)
+        .scale(1.0 / 16.0)
+        .iterations(2);
     let steps = |verbose: bool| {
         let memproc = ulmt_memproc::MemProcessor::new(
             ulmt_memproc::MemProcConfig::default(),

@@ -479,8 +479,18 @@ mod tests {
     #[test]
     fn stepped_workload_repeats_core() {
         let core = vec![
-            Step { addr: line_addr(1), gap_insns: 5, dependent: false, is_write: false },
-            Step { addr: line_addr(2), gap_insns: 5, dependent: false, is_write: false },
+            Step {
+                addr: line_addr(1),
+                gap_insns: 5,
+                dependent: false,
+                is_write: false,
+            },
+            Step {
+                addr: line_addr(2),
+                gap_insns: 5,
+                dependent: false,
+                is_write: false,
+            },
         ];
         let w = SteppedWorkload::new(core, 3, 0.0, 0..1, 1);
         assert_eq!(w.total_refs(), 6);

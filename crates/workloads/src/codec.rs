@@ -42,7 +42,10 @@ impl std::fmt::Display for TraceCodecError {
                 write!(f, "trace ends mid-record ({leftover} leftover bytes)")
             }
             TraceCodecError::UnalignedAddress { addr } => {
-                write!(f, "address {addr:#x} uses the flag bits (must be 4-byte aligned)")
+                write!(
+                    f,
+                    "address {addr:#x} uses the flag bits (must be 4-byte aligned)"
+                )
             }
         }
     }
@@ -85,9 +88,7 @@ pub fn decode_record(bytes: &[u8; RECORD_BYTES]) -> TraceRecord {
 /// # Errors
 ///
 /// Propagates the first per-record error.
-pub fn encode<I: IntoIterator<Item = TraceRecord>>(
-    records: I,
-) -> Result<Vec<u8>, TraceCodecError> {
+pub fn encode<I: IntoIterator<Item = TraceRecord>>(records: I) -> Result<Vec<u8>, TraceCodecError> {
     let mut out = Vec::new();
     for rec in records {
         out.extend_from_slice(&encode_record(&rec)?);
@@ -103,7 +104,9 @@ pub fn encode<I: IntoIterator<Item = TraceRecord>>(
 /// number of records.
 pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceCodecError> {
     if !bytes.len().is_multiple_of(RECORD_BYTES) {
-        return Err(TraceCodecError::TruncatedInput { leftover: bytes.len() % RECORD_BYTES });
+        return Err(TraceCodecError::TruncatedInput {
+            leftover: bytes.len() % RECORD_BYTES,
+        });
     }
     Ok(bytes
         .chunks_exact(RECORD_BYTES)
@@ -166,7 +169,10 @@ mod tests {
         let rec = TraceRecord::load(Addr::new(64), 0);
         let mut bytes = encode(vec![rec]).unwrap();
         bytes.pop();
-        assert_eq!(decode(&bytes), Err(TraceCodecError::TruncatedInput { leftover: 11 }));
+        assert_eq!(
+            decode(&bytes),
+            Err(TraceCodecError::TruncatedInput { leftover: 11 })
+        );
     }
 
     #[test]

@@ -57,10 +57,10 @@ impl MultiprogWorkload {
             .enumerate()
             .map(|(i, spec)| {
                 let offset = (i as u64) * REGION_LINES * 64;
-                Box::new(
-                    spec.build()
-                        .map(move |r| TraceRecord { addr: r.addr.offset(offset as i64), ..r }),
-                ) as Box<dyn Iterator<Item = TraceRecord>>
+                Box::new(spec.build().map(move |r| TraceRecord {
+                    addr: r.addr.offset(offset as i64),
+                    ..r
+                })) as Box<dyn Iterator<Item = TraceRecord>>
             })
             .collect();
         let n = streams.len();
@@ -147,8 +147,10 @@ mod tests {
         let all: Vec<_> = mp.collect();
         assert_eq!(all.len(), total_a + total_b);
         // The tail is pure app-1 (app 0 ran out first).
-        let tail_regions: Vec<_> =
-            all[all.len() - 100..].iter().map(|r| region_of_addr(r.addr)).collect();
+        let tail_regions: Vec<_> = all[all.len() - 100..]
+            .iter()
+            .map(|r| region_of_addr(r.addr))
+            .collect();
         assert!(tail_regions.iter().all(|&r| r == 1));
     }
 

@@ -179,7 +179,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A paper-scale specification of `app` with the default seed.
     pub fn new(app: App) -> Self {
-        WorkloadSpec { app, scale_factor: 1.0, iterations: None, seed: 0x5eed }
+        WorkloadSpec {
+            app,
+            scale_factor: 1.0,
+            iterations: None,
+            seed: 0x5eed,
+        }
     }
 
     /// Scales the footprint by `factor` (useful for fast CI runs).
@@ -267,7 +272,11 @@ mod tests {
     #[test]
     fn sequential_character_ordering() {
         let seq_frac = |app: App| {
-            WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).analyze().sequential_fraction
+            WorkloadSpec::new(app)
+                .scale(1.0 / 32.0)
+                .iterations(1)
+                .analyze()
+                .sequential_fraction
         };
         // Per-reference-stream sequentiality: Equake/FT notably higher
         // than the pointer apps (reuse references dilute the raw ratio;
@@ -282,7 +291,11 @@ mod tests {
     #[test]
     fn dependence_ordering() {
         let dep = |app: App| {
-            WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).analyze().dependent_fraction
+            WorkloadSpec::new(app)
+                .scale(1.0 / 32.0)
+                .iterations(1)
+                .analyze()
+                .dependent_fraction
         };
         assert!(dep(App::Mcf) > 0.95);
         assert!(dep(App::Mst) > 0.95);
@@ -304,8 +317,16 @@ mod tests {
 
     #[test]
     fn determinism_per_seed() {
-        let a: Vec<_> = WorkloadSpec::new(App::Gap).scale(0.01).iterations(1).build().collect();
-        let b: Vec<_> = WorkloadSpec::new(App::Gap).scale(0.01).iterations(1).build().collect();
+        let a: Vec<_> = WorkloadSpec::new(App::Gap)
+            .scale(0.01)
+            .iterations(1)
+            .build()
+            .collect();
+        let b: Vec<_> = WorkloadSpec::new(App::Gap)
+            .scale(0.01)
+            .iterations(1)
+            .build()
+            .collect();
         assert_eq!(a, b);
         let c: Vec<_> = WorkloadSpec::new(App::Gap)
             .scale(0.01)

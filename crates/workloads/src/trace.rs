@@ -20,17 +20,32 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// A plain independent load.
     pub fn load(addr: Addr, gap_insns: u32) -> Self {
-        TraceRecord { addr, gap_insns, dependent: false, is_write: false }
+        TraceRecord {
+            addr,
+            gap_insns,
+            dependent: false,
+            is_write: false,
+        }
     }
 
     /// A load whose address depends on the previous reference.
     pub fn dependent_load(addr: Addr, gap_insns: u32) -> Self {
-        TraceRecord { addr, gap_insns, dependent: true, is_write: false }
+        TraceRecord {
+            addr,
+            gap_insns,
+            dependent: true,
+            is_write: false,
+        }
     }
 
     /// A store.
     pub fn store(addr: Addr, gap_insns: u32) -> Self {
-        TraceRecord { addr, gap_insns, dependent: false, is_write: true }
+        TraceRecord {
+            addr,
+            gap_insns,
+            dependent: false,
+            is_write: true,
+        }
     }
 
     /// The L2 line (64 B) this reference touches.
@@ -120,7 +135,9 @@ mod tests {
 
     #[test]
     fn stats_of_sequential_stream() {
-        let recs: Vec<_> = (0..100u64).map(|i| TraceRecord::load(Addr::new(i * 64), 12)).collect();
+        let recs: Vec<_> = (0..100u64)
+            .map(|i| TraceRecord::load(Addr::new(i * 64), 12))
+            .collect();
         let s = TraceStats::from_records(recs);
         assert_eq!(s.refs, 100);
         assert_eq!(s.footprint_lines, 100);
@@ -131,8 +148,9 @@ mod tests {
 
     #[test]
     fn stats_of_random_stream() {
-        let recs: Vec<_> =
-            (0..100u64).map(|i| TraceRecord::load(Addr::new((i * 7919 % 4096) * 64), 5)).collect();
+        let recs: Vec<_> = (0..100u64)
+            .map(|i| TraceRecord::load(Addr::new((i * 7919 % 4096) * 64), 5))
+            .collect();
         let s = TraceStats::from_records(recs);
         assert!(s.sequential_fraction < 0.05);
     }

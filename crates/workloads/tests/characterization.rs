@@ -99,10 +99,12 @@ fn parser_has_the_largest_nonrepeating_component() {
 #[test]
 fn sparse_contains_l2_aliased_conflict_groups() {
     // Lines exactly 2048 apart share an L2 set (2048 sets at full size).
-    let recs: Vec<_> =
-        WorkloadSpec::new(App::Sparse).scale(1.0 / 16.0).iterations(1).build().collect();
-    let lines: std::collections::HashSet<u64> =
-        recs.iter().map(|r| r.l2_line().raw()).collect();
+    let recs: Vec<_> = WorkloadSpec::new(App::Sparse)
+        .scale(1.0 / 16.0)
+        .iterations(1)
+        .build()
+        .collect();
+    let lines: std::collections::HashSet<u64> = recs.iter().map(|r| r.l2_line().raw()).collect();
     let aliased = lines
         .iter()
         .filter(|&&l| lines.contains(&(l + 2048)))
@@ -140,8 +142,14 @@ fn all_generators_bounded_by_declared_footprint() {
 #[test]
 fn seeds_change_patterns_but_not_character() {
     for app in [App::Mcf, App::Equake] {
-        let a = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).seed(1);
-        let b = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(1).seed(2);
+        let a = WorkloadSpec::new(app)
+            .scale(1.0 / 32.0)
+            .iterations(1)
+            .seed(1);
+        let b = WorkloadSpec::new(app)
+            .scale(1.0 / 32.0)
+            .iterations(1)
+            .seed(2);
         let (sa, sb) = (a.analyze(), b.analyze());
         let recs_a: Vec<_> = a.build().take(100).collect();
         let recs_b: Vec<_> = b.build().take(100).collect();

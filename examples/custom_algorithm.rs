@@ -70,7 +70,8 @@ impl UlmtAlgorithm for StrideAndCorrelate {
             for k in 1..=self.depth {
                 step.prefetches.push(miss.offset(k * self.stride));
             }
-            step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH * self.depth as u64);
+            step.prefetch_cost
+                .add_insns(insn_cost::PER_PREFETCH * self.depth as u64);
         }
         step
     }
@@ -131,8 +132,16 @@ fn main() {
 
     println!("Custom ULMT algorithm vs stock algorithms");
     println!("(miss stream: stride-3 bursts + repeating pointer chase)\n");
-    evaluate("seq4 (stock)", ulmt::core::AlgorithmSpec::seq4().build(), &misses);
-    evaluate("repl (stock)", ulmt::core::AlgorithmSpec::repl(16 * 1024).build(), &misses);
+    evaluate(
+        "seq4 (stock)",
+        ulmt::core::AlgorithmSpec::seq4().build(),
+        &misses,
+    );
+    evaluate(
+        "repl (stock)",
+        ulmt::core::AlgorithmSpec::repl(16 * 1024).build(),
+        &misses,
+    );
     evaluate(
         "stride+repl",
         Box::new(StrideAndCorrelate::new(16 * 1024, 6)),

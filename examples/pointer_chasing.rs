@@ -30,8 +30,14 @@ fn main() {
             "  {:<8} {:>12} {:>9} {:>10} {:>13} {:>10}",
             "scheme", "cycles", "speedup", "coverage", "delayed-hits", "occupancy"
         );
-        for scheme in [PrefetchScheme::Base, PrefetchScheme::Chain, PrefetchScheme::Repl] {
-            let r = Experiment::new(config, workload.clone()).scheme(scheme).run();
+        for scheme in [
+            PrefetchScheme::Base,
+            PrefetchScheme::Chain,
+            PrefetchScheme::Repl,
+        ] {
+            let r = Experiment::new(config, workload.clone())
+                .scheme(scheme)
+                .run();
             let occupancy = r.ulmt.as_ref().map(|u| u.occupancy.mean()).unwrap_or(0.0);
             println!(
                 "  {:<8} {:>12} {:>9.2} {:>9.0}% {:>13} {:>9.0}c",

@@ -16,7 +16,10 @@ use ulmt::system::{l2_miss_stream_with, SystemConfig};
 use ulmt::workloads::{App, WorkloadSpec};
 
 fn parse_app(name: &str) -> Option<App> {
-    App::ALL.iter().copied().find(|a| a.name().eq_ignore_ascii_case(name))
+    App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
 fn main() {
@@ -43,7 +46,10 @@ fn main() {
         ("repl-l4", AlgorithmSpec::repl_levels(rows, 4)),
     ];
 
-    println!("{:<10} {:>9} {:>9} {:>9}", "algorithm", "level 1", "level 2", "level 3");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9}",
+        "algorithm", "level 1", "level 2", "level 3"
+    );
     for (name, spec) in algorithms {
         let mut alg = spec.build();
         let mut scorer = PredictionScorer::new(3);

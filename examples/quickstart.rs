@@ -26,8 +26,14 @@ fn main() {
         baseline.exec_cycles, baseline.l2_misses
     );
 
-    for scheme in [PrefetchScheme::Conven4, PrefetchScheme::Repl, PrefetchScheme::Conven4Repl] {
-        let r = Experiment::new(config, workload.clone()).scheme(scheme).run();
+    for scheme in [
+        PrefetchScheme::Conven4,
+        PrefetchScheme::Repl,
+        PrefetchScheme::Conven4Repl,
+    ] {
+        let r = Experiment::new(config, workload.clone())
+            .scheme(scheme)
+            .run();
         println!(
             "  {:<14} {:>10} cycles  (speedup {:.2}, coverage {:.0}%)",
             format!("{}:", r.scheme),

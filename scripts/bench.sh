@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Harness smoke target: reduced-scale Figure 7 sweep, serial vs parallel,
 # with a bit-identity check between the two. Writes BENCH_harness.json
-# (wall-times, speedup, per-run detail) to the repo root.
+# (wall-times, speedup, per-run detail) to the repo root; the sweep binary
+# writes it atomically (temp file + rename), so an interrupted run never
+# leaves a truncated report.
 #
 # Knobs (all optional):
-#   ULMT_WORKERS  worker count for the parallel leg (default: all cores)
-#   SWEEP_APPS    comma-separated apps (default: Mcf,Gap)
-#   ULMT_SCALE    small | mid | paper (default: small)
-#   BENCH_OUT     output path (default: BENCH_harness.json)
+#   ULMT_WORKERS    worker count for the parallel leg (default: all cores)
+#   SWEEP_APPS      comma-separated apps (default: Mcf,Gap)
+#   ULMT_SCALE      small | mid | paper (default: small)
+#   BENCH_OUT       output path (default: BENCH_harness.json)
+#   ULMT_FAULT_SEED when set, adds a fault-injection determinism leg
+#   ULMT_RETRIES    per-job retry budget for transient failures (default: 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Never leave a stale half-built binary ambiguity: build first, fail fast.
 cargo build --release -p ulmt-bench --bin sweep
 exec cargo run --release -q -p ulmt-bench --bin sweep

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Run before every merge:
+#
+#   scripts/ci.sh
+#
+# Steps, in order (first failure aborts):
+#   1. cargo fmt --check      -- formatting drift
+#   2. cargo clippy -D warnings  (skipped with a notice if clippy is not
+#                                 installed in this toolchain)
+#   3. cargo build --release  -- the tier-1 build
+#   4. cargo test -q          -- the tier-1 test suite
+#
+# This wraps the canonical tier-1 verify from ROADMAP.md
+# (`cargo build --release && cargo test -q`) with the lint front-line so
+# a clean ci.sh run implies a clean tier-1 run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== cargo clippy not installed; skipping lint step"
+fi
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ci.sh: all gates passed"

@@ -7,7 +7,10 @@ use ulmt::workloads::{App, WorkloadSpec};
 
 fn exec(app: App, scheme: PrefetchScheme) -> u64 {
     let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(3);
-    Experiment::new(SystemConfig::small(), spec).scheme(scheme).run().exec_cycles
+    Experiment::new(SystemConfig::small(), spec)
+        .scheme(scheme)
+        .run()
+        .exec_cycles
 }
 
 #[test]

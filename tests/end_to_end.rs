@@ -6,7 +6,9 @@ use ulmt::workloads::{App, WorkloadSpec};
 
 fn run(app: App, scheme: PrefetchScheme) -> RunResult {
     let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(3);
-    Experiment::new(SystemConfig::small(), spec).scheme(scheme).run()
+    Experiment::new(SystemConfig::small(), spec)
+        .scheme(scheme)
+        .run()
 }
 
 #[test]
@@ -31,13 +33,19 @@ fn conven4_and_repl_are_complementary() {
     let cg_conv = run(App::Cg, PrefetchScheme::Conven4).exec_cycles;
     let cg_repl = run(App::Cg, PrefetchScheme::Repl).exec_cycles;
     let cg_both = run(App::Cg, PrefetchScheme::Conven4Repl).exec_cycles;
-    assert!(cg_conv < cg_repl, "CG is sequential: Conven4 should beat Repl");
+    assert!(
+        cg_conv < cg_repl,
+        "CG is sequential: Conven4 should beat Repl"
+    );
     assert!(cg_both as f64 <= cg_conv as f64 * 1.02);
 
     let mcf_conv = run(App::Mcf, PrefetchScheme::Conven4).exec_cycles;
     let mcf_repl = run(App::Mcf, PrefetchScheme::Repl).exec_cycles;
     let mcf_both = run(App::Mcf, PrefetchScheme::Conven4Repl).exec_cycles;
-    assert!(mcf_repl < mcf_conv, "Mcf is irregular: Repl should beat Conven4");
+    assert!(
+        mcf_repl < mcf_conv,
+        "Mcf is irregular: Repl should beat Conven4"
+    );
     assert!(mcf_both as f64 <= mcf_repl as f64 * 1.02);
 }
 
@@ -64,7 +72,11 @@ fn coverage_and_misses_are_consistent() {
         (accounted as f64) > 0.85 * original as f64,
         "accounted {accounted} vs original {original}"
     );
-    assert!(p.coverage(original) > 0.5, "coverage {}", p.coverage(original));
+    assert!(
+        p.coverage(original) > 0.5,
+        "coverage {}",
+        p.coverage(original)
+    );
 }
 
 #[test]
@@ -114,7 +126,9 @@ fn all_apps_run_all_figure7_schemes() {
     for app in App::ALL {
         let spec = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
         for scheme in PrefetchScheme::FIGURE7 {
-            let r = Experiment::new(SystemConfig::small(), spec.clone()).scheme(scheme).run();
+            let r = Experiment::new(SystemConfig::small(), spec.clone())
+                .scheme(scheme)
+                .run();
             assert!(r.exec_cycles > 0, "{app}/{scheme}");
             let accounted = r.breakdown.total() as f64;
             assert!(

@@ -38,7 +38,11 @@ fn remap_preserves_learning_across_algorithms() {
         // The old page no longer predicts.
         let old_first = PageAddr::new(50).first_line().raw();
         let old = alg.predict(LineAddr::new(old_first + 5), 1);
-        assert!(old[0].is_empty(), "{}: stale row survived remap", alg.name());
+        assert!(
+            old[0].is_empty(),
+            "{}: stale row survived remap",
+            alg.name()
+        );
     }
 }
 
@@ -46,8 +50,10 @@ fn remap_preserves_learning_across_algorithms() {
 fn remap_through_the_memory_processor() {
     // The OS interface reaches the algorithm through the memory
     // processor (the scheduler owns the ULMT, Section 3.4).
-    let mut mp =
-        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(64 * 1024).build());
+    let mut mp = MemProcessor::new(
+        MemProcConfig::default(),
+        AlgorithmSpec::repl(64 * 1024).build(),
+    );
     let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
     let first = PageAddr::new(9).first_line().raw();
     for _ in 0..2 {
@@ -56,7 +62,8 @@ fn remap_through_the_memory_processor() {
             mp.process(LineAddr::new(l), now, &mut mem);
         }
     }
-    mp.algorithm_mut().remap_page(PageAddr::new(9), PageAddr::new(4242));
+    mp.algorithm_mut()
+        .remap_page(PageAddr::new(9), PageAddr::new(4242));
     let new_first = PageAddr::new(4242).first_line().raw();
     let preds = mp.algorithm_mut().predict(LineAddr::new(new_first + 3), 1);
     assert!(preds[0].contains(&LineAddr::new(new_first + 4)));
@@ -86,10 +93,14 @@ fn dynamic_sizing_shrinks_and_grows() {
 fn per_application_ulmts_do_not_interfere() {
     // "A better approach is to associate a different ULMT, with its own
     // table, to each application. This eliminates interference."
-    let mut mp_a =
-        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4 * 1024).build());
-    let mut mp_b =
-        MemProcessor::new(MemProcConfig::default(), AlgorithmSpec::repl(4 * 1024).build());
+    let mut mp_a = MemProcessor::new(
+        MemProcConfig::default(),
+        AlgorithmSpec::repl(4 * 1024).build(),
+    );
+    let mut mp_b = MemProcessor::new(
+        MemProcConfig::default(),
+        AlgorithmSpec::repl(4 * 1024).build(),
+    );
     let mut mem = FixedLatencyMemory::new(MemProcLocation::InDram);
 
     // Application A walks 100,101,102...; application B walks the same

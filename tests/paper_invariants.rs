@@ -28,8 +28,14 @@ fn ulmt_occupancy_stays_under_200_cycles() {
     // "the figure shows that, in all the algorithms, the occupancy time
     // is less than 200 cycles. Consequently, the ULMT is fast enough to
     // process most of the L2 misses."
-    for scheme in [PrefetchScheme::Base, PrefetchScheme::Chain, PrefetchScheme::Repl] {
-        let r = Experiment::new(SystemConfig::small(), spec(App::Mcf)).scheme(scheme).run();
+    for scheme in [
+        PrefetchScheme::Base,
+        PrefetchScheme::Chain,
+        PrefetchScheme::Repl,
+    ] {
+        let r = Experiment::new(SystemConfig::small(), spec(App::Mcf))
+            .scheme(scheme)
+            .run();
         let u = r.ulmt.expect("ULMT ran");
         assert!(
             u.occupancy.mean() < 200.0,
@@ -43,7 +49,9 @@ fn ulmt_occupancy_stays_under_200_cycles() {
 fn repl_has_the_lowest_response_time() {
     // Figure 10: "Repl has the lowest response time".
     let response = |scheme| {
-        let r = Experiment::new(SystemConfig::small(), spec(App::Gap)).scheme(scheme).run();
+        let r = Experiment::new(SystemConfig::small(), spec(App::Gap))
+            .scheme(scheme)
+            .run();
         r.ulmt.expect("ULMT ran").response.mean()
     };
     let chain = response(PrefetchScheme::Chain);

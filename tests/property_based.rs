@@ -25,9 +25,17 @@ fn algorithms_bounded_and_phase_correct() {
     let mut rng = Pcg32::seed_from_u64(0xa16);
     for _ in 0..CASES {
         let misses = lines(&mut rng);
-        let params = TableParams { num_rows: 256, assoc: 2, num_succ: 2, num_levels: 3 };
+        let params = TableParams {
+            num_rows: 256,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 3,
+        };
         let mut algs: Vec<Box<dyn UlmtAlgorithm>> = vec![
-            Box::new(Base::new(TableParams { num_levels: 1, ..params })),
+            Box::new(Base::new(TableParams {
+                num_levels: 1,
+                ..params
+            })),
             Box::new(Chain::new(params)),
             Box::new(Replicated::new(params)),
         ];
@@ -55,7 +63,12 @@ fn repl_level1_predictions_are_sound() {
     let mut rng = Pcg32::seed_from_u64(0x50a2d);
     for _ in 0..CASES {
         let misses = lines(&mut rng);
-        let params = TableParams { num_rows: 1024, assoc: 2, num_succ: 4, num_levels: 2 };
+        let params = TableParams {
+            num_rows: 1024,
+            assoc: 2,
+            num_succ: 4,
+            num_levels: 2,
+        };
         let mut repl = Replicated::new(params);
         let mut observed_pairs = std::collections::HashSet::new();
         let mut last: Option<u64> = None;
@@ -131,8 +144,9 @@ fn cache_mshr_way_consistency() {
     let mut rng = Pcg32::seed_from_u64(0xca54e);
     for _ in 0..CASES {
         let len = rng.gen_range_usize(1..300);
-        let ops: Vec<(u64, bool)> =
-            (0..len).map(|_| (rng.gen_range_u64(0..64), rng.gen_bool(0.5))).collect();
+        let ops: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.gen_range_u64(0..64), rng.gen_bool(0.5)))
+            .collect();
         let cfg = CacheConfig {
             size_bytes: 1024,
             assoc: 2,
@@ -179,7 +193,12 @@ fn remap_roundtrip() {
     for _ in 0..CASES {
         let len = rng.gen_range_usize(16..128);
         let misses: Vec<u64> = (0..len).map(|_| rng.gen_range_u64(0..256)).collect();
-        let params = TableParams { num_rows: 4096, assoc: 2, num_succ: 2, num_levels: 2 };
+        let params = TableParams {
+            num_rows: 4096,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 2,
+        };
         let mut repl = Replicated::new(params);
         for &m in &misses {
             repl.process_miss(LineAddr::new(m));

@@ -6,7 +6,9 @@ use ulmt::workloads::{App, WorkloadSpec};
 
 fn run(app: App, scheme: PrefetchScheme) -> ulmt::system::RunResult {
     let spec = WorkloadSpec::new(app).scale(1.0 / 16.0).iterations(4);
-    Experiment::new(SystemConfig::small(), spec).scheme(scheme).run()
+    Experiment::new(SystemConfig::small(), spec)
+        .scheme(scheme)
+        .run()
 }
 
 #[test]
