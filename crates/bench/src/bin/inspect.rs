@@ -6,9 +6,19 @@
 //! cargo run --release -p ulmt-bench --bin inspect -- [app]
 //! ULMT_SCALE=paper cargo run --release -p ulmt-bench --bin inspect -- mcf
 //! ```
+//!
+//! The `trace` leg runs one traced experiment, cross-validates every
+//! aggregate counter against the event stream, and exports the trace for
+//! Perfetto:
+//!
+//! ```text
+//! cargo run --release -p ulmt-bench --bin inspect -- trace [app] [out_dir]
+//! ULMT_FAULT_SEED=7 cargo run --release -p ulmt-bench --bin inspect -- trace mcf
+//! ```
 
-use ulmt_bench::Profile;
-use ulmt_system::{Experiment, PrefetchScheme};
+use ulmt_bench::{write_trace_chrome, write_trace_jsonl, Profile};
+use ulmt_simcore::{FaultConfig, TraceConfig};
+use ulmt_system::{validate_trace, Experiment, PrefetchScheme};
 use ulmt_workloads::App;
 
 fn parse_app(name: &str) -> Option<App> {
@@ -18,11 +28,63 @@ fn parse_app(name: &str) -> Option<App> {
         .find(|a| a.name().eq_ignore_ascii_case(name))
 }
 
+/// Runs one traced experiment, proves the counters against the trace,
+/// and writes both export formats. Exits non-zero on any disagreement,
+/// so CI can use this as the trace-validation gate.
+fn trace_leg(args: &[String]) {
+    let app = args.first().and_then(|n| parse_app(n)).unwrap_or(App::Mcf);
+    let out_dir = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "target/traces".to_string());
+    let profile = Profile::from_env();
+    let faults = FaultConfig::from_env();
+    println!(
+        "trace: {} / Repl at {} scale, faults {}",
+        app,
+        profile.name,
+        match &faults {
+            Some(f) => format!("on (seed {})", f.seed),
+            None => "off".to_string(),
+        }
+    );
+    // `ULMT_TRACE=<n>` raises the ring capacity for big workloads whose
+    // event stream outgrows the default (truncation fails validation).
+    let mut exp = Experiment::new(profile.config, profile.workload(app))
+        .scheme(PrefetchScheme::Repl)
+        .trace(TraceConfig::from_env().unwrap_or_default());
+    if let Some(f) = faults {
+        exp = exp.faults(f);
+    }
+    let r = exp.run();
+    match validate_trace(&r) {
+        Ok(audit) => println!(
+            "validated: {} events agree with the counters ({} checks)",
+            audit.events, audit.checks
+        ),
+        Err(e) => {
+            eprintln!("trace validation FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+    let trace = r.trace.as_ref().expect("traced run carries a trace");
+    std::fs::create_dir_all(&out_dir).expect("create trace output dir");
+    let stem = format!("{}/{}_repl", out_dir, app.name().to_lowercase());
+    let jsonl = format!("{stem}.trace.jsonl");
+    let chrome = format!("{stem}.trace.json");
+    write_trace_jsonl(&jsonl, trace).expect("write jsonl trace");
+    write_trace_chrome(&chrome, trace).expect("write chrome trace");
+    println!("wrote {jsonl}");
+    println!("wrote {chrome} (load in https://ui.perfetto.dev)");
+}
+
 fn main() {
-    let app = std::env::args()
-        .nth(1)
-        .and_then(|n| parse_app(&n))
-        .unwrap_or(App::Mcf);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        trace_leg(&args[1..]);
+        return;
+    }
+    let app = args.first().and_then(|n| parse_app(n)).unwrap_or(App::Mcf);
     let profile = Profile::from_env();
     let spec = profile.workload(app);
     println!(

@@ -23,6 +23,6 @@ pub mod profile;
 pub mod runner;
 pub mod tables;
 
-pub use io::atomic_write;
+pub use io::{atomic_write, write_trace_chrome, write_trace_jsonl};
 pub use profile::Profile;
 pub use runner::Runner;

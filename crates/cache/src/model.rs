@@ -46,6 +46,10 @@ pub enum AccessOutcome {
         mshr: MshrId,
         /// Dirty victim that was enqueued for write-back, if any.
         evicted_dirty: Option<LineAddr>,
+        /// `Some((victim, origin))` if the victim was a never-touched
+        /// prefetched line (`Replaced` in Figure 9 when the origin is
+        /// [`PrefetchOrigin::Push`]).
+        evicted_prefetch: Option<(LineAddr, PrefetchOrigin)>,
     },
     /// The access cannot proceed: no free MSHR, or every way in the set is
     /// transaction-pending. The caller must retry later.
@@ -60,11 +64,19 @@ pub enum PushOutcome {
     StoleMshr {
         /// `true` if a demand access was waiting (it is now satisfied).
         demand_was_waiting: bool,
+        /// `true` if the line was installed with the prefetched bit set:
+        /// the stolen MSHR belonged to a processor-side prefetch and no
+        /// demand had merged in, so the push's line now sits untouched in
+        /// the cache like an accepted push.
+        installed_as_prefetch: bool,
     },
     /// The line was installed with its prefetched bit set.
     Accepted {
         /// Dirty victim that was enqueued for write-back, if any.
         evicted_dirty: Option<LineAddr>,
+        /// `Some((victim, origin))` if the victim was a never-touched
+        /// prefetched line.
+        evicted_prefetch: Option<(LineAddr, PrefetchOrigin)>,
     },
     /// Dropped: the cache already holds the line.
     DroppedPresent,
@@ -296,7 +308,7 @@ impl Cache {
             return AccessOutcome::Blocked;
         };
 
-        let evicted_dirty = self.evict(victim);
+        let (evicted_dirty, evicted_prefetch) = self.evict(victim);
         let mshr = self
             .mshrs
             .allocate(line, demand, prefetch)
@@ -317,6 +329,7 @@ impl Cache {
         AccessOutcome::Miss {
             mshr,
             evicted_dirty,
+            evicted_prefetch,
         }
     }
 
@@ -372,8 +385,12 @@ impl Cache {
             way.lru = clock;
             way.prefetched =
                 (!demand_was_waiting && prefetch_initiated).then_some(PrefetchOrigin::Push);
+            let installed_as_prefetch = way.prefetched.is_some();
             self.stats.pushes_stole_mshr += 1;
-            return PushOutcome::StoleMshr { demand_was_waiting };
+            return PushOutcome::StoleMshr {
+                demand_was_waiting,
+                installed_as_prefetch,
+            };
         }
         if self.find_valid(line).is_some() {
             self.stats.pushes_dropped_present += 1;
@@ -391,7 +408,7 @@ impl Cache {
             self.stats.pushes_dropped_set_pending += 1;
             return PushOutcome::DroppedSetPending;
         };
-        let evicted_dirty = self.evict(victim);
+        let (evicted_dirty, evicted_prefetch) = self.evict(victim);
         self.lru_clock += 1;
         let clock = self.lru_clock;
         let way = &mut self.ways[victim];
@@ -403,7 +420,10 @@ impl Cache {
             lru: clock,
         };
         self.stats.pushes_accepted += 1;
-        PushOutcome::Accepted { evicted_dirty }
+        PushOutcome::Accepted {
+            evicted_dirty,
+            evicted_prefetch,
+        }
     }
 
     /// Number of valid lines currently carrying the prefetched bit.
@@ -411,6 +431,16 @@ impl Cache {
         self.ways
             .iter()
             .filter(|w| w.state == WayState::Valid && w.prefetched.is_some())
+            .count()
+    }
+
+    /// Number of valid lines carrying the prefetched bit of one origin —
+    /// e.g. pushed lines still resident and untouched at end of run, the
+    /// residual term of the push-accounting identity.
+    pub fn prefetched_lines_of(&self, origin: PrefetchOrigin) -> usize {
+        self.ways
+            .iter()
+            .filter(|w| w.state == WayState::Valid && w.prefetched == Some(origin))
             .count()
     }
 
@@ -438,23 +468,26 @@ impl Cache {
     }
 
     /// Evicts the way at `idx`, enqueueing a write-back if dirty. Returns
-    /// the evicted dirty line, if any.
-    fn evict(&mut self, idx: usize) -> Option<LineAddr> {
+    /// the evicted dirty line (if any) and a never-touched prefetched
+    /// victim with its origin (if any).
+    fn evict(&mut self, idx: usize) -> (Option<LineAddr>, Option<(LineAddr, PrefetchOrigin)>) {
         let way = self.ways[idx];
         if way.state != WayState::Valid {
-            return None;
+            return (None, None);
         }
         match way.prefetched {
             Some(PrefetchOrigin::Push) => self.stats.prefetch_replaced_untouched += 1,
             Some(PrefetchOrigin::CpuSide) => self.stats.cpu_prefetch_replaced_untouched += 1,
             None => {}
         }
-        if way.dirty {
+        let dirty = if way.dirty {
             self.stats.writebacks += 1;
             self.wb.enqueue(way.line);
-            return Some(way.line);
-        }
-        None
+            Some(way.line)
+        } else {
+            None
+        };
+        (dirty, way.prefetched.map(|origin| (way.line, origin)))
     }
 }
 
@@ -618,7 +651,8 @@ mod tests {
         assert_eq!(
             out,
             PushOutcome::StoleMshr {
-                demand_was_waiting: true
+                demand_was_waiting: true,
+                installed_as_prefetch: false
             }
         );
         assert!(c.contains(line(0)));
@@ -699,6 +733,50 @@ mod tests {
                 first_touch_of_prefetch: None
             }
         );
+    }
+
+    #[test]
+    fn push_stealing_cpu_prefetch_mshr_installs_as_prefetch() {
+        // A push that steals the MSHR of a processor-side prefetch (no
+        // demand merged in) leaves an untouched prefetched line behind —
+        // it must be reported so the push accounting can count it as an
+        // accepted push rather than losing it.
+        let mut c = tiny();
+        assert!(matches!(
+            c.access_prefetch(line(0)),
+            AccessOutcome::Miss { .. }
+        ));
+        assert_eq!(
+            c.push(line(0)),
+            PushOutcome::StoleMshr {
+                demand_was_waiting: false,
+                installed_as_prefetch: true
+            }
+        );
+        assert_eq!(c.prefetched_lines_of(PrefetchOrigin::Push), 1);
+        assert_eq!(c.prefetched_lines_of(PrefetchOrigin::CpuSide), 0);
+    }
+
+    #[test]
+    fn eviction_reports_untouched_prefetch_victims() {
+        let mut c = tiny();
+        assert!(matches!(c.push(line(0)), PushOutcome::Accepted { .. }));
+        assert!(matches!(c.push(line(2)), PushOutcome::Accepted { .. }));
+        // A demand miss evicting a pushed line reports the victim origin.
+        match c.access(line(4), false) {
+            AccessOutcome::Miss {
+                evicted_prefetch, ..
+            } => assert_eq!(evicted_prefetch, Some((line(0), PrefetchOrigin::Push))),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        c.fill(line(4), false);
+        // A push evicting a pushed line reports it too.
+        match c.push(line(6)) {
+            PushOutcome::Accepted {
+                evicted_prefetch, ..
+            } => assert_eq!(evicted_prefetch, Some((line(2), PrefetchOrigin::Push))),
+            other => panic!("expected accept, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use ulmt_simcore::LineAddr;
+use ulmt_simcore::{FxHashSet, LineAddr};
 
 /// Fixed-size FIFO filter of recently-issued prefetch addresses.
 ///
@@ -29,6 +29,10 @@ use ulmt_simcore::LineAddr;
 #[derive(Debug, Clone)]
 pub struct Filter {
     entries: VecDeque<LineAddr>,
+    // Shadow of `entries` for O(1) membership checks. The FIFO list never
+    // holds duplicates (a present line is dropped, not re-added), so a
+    // set mirrors it exactly.
+    present: FxHashSet<LineAddr>,
     capacity: usize,
     admitted: u64,
     dropped: u64,
@@ -47,6 +51,7 @@ impl Filter {
         assert!(capacity > 0, "filter capacity must be positive");
         Filter {
             entries: VecDeque::with_capacity(capacity),
+            present: FxHashSet::with_capacity_and_hasher(capacity, Default::default()),
             capacity,
             admitted: 0,
             dropped: 0,
@@ -56,14 +61,17 @@ impl Filter {
     /// Checks a prefetch request: returns `true` if it should be issued
     /// (and records it), `false` if it must be dropped (list unmodified).
     pub fn admit(&mut self, line: LineAddr) -> bool {
-        if self.entries.contains(&line) {
+        if self.present.contains(&line) {
             self.dropped += 1;
             return false;
         }
         if self.entries.len() >= self.capacity {
-            self.entries.pop_front();
+            let evicted = self.entries.pop_front().expect("capacity is positive");
+            self.present.remove(&evicted);
         }
         self.entries.push_back(line);
+        self.present.insert(line);
+        debug_assert_eq!(self.entries.len(), self.present.len());
         self.admitted += 1;
         true
     }
@@ -143,5 +151,50 @@ mod tests {
     #[test]
     fn default_capacity_is_table3s() {
         assert_eq!(Filter::default().capacity(), 32);
+    }
+
+    /// The spec as originally implemented: a linear scan over the FIFO.
+    struct ScanFilter {
+        entries: VecDeque<LineAddr>,
+        capacity: usize,
+    }
+
+    impl ScanFilter {
+        fn admit(&mut self, line: LineAddr) -> bool {
+            if self.entries.contains(&line) {
+                return false;
+            }
+            if self.entries.len() >= self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(line);
+            true
+        }
+    }
+
+    #[test]
+    fn hash_shadow_is_equivalent_to_linear_scan() {
+        // Drive both implementations with the same clustered random
+        // stream (small line space forces heavy reuse, aging, and
+        // drop-then-age-then-readmit interleavings) and require identical
+        // decisions at every step.
+        let mut rng = ulmt_simcore::Pcg32::seed_from_u64(0xF117E5);
+        for capacity in [1usize, 2, 7, 32] {
+            let mut fast = Filter::new(capacity);
+            let mut reference = ScanFilter {
+                entries: VecDeque::new(),
+                capacity,
+            };
+            for step in 0..20_000u64 {
+                let l = line(rng.next_u64() % (capacity as u64 * 3 + 1));
+                assert_eq!(
+                    fast.admit(l),
+                    reference.admit(l),
+                    "capacity {capacity}, step {step}, line {l}"
+                );
+            }
+            assert_eq!(fast.len(), reference.entries.len());
+            assert_eq!(fast.admitted() + fast.dropped(), 20_000);
+        }
     }
 }

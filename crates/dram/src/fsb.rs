@@ -5,7 +5,8 @@
 //! Figure 11 can attribute the increase to prefetching vs. faster
 //! execution.
 
-use ulmt_simcore::{Cycle, Server};
+use ulmt_simcore::trace::BusClass;
+use ulmt_simcore::{Cycle, Server, SharedTracer, TraceEvent};
 
 /// Classes of FSB traffic, for the Figure 11 breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +80,7 @@ pub struct Fsb {
     cfg: FsbConfig,
     bus: Server,
     busy_by_class: [Cycle; 3],
+    tracer: Option<SharedTracer>,
 }
 
 impl Fsb {
@@ -88,12 +90,19 @@ impl Fsb {
             cfg,
             bus: Server::new(),
             busy_by_class: [0; 3],
+            tracer: None,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &FsbConfig {
         &self.cfg
+    }
+
+    /// Installs a shared event tracer: every bus occupancy is then
+    /// recorded as a [`TraceEvent::FsbTransfer`].
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Occupies the bus for a request phase arriving at `now`; returns the
@@ -111,6 +120,15 @@ impl Fsb {
 
     fn occupy(&mut self, now: Cycle, duration: Cycle, class: TrafficClass) -> Cycle {
         self.busy_by_class[class_index(class)] += duration;
+        if let Some(tracer) = &self.tracer {
+            tracer.record(
+                now,
+                TraceEvent::FsbTransfer {
+                    class: bus_class(class),
+                    busy: duration,
+                },
+            );
+        }
         self.bus.serve(now, duration)
     }
 
@@ -148,6 +166,15 @@ fn class_index(class: TrafficClass) -> usize {
         TrafficClass::Demand => 0,
         TrafficClass::Prefetch => 1,
         TrafficClass::WriteBack => 2,
+    }
+}
+
+/// The tracer's crate-independent mirror of [`TrafficClass`].
+fn bus_class(class: TrafficClass) -> BusClass {
+    match class {
+        TrafficClass::Demand => BusClass::Demand,
+        TrafficClass::Prefetch => BusClass::Prefetch,
+        TrafficClass::WriteBack => BusClass::WriteBack,
     }
 }
 

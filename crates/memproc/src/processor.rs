@@ -4,7 +4,7 @@ use ulmt_cache::{AccessOutcome, Cache, CacheConfig};
 use ulmt_core::algorithm::UlmtAlgorithm;
 use ulmt_core::cost::Cost;
 use ulmt_simcore::stats::Mean;
-use ulmt_simcore::{Addr, Cycle, LineAddr};
+use ulmt_simcore::{Addr, Cycle, LineAddr, SharedTracer, TraceEvent};
 
 /// Where the memory processor is integrated (Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -230,6 +230,7 @@ pub struct MemProcessor {
     cache: Cache,
     busy_until: Cycle,
     stats: UlmtStats,
+    tracer: Option<SharedTracer>,
 }
 
 impl std::fmt::Debug for MemProcessor {
@@ -251,7 +252,15 @@ impl MemProcessor {
             algorithm,
             busy_until: 0,
             stats: UlmtStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Installs a shared event tracer: every processed observation is then
+    /// recorded as a [`TraceEvent::UlmtStep`] carrying the same response
+    /// and occupancy durations that feed the Figure 10 means.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
     }
 
     /// The configuration.
@@ -316,6 +325,16 @@ impl MemProcessor {
         self.stats.insns += step.total_insns();
         self.stats.response.add((response_done - now) as f64);
         self.stats.occupancy.add((occupancy_done - now) as f64);
+        if let Some(tracer) = &self.tracer {
+            tracer.record(
+                now,
+                TraceEvent::UlmtStep {
+                    line: miss,
+                    response: response_done - now,
+                    occupancy: occupancy_done - now,
+                },
+            );
+        }
 
         UlmtStep {
             prefetches: step.prefetches,

@@ -18,6 +18,9 @@
 //!   system simulator to exercise its overflow/drop/squash paths.
 //! * [`CancelToken`] — cooperative cancellation polled by the simulation
 //!   main loop so watchdogs can stop runaway runs gracefully.
+//! * [`trace`] — a cycle-stamped, bounded ring-buffer event tracer with
+//!   JSONL / Chrome `trace_event` export, used to audit every aggregate
+//!   counter against the event stream that produced it.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod hash;
 pub mod rng;
 pub mod server;
 pub mod stats;
+pub mod trace;
 
 pub use addr::{Addr, LineAddr, PageAddr};
 pub use cancel::CancelToken;
@@ -52,6 +56,7 @@ pub use fault::{FaultConfig, FaultCounts, FaultPlan, ObservationFault};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Pcg32;
 pub use server::Server;
+pub use trace::{SharedTracer, TraceBuffer, TraceConfig, TraceEvent, TraceSink};
 
 /// Global simulation time, measured in 1.6 GHz main-processor cycles.
 ///

@@ -1,6 +1,6 @@
 //! One-stop experiment runner.
 
-use ulmt_simcore::{CancelToken, Cycle, FaultConfig, FaultPlan};
+use ulmt_simcore::{CancelToken, Cycle, FaultConfig, FaultPlan, SharedTracer, TraceConfig};
 use ulmt_workloads::WorkloadSpec;
 
 use crate::config::SystemConfig;
@@ -34,6 +34,7 @@ pub struct Experiment {
     twin: bool,
     cycle_budget: Option<Cycle>,
     cancel: Option<CancelToken>,
+    trace: Option<TraceConfig>,
 }
 
 impl Experiment {
@@ -47,6 +48,7 @@ impl Experiment {
             twin: true,
             cycle_budget: None,
             cancel: None,
+            trace: None,
         }
     }
 
@@ -95,6 +97,17 @@ impl Experiment {
         self
     }
 
+    /// Enables cycle-stamped event tracing; the result then carries the
+    /// trace in [`RunResult::trace`](crate::RunResult::trace). The
+    /// `ULMT_TRACE` environment variable provides a process-wide default
+    /// (see [`TraceConfig::from_env`]). A faulted run's fault-free twin
+    /// is never traced: its only job is to fill
+    /// [`TwinDelta`], and tracing it would double the trace memory.
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
+        self
+    }
+
     /// The workload this experiment runs.
     pub fn workload(&self) -> &WorkloadSpec {
         &self.workload
@@ -136,7 +149,11 @@ impl Experiment {
             }
             Ok(sim)
         };
-        let mut result = build(self.faults)?.run_guarded()?;
+        let mut primary = build(self.faults)?;
+        if let Some(cfg) = self.trace.or_else(TraceConfig::from_env) {
+            primary.set_tracer(SharedTracer::new(cfg));
+        }
+        let mut result = primary.run_guarded()?;
         if self.faults.is_some() && self.twin {
             // The fault-free twin shares budget and token: a degenerate
             // configuration cannot hide behind its own twin run. If the

@@ -48,6 +48,7 @@ pub mod result;
 pub mod runner;
 pub mod scheme;
 pub mod sim;
+pub mod validate;
 
 pub use config::{PathLatencies, QueueDepths, SystemConfig};
 pub use error::{AbortReason, ConfigError, RunError, SimAbort};
@@ -61,3 +62,4 @@ pub use runner::{
 };
 pub use scheme::PrefetchScheme;
 pub use sim::SystemSim;
+pub use validate::{validate_trace, Mismatch, TraceAudit, TraceValidationError};

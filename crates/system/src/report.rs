@@ -36,14 +36,17 @@ impl RunResult {
             100.0 * self.breakdown.upto_l2 as f64 / total,
             100.0 * self.breakdown.beyond_l2 as f64 / total,
         ));
-        if self.prefetch.issued > 0 {
+        let p = &self.prefetch;
+        let squashed =
+            p.squashed_filter + p.squashed_demand + p.squashed_duplicate + p.squashed_at_nb;
+        if p.issued + squashed > 0 {
             s.push_str(&format!(
                 "  prefetching: {} issued; hits {}  delayed {}  replaced {}  redundant {}\n",
-                self.prefetch.issued,
-                self.prefetch.hits,
-                self.prefetch.delayed_hits,
-                self.prefetch.replaced,
-                self.prefetch.redundant
+                p.issued, p.hits, p.delayed_hits, p.replaced, p.redundant
+            ));
+            s.push_str(&format!(
+                "  squashed: filter {}  demand {}  duplicate {}  at-NB {}\n",
+                p.squashed_filter, p.squashed_demand, p.squashed_duplicate, p.squashed_at_nb
             ));
         }
         if let Some(u) = &self.ulmt {
@@ -120,6 +123,7 @@ mod tests {
             "execution:",
             "breakdown:",
             "prefetching:",
+            "squashed:",
             "ULMT:",
             "memory:",
             "inter-miss:",
@@ -141,6 +145,7 @@ mod tests {
         let text = r.summary();
         assert!(!text.contains("ULMT:"));
         assert!(!text.contains("prefetching:"));
+        assert!(!text.contains("squashed:"));
     }
 
     #[test]

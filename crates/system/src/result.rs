@@ -5,7 +5,7 @@ use std::hash::{Hash, Hasher};
 use ulmt_cpu::StallBreakdown;
 use ulmt_memproc::UlmtStats;
 use ulmt_simcore::stats::BinnedHistogram;
-use ulmt_simcore::{Cycle, FaultCounts, FxHasher};
+use ulmt_simcore::{Cycle, FaultCounts, FxHasher, TraceBuffer};
 
 /// Figure 9 bookkeeping: what happened to L2 misses and pushed prefetches.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,8 +25,34 @@ pub struct PrefetchEffect {
     /// Pushes dropped for other reasons (write-back queue, MSHRs, pending
     /// set).
     pub dropped_other: u64,
-    /// Prefetch requests the ULMT issued into queue 3.
+    /// Prefetch requests that actually entered queue 3 and became
+    /// bus-bound. Requests squashed before the queue (Filter, pending
+    /// demand, duplicate, overflow) are counted in the `squashed_*` and
+    /// overflow counters instead, never here.
     pub issued: u64,
+    /// ULMT prefetch requests dropped by the Filter module before
+    /// queue 3.
+    pub squashed_filter: u64,
+    /// ULMT prefetch requests squashed before queue 3 because a demand
+    /// request for the line was already queued or in flight.
+    pub squashed_demand: u64,
+    /// ULMT prefetch requests squashed before queue 3 because the line
+    /// was already queued there.
+    pub squashed_duplicate: u64,
+    /// Queued prefetches removed from queue 3 by a matching demand miss
+    /// arriving at the North Bridge (Section 3.2 cross-queue squashing).
+    pub squashed_at_nb: u64,
+    /// Pushes that installed a line with the prefetched bit set (accepted
+    /// pushes plus MSHR steals that left a prefetched line behind). Every
+    /// accepted push ends as a hit, a replacement, or an untouched
+    /// resident line: `accepted == hits + replaced + untouched_at_end`.
+    pub accepted: u64,
+    /// Issued prefetches still in queue 3 or between the memory
+    /// controller and the L2 when the run drained.
+    pub inflight_at_end: u64,
+    /// Pushed lines still resident with the prefetched bit set (never
+    /// demanded) when the run drained.
+    pub untouched_at_end: u64,
 }
 
 impl PrefetchEffect {
@@ -126,6 +152,13 @@ pub struct RunResult {
     /// Fault-injection report, when the run executed under a
     /// [`FaultPlan`](ulmt_simcore::FaultPlan).
     pub fault: Option<FaultReport>,
+    /// The cycle-stamped event trace, when tracing was enabled (via
+    /// [`Experiment::trace`](crate::Experiment::trace) or the
+    /// `ULMT_TRACE` environment variable). Excluded from
+    /// [`RunResult::fingerprint`]: the trace *describes* the run, and
+    /// `ulmt_system::validate` proves it consistent with the aggregate
+    /// counters, which the fingerprint does cover.
+    pub trace: Option<TraceBuffer>,
     /// Wall-clock time the host spent simulating this run, in
     /// nanoseconds. Purely a harness measurement: it is excluded from
     /// [`RunResult::fingerprint`] so that timing jitter never makes two
@@ -153,7 +186,11 @@ impl RunResult {
     }
 
     /// A 64-bit digest of every *deterministic* field of the result —
-    /// everything except [`RunResult::wall_nanos`]. Two runs of the same
+    /// everything except [`RunResult::wall_nanos`] and
+    /// [`RunResult::trace`] (the trace is validated against the counters
+    /// separately; hashing it here would only duplicate them and make
+    /// traced and untraced runs of the same experiment compare unequal).
+    /// Two runs of the same
     /// experiment produce equal fingerprints regardless of host load or
     /// how many harness workers were active; the parallel-vs-serial
     /// equivalence tests and the sweep smoke binary compare these.
@@ -180,6 +217,13 @@ impl RunResult {
         self.prefetch.redundant.hash(&mut h);
         self.prefetch.dropped_other.hash(&mut h);
         self.prefetch.issued.hash(&mut h);
+        self.prefetch.squashed_filter.hash(&mut h);
+        self.prefetch.squashed_demand.hash(&mut h);
+        self.prefetch.squashed_duplicate.hash(&mut h);
+        self.prefetch.squashed_at_nb.hash(&mut h);
+        self.prefetch.accepted.hash(&mut h);
+        self.prefetch.inflight_at_end.hash(&mut h);
+        self.prefetch.untouched_at_end.hash(&mut h);
         self.ulmt.is_some().hash(&mut h);
         if let Some(u) = &self.ulmt {
             f(&mut h, u.response.mean());

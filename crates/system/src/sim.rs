@@ -17,8 +17,10 @@ use ulmt_dram::{Dram, Fsb, TrafficClass};
 use ulmt_memproc::{FixedLatencyMemory, MemProcConfig, MemProcessor};
 use ulmt_simcore::hash::{fx_map_with_capacity, fx_set_with_capacity};
 use ulmt_simcore::stats::BinnedHistogram;
+use ulmt_simcore::trace::{FaultKind, PushRejectReason};
 use ulmt_simcore::{
     CancelToken, Cycle, EventQueue, FaultPlan, FxHashMap, FxHashSet, LineAddr, ObservationFault,
+    SharedTracer, TraceEvent,
 };
 use ulmt_workloads::{TraceRecord, WorkloadSpec};
 
@@ -98,7 +100,7 @@ struct OutstandingLine {
 /// The full simulated machine, ready to run one workload.
 pub struct SystemSim {
     cfg: SystemConfig,
-    trace: Box<dyn Iterator<Item = TraceRecord>>,
+    workload: Box<dyn Iterator<Item = TraceRecord>>,
 
     events: EventQueue<Event>,
 
@@ -124,6 +126,12 @@ pub struct SystemSim {
     dram: Dram,
     demand_q: VecDeque<(LineAddr, ReqKind)>,
     prefetch_q: VecDeque<LineAddr>,
+    /// O(1) membership shadow of `prefetch_q` (which never holds
+    /// duplicates: insertions are dup-checked, removals clear the set).
+    prefetch_q_set: FxHashSet<LineAddr>,
+    /// Pushes dispatched to a DRAM channel whose L2 arrival has not
+    /// happened yet.
+    pushes_on_bus: u64,
     channel_busy: Vec<bool>,
     inflight_dram: FxHashMap<LineAddr, ReqKind>,
     /// Push replies between the memory controller and the L2; a matching
@@ -149,6 +157,9 @@ pub struct SystemSim {
     cancel: Option<CancelToken>,
     /// Watchdog: abort once simulated time exceeds this many cycles.
     cycle_budget: Option<Cycle>,
+    /// Cycle-stamped event tracer; `None` (the default) keeps every
+    /// emission site down to one untaken branch.
+    tracer: Option<SharedTracer>,
 
     // --- statistics ---
     refs: u64,
@@ -221,17 +232,17 @@ impl SystemSim {
         )
     }
 
-    /// Builds a simulator from explicit parts: any trace, any (optional)
-    /// memory processor. This is the hook for multiprogrammed runs and
-    /// hand-rolled customizations that the [`PrefetchScheme`] presets do
-    /// not cover.
+    /// Builds a simulator from explicit parts: any workload trace, any
+    /// (optional) memory processor. This is the hook for multiprogrammed
+    /// runs and hand-rolled customizations that the [`PrefetchScheme`]
+    /// presets do not cover.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SystemConfig::validate`].
     pub fn from_parts(
         cfg: SystemConfig,
-        trace: Box<dyn Iterator<Item = TraceRecord>>,
+        workload: Box<dyn Iterator<Item = TraceRecord>>,
         conven4: bool,
         memproc: Option<MemProcessor>,
         verbose: bool,
@@ -240,7 +251,7 @@ impl SystemSim {
     ) -> Self {
         Self::from_parts_hinted(
             cfg,
-            trace,
+            workload,
             conven4,
             memproc,
             verbose,
@@ -262,7 +273,7 @@ impl SystemSim {
     #[allow(clippy::too_many_arguments)]
     pub fn from_parts_hinted(
         cfg: SystemConfig,
-        trace: Box<dyn Iterator<Item = TraceRecord>>,
+        workload: Box<dyn Iterator<Item = TraceRecord>>,
         conven4: bool,
         memproc: Option<MemProcessor>,
         verbose: bool,
@@ -272,7 +283,7 @@ impl SystemSim {
     ) -> Self {
         Self::try_from_parts_hinted(
             cfg,
-            trace,
+            workload,
             conven4,
             memproc,
             verbose,
@@ -288,7 +299,7 @@ impl SystemSim {
     #[allow(clippy::too_many_arguments)]
     pub fn try_from_parts_hinted(
         cfg: SystemConfig,
-        trace: Box<dyn Iterator<Item = TraceRecord>>,
+        workload: Box<dyn Iterator<Item = TraceRecord>>,
         conven4: bool,
         memproc: Option<MemProcessor>,
         verbose: bool,
@@ -312,7 +323,7 @@ impl SystemSim {
         let inflight_cap = cfg.queues.demand + cfg.queues.prefetch + cfg.dram.channels;
         let event_cap = 1024usize.max((footprint_hint as usize / 4).min(1 << 14));
         Ok(SystemSim {
-            trace,
+            workload,
             events: EventQueue::with_capacity(event_cap),
             cpu_cursor: 0,
             insn_count: 0,
@@ -333,6 +344,8 @@ impl SystemSim {
             dram: Dram::new(cfg.dram),
             demand_q: VecDeque::with_capacity(cfg.queues.demand),
             prefetch_q: VecDeque::with_capacity(cfg.queues.prefetch),
+            prefetch_q_set: fx_set_with_capacity(cfg.queues.prefetch),
+            pushes_on_bus: 0,
             channel_busy: vec![false; cfg.dram.channels],
             inflight_dram: fx_map_with_capacity(inflight_cap),
             inflight_push_replies: fx_set_with_capacity(cfg.queues.prefetch),
@@ -345,6 +358,7 @@ impl SystemSim {
             faults_absorbed: 0,
             cancel: None,
             cycle_budget: None,
+            tracer: None,
             refs: 0,
             l2_miss_requests: 0,
             inter_miss: BinnedHistogram::inter_miss(),
@@ -380,6 +394,27 @@ impl SystemSim {
     /// `budget` cycles.
     pub fn set_cycle_budget(&mut self, budget: Cycle) {
         self.cycle_budget = Some(budget);
+    }
+
+    /// Installs a cycle-stamped event tracer. Clones of the handle are
+    /// propagated into the FSB and memory-processor models so every
+    /// component stamps into one time-ordered stream; the resulting
+    /// [`RunResult`] then carries the recorded [`TraceBuffer`]
+    /// (see [`RunResult::trace`](crate::RunResult)).
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.fsb.set_tracer(tracer.clone());
+        if let Some(mp) = self.memproc.as_mut() {
+            mp.set_tracer(tracer.clone());
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Records one trace event, if tracing is enabled.
+    #[inline]
+    fn emit(&self, at: Cycle, event: TraceEvent) {
+        if let Some(tracer) = &self.tracer {
+            tracer.record(at, event);
+        }
     }
 
     /// Runs the simulation to completion and returns the measurements.
@@ -482,7 +517,7 @@ impl SystemSim {
         loop {
             let Some(rec) = self.pending_record.take().or_else(|| {
                 self.pending_busy_done = false;
-                self.trace.next()
+                self.workload.next()
             }) else {
                 self.finished_trace = true;
                 if self.window.is_empty() {
@@ -547,6 +582,15 @@ impl SystemSim {
                 IssueOutcome::Continue => {
                     self.pending_busy_done = false;
                     self.refs += 1;
+                    // Only retired references count: an L2Blocked retry of
+                    // the same record must not emit twice.
+                    self.emit(
+                        t,
+                        TraceEvent::Ref {
+                            addr: rec.addr,
+                            is_write: rec.is_write,
+                        },
+                    );
                 }
                 IssueOutcome::L2Blocked => {
                     // Wait for any MSHR to free up.
@@ -621,6 +665,7 @@ impl SystemSim {
             } => {
                 if first_touch_of_prefetch == Some(PrefetchOrigin::Push) {
                     self.effect.hits += 1;
+                    self.emit(t, TraceEvent::PushFirstTouch { line: l2_line });
                 }
                 self.last_ref = LastRef::Done {
                     at: t + self.cfg.cpu.l2_hit,
@@ -641,7 +686,12 @@ impl SystemSim {
                 self.last_ref = LastRef::Outstanding { line: l2_line };
                 IssueOutcome::Continue
             }
-            AccessOutcome::Miss { evicted_dirty, .. } => {
+            AccessOutcome::Miss {
+                evicted_dirty,
+                evicted_prefetch,
+                ..
+            } => {
+                self.push_replaced(evicted_prefetch, t);
                 self.send_writeback(evicted_dirty, t);
                 let id = self.new_window_id(l2_line);
                 let out = self.outstanding.entry(l2_line).or_default();
@@ -651,6 +701,7 @@ impl SystemSim {
                 }
                 self.last_ref = LastRef::Outstanding { line: l2_line };
                 self.l2_miss_requests += 1;
+                self.emit(t, TraceEvent::L2Miss { line: l2_line });
                 self.send_request(l2_line, ReqKind::Demand, t);
                 IssueOutcome::Continue
             }
@@ -690,7 +741,12 @@ impl SystemSim {
                         .push(l1_line);
                 }
             }
-            AccessOutcome::Miss { evicted_dirty, .. } => {
+            AccessOutcome::Miss {
+                evicted_dirty,
+                evicted_prefetch,
+                ..
+            } => {
+                self.push_replaced(evicted_prefetch, t);
                 self.send_writeback(evicted_dirty, t);
                 if l1_allocated {
                     self.outstanding
@@ -727,6 +783,15 @@ impl SystemSim {
         );
     }
 
+    /// Records the eviction of a never-touched *pushed* line (`Replaced`
+    /// in Figure 9). Processor-side prefetch victims have their own cache
+    /// counters and are not part of the push accounting.
+    fn push_replaced(&self, evicted: Option<(LineAddr, PrefetchOrigin)>, t: Cycle) {
+        if let Some((victim, PrefetchOrigin::Push)) = evicted {
+            self.emit(t, TraceEvent::PushReplaced { line: victim });
+        }
+    }
+
     /// Models a dirty-line write-back: occupies the FSB, no DRAM
     /// transaction (the paper ignores write-backs beyond their bandwidth).
     fn send_writeback(&mut self, evicted: Option<LineAddr>, t: Cycle) {
@@ -751,8 +816,15 @@ impl SystemSim {
         // Cross-queue squashing (Section 3.2): a miss matching a queued
         // ULMT prefetch removes the prefetch; a miss matching an in-flight
         // prefetch rides its reply.
-        if let Some(pos) = self.prefetch_q.iter().position(|&p| p == line) {
+        if self.prefetch_q_set.remove(&line) {
+            let pos = self
+                .prefetch_q
+                .iter()
+                .position(|&p| p == line)
+                .expect("set shadows the queue");
             self.prefetch_q.remove(pos);
+            self.effect.squashed_at_nb += 1;
+            self.emit(t, TraceEvent::Q3SquashByDemand { line });
         }
         if self.inflight_dram.get(&line) == Some(&ReqKind::UlmtPush)
             || self.inflight_push_replies.contains(&line)
@@ -766,6 +838,7 @@ impl SystemSim {
 
         if self.demand_q.len() >= self.cfg.queues.demand {
             self.demand_q_overflow += 1;
+            self.emit(t, TraceEvent::DemandOverflow { line });
         }
         self.demand_q.push_back((line, kind));
         self.observe(line, kind, t);
@@ -796,6 +869,13 @@ impl SystemSim {
                 // normal overflow path as new ones arrive; nothing is
                 // truncated behind the accounting's back.
                 self.faults_absorbed += 1;
+                self.emit(
+                    t,
+                    TraceEvent::FaultInjected {
+                        kind: FaultKind::QueueReduction,
+                        magnitude: 0,
+                    },
+                );
             }
             match fault {
                 Some(ObservationFault::Drop) => {
@@ -804,6 +884,14 @@ impl SystemSim {
                         .expect("checked above")
                         .record_dropped_observation();
                     self.faults_absorbed += 1;
+                    self.emit(
+                        t,
+                        TraceEvent::FaultInjected {
+                            kind: FaultKind::DropObservation,
+                            magnitude: 0,
+                        },
+                    );
+                    self.emit(t, TraceEvent::ObsDrop { line });
                     return;
                 }
                 Some(ObservationFault::Duplicate) => duplicate = true,
@@ -813,6 +901,13 @@ impl SystemSim {
                     // simply discarded if the run drains first).
                     self.events.push(t + d, Event::DelayedObservation { line });
                     self.faults_absorbed += 1;
+                    self.emit(
+                        t,
+                        TraceEvent::FaultInjected {
+                            kind: FaultKind::DelayObservation,
+                            magnitude: d,
+                        },
+                    );
                     return;
                 }
                 None => {}
@@ -821,6 +916,13 @@ impl SystemSim {
         self.deliver_observation(line, t);
         if duplicate {
             self.faults_absorbed += 1;
+            self.emit(
+                t,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::DuplicateObservation,
+                    magnitude: 0,
+                },
+            );
             self.deliver_observation(line, t);
         }
     }
@@ -831,6 +933,7 @@ impl SystemSim {
     /// observation is the most likely to still be timely — Section 3.2's
     /// queue 2 behaves as a sliding window over the miss stream).
     fn deliver_observation(&mut self, line: LineAddr, t: Cycle) {
+        self.emit(t, TraceEvent::ObsEnqueue { line });
         let idle = self.memproc.as_ref().expect("caller checked").is_idle_at(t);
         if idle && self.obs_q.is_empty() {
             self.ulmt_process(line, t);
@@ -840,7 +943,8 @@ impl SystemSim {
         // leave the queue over the new depth, and each arrival then drains
         // it back down through the normal drop accounting.
         while self.obs_q.len() >= self.cfg.queues.observation {
-            self.obs_q.pop_front();
+            let dropped = self.obs_q.pop_front().expect("len checked above");
+            self.emit(t, TraceEvent::ObsDrop { line: dropped });
             self.memproc
                 .as_mut()
                 .expect("caller checked")
@@ -869,12 +973,31 @@ impl SystemSim {
                         .position(|&l| self.dram.channel_of(l) == c)
                         .map(|pos| {
                             let l = self.prefetch_q.remove(pos).expect("position is valid");
+                            self.prefetch_q_set.remove(&l);
                             (l, ReqKind::UlmtPush)
                         })
                 });
             let Some((line, kind)) = pick else { continue };
             self.channel_busy[c] = true;
+            if kind == ReqKind::UlmtPush {
+                self.pushes_on_bus += 1;
+                self.emit(
+                    t,
+                    TraceEvent::PushDispatch {
+                        line,
+                        channel: c as u32,
+                    },
+                );
+            }
             let access = self.dram.access(line);
+            self.emit(
+                t,
+                TraceEvent::DramAccess {
+                    line,
+                    channel: c as u32,
+                    row_hit: access.row_hit,
+                },
+            );
             // Fault hook: a transient bank-busy spike adds core-access
             // latency to this one transaction; the reply path is latency-
             // tolerant, so the spike is absorbed as an ordinary slow access.
@@ -888,6 +1011,15 @@ impl SystemSim {
                 }
                 None => 0,
             };
+            if busy_spike > 0 {
+                self.emit(
+                    t,
+                    TraceEvent::FaultInjected {
+                        kind: FaultKind::DramBusy,
+                        magnitude: busy_spike,
+                    },
+                );
+            }
             let injection = if kind == ReqKind::UlmtPush {
                 self.memproc
                     .as_ref()
@@ -945,6 +1077,13 @@ impl SystemSim {
         match kind {
             ReqKind::Demand | ReqKind::CpuPrefetch => {
                 let demand_waiting = self.l2.fill(line, false);
+                self.emit(
+                    t,
+                    TraceEvent::L2Fill {
+                        line,
+                        demand_waiting,
+                    },
+                );
                 if demand_waiting {
                     self.effect.non_pref_misses += 1;
                 }
@@ -952,20 +1091,52 @@ impl SystemSim {
             }
             ReqKind::UlmtPush => {
                 self.inflight_push_replies.remove(&line);
+                self.pushes_on_bus -= 1;
                 match self.l2.push(line) {
-                    PushOutcome::StoleMshr { demand_was_waiting } => {
+                    PushOutcome::StoleMshr {
+                        demand_was_waiting,
+                        installed_as_prefetch,
+                    } => {
+                        self.emit(
+                            t,
+                            TraceEvent::PushStoleMshr {
+                                line,
+                                demand_waiting: demand_was_waiting,
+                                installed_prefetched: installed_as_prefetch,
+                            },
+                        );
                         if demand_was_waiting {
                             self.effect.delayed_hits += 1;
                         }
+                        if installed_as_prefetch {
+                            // The stolen MSHR belonged to a processor-side
+                            // prefetch: the pushed line now sits untouched
+                            // in the L2 exactly like an accepted push.
+                            self.effect.accepted += 1;
+                        }
                         self.complete_line(line, t);
                     }
-                    PushOutcome::Accepted { evicted_dirty } => {
+                    PushOutcome::Accepted {
+                        evicted_dirty,
+                        evicted_prefetch,
+                    } => {
+                        self.emit(t, TraceEvent::PushAccept { line });
+                        self.effect.accepted += 1;
+                        self.push_replaced(evicted_prefetch, t);
                         self.send_writeback(evicted_dirty, t);
                     }
-                    PushOutcome::DroppedPresent
+                    outcome @ (PushOutcome::DroppedPresent
                     | PushOutcome::DroppedWriteback
                     | PushOutcome::DroppedNoMshr
-                    | PushOutcome::DroppedSetPending => {}
+                    | PushOutcome::DroppedSetPending) => {
+                        let reason = match outcome {
+                            PushOutcome::DroppedPresent => PushRejectReason::Present,
+                            PushOutcome::DroppedWriteback => PushRejectReason::Writeback,
+                            PushOutcome::DroppedNoMshr => PushRejectReason::NoMshr,
+                            _ => PushRejectReason::SetPending,
+                        };
+                        self.emit(t, TraceEvent::PushReject { line, reason });
+                    }
                 }
             }
         }
@@ -1016,6 +1187,15 @@ impl SystemSim {
             }
             None => 0,
         };
+        if stall > 0 {
+            self.emit(
+                t,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::MemprocStall,
+                    magnitude: stall,
+                },
+            );
+        }
         let Some(mp) = self.memproc.as_mut() else {
             return;
         };
@@ -1042,31 +1222,51 @@ impl SystemSim {
     }
 
     /// Queue 3 insertion with Filter and cross-queue squashing.
+    ///
+    /// Only requests that survive every admission stage — Filter, pending
+    /// demand, duplicate, queue depth — enter queue 3 and count as
+    /// `issued`; each squash stage has its own counter, so the stages
+    /// partition the ULMT's raw request stream exactly.
     fn enqueue_prefetches(&mut self, lines: Vec<LineAddr>, t: Cycle) {
         for line in lines {
-            self.effect.issued += 1;
             if !self.filter.admit(line) {
+                self.effect.squashed_filter += 1;
+                self.emit(t, TraceEvent::FilterDrop { line });
                 continue;
             }
+            self.emit(t, TraceEvent::FilterAdmit { line });
             // A demand request for the same line is already on its way to
-            // (or in) DRAM: the prefetch is redundant. Also drop the
-            // matching observation to save ULMT occupancy (Section 3.2).
+            // (or in) DRAM: the prefetch is redundant. Also drop *every*
+            // matching observation to save ULMT occupancy (Section 3.2) —
+            // duplicates arise from fault injection and from CpuPrefetch
+            // observation under verbose schemes.
             let demand_pending = self.demand_q.iter().any(|&(l, _)| l == line)
                 || self.inflight_dram.contains_key(&line);
             if demand_pending {
-                if let Some(pos) = self.obs_q.iter().position(|&o| o == line) {
-                    self.obs_q.remove(pos);
+                let before = self.obs_q.len();
+                self.obs_q.retain(|&o| o != line);
+                let removed = (before - self.obs_q.len()) as u32;
+                if removed > 0 {
+                    self.emit(t, TraceEvent::ObsSquash { line, removed });
                 }
+                self.effect.squashed_demand += 1;
+                self.emit(t, TraceEvent::Q3SquashDemand { line });
                 continue;
             }
-            if self.prefetch_q.contains(&line) {
+            if self.prefetch_q_set.contains(&line) {
+                self.effect.squashed_duplicate += 1;
+                self.emit(t, TraceEvent::Q3SquashDuplicate { line });
                 continue;
             }
             if self.prefetch_q.len() >= self.cfg.queues.prefetch {
                 self.prefetch_q_overflow += 1;
+                self.emit(t, TraceEvent::Q3Overflow { line });
                 continue;
             }
+            self.effect.issued += 1;
             self.prefetch_q.push_back(line);
+            self.prefetch_q_set.insert(line);
+            self.emit(t, TraceEvent::Q3Enqueue { line });
         }
         self.dispatch_channels(t);
     }
@@ -1076,7 +1276,7 @@ impl SystemSim {
     // ------------------------------------------------------------------
 
     fn finish(self, wall_nanos: u64) -> RunResult {
-        let l2_stats = self.l2.stats();
+        let l2_stats = *self.l2.stats();
         let elapsed = self.end_time.max(1);
         let observations_dropped = self.memproc_stats_dropped();
         let fault = self.faults.as_ref().map(|plan| FaultReport {
@@ -1085,6 +1285,15 @@ impl SystemSim {
             absorbed: self.faults_absorbed,
             twin: None, // filled by Experiment when a twin run is requested
         });
+        self.emit(
+            self.end_time,
+            TraceEvent::RunEnd {
+                queue2: self.obs_q.len() as u32,
+                queue3: self.prefetch_q.len() as u32,
+                pushes_in_flight: self.pushes_on_bus as u32,
+            },
+        );
+        let trace = self.tracer.as_ref().map(|tracer| tracer.take());
         RunResult {
             scheme: self.scheme_label,
             app: self.app_label,
@@ -1097,6 +1306,8 @@ impl SystemSim {
                 replaced: l2_stats.prefetch_replaced_untouched,
                 redundant: l2_stats.pushes_dropped_present,
                 dropped_other: l2_stats.pushes_dropped() - l2_stats.pushes_dropped_present,
+                inflight_at_end: self.prefetch_q.len() as u64 + self.pushes_on_bus,
+                untouched_at_end: self.l2.prefetched_lines_of(PrefetchOrigin::Push) as u64,
                 ..self.effect
             },
             ulmt: self.memproc.map(|mp| mp.stats().clone()),
@@ -1108,6 +1319,7 @@ impl SystemSim {
             demand_q_overflow: self.demand_q_overflow,
             prefetch_q_overflow: self.prefetch_q_overflow,
             fault,
+            trace,
             wall_nanos,
         }
     }
@@ -1276,6 +1488,117 @@ mod tests {
             "tight {} < roomy {}",
             tight.prefetch_q_overflow,
             roomy.prefetch_q_overflow
+        );
+    }
+
+    fn white_box_sim(cfg: SystemConfig) -> SystemSim {
+        let spec = WorkloadSpec::new(App::Mcf).scale(1.0 / 16.0).iterations(1);
+        SystemSim::new(cfg, &spec, PrefetchScheme::Repl)
+    }
+
+    /// Regression for the cross-queue squashing bug: a prefetch matching a
+    /// pending demand must remove *every* matching queue-2 observation,
+    /// not just the first (duplicates arise from fault injection and from
+    /// CpuPrefetch observation under verbose schemes).
+    #[test]
+    fn prefetch_squashes_all_matching_observations() {
+        let mut sim = white_box_sim(SystemConfig::small());
+        let dup = LineAddr::new(42);
+        sim.obs_q
+            .extend([dup, LineAddr::new(7), dup, dup, LineAddr::new(9)]);
+        sim.inflight_dram.insert(dup, ReqKind::Demand);
+        sim.enqueue_prefetches(vec![dup], 100);
+        assert!(
+            sim.obs_q.iter().all(|&o| o != dup),
+            "stale duplicate observations left behind: {:?}",
+            sim.obs_q
+        );
+        assert_eq!(sim.obs_q.len(), 2);
+        assert_eq!(sim.effect.squashed_demand, 1);
+        assert_eq!(sim.effect.issued, 0, "a squashed prefetch is not issued");
+    }
+
+    /// Regression for the `issued` accounting bug: requests squashed by
+    /// the Filter, a pending demand, a duplicate, or queue-3 overflow
+    /// must land in their own counters, and `issued` must count exactly
+    /// the requests that entered queue 3.
+    #[test]
+    fn issued_counts_only_bus_bound_prefetches() {
+        let mut cfg = SystemConfig::small();
+        cfg.queues.prefetch = 2;
+        let mut sim = white_box_sim(cfg);
+        // Freeze dispatch so queue 3 actually fills up.
+        for busy in sim.channel_busy.iter_mut() {
+            *busy = true;
+        }
+        sim.inflight_dram.insert(LineAddr::new(30), ReqKind::Demand);
+        sim.enqueue_prefetches(
+            vec![
+                LineAddr::new(10), // enqueued
+                LineAddr::new(10), // Filter drop
+                LineAddr::new(20), // enqueued
+                LineAddr::new(30), // demand squash
+                LineAddr::new(40), // overflow: queue 3 is full
+            ],
+            0,
+        );
+        assert_eq!(sim.effect.issued, 2);
+        assert_eq!(sim.effect.squashed_filter, 1);
+        assert_eq!(sim.effect.squashed_demand, 1);
+        assert_eq!(sim.effect.squashed_duplicate, 0);
+        assert_eq!(sim.prefetch_q_overflow, 1);
+        // A second round: the queued lines are now duplicates.
+        sim.filter = Filter::new(sim.cfg.filter_entries); // forget round 1
+        sim.enqueue_prefetches(vec![LineAddr::new(10), LineAddr::new(20)], 1);
+        assert_eq!(sim.effect.squashed_duplicate, 2);
+        assert_eq!(sim.effect.issued, 2, "duplicates must not count as issued");
+    }
+
+    /// The hash-set shadow of queue 3 tracks the queue exactly through
+    /// enqueues, NB squashes, and channel dispatches.
+    #[test]
+    fn prefetch_queue_set_stays_in_sync() {
+        let mut sim = white_box_sim(SystemConfig::small());
+        for busy in sim.channel_busy.iter_mut() {
+            *busy = true;
+        }
+        let lines: Vec<LineAddr> = (0..6).map(|n| LineAddr::new(n * 3)).collect();
+        sim.enqueue_prefetches(lines.clone(), 0);
+        assert_eq!(sim.prefetch_q.len(), lines.len());
+        // An NB demand match removes the entry from both structures.
+        sim.request_at_nb(lines[2], ReqKind::Demand, 5);
+        assert_eq!(sim.effect.squashed_at_nb, 1);
+        assert!(!sim.prefetch_q.contains(&lines[2]));
+        // Unfreeze one channel and let it dispatch.
+        sim.channel_busy[0] = false;
+        sim.dispatch_channels(10);
+        assert_eq!(sim.prefetch_q_set.len(), sim.prefetch_q.len());
+        for l in &sim.prefetch_q {
+            assert!(sim.prefetch_q_set.contains(l), "set lost {l}");
+        }
+    }
+
+    /// End-to-end accounting identity on a real run: every issued
+    /// (queue-3) prefetch is accounted for exactly once.
+    #[test]
+    fn issued_prefetches_partition_exactly() {
+        let r = run(App::Mcf, PrefetchScheme::Repl);
+        let p = &r.prefetch;
+        assert!(p.issued > 0);
+        assert_eq!(
+            p.issued,
+            p.delayed_hits
+                + p.accepted
+                + p.redundant
+                + p.dropped_other
+                + p.squashed_at_nb
+                + p.inflight_at_end,
+            "issued does not partition: {p:?}"
+        );
+        assert_eq!(
+            p.accepted,
+            p.hits + p.replaced + p.untouched_at_end,
+            "accepted pushes do not partition: {p:?}"
         );
     }
 

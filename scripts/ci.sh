@@ -9,6 +9,10 @@
 #                                 installed in this toolchain)
 #   3. cargo build --release  -- the tier-1 build
 #   4. cargo test -q          -- the tier-1 test suite
+#   5. cargo test --doc       -- every doc example compiles and runs
+#   6. trace validation       -- a traced fixed-seed faulted run whose
+#                                counters must re-derive bit-exactly from
+#                                the event stream (inspect's `trace` leg)
 #
 # This wraps the canonical tier-1 verify from ROADMAP.md
 # (`cargo build --release && cargo test -q`) with the lint front-line so
@@ -31,5 +35,12 @@ cargo build --release
 
 echo "== cargo test -q"
 cargo test -q
+
+echo "== cargo test --doc"
+cargo test -q --workspace --doc
+
+echo "== trace validation (faulted, seed 7)"
+ULMT_FAULT_SEED=7 ULMT_SCALE=small \
+    cargo run -q --release -p ulmt-bench --bin inspect -- trace mcf target/traces
 
 echo "ci.sh: all gates passed"

@@ -120,6 +120,69 @@ fn memory_side_prefetching_adds_only_one_way_traffic() {
 }
 
 #[test]
+fn issued_prefetches_account_exactly_under_every_scheme() {
+    // The queue-3 admission stages and push outcomes partition `issued`
+    // exactly: nothing a ULMT requests is ever lost by the accounting,
+    // whichever Figure 7 scheme produced it.
+    for scheme in PrefetchScheme::FIGURE7 {
+        let r = Experiment::new(SystemConfig::small(), spec(App::Mcf))
+            .scheme(scheme)
+            .run();
+        let p = &r.prefetch;
+        assert_eq!(
+            p.issued,
+            p.delayed_hits
+                + p.accepted
+                + p.redundant
+                + p.dropped_other
+                + p.squashed_at_nb
+                + p.inflight_at_end,
+            "{scheme}: {p:?}"
+        );
+        assert_eq!(
+            p.accepted,
+            p.hits + p.replaced + p.untouched_at_end,
+            "{scheme}: {p:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_rederives_every_counter_bit_exactly() {
+    // The cycle-stamped event trace is a second, independent account of
+    // the run; `validate_trace` re-derives the aggregates from it and
+    // demands bit-identity — with and without fault injection, and the
+    // tracer itself must not perturb the simulation.
+    use ulmt::simcore::{FaultConfig, TraceConfig};
+    use ulmt::system::validate_trace;
+    let experiment = |faults: Option<FaultConfig>, traced: bool| {
+        let mut e =
+            Experiment::new(SystemConfig::small(), spec(App::Mcf)).scheme(PrefetchScheme::Repl);
+        if let Some(f) = faults {
+            e = e.faults(f);
+        }
+        if traced {
+            e = e.trace(TraceConfig::default());
+        }
+        e.run()
+    };
+    for faults in [None, Some(FaultConfig::stress(11))] {
+        let traced = experiment(faults, true);
+        let audit = validate_trace(&traced).unwrap_or_else(|e| {
+            panic!("faults={:?}: {e}", faults.map(|f| f.seed));
+        });
+        assert!(audit.events > 0);
+        let untraced = experiment(faults, false);
+        assert_eq!(
+            traced.fingerprint(),
+            untraced.fingerprint(),
+            "tracing changed the simulation (faults={:?})",
+            faults.map(|f| f.seed)
+        );
+    }
+}
+
+#[test]
 fn sparse_and_tree_have_the_smallest_speedups() {
     // Section 5.2 / Figure 9: "Sparse and Tree, the applications with the
     // smallest speedups" (cache conflicts + inaccurate prefetches).

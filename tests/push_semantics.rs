@@ -13,21 +13,29 @@ fn run(app: App, scheme: PrefetchScheme) -> ulmt::system::RunResult {
 
 #[test]
 fn pushes_partition_into_the_figure9_categories() {
-    // Every issued prefetch either got filtered, squashed against demand,
-    // or arrived at the L2 as a push with exactly one outcome. At the
-    // L2, arrivals = steals + accepts + drops; accepted pushes later
-    // become Hits, Replaced, or remain resident.
+    // `issued` counts exactly the prefetches that entered queue 3, so
+    // every one of them has exactly one fate: it stole a waiting MSHR
+    // (DelayedHit), was installed prefetched (and later became a Hit, a
+    // Replaced line, or stayed resident), was dropped on arrival, was
+    // squashed in queue 3 by a demand miss, or never resolved before the
+    // run drained. No slack, no double counting.
     let r = run(App::Gap, PrefetchScheme::Repl);
     let p = &r.prefetch;
     assert!(p.issued > 0);
-    let arrived_effects = p.hits + p.delayed_hits + p.replaced + p.redundant + p.dropped_other;
-    // Residency at end-of-run means effects can be slightly below
-    // arrivals, never above issued minus filter drops.
-    assert!(
-        arrived_effects <= p.issued - r.filter_dropped,
-        "effects {arrived_effects} vs issued {} - filtered {}",
+    assert_eq!(
         p.issued,
-        r.filter_dropped
+        p.delayed_hits
+            + p.accepted
+            + p.redundant
+            + p.dropped_other
+            + p.squashed_at_nb
+            + p.inflight_at_end,
+        "{p:?}"
+    );
+    assert_eq!(
+        p.accepted,
+        p.hits + p.replaced + p.untouched_at_end,
+        "{p:?}"
     );
     assert!(p.hits > 0, "some pushes must be demanded");
     assert!(p.delayed_hits > 0, "some pushes must steal waiting MSHRs");
