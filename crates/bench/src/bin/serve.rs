@@ -1,0 +1,281 @@
+//! Service smoke target: the sharded multi-tenant prefetch service run
+//! over the same multi-tenant observation streams at several shard
+//! counts, with a bit-identity check of every tenant's learned table
+//! across shard counts, a snapshot → restore → fingerprint warm-start
+//! check, and a machine-readable throughput report written to
+//! `BENCH_service.json`.
+//!
+//! Environment:
+//!
+//! * `ULMT_SHARDS` — comma-separated shard counts (default `1,2,4`).
+//! * `ULMT_TENANTS` — number of tenants (default `4`).
+//! * `BENCH_OUT` — output path (default `BENCH_service.json`).
+//!
+//! The report is written atomically (temp file + rename), so an
+//! interrupted run never leaves a truncated `BENCH_service.json`.
+//!
+//! Exits non-zero if any tenant's table fingerprint differs between
+//! shard counts, or if a restored snapshot does not reproduce its
+//! source fingerprint bit-for-bit.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ulmt_bench::io::atomic_write;
+use ulmt_service::{PrefetchService, ServiceConfig, TenantSpec};
+use ulmt_simcore::LineAddr;
+use ulmt_system::{l2_miss_stream_with, SystemConfig};
+use ulmt_workloads::{App, WorkloadSpec};
+
+/// One tenant's identity and full observation stream.
+struct Tenant {
+    id: u32,
+    spec: TenantSpec,
+    obs: Vec<LineAddr>,
+}
+
+fn parse_shards() -> Vec<usize> {
+    let raw = std::env::var("ULMT_SHARDS").unwrap_or_else(|_| "1,2,4".to_string());
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("bad shard count {s:?} in ULMT_SHARDS"))
+        })
+        .collect()
+}
+
+fn tenants() -> Vec<Tenant> {
+    let n: usize = std::env::var("ULMT_TENANTS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(4);
+    let config = SystemConfig::small();
+    (0..n as u32)
+        .map(|id| {
+            let app = App::ALL[id as usize % App::ALL.len()];
+            let spec = WorkloadSpec::new(app).scale(1.0 / 32.0).iterations(2);
+            let kind = match id % 3 {
+                0 => TenantSpec::repl(1024),
+                1 => TenantSpec::chain(1024),
+                _ => TenantSpec::base(1024),
+            };
+            Tenant {
+                id: id + 1,
+                spec: kind,
+                obs: l2_miss_stream_with(&config, &spec).collect(),
+            }
+        })
+        .collect()
+}
+
+struct Leg {
+    shards: usize,
+    wall_nanos: u64,
+    observed: u64,
+    fingerprints: Vec<(u32, u64)>,
+    utilization: Vec<f64>,
+}
+
+impl Leg {
+    fn obs_per_sec(&self) -> f64 {
+        self.observed as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+}
+
+/// Feeds every tenant's stream through a `shards`-shard service in
+/// interleaved rounds and returns throughput plus per-tenant table
+/// fingerprints.
+fn run_leg(shards: usize, tenants: &[Tenant]) -> Leg {
+    const BATCH: usize = 256;
+    let service = PrefetchService::start(ServiceConfig {
+        shards,
+        ..ServiceConfig::default()
+    });
+    let mut sessions: Vec<_> = tenants
+        .iter()
+        .map(|t| {
+            service
+                .open(t.id, t.spec)
+                .unwrap_or_else(|e| panic!("opening tenant {}: {e}", t.id))
+        })
+        .collect();
+
+    let start = Instant::now();
+    // Interleave tenants round-robin, one batch each per round, so every
+    // shard sees its tenants' streams genuinely mixed.
+    let rounds = tenants
+        .iter()
+        .map(|t| t.obs.len().div_ceil(BATCH))
+        .max()
+        .unwrap_or(0);
+    let mut pending = Vec::new();
+    for round in 0..rounds {
+        for (t, session) in tenants.iter().zip(&mut sessions) {
+            let lo = round * BATCH;
+            if lo >= t.obs.len() {
+                continue;
+            }
+            let hi = (lo + BATCH).min(t.obs.len());
+            pending.push(
+                session
+                    .submit(t.obs[lo..hi].to_vec())
+                    .unwrap_or_else(|e| panic!("submitting to tenant {}: {e}", t.id)),
+            );
+        }
+    }
+    let observed: u64 = pending
+        .into_iter()
+        .map(|p| p.wait().expect("shard alive").observed)
+        .sum();
+    service.drain().expect("drain");
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+
+    let fingerprints = sessions
+        .iter()
+        .map(|s| (s.tenant(), s.fingerprint().expect("fingerprint")))
+        .collect();
+    let utilization = (0..shards)
+        .map(|i| service.shard_stats(i).expect("shard stats").utilization())
+        .collect();
+    service.shutdown();
+    Leg {
+        shards,
+        wall_nanos,
+        observed,
+        fingerprints,
+        utilization,
+    }
+}
+
+/// Snapshot every tenant on a fresh service, restore each snapshot into
+/// a new tenant, and check the restored fingerprints match bit-for-bit.
+fn snapshot_restore_identical(tenants: &[Tenant]) -> bool {
+    let service = PrefetchService::start(ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    });
+    let mut ok = true;
+    for t in tenants {
+        let mut session = service.open(t.id, t.spec).expect("open");
+        session
+            .submit(t.obs.clone())
+            .expect("submit")
+            .wait()
+            .expect("reply");
+        let snap = session.snapshot().expect("snapshot");
+        let source = session.fingerprint().expect("fingerprint");
+        // Restore into a disjoint tenant ID: a cold table warm-started
+        // from the snapshot must reproduce the source exactly.
+        let warm = service.open(t.id + 1000, t.spec).expect("open warm");
+        warm.restore(snap).expect("restore");
+        let restored = warm.fingerprint().expect("fingerprint");
+        if restored != source {
+            eprintln!(
+                "MISMATCH: tenant {} snapshot restore {restored:016x} != source {source:016x}",
+                t.id
+            );
+            ok = false;
+        }
+    }
+    service.shutdown();
+    ok
+}
+
+fn json_report(tenants: &[Tenant], legs: &[Leg], identical: bool, snapshot_ok: bool) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"tenants\": {},", tenants.len());
+    let _ = writeln!(
+        j,
+        "  \"observations\": {},",
+        tenants.iter().map(|t| t.obs.len()).sum::<usize>()
+    );
+    let _ = writeln!(j, "  \"fingerprints_identical\": {identical},");
+    let _ = writeln!(j, "  \"snapshot_restore_identical\": {snapshot_ok},");
+    j.push_str("  \"legs\": [\n");
+    for (i, leg) in legs.iter().enumerate() {
+        let util = leg
+            .utilization
+            .iter()
+            .map(|u| format!("{u:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            j,
+            "    {{\"shards\": {}, \"wall_ms\": {:.3}, \"obs_per_sec\": {:.0}, \"utilization\": [{util}]}}{}",
+            leg.shards,
+            leg.wall_nanos as f64 / 1e6,
+            leg.obs_per_sec(),
+            if i + 1 < legs.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"tenant_fingerprints\": [\n");
+    let reference = &legs[0].fingerprints;
+    for (i, (tenant, fp)) in reference.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"tenant\": {tenant}, \"fingerprint\": \"{fp:016x}\"}}{}",
+            if i + 1 < reference.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+fn main() {
+    let shard_counts = parse_shards();
+    let tenants = tenants();
+    let total: usize = tenants.iter().map(|t| t.obs.len()).sum();
+    eprintln!(
+        "serve: {} tenants, {} observations, shard counts {:?}",
+        tenants.len(),
+        total,
+        shard_counts
+    );
+
+    let legs: Vec<Leg> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let leg = run_leg(shards, &tenants);
+            eprintln!(
+                "  {} shard(s): {:.1} ms, {:.0} obs/sec",
+                shards,
+                leg.wall_nanos as f64 / 1e6,
+                leg.obs_per_sec()
+            );
+            leg
+        })
+        .collect();
+
+    // Determinism gate: every tenant's table must be bit-identical (same
+    // fingerprint) no matter how many shards served it.
+    let mut identical = true;
+    let reference = &legs[0];
+    for leg in &legs[1..] {
+        for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&leg.fingerprints) {
+            if want != got {
+                eprintln!(
+                    "MISMATCH: tenant {tenant} fingerprint {got:016x} at {} shard(s) != {want:016x} at {} shard(s)",
+                    leg.shards, reference.shards
+                );
+                identical = false;
+            }
+        }
+    }
+
+    eprintln!("snapshot/restore pass ...");
+    let snapshot_ok = snapshot_restore_identical(&tenants);
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    atomic_write(&out, &json_report(&tenants, &legs, identical, snapshot_ok))
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+
+    if !identical || !snapshot_ok {
+        eprintln!("serve: FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("serve: all checks passed");
+}

@@ -1,5 +1,7 @@
 //! Cache geometry configuration.
 
+use ulmt_simcore::ConfigError;
+
 /// Geometry and resource limits of one cache.
 ///
 /// The defaults mirror Table 3 of the paper; see [`CacheConfig::l1`],
@@ -62,38 +64,48 @@ impl CacheConfig {
         self.num_sets() * self.assoc
     }
 
-    /// Checks the geometry without panicking, returning a descriptive
-    /// message for the first inconsistency found.
-    pub fn check(&self) -> Result<(), String> {
+    /// Validates the geometry, returning the first inconsistency found as
+    /// a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("cache", reason));
         if !self.line_size.is_power_of_two() {
-            return Err("line size must be a power of two".to_string());
+            return err("line size must be a power of two");
         }
         if self.assoc == 0 {
-            return Err("associativity must be positive".to_string());
+            return err("associativity must be positive");
         }
         if self.mshrs == 0 {
-            return Err("MSHR count must be positive".to_string());
+            return err("MSHR count must be positive");
         }
         let set_bytes = self.line_size * self.assoc as u64;
         if !self.size_bytes.is_multiple_of(set_bytes) {
-            return Err("capacity must be a whole number of sets".to_string());
+            return err("capacity must be a whole number of sets");
         }
         if self.num_sets() == 0 || !self.num_sets().is_power_of_two() {
-            return Err("set count must be a power of two".to_string());
+            return err("set count must be a power of two");
         }
         Ok(())
     }
 
-    /// Validates the geometry, panicking with a descriptive message on
-    /// inconsistent parameters. Prefer [`CacheConfig::check`] where a
-    /// recoverable error is wanted.
+    /// Infallible assertion form of [`CacheConfig::validate`], used by
+    /// constructors.
     ///
     /// # Panics
     ///
-    /// Panics if the line size is not a power of two, if the capacity is not
-    /// divisible into whole sets, or if associativity/MSHR count is zero.
-    pub fn validate(&self) {
-        self.check().unwrap_or_else(|e| panic!("{e}"));
+    /// Panics with the [`ConfigError`] message if the geometry is invalid.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the geometry without panicking.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
+    )]
+    pub fn check(&self) -> Result<(), String> {
+        self.validate().map_err(ConfigError::into_reason)
     }
 }
 
@@ -104,17 +116,17 @@ mod tests {
     #[test]
     fn table3_geometries() {
         let l1 = CacheConfig::l1();
-        l1.validate();
+        l1.checked();
         assert_eq!(l1.num_sets(), 256);
         assert_eq!(l1.num_lines(), 512);
 
         let l2 = CacheConfig::l2();
-        l2.validate();
+        l2.checked();
         assert_eq!(l2.num_sets(), 2048);
         assert_eq!(l2.num_lines(), 8192);
 
         let mp = CacheConfig::memproc_l1();
-        mp.validate();
+        mp.checked();
         assert_eq!(mp.num_sets(), 512);
     }
 
@@ -125,7 +137,7 @@ mod tests {
             line_size: 48,
             ..CacheConfig::l1()
         }
-        .validate();
+        .checked();
     }
 
     #[test]
@@ -135,26 +147,43 @@ mod tests {
             size_bytes: 1000,
             ..CacheConfig::l1()
         }
-        .validate();
+        .checked();
     }
 
     #[test]
-    fn check_reports_without_panicking() {
+    fn validate_reports_without_panicking() {
+        assert!(CacheConfig::l2().validate().is_ok());
+        let zero_ways = CacheConfig {
+            assoc: 0,
+            ..CacheConfig::l1()
+        };
+        let e = zero_ways.validate().unwrap_err();
+        assert_eq!(e.component(), "cache");
+        assert!(e.reason().contains("associativity"));
+        let zero_sets = CacheConfig {
+            size_bytes: 0,
+            ..CacheConfig::l1()
+        };
+        assert!(zero_sets
+            .validate()
+            .unwrap_err()
+            .reason()
+            .contains("power of two"));
+        let zero_mshrs = CacheConfig {
+            mshrs: 0,
+            ..CacheConfig::l1()
+        };
+        assert!(zero_mshrs.validate().unwrap_err().reason().contains("MSHR"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_check_still_reports_strings() {
         assert!(CacheConfig::l2().check().is_ok());
         let zero_ways = CacheConfig {
             assoc: 0,
             ..CacheConfig::l1()
         };
         assert!(zero_ways.check().unwrap_err().contains("associativity"));
-        let zero_sets = CacheConfig {
-            size_bytes: 0,
-            ..CacheConfig::l1()
-        };
-        assert!(zero_sets.check().unwrap_err().contains("power of two"));
-        let zero_mshrs = CacheConfig {
-            mshrs: 0,
-            ..CacheConfig::l1()
-        };
-        assert!(zero_mshrs.check().unwrap_err().contains("MSHR"));
     }
 }

@@ -7,11 +7,12 @@
 //! miss as the MRU immediate successor of the *previous* miss (reached
 //! through a retained row pointer, no search needed).
 
-use ulmt_simcore::{LineAddr, PageAddr};
+use ulmt_simcore::{ConfigError, LineAddr, PageAddr};
 
 use crate::algorithm::{insn_cost, UlmtAlgorithm};
 use crate::cost::StepResult;
 
+use super::snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
 use super::storage::{MruList, RowPtr, RowTable, TableStats};
 use super::TableParams;
 
@@ -49,7 +50,7 @@ impl Base {
     /// Panics if `params` are invalid or `num_levels != 1` (Base stores a
     /// single level of successors by definition).
     pub fn new(params: TableParams) -> Self {
-        params.validate();
+        params.checked();
         assert_eq!(
             params.num_levels, 1,
             "Base stores exactly one level of successors"
@@ -72,6 +73,11 @@ impl Base {
         self.table.stats()
     }
 
+    /// Number of valid (learned) rows.
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
     /// Shrinks or grows the table (Section 3.4 dynamic sizing).
     pub fn resize(&mut self, num_rows: usize) {
         let new_params = TableParams {
@@ -81,6 +87,61 @@ impl Base {
         self.table.resize(&new_params);
         self.params = new_params;
         self.last = None;
+    }
+
+    /// Captures the learned rows as a portable [`TableSnapshot`]. The
+    /// retained learning pointer and the behavior counters are transient
+    /// and not part of the snapshot.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Base,
+            params: self.params,
+            rows: self
+                .table
+                .live_rows_lru()
+                .into_iter()
+                .map(|(tag, row)| RowSnapshot {
+                    tag: tag.raw(),
+                    levels: vec![row.iter().map(|s| s.raw()).collect()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a prefetcher from a snapshot taken by
+    /// [`Base::snapshot`]; the result fingerprints identically to the
+    /// captured table.
+    pub fn from_snapshot(snap: &TableSnapshot) -> Result<Self, SnapshotError> {
+        snap.expect_kind(SnapshotKind::Base)?;
+        snap.params
+            .validate()
+            .map_err(SnapshotError::InvalidParams)?;
+        if snap.params.num_levels != 1 {
+            return Err(SnapshotError::InvalidParams(ConfigError::new(
+                "table",
+                "Base stores exactly one level of successors",
+            )));
+        }
+        let mut base = Base::new(snap.params);
+        for row in &snap.rows {
+            let (ptr, _) = base.table.find_or_alloc(LineAddr::new(row.tag));
+            let list = base
+                .table
+                .get_mut(ptr)
+                .expect("fresh pointer from alloc is valid");
+            if let Some(level) = row.levels.first() {
+                for &succ in level.iter().rev() {
+                    list.insert_mru(LineAddr::new(succ));
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    /// Fingerprint of the learned contents (see
+    /// [`TableSnapshot::fingerprint`]).
+    pub fn table_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
     }
 
     /// Prefetching step: look up `miss` and emit all its stored successors
@@ -268,6 +329,28 @@ mod tests {
         let b_new = line(lpp * 9 + 1);
         let preds = base.predict(a_new, 1);
         assert!(preds[0].contains(&b_new), "preds {:?}", preds[0]);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let mut base = small();
+        for n in [10u64, 20, 30, 10, 40, 30, 20, 10, 50] {
+            base.process_miss(line(n));
+        }
+        let snap = base.snapshot();
+        let restored = Base::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.table_fingerprint(), base.table_fingerprint());
+        assert_eq!(restored.predict(line(10), 1), base.predict(line(10), 1));
+        // And through the byte codec too.
+        let snap2 = super::super::TableSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap2.fingerprint(), snap.fingerprint());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_kind() {
+        let chain = crate::table::Chain::new(TableParams::chain_default(64));
+        assert!(Base::from_snapshot(&chain.snapshot()).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use ulmt_simcore::{LineAddr, PageAddr};
 use crate::algorithm::{insn_cost, UlmtAlgorithm};
 use crate::cost::StepResult;
 
+use super::snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
 use super::storage::{MruList, RowPtr, RowTable, TableStats};
 use super::TableParams;
 
@@ -53,7 +54,7 @@ impl Chain {
     ///
     /// Panics if `params` are invalid.
     pub fn new(params: TableParams) -> Self {
-        params.validate();
+        params.checked();
         let row_bytes = params.flat_row_bytes();
         Chain {
             table: RowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
@@ -70,6 +71,60 @@ impl Chain {
     /// Table behavior counters.
     pub fn table_stats(&self) -> &TableStats {
         self.table.stats()
+    }
+
+    /// Number of valid (learned) rows.
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    /// Captures the learned rows as a portable [`TableSnapshot`]. The
+    /// retained learning pointer and the behavior counters are transient
+    /// and not part of the snapshot.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Chain,
+            params: self.params,
+            rows: self
+                .table
+                .live_rows_lru()
+                .into_iter()
+                .map(|(tag, row)| RowSnapshot {
+                    tag: tag.raw(),
+                    levels: vec![row.iter().map(|s| s.raw()).collect()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a prefetcher from a snapshot taken by
+    /// [`Chain::snapshot`]; the result fingerprints identically to the
+    /// captured table.
+    pub fn from_snapshot(snap: &TableSnapshot) -> Result<Self, SnapshotError> {
+        snap.expect_kind(SnapshotKind::Chain)?;
+        snap.params
+            .validate()
+            .map_err(SnapshotError::InvalidParams)?;
+        let mut chain = Chain::new(snap.params);
+        for row in &snap.rows {
+            let (ptr, _) = chain.table.find_or_alloc(LineAddr::new(row.tag));
+            let list = chain
+                .table
+                .get_mut(ptr)
+                .expect("fresh pointer from alloc is valid");
+            if let Some(level) = row.levels.first() {
+                for &succ in level.iter().rev() {
+                    list.insert_mru(LineAddr::new(succ));
+                }
+            }
+        }
+        Ok(chain)
+    }
+
+    /// Fingerprint of the learned contents (see
+    /// [`TableSnapshot::fingerprint`]).
+    pub fn table_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
     }
 }
 
@@ -256,6 +311,19 @@ mod tests {
         let preds = chain.predict(line(1), 2);
         assert_eq!(preds[0], vec![line(2)]);
         assert_eq!(preds[1], vec![line(3)]);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let mut chain = small();
+        for n in [1u64, 2, 3, 1, 4, 3, 2, 1] {
+            chain.process_miss(line(n));
+        }
+        let snap = chain.snapshot();
+        let restored = Chain::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.table_fingerprint(), chain.table_fingerprint());
+        assert_eq!(restored.predict(line(1), 2), chain.predict(line(1), 2));
     }
 
     #[test]

@@ -10,11 +10,15 @@
 mod base;
 mod chain;
 mod replicated;
+mod snapshot;
 mod storage;
+
+use ulmt_simcore::ConfigError;
 
 pub use base::Base;
 pub use chain::Chain;
 pub use replicated::Replicated;
+pub use snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
 pub use storage::{MruList, RowPtr, RowTable, TableStats};
 
 /// Parameters of a correlation table and its algorithm (Table 4).
@@ -83,31 +87,38 @@ impl TableParams {
         4 + 4 * (self.num_levels * self.num_succ) as u64
     }
 
-    /// Validates the parameters.
+    /// Validates the parameters, returning the first inconsistency found
+    /// as a typed [`ConfigError`]: a zero dimension, `num_rows` not
+    /// divisible by `assoc`, or a set count that is not a power of two
+    /// (required by the trivial low-bits hash).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("table", reason));
+        if self.num_rows == 0 || self.assoc == 0 {
+            return err("table dimensions must be positive");
+        }
+        if self.num_succ == 0 || self.num_levels == 0 {
+            return err("NumSucc/NumLevels must be positive");
+        }
+        if !self.num_rows.is_multiple_of(self.assoc) {
+            return err("NumRows must be a multiple of Assoc");
+        }
+        if !self.num_sets().is_power_of_two() {
+            return err("set count must be a power of two");
+        }
+        Ok(())
+    }
+
+    /// Infallible assertion form of [`TableParams::validate`], used by the
+    /// algorithm constructors.
     ///
     /// # Panics
     ///
-    /// Panics if a dimension is zero, `num_rows` is not divisible by
-    /// `assoc`, or the set count is not a power of two (required by the
-    /// trivial low-bits hash).
-    pub fn validate(&self) {
-        assert!(
-            self.num_rows > 0 && self.assoc > 0,
-            "table dimensions must be positive"
-        );
-        assert!(
-            self.num_succ > 0 && self.num_levels > 0,
-            "NumSucc/NumLevels must be positive"
-        );
-        assert_eq!(
-            self.num_rows % self.assoc,
-            0,
-            "NumRows must be a multiple of Assoc"
-        );
-        assert!(
-            self.num_sets().is_power_of_two(),
-            "set count must be a power of two"
-        );
+    /// Panics with the [`ConfigError`] message if the parameters are
+    /// invalid.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -139,13 +150,37 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "multiple of Assoc")]
-    fn validate_rejects_ragged() {
+    fn checked_rejects_ragged() {
         TableParams {
             num_rows: 10,
             assoc: 4,
             num_succ: 2,
             num_levels: 1,
         }
-        .validate();
+        .checked();
+    }
+
+    #[test]
+    fn validate_reports_without_panicking() {
+        assert!(TableParams::base_default(1024).validate().is_ok());
+        let e = TableParams {
+            num_rows: 10,
+            assoc: 4,
+            num_succ: 2,
+            num_levels: 1,
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(e.component(), "table");
+        assert!(e.reason().contains("multiple of Assoc"));
+        let e = TableParams {
+            num_rows: 24,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 1,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(e.reason().contains("power of two"));
     }
 }

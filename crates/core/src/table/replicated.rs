@@ -19,6 +19,7 @@ use ulmt_simcore::{LineAddr, PageAddr};
 use crate::algorithm::{insn_cost, UlmtAlgorithm};
 use crate::cost::StepResult;
 
+use super::snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
 use super::storage::{MruList, RowPtr, RowTable, TableStats};
 use super::TableParams;
 
@@ -71,7 +72,7 @@ impl Replicated {
     ///
     /// Panics if `params` are invalid.
     pub fn new(params: TableParams) -> Self {
-        params.validate();
+        params.checked();
         let row_bytes = params.repl_row_bytes();
         Replicated {
             table: RowTable::new(
@@ -94,6 +95,11 @@ impl Replicated {
         self.table.stats()
     }
 
+    /// Number of valid (learned) rows.
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
     /// Shrinks or grows the table (Section 3.4 dynamic sizing).
     pub fn resize(&mut self, num_rows: usize) {
         let new_params = TableParams {
@@ -103,6 +109,59 @@ impl Replicated {
         self.table.resize(&new_params);
         self.params = new_params;
         self.pointers.clear();
+    }
+
+    /// Captures the learned rows as a portable [`TableSnapshot`]. The
+    /// retained learning pointers and the behavior counters are
+    /// transient and not part of the snapshot.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Repl,
+            params: self.params,
+            rows: self
+                .table
+                .live_rows_lru()
+                .into_iter()
+                .map(|(tag, row)| RowSnapshot {
+                    tag: tag.raw(),
+                    levels: row
+                        .levels
+                        .iter()
+                        .map(|level| level.iter().map(|s| s.raw()).collect())
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a prefetcher from a snapshot taken by
+    /// [`Replicated::snapshot`]; the result fingerprints identically to
+    /// the captured table.
+    pub fn from_snapshot(snap: &TableSnapshot) -> Result<Self, SnapshotError> {
+        snap.expect_kind(SnapshotKind::Repl)?;
+        snap.params
+            .validate()
+            .map_err(SnapshotError::InvalidParams)?;
+        let mut repl = Replicated::new(snap.params);
+        for row in &snap.rows {
+            let (ptr, _) = repl.table.find_or_alloc(LineAddr::new(row.tag));
+            let dst = repl
+                .table
+                .get_mut(ptr)
+                .expect("fresh pointer from alloc is valid");
+            for (level, succs) in dst.levels.iter_mut().zip(&row.levels) {
+                for &succ in succs.iter().rev() {
+                    level.insert_mru(LineAddr::new(succ));
+                }
+            }
+        }
+        Ok(repl)
+    }
+
+    /// Fingerprint of the learned contents (see
+    /// [`TableSnapshot::fingerprint`]).
+    pub fn table_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
     }
 }
 
@@ -335,6 +394,30 @@ mod tests {
         // Learning continues from scratch pointers without panic.
         repl.process_miss(line(1));
         repl.process_miss(line(2));
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let mut repl = small();
+        for n in [10u64, 20, 30, 10, 40, 30, 20, 10, 50, 40] {
+            repl.process_miss(line(n));
+        }
+        let snap = repl.snapshot();
+        let restored = Replicated::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.table_fingerprint(), repl.table_fingerprint());
+        assert_eq!(restored.predict(line(10), 2), repl.predict(line(10), 2));
+        // Two independent restores keep learning identically: feed both
+        // the same continuation and the fingerprints stay equal. (The
+        // live table would diverge here — its transient learning
+        // pointers are deliberately not part of the snapshot.)
+        let mut warm_a = Replicated::from_snapshot(&snap).unwrap();
+        let mut warm_b = restored;
+        for n in [20u64, 30, 10, 60] {
+            warm_a.process_miss(line(n));
+            warm_b.process_miss(line(n));
+        }
+        assert_eq!(warm_a.table_fingerprint(), warm_b.table_fingerprint());
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Portable snapshots of learned correlation tables.
+//!
+//! A [`TableSnapshot`] captures everything a table has *learned* — the
+//! live rows, in global LRU-to-MRU order, with every successor list in
+//! MRU order — in an algorithm-independent form. Restoring a snapshot
+//! into an empty table of the same geometry reproduces the table's
+//! contents exactly (the restore replays rows in the same canonical
+//! order [`RowTable::resize`](super::RowTable::resize) uses), so
+//! `snapshot -> restore -> snapshot` is bit-identical. This is what the
+//! prefetch service uses to warm-start tenants and to prove determinism
+//! across shard layouts.
+//!
+//! Deliberately excluded: transient learning state (the retained row
+//! pointers of Base/Chain/Replicated, which are rebuilt within a few
+//! misses) and the [`TableStats`](super::TableStats) counters (a
+//! restored table starts counting afresh).
+
+use std::hash::Hasher;
+
+use ulmt_simcore::{ConfigError, FxHasher};
+
+use super::TableParams;
+
+/// Which algorithm produced a snapshot. Restoring into a different
+/// algorithm is rejected: the row organizations are not interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// [`Base`](super::Base): one level of successors per row.
+    Base,
+    /// [`Chain`](super::Chain): one level of successors per row.
+    Chain,
+    /// [`Replicated`](super::Replicated): `NumLevels` levels per row.
+    Repl,
+}
+
+impl SnapshotKind {
+    /// Stable on-disk tag.
+    fn code(self) -> u8 {
+        match self {
+            SnapshotKind::Base => 0,
+            SnapshotKind::Chain => 1,
+            SnapshotKind::Repl => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SnapshotKind::Base),
+            1 => Some(SnapshotKind::Chain),
+            2 => Some(SnapshotKind::Repl),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (matches the algorithms' `name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotKind::Base => "base",
+            SnapshotKind::Chain => "chain",
+            SnapshotKind::Repl => "repl",
+        }
+    }
+}
+
+/// One live row: the miss tag plus its successor levels, each level in
+/// MRU-to-LRU order. Base and Chain always have exactly one level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSnapshot {
+    /// Raw line number of the miss the row predicts for.
+    pub tag: u64,
+    /// Successor levels, outermost index = level, inner lists MRU first.
+    pub levels: Vec<Vec<u64>>,
+}
+
+/// A complete, portable capture of a correlation table's learned state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSnapshot {
+    /// The producing algorithm.
+    pub kind: SnapshotKind,
+    /// Geometry of the captured table.
+    pub params: TableParams,
+    /// Live rows in global LRU-to-MRU order (the canonical replay order).
+    pub rows: Vec<RowSnapshot>,
+}
+
+/// Errors decoding or restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream does not start with the snapshot magic.
+    BadMagic,
+    /// The byte stream uses an unknown format version.
+    BadVersion(u16),
+    /// The byte stream ended mid-structure.
+    Truncated,
+    /// The byte stream carries an unknown algorithm tag.
+    BadKind(u8),
+    /// The snapshot was produced by a different algorithm than the one
+    /// restoring it.
+    KindMismatch {
+        /// What the restoring algorithm is.
+        expected: SnapshotKind,
+        /// What the snapshot holds.
+        found: SnapshotKind,
+    },
+    /// The snapshot's table parameters are inconsistent.
+    InvalidParams(ConfigError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a table snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot ends mid-structure"),
+            SnapshotError::BadKind(k) => write!(f, "unknown snapshot algorithm tag {k}"),
+            SnapshotError::KindMismatch { expected, found } => write!(
+                f,
+                "snapshot holds a {} table, cannot restore into {}",
+                found.name(),
+                expected.name()
+            ),
+            SnapshotError::InvalidParams(e) => write!(f, "invalid snapshot parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Magic prefix of the binary encoding.
+const MAGIC: &[u8; 8] = b"ULMTSNAP";
+/// Current format version.
+const VERSION: u16 = 1;
+
+impl TableSnapshot {
+    /// Returns `Ok(())` if the snapshot was produced by `expected`.
+    pub fn expect_kind(&self, expected: SnapshotKind) -> Result<(), SnapshotError> {
+        if self.kind == expected {
+            Ok(())
+        } else {
+            Err(SnapshotError::KindMismatch {
+                expected,
+                found: self.kind,
+            })
+        }
+    }
+
+    /// A 64-bit fingerprint of the learned contents, computed over the
+    /// canonical byte encoding. Two tables fingerprint equal iff they
+    /// learned identical rows in an identical recency order — the
+    /// property the service's determinism checks rely on.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(&self.to_bytes());
+        h.finish()
+    }
+
+    /// Serializes to the versioned binary format (little-endian, fully
+    /// self-contained; no external dependencies).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.rows.len() * 32);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind.code());
+        for dim in [
+            self.params.num_rows,
+            self.params.assoc,
+            self.params.num_succ,
+            self.params.num_levels,
+        ] {
+            out.extend_from_slice(&(dim as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.rows.len() as u32).to_le_bytes());
+        for row in &self.rows {
+            out.extend_from_slice(&row.tag.to_le_bytes());
+            out.push(row.levels.len() as u8);
+            for level in &row.levels {
+                out.push(level.len() as u8);
+                for succ in level {
+                    out.extend_from_slice(&succ.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes the binary format produced by [`TableSnapshot::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let kind_code = r.u8()?;
+        let kind = SnapshotKind::from_code(kind_code).ok_or(SnapshotError::BadKind(kind_code))?;
+        let params = TableParams {
+            num_rows: r.u32()? as usize,
+            assoc: r.u32()? as usize,
+            num_succ: r.u32()? as usize,
+            num_levels: r.u32()? as usize,
+        };
+        params.validate().map_err(SnapshotError::InvalidParams)?;
+        let num_rows = r.u32()? as usize;
+        let mut rows = Vec::with_capacity(num_rows.min(params.num_rows));
+        for _ in 0..num_rows {
+            let tag = r.u64()?;
+            let num_levels = r.u8()? as usize;
+            let mut levels = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                let len = r.u8()? as usize;
+                let mut level = Vec::with_capacity(len);
+                for _ in 0..len {
+                    level.push(r.u64()?);
+                }
+                levels.push(level);
+            }
+            rows.push(RowSnapshot { tag, levels });
+        }
+        Ok(TableSnapshot { kind, params, rows })
+    }
+}
+
+/// Bounds-checked little-endian cursor over the snapshot bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Repl,
+            params: TableParams::repl_default(64),
+            rows: vec![
+                RowSnapshot {
+                    tag: 5,
+                    levels: vec![vec![6, 7], vec![8]],
+                },
+                RowSnapshot {
+                    tag: 6,
+                    levels: vec![vec![7], vec![]],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let snap = sample();
+        let decoded = TableSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.fingerprint(), snap.fingerprint());
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = sample().to_bytes();
+        for len in 0..bytes.len() {
+            let e = TableSnapshot::from_bytes(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(e, SnapshotError::Truncated | SnapshotError::BadMagic),
+                "len {len}: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_bytes() {
+        assert_eq!(
+            TableSnapshot::from_bytes(b"not a snapshot at all"),
+            Err(SnapshotError::BadMagic)
+        );
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 0xFF; // version
+        assert!(matches!(
+            TableSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadVersion(_))
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[10] = 9; // kind tag
+        assert_eq!(
+            TableSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadKind(9))
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_params() {
+        let mut snap = sample();
+        snap.params.assoc = 3; // 64 % 3 != 0
+        assert!(matches!(
+            TableSnapshot::from_bytes(&snap.to_bytes()),
+            Err(SnapshotError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let snap = sample();
+        let mut swapped = snap.clone();
+        swapped.rows.swap(0, 1);
+        assert_ne!(snap.fingerprint(), swapped.fingerprint());
+    }
+
+    #[test]
+    fn kind_mismatch_reports_both_sides() {
+        let snap = sample();
+        let e = snap.expect_kind(SnapshotKind::Base).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "snapshot holds a repl table, cannot restore into base"
+        );
+    }
+}

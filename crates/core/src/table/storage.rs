@@ -199,7 +199,7 @@ impl<R: Clone> RowTable<R> {
     ///
     /// Panics if `params` are invalid.
     pub fn new(params: &TableParams, row_bytes: u64, template: R) -> Self {
-        params.validate();
+        params.checked();
         RowTable {
             num_sets: params.num_sets(),
             assoc: params.assoc,
@@ -391,12 +391,27 @@ impl<R: Clone> RowTable<R> {
         moved
     }
 
+    /// Valid rows as `(tag, row)` pairs in LRU-to-MRU order — the same
+    /// canonical order [`RowTable::resize`] replays, so re-inserting them
+    /// into an empty table of the same geometry reproduces this table's
+    /// contents exactly. Used by the snapshot machinery.
+    pub fn live_rows_lru(&self) -> Vec<(LineAddr, &R)> {
+        let mut live: Vec<(u64, LineAddr, &R)> = self
+            .slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.lru, s.tag, &s.row))
+            .collect();
+        live.sort_by_key(|(lru, _, _)| *lru);
+        live.into_iter().map(|(_, tag, row)| (tag, row)).collect()
+    }
+
     /// Dynamically resizes the table to `new_params` (Section 3.4: "if an
     /// application does not use the space, its table shrinks"). Valid rows
     /// are re-inserted in LRU-to-MRU order so the most recent correlations
     /// survive a shrink.
     pub fn resize(&mut self, new_params: &TableParams) {
-        new_params.validate();
+        new_params.checked();
         let mut live: Vec<(u64, LineAddr, R)> = self
             .slots
             .iter()

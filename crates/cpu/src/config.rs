@@ -1,6 +1,6 @@
 //! Main-processor parameters (Table 3).
 
-use ulmt_simcore::Cycle;
+use ulmt_simcore::{ConfigError, Cycle};
 
 /// Timing parameters of the main processor and its cache hierarchy.
 ///
@@ -40,29 +40,40 @@ impl CpuConfig {
         insns.div_ceil(self.issue_width)
     }
 
-    /// Checks the configuration without panicking, returning a
-    /// descriptive message for the first invalid parameter.
-    pub fn check(&self) -> Result<(), String> {
+    /// Validates the configuration, returning the first invalid parameter
+    /// as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("CPU", reason));
         if self.issue_width == 0 {
-            return Err("issue width must be positive".to_string());
+            return err("issue width must be positive");
         }
         if self.rob_insns == 0 {
-            return Err("ROB size must be positive".to_string());
+            return err("ROB size must be positive");
         }
         if self.max_pending_loads == 0 {
-            return Err("pending loads must be positive".to_string());
+            return err("pending loads must be positive");
         }
         Ok(())
     }
 
-    /// Validates the configuration. Prefer [`CpuConfig::check`] where a
-    /// recoverable error is wanted.
+    /// Infallible assertion form of [`CpuConfig::validate`].
     ///
     /// # Panics
     ///
-    /// Panics if any parameter is zero.
-    pub fn validate(&self) {
-        self.check().unwrap_or_else(|e| panic!("{e}"));
+    /// Panics with the [`ConfigError`] message if any parameter is zero.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the configuration without panicking.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
+    )]
+    pub fn check(&self) -> Result<(), String> {
+        self.validate().map_err(ConfigError::into_reason)
     }
 }
 
@@ -73,7 +84,16 @@ mod tests {
     #[test]
     fn table3_defaults() {
         let c = CpuConfig::default();
-        c.validate();
+        c.checked();
+        assert!(c.validate().is_ok());
+        assert!(CpuConfig {
+            issue_width: 0,
+            ..c
+        }
+        .validate()
+        .unwrap_err()
+        .reason()
+        .contains("issue width"));
         assert_eq!(c.issue_width, 6);
         assert_eq!(c.max_pending_loads, 8);
         assert_eq!(c.l1_hit, 3);

@@ -1,6 +1,6 @@
 //! Banked DRAM with open-row policy.
 
-use ulmt_simcore::{Cycle, LineAddr};
+use ulmt_simcore::{ConfigError, Cycle, LineAddr};
 
 /// DRAM geometry and timing (Table 3 of the paper; cycles are 1.6 GHz
 /// main-processor cycles).
@@ -42,36 +42,47 @@ impl DramConfig {
         self.channels * self.banks_per_channel
     }
 
-    /// Checks the geometry without panicking, returning a descriptive
-    /// message for the first inconsistency found.
-    pub fn check(&self) -> Result<(), String> {
+    /// Validates the geometry, returning the first inconsistency found as
+    /// a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("DRAM", reason));
         if !self.channels.is_power_of_two() {
-            return Err("channel count must be a power of two".to_string());
+            return err("channel count must be a power of two");
         }
         if !self.banks_per_channel.is_power_of_two() {
-            return Err("bank count must be a power of two".to_string());
+            return err("bank count must be a power of two");
         }
         if !self.row_bytes.is_power_of_two() {
-            return Err("row size must be a power of two".to_string());
+            return err("row size must be a power of two");
         }
         if self.t_row_miss < self.t_row_hit {
-            return Err("row miss cannot be faster than row hit".to_string());
+            return err("row miss cannot be faster than row hit");
         }
         if self.t_transfer == 0 {
-            return Err("channel transfer time must be positive".to_string());
+            return err("channel transfer time must be positive");
         }
         Ok(())
     }
 
-    /// Validates the geometry. Prefer [`DramConfig::check`] where a
-    /// recoverable error is wanted.
+    /// Infallible assertion form of [`DramConfig::validate`].
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero or not a power of two where
-    /// required.
-    pub fn validate(&self) {
-        self.check().unwrap_or_else(|e| panic!("{e}"));
+    /// Panics with the [`ConfigError`] message if any dimension is zero or
+    /// not a power of two where required.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the geometry without panicking.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
+    )]
+    pub fn check(&self) -> Result<(), String> {
+        self.validate().map_err(ConfigError::into_reason)
     }
 }
 
@@ -126,7 +137,7 @@ impl Dram {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: DramConfig) -> Self {
-        cfg.validate();
+        cfg.checked();
         Dram {
             open_rows: vec![None; cfg.num_banks()],
             cfg,

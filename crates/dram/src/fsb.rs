@@ -6,7 +6,7 @@
 //! execution.
 
 use ulmt_simcore::trace::BusClass;
-use ulmt_simcore::{Cycle, Server, SharedTracer, TraceEvent};
+use ulmt_simcore::{ConfigError, Cycle, Server, SharedTracer, TraceEvent};
 
 /// Classes of FSB traffic, for the Figure 11 breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,17 +49,39 @@ impl Default for FsbConfig {
 }
 
 impl FsbConfig {
-    /// Checks the timing parameters without panicking: the bus phases
-    /// must take time (a zero-occupancy phase would give the bus infinite
-    /// bandwidth and break utilization accounting).
-    pub fn check(&self) -> Result<(), String> {
+    /// Validates the timing parameters: the bus phases must take time (a
+    /// zero-occupancy phase would give the bus infinite bandwidth and
+    /// break utilization accounting).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("FSB", reason));
         if self.t_request == 0 {
-            return Err("FSB request phase must take at least one cycle".to_string());
+            return err("FSB request phase must take at least one cycle");
         }
         if self.t_data == 0 {
-            return Err("FSB data phase must take at least one cycle".to_string());
+            return err("FSB data phase must take at least one cycle");
         }
         Ok(())
+    }
+
+    /// Infallible assertion form of [`FsbConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if a bus phase takes zero
+    /// cycles.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the timing parameters without panicking.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
+    )]
+    pub fn check(&self) -> Result<(), String> {
+        self.validate().map_err(ConfigError::into_reason)
     }
 }
 

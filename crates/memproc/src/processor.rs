@@ -4,7 +4,7 @@ use ulmt_cache::{AccessOutcome, Cache, CacheConfig};
 use ulmt_core::algorithm::UlmtAlgorithm;
 use ulmt_core::cost::Cost;
 use ulmt_simcore::stats::Mean;
-use ulmt_simcore::{Addr, Cycle, LineAddr, SharedTracer, TraceEvent};
+use ulmt_simcore::{Addr, ConfigError, Cycle, LineAddr, SharedTracer, TraceEvent};
 
 /// Where the memory processor is integrated (Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,15 +84,41 @@ impl MemProcConfig {
         }
     }
 
-    /// Checks the parameters without panicking, returning a descriptive
-    /// message for the first invalid one.
-    pub fn check(&self) -> Result<(), String> {
+    /// Validates the parameters, returning the first invalid one as a
+    /// typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cycles_per_insn == 0 {
-            return Err("memory processor cycles/insn must be positive".to_string());
+            return Err(ConfigError::new(
+                "memory processor",
+                "memory processor cycles/insn must be positive",
+            ));
         }
-        self.cache
-            .check()
-            .map_err(|e| format!("memory processor cache: {e}"))
+        self.cache.validate().map_err(|e| {
+            ConfigError::new(
+                "memory processor",
+                format!("memory processor cache: {}", e.reason()),
+            )
+        })
+    }
+
+    /// Infallible assertion form of [`MemProcConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if a parameter is invalid.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the parameters without panicking.
+    #[deprecated(
+        since = "0.1.0",
+        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
+    )]
+    pub fn check(&self) -> Result<(), String> {
+        self.validate().map_err(ConfigError::into_reason)
     }
 }
 

@@ -1,0 +1,213 @@
+//! Service and tenant configuration.
+
+use ulmt_core::table::{SnapshotKind, TableParams};
+use ulmt_simcore::{ConfigError, Cycle, TraceConfig};
+
+/// Which correlation algorithm a tenant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// The conventional one-level table ([`ulmt_core::table::Base`]).
+    Base,
+    /// Multi-level walking of the conventional table
+    /// ([`ulmt_core::table::Chain`]).
+    Chain,
+    /// The paper's Replicated table ([`ulmt_core::table::Replicated`]).
+    Repl,
+}
+
+impl TableKind {
+    /// The snapshot tag this kind produces and restores.
+    pub fn snapshot_kind(self) -> SnapshotKind {
+        match self {
+            TableKind::Base => SnapshotKind::Base,
+            TableKind::Chain => SnapshotKind::Chain,
+            TableKind::Repl => SnapshotKind::Repl,
+        }
+    }
+
+    /// Human-readable name (matches the algorithms' `name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TableKind::Base => "base",
+            TableKind::Chain => "chain",
+            TableKind::Repl => "repl",
+        }
+    }
+}
+
+/// Per-tenant table choice: which algorithm and what geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// The correlation algorithm.
+    pub kind: TableKind,
+    /// Table geometry (Table 4 defaults via the constructors).
+    pub params: TableParams,
+}
+
+impl TenantSpec {
+    /// A Base tenant with Table 4 defaults at `num_rows`.
+    pub fn base(num_rows: usize) -> Self {
+        TenantSpec {
+            kind: TableKind::Base,
+            params: TableParams::base_default(num_rows),
+        }
+    }
+
+    /// A Chain tenant with Table 4 defaults at `num_rows`.
+    pub fn chain(num_rows: usize) -> Self {
+        TenantSpec {
+            kind: TableKind::Chain,
+            params: TableParams::chain_default(num_rows),
+        }
+    }
+
+    /// A Replicated tenant with Table 4 defaults at `num_rows`.
+    pub fn repl(num_rows: usize) -> Self {
+        TenantSpec {
+            kind: TableKind::Repl,
+            params: TableParams::repl_default(num_rows),
+        }
+    }
+
+    /// Validates the spec: the geometry must be consistent and match the
+    /// algorithm (Base stores exactly one level).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.params.validate()?;
+        if self.kind == TableKind::Base && self.params.num_levels != 1 {
+            return Err(ConfigError::new(
+                "tenant",
+                "Base stores exactly one level of successors",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Infallible assertion form of [`TenantSpec::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the spec is invalid.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Configuration of a [`PrefetchService`](crate::PrefetchService).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads. Tenants hash onto shards; each
+    /// tenant's whole stream is handled by exactly one shard, which is
+    /// what makes table contents independent of the shard count.
+    pub shards: usize,
+    /// Capacity of each shard's ingestion queue, in messages. A full
+    /// queue makes [`Session::try_submit`](crate::Session::try_submit)
+    /// return [`TrySubmit::Full`](crate::TrySubmit::Full) instead of
+    /// blocking or dropping.
+    pub queue_depth: usize,
+    /// Seed mixed into the tenant-to-shard hash, so different
+    /// deployments can spread the same tenant IDs differently.
+    pub seed: u64,
+    /// Virtual cycles between consecutive observations on a shard's
+    /// clock; the shard's [`Server`](ulmt_simcore::Server) utilization is
+    /// measured against this arrival rate.
+    pub obs_cycles: Cycle,
+    /// Optional per-shard event tracing ([`TraceEvent::ShardBatch`] /
+    /// [`TraceEvent::ShardReject`] records).
+    ///
+    /// [`TraceEvent::ShardBatch`]: ulmt_simcore::TraceEvent::ShardBatch
+    /// [`TraceEvent::ShardReject`]: ulmt_simcore::TraceEvent::ShardReject
+    pub trace: Option<TraceConfig>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 2,
+            queue_depth: 64,
+            seed: 0x5EED,
+            obs_cycles: 8,
+            trace: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the configuration, returning the first inconsistency
+    /// found as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("service", reason));
+        if self.shards == 0 {
+            return err("shard count must be positive");
+        }
+        if self.queue_depth == 0 {
+            return err("queue depth must be positive");
+        }
+        if self.obs_cycles == 0 {
+            return err("observation interval must be positive");
+        }
+        Ok(())
+    }
+
+    /// Infallible assertion form of [`ServiceConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the configuration is
+    /// invalid.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ServiceConfig::default().validate().is_ok());
+        ServiceConfig::default().checked();
+    }
+
+    #[test]
+    fn validate_reports_without_panicking() {
+        let cfg = ServiceConfig {
+            shards: 0,
+            ..ServiceConfig::default()
+        };
+        let e = cfg.validate().unwrap_err();
+        assert_eq!(e.component(), "service");
+        assert!(e.reason().contains("shard count"));
+        let cfg = ServiceConfig {
+            queue_depth: 0,
+            ..ServiceConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().reason().contains("queue depth"));
+    }
+
+    #[test]
+    fn tenant_spec_constructors_are_valid() {
+        for spec in [
+            TenantSpec::base(1024),
+            TenantSpec::chain(1024),
+            TenantSpec::repl(1024),
+        ] {
+            spec.checked();
+            assert_eq!(spec.kind.name(), spec.kind.snapshot_kind().name());
+        }
+    }
+
+    #[test]
+    fn tenant_spec_rejects_multi_level_base() {
+        let spec = TenantSpec {
+            kind: TableKind::Base,
+            params: TableParams::repl_default(64),
+        };
+        let e = spec.validate().unwrap_err();
+        assert!(e.reason().contains("one level"));
+    }
+}

@@ -1,0 +1,303 @@
+#![warn(missing_docs)]
+
+//! # ULMT online prefetch service
+//!
+//! Turns the batch simulator's correlation tables into a long-lived,
+//! sharded, multi-tenant **online** system. The paper runs its
+//! prefetcher as a user-level thread on the memory controller; this
+//! crate runs the same [`Base`]/[`Chain`]/[`Replicated`] tables behind
+//! a service API:
+//!
+//! * [`PrefetchService::start`] spawns `N` shard worker threads, each
+//!   owning the per-tenant tables of the applications hashed to it;
+//! * clients [`open`](PrefetchService::open) a [`Session`] per tenant
+//!   and feed batches of L2-miss observations (plain [`LineAddr`]s or
+//!   the [`encode_lines`](ulmt_workloads::codec::encode_lines) wire
+//!   format), getting back prefetch predictions and per-tenant stats;
+//! * ingestion queues are **bounded**: a full shard queue surfaces as
+//!   [`TrySubmit::Full`] with the batch handed back — observations are
+//!   never silently dropped, and rejections are counted exactly;
+//! * tables can be [`snapshot`](Session::snapshot)ted and
+//!   [`restore`](Session::restore)d for warm starts, and fingerprinted
+//!   to prove **determinism**: a tenant's table after a given stream is
+//!   bit-identical for 1, 2 or 4 shards;
+//! * shutdown is graceful ([`PrefetchService::shutdown`] drains every
+//!   queue) and cooperative cancellation uses the simulator's existing
+//!   [`CancelToken`](ulmt_simcore::CancelToken).
+//!
+//! [`Base`]: ulmt_core::table::Base
+//! [`Chain`]: ulmt_core::table::Chain
+//! [`Replicated`]: ulmt_core::table::Replicated
+//! [`LineAddr`]: ulmt_simcore::LineAddr
+
+mod config;
+mod service;
+mod shard;
+
+pub use config::{ServiceConfig, TableKind, TenantSpec};
+pub use service::{
+    BatchReply, PauseGuard, PendingBatch, PrefetchService, ServiceError, Session, ShardStats,
+    TenantStats, TrySubmit,
+};
+pub use shard::ShardReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ulmt_core::table::{Replicated, TableParams};
+    use ulmt_core::UlmtAlgorithm;
+    use ulmt_simcore::{LineAddr, TraceConfig};
+
+    fn lines(ns: &[u64]) -> Vec<LineAddr> {
+        ns.iter().map(|&n| LineAddr::new(n)).collect()
+    }
+
+    /// A deterministic per-tenant miss stream.
+    fn stream(tenant: u32, len: usize) -> Vec<LineAddr> {
+        let mut x = 0x9e37_79b9_u64 ^ (tenant as u64) << 32;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                LineAddr::new((x >> 40) & 0xFFF)
+            })
+            .collect()
+    }
+
+    fn cfg(shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn predictions_match_offline_table() {
+        let service = PrefetchService::start(cfg(1));
+        let mut session = service.open(1, TenantSpec::repl(1024)).unwrap();
+        let obs = lines(&[1, 2, 3, 1, 2, 3, 1]);
+
+        let mut offline = Replicated::new(TableParams::repl_default(1024));
+        let mut expected = Vec::new();
+        for &miss in &obs {
+            expected.extend(offline.process_miss(miss).prefetches);
+        }
+
+        let reply = session.submit(obs).unwrap().wait().unwrap();
+        assert_eq!(reply.observed, 7);
+        assert_eq!(reply.prefetches, expected);
+        assert_eq!(
+            session.fingerprint().unwrap(),
+            offline.table_fingerprint(),
+            "online table must equal the offline replay"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn fingerprints_are_shard_count_invariant() {
+        let tenants: Vec<u32> = (0..6).collect();
+        let mut per_count: Vec<Vec<u64>> = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let service = PrefetchService::start(cfg(shards));
+            let mut sessions: Vec<Session> = tenants
+                .iter()
+                .map(|&t| service.open(t, TenantSpec::repl(512)).unwrap())
+                .collect();
+            // Interleave tenants batch by batch to exercise shard sharing.
+            for round in 0..4 {
+                for (i, session) in sessions.iter_mut().enumerate() {
+                    let obs = stream(tenants[i], 64)[round * 16..(round + 1) * 16].to_vec();
+                    session.submit(obs).unwrap();
+                }
+            }
+            service.drain().unwrap();
+            per_count.push(sessions.iter().map(|s| s.fingerprint().unwrap()).collect());
+            service.shutdown();
+        }
+        assert_eq!(per_count[0], per_count[1], "1 vs 2 shards");
+        assert_eq!(per_count[0], per_count[2], "1 vs 4 shards");
+    }
+
+    #[test]
+    fn snapshot_restore_warm_start_round_trip() {
+        let service = PrefetchService::start(cfg(2));
+        let mut session = service.open(3, TenantSpec::chain(256)).unwrap();
+        session.submit(stream(3, 200)).unwrap().wait().unwrap();
+        let snap = session.snapshot().unwrap();
+        let fp = session.fingerprint().unwrap();
+        assert_eq!(snap.fingerprint(), fp);
+
+        // Warm-start a second tenant from the snapshot: bit-identical.
+        let warm = service.open(4, TenantSpec::chain(256)).unwrap();
+        warm.restore(snap.clone()).unwrap();
+        assert_eq!(warm.fingerprint().unwrap(), fp);
+        // Byte codec round trip preserves the fingerprint too.
+        let decoded = ulmt_core::table::TableSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded.fingerprint(), fp);
+        service.shutdown();
+    }
+
+    #[test]
+    fn restore_rejects_wrong_algorithm() {
+        let service = PrefetchService::start(cfg(1));
+        let mut chain = service.open(1, TenantSpec::chain(256)).unwrap();
+        chain.submit(stream(1, 50)).unwrap().wait().unwrap();
+        let snap = chain.snapshot().unwrap();
+        let repl = service.open(2, TenantSpec::repl(256)).unwrap();
+        match repl.restore(snap) {
+            Err(ServiceError::Snapshot(_)) => {}
+            other => panic!("expected a snapshot kind mismatch, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn backpressure_full_queue_hands_batch_back_and_counts_exactly() {
+        let service = PrefetchService::start(ServiceConfig {
+            shards: 1,
+            queue_depth: 4,
+            ..ServiceConfig::default()
+        });
+        let mut session = service.open(9, TenantSpec::base(256)).unwrap();
+        // Freeze the shard so the queue fills deterministically.
+        let pause = service.pause_shard(0).unwrap();
+
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut pending = Vec::new();
+        let mut handed_back = None;
+        for _ in 0..16 {
+            match session.try_submit(lines(&[1, 2, 3, 4])) {
+                TrySubmit::Enqueued(p) => {
+                    accepted += 1;
+                    pending.push(p);
+                }
+                TrySubmit::Full(obs) => {
+                    rejected += 1;
+                    assert_eq!(obs.len(), 4, "rejected batch is handed back intact");
+                    handed_back = Some(obs);
+                }
+                TrySubmit::Closed(_) => panic!("service closed unexpectedly"),
+            }
+        }
+        assert!(
+            rejected > 0,
+            "a depth-4 queue must reject some of 16 batches"
+        );
+        drop(pause);
+
+        // Resubmit the last handed-back batch (blocking) so the final
+        // rejection count is flushed to the shard.
+        session.submit(handed_back.unwrap()).unwrap();
+        service.drain().unwrap();
+
+        let stats = session.stats().unwrap();
+        assert_eq!(
+            stats.rejected, rejected,
+            "rejections are conservation-exact"
+        );
+        assert_eq!(stats.batches, accepted + 1);
+        assert_eq!(
+            stats.observed,
+            (accepted + 1) * 4,
+            "nothing silently dropped"
+        );
+        for p in pending {
+            assert!(p.wait().unwrap().error.is_none());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancel_acknowledges_without_learning() {
+        let service = PrefetchService::start(cfg(1));
+        let mut session = service.open(5, TenantSpec::repl(256)).unwrap();
+        session.submit(stream(5, 32)).unwrap().wait().unwrap();
+        let fp = session.fingerprint().unwrap();
+        service.cancel_token().cancel();
+        let reply = session.submit(stream(5, 32)).unwrap().wait().unwrap();
+        assert!(reply.cancelled);
+        assert_eq!(reply.observed, 0);
+        assert_eq!(
+            session.fingerprint().unwrap(),
+            fp,
+            "no learning after cancel"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_reports() {
+        let service = PrefetchService::start(ServiceConfig {
+            shards: 2,
+            trace: Some(TraceConfig::with_capacity(1024)),
+            ..ServiceConfig::default()
+        });
+        let mut a = service.open(0, TenantSpec::repl(256)).unwrap();
+        let mut b = service.open(1, TenantSpec::base(256)).unwrap();
+        a.submit(stream(0, 64)).unwrap();
+        b.submit(stream(1, 64)).unwrap();
+        let reports = service.shutdown();
+        assert_eq!(reports.len(), 2);
+        let total: u64 = reports.iter().map(|r| r.stats.observed).sum();
+        assert_eq!(total, 128, "shutdown processes everything still queued");
+        let traced: usize = reports
+            .iter()
+            .map(|r| r.trace.as_ref().map_or(0, |t| t.len()))
+            .sum();
+        assert!(
+            traced >= 2,
+            "each accepted batch leaves a shard_batch event"
+        );
+        // Utilization is measured and sane.
+        for r in &reports {
+            if r.stats.observed > 0 {
+                assert!(r.stats.busy_cycles > 0);
+                assert!(r.stats.utilization() > 0.0);
+            }
+        }
+        // The session now sees the closed service.
+        match a.try_submit(lines(&[1])) {
+            TrySubmit::Closed(obs) => assert_eq!(obs.len(), 1),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_twice_fails_and_unknown_errors_are_typed() {
+        let service = PrefetchService::start(cfg(1));
+        let _s = service.open(1, TenantSpec::base(64)).unwrap();
+        match service.open(1, TenantSpec::base(64)) {
+            Err(ServiceError::TenantExists(1)) => {}
+            other => panic!("expected TenantExists, got {other:?}"),
+        }
+        match service.open(
+            2,
+            TenantSpec {
+                kind: TableKind::Base,
+                params: TableParams::repl_default(64),
+            },
+        ) {
+            Err(ServiceError::InvalidSpec(e)) => assert!(e.reason().contains("one level")),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn encoded_submission_round_trips() {
+        let service = PrefetchService::start(cfg(1));
+        let mut session = service.open(1, TenantSpec::repl(256)).unwrap();
+        let obs = stream(1, 40);
+        let bytes = ulmt_workloads::codec::encode_lines(&obs);
+        let reply = session.submit_encoded(&bytes).unwrap().wait().unwrap();
+        assert_eq!(reply.observed, 40);
+        assert!(matches!(
+            session.submit_encoded(&bytes[..5]),
+            Err(ServiceError::Codec(_))
+        ));
+        service.shutdown();
+    }
+}

@@ -1,0 +1,491 @@
+//! The service front end: [`PrefetchService`] and the per-tenant
+//! [`Session`] handle.
+
+use std::hash::Hasher;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use ulmt_core::table::{SnapshotError, TableSnapshot};
+use ulmt_simcore::{CancelToken, ConfigError, Cycle, FxHasher, LineAddr};
+use ulmt_workloads::codec::{decode_lines, TraceCodecError};
+
+use crate::config::{ServiceConfig, TenantSpec};
+use crate::shard::{run_shard, ShardMsg, ShardReport};
+
+/// Errors surfaced by the service API.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The target shard has shut down (or its thread died).
+    Closed,
+    /// The tenant is already registered on its shard.
+    TenantExists(u32),
+    /// The tenant was never opened on its shard.
+    UnknownTenant(u32),
+    /// The tenant spec failed validation.
+    InvalidSpec(ConfigError),
+    /// A snapshot could not be restored.
+    Snapshot(SnapshotError),
+    /// An encoded observation batch could not be decoded.
+    Codec(TraceCodecError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Closed => write!(f, "prefetch shard has shut down"),
+            ServiceError::TenantExists(t) => write!(f, "tenant {t} is already open"),
+            ServiceError::UnknownTenant(t) => write!(f, "tenant {t} is not open"),
+            ServiceError::InvalidSpec(e) => write!(f, "invalid tenant spec: {e}"),
+            ServiceError::Snapshot(e) => write!(f, "snapshot restore failed: {e}"),
+            ServiceError::Codec(e) => write!(f, "bad observation batch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-tenant counters, as maintained by the tenant's shard.
+///
+/// Conservation invariant: every batch attempt a session makes is
+/// eventually counted exactly once — accepted batches in `batches` /
+/// `observed`, rejected attempts in `rejected` (reported on the next
+/// accepted batch; a session that ends on a rejection leaves its final
+/// rejections unflushed until it submits again).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant ID.
+    pub tenant: u32,
+    /// Accepted observation batches.
+    pub batches: u64,
+    /// Individual miss observations processed.
+    pub observed: u64,
+    /// Batch attempts rejected with [`TrySubmit::Full`].
+    pub rejected: u64,
+    /// Prefetch predictions returned.
+    pub prefetches: u64,
+    /// Valid rows currently in the tenant's table.
+    pub live_rows: u64,
+    /// Size of the tenant's table in bytes.
+    pub table_bytes: u64,
+}
+
+/// Per-shard aggregate counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// The shard index.
+    pub shard: u32,
+    /// Tenants registered on this shard.
+    pub tenants: u32,
+    /// Accepted observation batches across tenants.
+    pub batches: u64,
+    /// Miss observations processed across tenants.
+    pub observed: u64,
+    /// Rejected batch attempts across tenants.
+    pub rejected: u64,
+    /// Prefetch predictions returned across tenants.
+    pub prefetches: u64,
+    /// Cycles the shard's table engine was busy.
+    pub busy_cycles: Cycle,
+    /// Virtual cycles elapsed on the shard's clock.
+    pub elapsed_cycles: Cycle,
+}
+
+impl ShardStats {
+    /// Fraction of the shard's virtual time spent doing table work —
+    /// the occupancy figure the paper's Figure 10 reports for the
+    /// memory processor, here per shard.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.elapsed_cycles as f64
+        }
+    }
+}
+
+/// The shard's response to one accepted batch.
+#[derive(Debug)]
+pub struct BatchReply {
+    /// Miss observations processed (0 if cancelled or rejected).
+    pub observed: u64,
+    /// Prefetch predictions, in emission order across the batch.
+    pub prefetches: Vec<LineAddr>,
+    /// `true` if the service was cancelled and the batch was
+    /// acknowledged without learning.
+    pub cancelled: bool,
+    /// Set if the shard could not process the batch at all.
+    pub error: Option<ServiceError>,
+}
+
+impl BatchReply {
+    pub(crate) fn accepted(observed: u64, prefetches: Vec<LineAddr>) -> Self {
+        BatchReply {
+            observed,
+            prefetches,
+            cancelled: false,
+            error: None,
+        }
+    }
+
+    pub(crate) fn cancelled() -> Self {
+        BatchReply {
+            observed: 0,
+            prefetches: Vec::new(),
+            cancelled: true,
+            error: None,
+        }
+    }
+
+    pub(crate) fn rejected(error: ServiceError) -> Self {
+        BatchReply {
+            observed: 0,
+            prefetches: Vec::new(),
+            cancelled: false,
+            error: Some(error),
+        }
+    }
+}
+
+/// Handle to a batch the shard has accepted but possibly not yet
+/// processed.
+#[derive(Debug)]
+pub struct PendingBatch {
+    rx: Receiver<BatchReply>,
+}
+
+impl PendingBatch {
+    /// Blocks until the shard has processed the batch.
+    pub fn wait(self) -> Result<BatchReply, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Closed)
+    }
+
+    /// Returns the reply if the shard has already processed the batch.
+    pub fn poll(&self) -> Option<BatchReply> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Outcome of a non-blocking submission.
+#[derive(Debug)]
+pub enum TrySubmit {
+    /// The batch is in the shard's queue; the handle yields the reply.
+    Enqueued(PendingBatch),
+    /// The shard's ingestion queue is full. The observations are handed
+    /// back untouched — nothing was dropped — and the rejection will be
+    /// counted on the shard with the next accepted batch.
+    Full(Vec<LineAddr>),
+    /// The shard has shut down; the observations are handed back.
+    Closed(Vec<LineAddr>),
+}
+
+/// A tenant's handle onto the service.
+///
+/// Sessions are single-owner (`&mut self` on the data plane) because
+/// the handle locally accumulates the count of rejected submissions to
+/// piggyback on the next accepted batch.
+#[derive(Debug)]
+pub struct Session {
+    tenant: u32,
+    shard: u32,
+    tx: SyncSender<ShardMsg>,
+    rejected_since_last: u32,
+}
+
+impl Session {
+    /// The tenant ID this session feeds.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// The shard the tenant is pinned to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Non-blocking submission of a batch of L2-miss line addresses.
+    /// Never drops observations: a full queue hands the batch back as
+    /// [`TrySubmit::Full`].
+    pub fn try_submit(&mut self, obs: Vec<LineAddr>) -> TrySubmit {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::Batch {
+            tenant: self.tenant,
+            obs,
+            rejected_since_last: self.rejected_since_last,
+            reply,
+        };
+        match self.tx.try_send(msg) {
+            Ok(()) => {
+                self.rejected_since_last = 0;
+                TrySubmit::Enqueued(PendingBatch { rx })
+            }
+            Err(TrySendError::Full(msg)) => {
+                self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                TrySubmit::Full(take_obs(msg))
+            }
+            Err(TrySendError::Disconnected(msg)) => TrySubmit::Closed(take_obs(msg)),
+        }
+    }
+
+    /// Blocking submission: waits for queue space instead of rejecting.
+    pub fn submit(&mut self, obs: Vec<LineAddr>) -> Result<PendingBatch, ServiceError> {
+        let (reply, rx) = channel();
+        let msg = ShardMsg::Batch {
+            tenant: self.tenant,
+            obs,
+            rejected_since_last: self.rejected_since_last,
+            reply,
+        };
+        self.tx.send(msg).map_err(|_| ServiceError::Closed)?;
+        self.rejected_since_last = 0;
+        Ok(PendingBatch { rx })
+    }
+
+    /// Blocking submission of a batch in the
+    /// [`encode_lines`](ulmt_workloads::codec::encode_lines) wire format.
+    pub fn submit_encoded(&mut self, bytes: &[u8]) -> Result<PendingBatch, ServiceError> {
+        let obs = decode_lines(bytes).map_err(ServiceError::Codec)?;
+        self.submit(obs)
+    }
+
+    /// Captures the tenant's learned table, after everything already
+    /// queued for it has been processed (FIFO ordering is the barrier).
+    pub fn snapshot(&self) -> Result<TableSnapshot, ServiceError> {
+        let (reply, rx) = channel();
+        self.control(ShardMsg::Snapshot {
+            tenant: self.tenant,
+            reply,
+        })?;
+        rx.recv().map_err(|_| ServiceError::Closed)?
+    }
+
+    /// Replaces the tenant's table with a previously captured snapshot
+    /// (warm start). The snapshot must come from the same algorithm.
+    pub fn restore(&self, snap: TableSnapshot) -> Result<(), ServiceError> {
+        let (reply, rx) = channel();
+        self.control(ShardMsg::Restore {
+            tenant: self.tenant,
+            snap: Box::new(snap),
+            reply,
+        })?;
+        rx.recv().map_err(|_| ServiceError::Closed)?
+    }
+
+    /// Fingerprint of the tenant's learned table (see
+    /// [`TableSnapshot::fingerprint`]).
+    pub fn fingerprint(&self) -> Result<u64, ServiceError> {
+        let (reply, rx) = channel();
+        self.control(ShardMsg::Fingerprint {
+            tenant: self.tenant,
+            reply,
+        })?;
+        rx.recv().map_err(|_| ServiceError::Closed)?
+    }
+
+    /// The tenant's counters.
+    pub fn stats(&self) -> Result<TenantStats, ServiceError> {
+        let (reply, rx) = channel();
+        self.control(ShardMsg::TenantStats {
+            tenant: self.tenant,
+            reply,
+        })?;
+        rx.recv().map_err(|_| ServiceError::Closed)?
+    }
+
+    fn control(&self, msg: ShardMsg) -> Result<(), ServiceError> {
+        self.tx.send(msg).map_err(|_| ServiceError::Closed)
+    }
+}
+
+fn take_obs(msg: ShardMsg) -> Vec<LineAddr> {
+    match msg {
+        ShardMsg::Batch { obs, .. } => obs,
+        _ => unreachable!("only Batch messages are submitted non-blockingly"),
+    }
+}
+
+/// Holds a shard paused; dropping it resumes the shard. Produced by
+/// [`PrefetchService::pause_shard`], primarily so tests can fill an
+/// ingestion queue deterministically and observe backpressure.
+#[derive(Debug)]
+pub struct PauseGuard {
+    _resume: Sender<()>,
+}
+
+/// A long-lived, sharded, multi-tenant prefetch service.
+///
+/// `N` shard worker threads each own the correlation tables of the
+/// tenants hashed to them. Clients open a [`Session`] per tenant and
+/// feed batches of L2-miss observations; the shard learns on them and
+/// returns prefetch predictions plus per-tenant statistics.
+///
+/// # Determinism
+///
+/// A tenant's table state after a given observation stream is
+/// bit-identical (equal [`TableSnapshot::fingerprint`]) for any shard
+/// count and any interleaving with other tenants: the tenant's stream
+/// flows FIFO through exactly one shard queue, and observations only
+/// touch their own tenant's table.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_service::{PrefetchService, ServiceConfig, TenantSpec, TrySubmit};
+/// use ulmt_simcore::LineAddr;
+///
+/// let service = PrefetchService::start(ServiceConfig::default());
+/// let mut session = service.open(7, TenantSpec::repl(1024)).unwrap();
+/// let obs: Vec<LineAddr> = [1u64, 2, 3, 1, 2, 3, 1].iter().map(|&n| LineAddr::new(n)).collect();
+/// let reply = match session.try_submit(obs) {
+///     TrySubmit::Enqueued(pending) => pending.wait().unwrap(),
+///     other => panic!("queue unexpectedly unavailable: {other:?}"),
+/// };
+/// assert_eq!(reply.observed, 7);
+/// assert!(!reply.prefetches.is_empty());
+/// service.shutdown();
+/// ```
+pub struct PrefetchService {
+    cfg: ServiceConfig,
+    senders: Vec<SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<ShardReport>>,
+    cancel: CancelToken,
+}
+
+impl PrefetchService {
+    /// Spawns the shard workers and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`ServiceConfig::validate`]).
+    pub fn start(cfg: ServiceConfig) -> Self {
+        cfg.checked();
+        let cancel = CancelToken::new();
+        let mut senders = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards as u32 {
+            let (tx, rx) = sync_channel(cfg.queue_depth);
+            let token = cancel.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ulmt-shard-{shard}"))
+                    .spawn(move || run_shard(shard, cfg, token, rx))
+                    .expect("spawning a shard worker thread"),
+            );
+            senders.push(tx);
+        }
+        PrefetchService {
+            cfg,
+            senders,
+            handles,
+            cancel,
+        }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shard `tenant` is pinned to: a seeded hash, stable for the
+    /// service's lifetime.
+    pub fn shard_of(&self, tenant: u32) -> u32 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.cfg.seed);
+        h.write_u32(tenant);
+        (h.finish() % self.senders.len() as u64) as u32
+    }
+
+    /// The service's cancellation token. Cancelling makes shards
+    /// acknowledge further batches without learning, so clients can
+    /// drain their pipelines and the service can shut down promptly.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Registers `tenant` on its shard and returns its session.
+    pub fn open(&self, tenant: u32, spec: TenantSpec) -> Result<Session, ServiceError> {
+        let shard = self.shard_of(tenant);
+        let tx = self.senders[shard as usize].clone();
+        let (reply, rx) = channel();
+        tx.send(ShardMsg::Open {
+            tenant,
+            spec,
+            reply,
+        })
+        .map_err(|_| ServiceError::Closed)?;
+        rx.recv().map_err(|_| ServiceError::Closed)??;
+        Ok(Session {
+            tenant,
+            shard,
+            tx,
+            rejected_since_last: 0,
+        })
+    }
+
+    /// Aggregate counters of one shard.
+    pub fn shard_stats(&self, shard: usize) -> Result<ShardStats, ServiceError> {
+        let (reply, rx) = channel();
+        self.senders[shard]
+            .send(ShardMsg::ShardStats { reply })
+            .map_err(|_| ServiceError::Closed)?;
+        rx.recv().map_err(|_| ServiceError::Closed)
+    }
+
+    /// Blocks the given shard until the returned guard is dropped.
+    /// While paused, the shard's ingestion queue fills up and
+    /// [`Session::try_submit`] surfaces backpressure as
+    /// [`TrySubmit::Full`].
+    pub fn pause_shard(&self, shard: usize) -> Result<PauseGuard, ServiceError> {
+        let (resume, gate) = channel();
+        self.senders[shard]
+            .send(ShardMsg::Pause(gate))
+            .map_err(|_| ServiceError::Closed)?;
+        Ok(PauseGuard { _resume: resume })
+    }
+
+    /// Barrier: returns once every shard has processed everything queued
+    /// before this call.
+    pub fn drain(&self) -> Result<(), ServiceError> {
+        let mut waits = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply, rx) = channel();
+            tx.send(ShardMsg::Drain { reply })
+                .map_err(|_| ServiceError::Closed)?;
+            waits.push(rx);
+        }
+        for rx in waits {
+            rx.recv().map_err(|_| ServiceError::Closed)?;
+        }
+        Ok(())
+    }
+
+    /// Graceful shutdown: every shard processes its remaining queue,
+    /// then exits; returns each shard's final report (counters plus
+    /// trace buffer, if tracing was on). Sessions still holding the
+    /// service see [`ServiceError::Closed`] / [`TrySubmit::Closed`]
+    /// afterwards.
+    pub fn shutdown(mut self) -> Vec<ShardReport> {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        self.senders.clear();
+        let mut reports = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            reports.push(handle.join().expect("shard worker panicked"));
+        }
+        reports
+    }
+}
+
+impl Drop for PrefetchService {
+    /// Dropping without [`PrefetchService::shutdown`] cancels the token
+    /// (so in-flight work winds down) but does not join the workers;
+    /// they exit once every session's sender is dropped.
+    fn drop(&mut self) {
+        self.cancel.cancel();
+    }
+}

@@ -1,0 +1,352 @@
+//! The shard worker: one thread owning the tables of every tenant
+//! hashed to it.
+//!
+//! A shard processes its ingestion queue strictly in FIFO order. Because
+//! a tenant's whole observation stream flows through exactly one queue
+//! and each observation touches only that tenant's table, the table a
+//! tenant ends up with depends solely on its own stream — never on how
+//! many shards the service runs or which other tenants share the shard.
+//! That is the service's determinism argument, and the fingerprint
+//! checks in the tests and the `serve` benchmark hold it to account.
+
+use std::collections::hash_map::Entry;
+use std::sync::mpsc::{Receiver, Sender};
+
+use ulmt_core::algorithm::UlmtAlgorithm;
+use ulmt_core::table::{Base, Chain, Replicated, SnapshotError, SnapshotKind, TableSnapshot};
+use ulmt_simcore::{CancelToken, Cycle, FxHashMap, LineAddr, Server, TraceBuffer, TraceEvent};
+
+use crate::config::{ServiceConfig, TableKind, TenantSpec};
+use crate::service::{BatchReply, ServiceError, ShardStats, TenantStats};
+
+/// A tenant's concrete table. The [`UlmtAlgorithm`] trait is not
+/// object-safe across threads (tables are plain data, the trait is not
+/// `Send`-bounded), so the shard holds this closed enum instead.
+enum TenantTable {
+    Base(Base),
+    Chain(Chain),
+    Repl(Replicated),
+}
+
+impl TenantTable {
+    fn new(spec: &TenantSpec) -> Self {
+        match spec.kind {
+            TableKind::Base => TenantTable::Base(Base::new(spec.params)),
+            TableKind::Chain => TenantTable::Chain(Chain::new(spec.params)),
+            TableKind::Repl => TenantTable::Repl(Replicated::new(spec.params)),
+        }
+    }
+
+    fn kind(&self) -> SnapshotKind {
+        match self {
+            TenantTable::Base(_) => SnapshotKind::Base,
+            TenantTable::Chain(_) => SnapshotKind::Chain,
+            TenantTable::Repl(_) => SnapshotKind::Repl,
+        }
+    }
+
+    /// Restores `snap` into a table of the *same* algorithm as `self`
+    /// — the tenant's registered kind, not whatever the snapshot says.
+    fn restored(&self, snap: &TableSnapshot) -> Result<Self, SnapshotError> {
+        snap.expect_kind(self.kind())?;
+        match self {
+            TenantTable::Base(_) => Base::from_snapshot(snap).map(TenantTable::Base),
+            TenantTable::Chain(_) => Chain::from_snapshot(snap).map(TenantTable::Chain),
+            TenantTable::Repl(_) => Replicated::from_snapshot(snap).map(TenantTable::Repl),
+        }
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> ulmt_core::StepResult {
+        match self {
+            TenantTable::Base(t) => t.process_miss(miss),
+            TenantTable::Chain(t) => t.process_miss(miss),
+            TenantTable::Repl(t) => t.process_miss(miss),
+        }
+    }
+
+    fn snapshot(&self) -> TableSnapshot {
+        match self {
+            TenantTable::Base(t) => t.snapshot(),
+            TenantTable::Chain(t) => t.snapshot(),
+            TenantTable::Repl(t) => t.snapshot(),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            TenantTable::Base(t) => t.table_fingerprint(),
+            TenantTable::Chain(t) => t.table_fingerprint(),
+            TenantTable::Repl(t) => t.table_fingerprint(),
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        match self {
+            TenantTable::Base(t) => t.occupancy(),
+            TenantTable::Chain(t) => t.occupancy(),
+            TenantTable::Repl(t) => t.occupancy(),
+        }
+    }
+
+    fn size_bytes(&self) -> u64 {
+        match self {
+            TenantTable::Base(t) => t.table_size_bytes(),
+            TenantTable::Chain(t) => t.table_size_bytes(),
+            TenantTable::Repl(t) => t.table_size_bytes(),
+        }
+    }
+}
+
+/// One tenant's state on its shard.
+struct TenantState {
+    table: TenantTable,
+    stats: TenantStats,
+}
+
+impl TenantState {
+    fn new(tenant: u32, table: TenantTable) -> Self {
+        TenantState {
+            table,
+            stats: TenantStats {
+                tenant,
+                ..TenantStats::default()
+            },
+        }
+    }
+}
+
+/// Messages a shard worker processes, strictly in FIFO order.
+pub(crate) enum ShardMsg {
+    /// Register a tenant (fails if it already exists on the shard).
+    Open {
+        tenant: u32,
+        spec: TenantSpec,
+        reply: Sender<Result<(), ServiceError>>,
+    },
+    /// A batch of L2-miss observations for one tenant. This is the only
+    /// data-plane message; everything else is control-plane.
+    Batch {
+        tenant: u32,
+        obs: Vec<LineAddr>,
+        /// Number of batch attempts this tenant's session saw rejected
+        /// ([`TrySubmit::Full`](crate::TrySubmit::Full)) since its
+        /// previous *accepted* batch. Counted here — on the shard, in
+        /// stream order — so the rejection counters are exact even
+        /// though rejected batches never reach the shard themselves.
+        rejected_since_last: u32,
+        reply: Sender<BatchReply>,
+    },
+    /// Capture a tenant's learned table.
+    Snapshot {
+        tenant: u32,
+        reply: Sender<Result<TableSnapshot, ServiceError>>,
+    },
+    /// Replace a tenant's table with a previously captured snapshot
+    /// (warm start).
+    Restore {
+        tenant: u32,
+        snap: Box<TableSnapshot>,
+        reply: Sender<Result<(), ServiceError>>,
+    },
+    /// Fingerprint of a tenant's learned table.
+    Fingerprint {
+        tenant: u32,
+        reply: Sender<Result<u64, ServiceError>>,
+    },
+    /// A tenant's counters.
+    TenantStats {
+        tenant: u32,
+        reply: Sender<Result<TenantStats, ServiceError>>,
+    },
+    /// The shard's aggregate counters.
+    ShardStats { reply: Sender<ShardStats> },
+    /// Barrier: replying proves every earlier message was processed.
+    Drain { reply: Sender<()> },
+    /// Block until the held sender is dropped. Used by
+    /// [`PrefetchService::pause_shard`](crate::PrefetchService::pause_shard)
+    /// to fill the ingestion queue deterministically in tests.
+    Pause(Receiver<()>),
+    /// Process everything queued before this message, then exit.
+    Shutdown,
+}
+
+/// What a shard worker hands back when it exits.
+pub struct ShardReport {
+    /// Final aggregate counters.
+    pub stats: ShardStats,
+    /// The shard's trace buffer, if tracing was enabled.
+    pub trace: Option<TraceBuffer>,
+}
+
+/// The shard worker loop. Runs on its own thread until [`ShardMsg::Shutdown`]
+/// or until every sender is dropped.
+pub(crate) fn run_shard(
+    shard: u32,
+    cfg: ServiceConfig,
+    cancel: CancelToken,
+    rx: Receiver<ShardMsg>,
+) -> ShardReport {
+    let mut tenants: FxHashMap<u32, TenantState> = FxHashMap::default();
+    let mut trace = cfg.trace.map(TraceBuffer::new);
+    let mut server = Server::new();
+    let mut now: Cycle = 0;
+    let mut stats = ShardStats {
+        shard,
+        ..ShardStats::default()
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Open {
+                tenant,
+                spec,
+                reply,
+            } => {
+                let result = match tenants.entry(tenant) {
+                    Entry::Occupied(_) => Err(ServiceError::TenantExists(tenant)),
+                    Entry::Vacant(slot) => match spec.validate() {
+                        Ok(()) => {
+                            slot.insert(TenantState::new(tenant, TenantTable::new(&spec)));
+                            Ok(())
+                        }
+                        Err(e) => Err(ServiceError::InvalidSpec(e)),
+                    },
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Batch {
+                tenant,
+                obs,
+                rejected_since_last,
+                reply,
+            } => {
+                let Some(state) = tenants.get_mut(&tenant) else {
+                    let _ = reply.send(BatchReply::rejected(ServiceError::UnknownTenant(tenant)));
+                    continue;
+                };
+                if rejected_since_last > 0 {
+                    state.stats.rejected += rejected_since_last as u64;
+                    stats.rejected += rejected_since_last as u64;
+                    if let Some(t) = &mut trace {
+                        t.record(
+                            now,
+                            TraceEvent::ShardReject {
+                                shard,
+                                tenant,
+                                count: rejected_since_last,
+                            },
+                        );
+                    }
+                }
+                if cancel.is_cancelled() {
+                    // Graceful wind-down: acknowledge without learning so
+                    // clients draining their pipelines don't hang.
+                    let _ = reply.send(BatchReply::cancelled());
+                    continue;
+                }
+                if let Some(t) = &mut trace {
+                    t.record(
+                        now,
+                        TraceEvent::ShardBatch {
+                            shard,
+                            tenant,
+                            len: obs.len() as u32,
+                        },
+                    );
+                }
+                let mut prefetches = Vec::new();
+                let observed = obs.len() as u64;
+                for miss in obs {
+                    now += cfg.obs_cycles;
+                    let step = state.table.process_miss(miss);
+                    // Table work occupies the shard's server for the
+                    // step's instruction cost (1 cycle/insn, like the
+                    // memory processor), giving the utilization figure.
+                    server.serve(now, step.prefetch_cost.insns + step.learn_cost.insns);
+                    prefetches.extend(step.prefetches);
+                }
+                state.stats.batches += 1;
+                state.stats.observed += observed;
+                state.stats.prefetches += prefetches.len() as u64;
+                stats.batches += 1;
+                stats.observed += observed;
+                stats.prefetches += prefetches.len() as u64;
+                let _ = reply.send(BatchReply::accepted(observed, prefetches));
+            }
+            ShardMsg::Snapshot { tenant, reply } => {
+                let result = tenants
+                    .get(&tenant)
+                    .map(|s| s.table.snapshot())
+                    .ok_or(ServiceError::UnknownTenant(tenant));
+                let _ = reply.send(result);
+            }
+            ShardMsg::Restore {
+                tenant,
+                snap,
+                reply,
+            } => {
+                let result = match tenants.get_mut(&tenant) {
+                    None => Err(ServiceError::UnknownTenant(tenant)),
+                    Some(state) => match state.table.restored(&snap) {
+                        Ok(table) => {
+                            state.table = table;
+                            Ok(())
+                        }
+                        Err(e) => Err(ServiceError::Snapshot(e)),
+                    },
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Fingerprint { tenant, reply } => {
+                let result = tenants
+                    .get(&tenant)
+                    .map(|s| s.table.fingerprint())
+                    .ok_or(ServiceError::UnknownTenant(tenant));
+                let _ = reply.send(result);
+            }
+            ShardMsg::TenantStats { tenant, reply } => {
+                let result = tenants
+                    .get(&tenant)
+                    .map(|s| {
+                        let mut stats = s.stats;
+                        stats.live_rows = s.table.occupancy() as u64;
+                        stats.table_bytes = s.table.size_bytes();
+                        stats
+                    })
+                    .ok_or(ServiceError::UnknownTenant(tenant));
+                let _ = reply.send(result);
+            }
+            ShardMsg::ShardStats { reply } => {
+                let _ = reply.send(finalize(&stats, &tenants, &server, now));
+            }
+            ShardMsg::Drain { reply } => {
+                let _ = reply.send(());
+            }
+            ShardMsg::Pause(gate) => {
+                // Blocks until the PauseGuard is dropped (recv returns
+                // Err on hangup, which is the expected resume signal).
+                let _ = gate.recv();
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+
+    ShardReport {
+        stats: finalize(&stats, &tenants, &server, now),
+        trace,
+    }
+}
+
+/// Fills in the derived fields of the running counters.
+fn finalize(
+    stats: &ShardStats,
+    tenants: &FxHashMap<u32, TenantState>,
+    server: &Server,
+    now: Cycle,
+) -> ShardStats {
+    let mut out = *stats;
+    out.tenants = tenants.len() as u32;
+    out.busy_cycles = server.busy_cycles();
+    out.elapsed_cycles = now.max(server.next_free());
+    out
+}

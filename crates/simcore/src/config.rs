@@ -1,0 +1,80 @@
+//! The shared configuration-error type.
+//!
+//! Every configuration struct in the workspace exposes the same pair of
+//! entry points:
+//!
+//! * `validate(&self) -> Result<(), ConfigError>` — the fallible check,
+//!   returning the first inconsistency found as a typed error;
+//! * `checked(&self)` — the infallible assertion form, panicking with the
+//!   error's message. Constructors use it so an invalid configuration
+//!   fails loudly at the point of construction.
+//!
+//! [`ConfigError`] deliberately stays structural rather than enumerating
+//! every possible mistake: a component label plus a human-readable reason
+//! is what call sites actually need (error messages, test assertions),
+//! and it lets sub-crates share one type without a dependency cycle.
+
+/// A configuration inconsistency reported by a `validate()` method.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::ConfigError;
+///
+/// let e = ConfigError::new("cache", "line size must be a power of two");
+/// assert_eq!(e.component(), "cache");
+/// assert_eq!(e.to_string(), "cache: line size must be a power of two");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    component: &'static str,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `component` with a human-readable `reason`.
+    pub fn new(component: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            component,
+            reason: reason.into(),
+        }
+    }
+
+    /// The component whose configuration is inconsistent (e.g. `"cache"`).
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+
+    /// The human-readable description of the inconsistency.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// Consumes the error, yielding the bare reason string (used by
+    /// wrappers that carry their own component context).
+    pub fn into_reason(self) -> String {
+        self.reason
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.component, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let e = ConfigError::new("DRAM", "channel count must be a power of two");
+        assert_eq!(e.component(), "DRAM");
+        assert_eq!(e.reason(), "channel count must be a power of two");
+        assert_eq!(e.clone().into_reason(), e.reason());
+        assert_eq!(e.to_string(), "DRAM: channel count must be a power of two");
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod addr;
 pub mod cancel;
+pub mod config;
 pub mod event;
 pub mod fault;
 pub mod hash;
@@ -51,6 +52,7 @@ pub mod trace;
 
 pub use addr::{Addr, LineAddr, PageAddr};
 pub use cancel::CancelToken;
+pub use config::ConfigError;
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultCounts, FaultPlan, ObservationFault};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -139,26 +139,26 @@ impl SystemConfig {
         if self.filter_entries == 0 {
             return Err(ConfigError::ZeroFilterEntries);
         }
-        self.cpu
-            .check()
-            .map_err(|reason| ConfigError::Cpu { reason })?;
-        self.l1.check().map_err(|reason| ConfigError::Cache {
+        self.cpu.validate().map_err(|e| ConfigError::Cpu {
+            reason: e.into_reason(),
+        })?;
+        self.l1.validate().map_err(|e| ConfigError::Cache {
             which: "L1",
-            reason,
+            reason: e.into_reason(),
         })?;
-        self.l2.check().map_err(|reason| ConfigError::Cache {
+        self.l2.validate().map_err(|e| ConfigError::Cache {
             which: "L2",
-            reason,
+            reason: e.into_reason(),
         })?;
-        self.dram
-            .check()
-            .map_err(|reason| ConfigError::Dram { reason })?;
-        self.fsb
-            .check()
-            .map_err(|reason| ConfigError::Fsb { reason })?;
-        self.memproc
-            .check()
-            .map_err(|reason| ConfigError::MemProc { reason })?;
+        self.dram.validate().map_err(|e| ConfigError::Dram {
+            reason: e.into_reason(),
+        })?;
+        self.fsb.validate().map_err(|e| ConfigError::Fsb {
+            reason: e.into_reason(),
+        })?;
+        self.memproc.validate().map_err(|e| ConfigError::MemProc {
+            reason: e.into_reason(),
+        })?;
         for (which, latency) in [
             ("l2_lookup", self.path.l2_lookup),
             ("fsb_propagate", self.path.fsb_propagate),
@@ -170,6 +170,18 @@ impl SystemConfig {
             }
         }
         Ok(())
+    }
+
+    /// Infallible assertion form of [`SystemConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the configuration is
+    /// inconsistent.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 
     /// Contention-free demand round trip on a DRAM row hit, for
@@ -300,6 +312,20 @@ mod tests {
         ] {
             assert_eq!(cfg.validate(), Err(ConfigError::ZeroQueueDepth { queue }));
         }
+    }
+
+    #[test]
+    fn checked_accepts_valid_and_panics_with_message() {
+        SystemConfig::default().checked();
+        let result = std::panic::catch_unwind(|| {
+            SystemConfig {
+                filter_entries: 0,
+                ..SystemConfig::default()
+            }
+            .checked()
+        });
+        let msg = *result.unwrap_err().downcast::<String>().expect("panic msg");
+        assert!(msg.contains("Filter"), "{msg}");
     }
 
     #[test]

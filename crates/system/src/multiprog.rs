@@ -70,6 +70,26 @@ impl MultiprogExperiment {
         self
     }
 
+    /// Runs this mix under both table policies — [`TablePolicy::Shared`]
+    /// and [`TablePolicy::PerApplication`] — as two independent
+    /// simulations fanned across the [`crate::runner`] worker pool, and
+    /// returns `(shared, per_application)`. The builder's own `policy`
+    /// setting is ignored: both are run.
+    ///
+    /// This is the Section 3.4 comparison as a single call; on a
+    /// multi-core host the two runs overlap, halving the wall time.
+    pub fn compare(self) -> (RunResult, RunResult) {
+        let experiments: Vec<MultiprogExperiment> =
+            [TablePolicy::Shared, TablePolicy::PerApplication]
+                .into_iter()
+                .map(|p| self.clone().policy(p))
+                .collect();
+        let mut results = crate::runner::parallel_map(experiments, MultiprogExperiment::run);
+        let per_app = results.pop().expect("per-application result");
+        let shared = results.pop().expect("shared result");
+        (shared, per_app)
+    }
+
     /// Runs the multiprogrammed mix to completion.
     pub fn run(self) -> RunResult {
         let trace = MultiprogWorkload::new(&self.apps, self.epoch_refs);
@@ -121,30 +141,20 @@ impl MultiprogExperiment {
     }
 }
 
-/// Runs one mix under both table policies — [`TablePolicy::Shared`] and
-/// [`TablePolicy::PerApplication`] — as two independent simulations fanned
-/// across the [`crate::runner`] worker pool, and returns
+/// Runs one mix under both table policies and returns
 /// `(shared, per_application)`.
-///
-/// This is the Section 3.4 comparison as a single call; on a multi-core
-/// host the two runs overlap, halving the wall time.
+#[deprecated(
+    since = "0.1.0",
+    note = "folded into the builder as `MultiprogExperiment::compare`; this free function will be removed next release"
+)]
 pub fn compare_policies(
     config: SystemConfig,
     apps: Vec<WorkloadSpec>,
     epoch_refs: usize,
 ) -> (RunResult, RunResult) {
-    let experiments: Vec<MultiprogExperiment> = [TablePolicy::Shared, TablePolicy::PerApplication]
-        .into_iter()
-        .map(|p| {
-            MultiprogExperiment::new(config, apps.clone())
-                .quantum(epoch_refs)
-                .policy(p)
-        })
-        .collect();
-    let mut results = crate::runner::parallel_map(experiments, MultiprogExperiment::run);
-    let per_app = results.pop().expect("per-application result");
-    let shared = results.pop().expect("shared result");
-    (shared, per_app)
+    MultiprogExperiment::new(config, apps)
+        .quantum(epoch_refs)
+        .compare()
 }
 
 #[cfg(test)]
@@ -165,7 +175,9 @@ mod tests {
         // short quantum the two miss streams interleave at the table and
         // corrupt each other's successor lists; per-application tables do
         // not.
-        let (shared, per_app) = compare_policies(SystemConfig::small(), mix(), 200);
+        let (shared, per_app) = MultiprogExperiment::new(SystemConfig::small(), mix())
+            .quantum(200)
+            .compare();
         assert_eq!(shared.scheme, "Multiprog(shared)");
         assert_eq!(per_app.scheme, "Multiprog(per-app)");
         assert!(

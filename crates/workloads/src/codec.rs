@@ -13,12 +13,15 @@
 //! byte 8..12  gap_insns (u32 LE)
 //! ```
 
-use ulmt_simcore::Addr;
+use ulmt_simcore::{Addr, LineAddr};
 
 use crate::trace::TraceRecord;
 
 /// Bytes per encoded record.
 pub const RECORD_BYTES: usize = 12;
+
+/// Bytes per encoded line address (see [`encode_lines`]).
+pub const LINE_BYTES: usize = 8;
 
 /// Error produced by the trace codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +117,36 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceCodecError> {
         .collect())
 }
 
+/// Encodes a batch of L2-miss line addresses as raw little-endian line
+/// numbers, [`LINE_BYTES`] per entry. This is the wire format prefetch
+/// service clients use to submit observation batches without carrying
+/// full [`TraceRecord`]s.
+pub fn encode_lines(lines: &[LineAddr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lines.len() * LINE_BYTES);
+    for line in lines {
+        out.extend_from_slice(&line.raw().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`encode_lines`].
+///
+/// # Errors
+///
+/// Returns [`TraceCodecError::TruncatedInput`] if `bytes` is not a whole
+/// number of [`LINE_BYTES`] entries.
+pub fn decode_lines(bytes: &[u8]) -> Result<Vec<LineAddr>, TraceCodecError> {
+    if !bytes.len().is_multiple_of(LINE_BYTES) {
+        return Err(TraceCodecError::TruncatedInput {
+            leftover: bytes.len() % LINE_BYTES,
+        });
+    }
+    Ok(bytes
+        .chunks_exact(LINE_BYTES)
+        .map(|c| LineAddr::new(u64::from_le_bytes(c.try_into().expect("chunk length is 8"))))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +205,21 @@ mod tests {
         assert_eq!(
             decode(&bytes),
             Err(TraceCodecError::TruncatedInput { leftover: 11 })
+        );
+    }
+
+    #[test]
+    fn lines_roundtrip_and_reject_truncation() {
+        let lines: Vec<LineAddr> = [0u64, 1, 7, u64::MAX]
+            .iter()
+            .map(|&n| LineAddr::new(n))
+            .collect();
+        let bytes = encode_lines(&lines);
+        assert_eq!(bytes.len(), lines.len() * LINE_BYTES);
+        assert_eq!(decode_lines(&bytes).unwrap(), lines);
+        assert_eq!(
+            decode_lines(&bytes[..bytes.len() - 3]),
+            Err(TraceCodecError::TruncatedInput { leftover: 5 })
         );
     }
 

@@ -10,8 +10,7 @@
 //! cargo run --release --example multiprogramming
 //! ```
 
-use ulmt::system::{MultiprogExperiment, SystemConfig, TablePolicy};
-use ulmt::workloads::{App, WorkloadSpec};
+use ulmt::prelude::*;
 
 fn main() {
     let mix = || {
@@ -27,14 +26,10 @@ fn main() {
         "quantum", "shared table", "per-app tables", "benefit"
     );
     for quantum in [200usize, 1000, 5000] {
-        let shared = MultiprogExperiment::new(SystemConfig::small(), mix())
+        // One builder, both policies, fanned across the worker pool.
+        let (shared, per_app) = MultiprogExperiment::new(SystemConfig::small(), mix())
             .quantum(quantum)
-            .policy(TablePolicy::Shared)
-            .run();
-        let per_app = MultiprogExperiment::new(SystemConfig::small(), mix())
-            .quantum(quantum)
-            .policy(TablePolicy::PerApplication)
-            .run();
+            .compare();
         println!(
             "{:<10} {:>12} cycles {:>12} cycles {:>9.1}%",
             quantum,

@@ -9,8 +9,7 @@
 //! cargo run --release --example pointer_chasing
 //! ```
 
-use ulmt::system::{Experiment, PrefetchScheme, SystemConfig};
-use ulmt::workloads::{App, WorkloadSpec};
+use ulmt::prelude::*;
 
 fn main() {
     let config = SystemConfig::small();

@@ -12,8 +12,8 @@
 
 use ulmt::core::predict::PredictionScorer;
 use ulmt::core::AlgorithmSpec;
-use ulmt::system::{l2_miss_stream_with, SystemConfig};
-use ulmt::workloads::{App, WorkloadSpec};
+use ulmt::prelude::*;
+use ulmt::system::l2_miss_stream_with;
 
 fn parse_app(name: &str) -> Option<App> {
     App::ALL

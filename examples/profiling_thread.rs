@@ -13,8 +13,8 @@
 
 use ulmt::core::algorithm::UlmtAlgorithm;
 use ulmt::core::profiling::ProfilingUlmt;
-use ulmt::system::{l2_miss_stream_with, SystemConfig};
-use ulmt::workloads::{App, WorkloadSpec};
+use ulmt::prelude::*;
+use ulmt::system::l2_miss_stream_with;
 
 fn main() {
     let config = SystemConfig::small();

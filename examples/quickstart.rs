@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ulmt::system::{Experiment, PrefetchScheme, SystemConfig};
-use ulmt::workloads::{App, WorkloadSpec};
+use ulmt::prelude::*;
 
 fn main() {
     // A scaled-down machine + workload pair keeps this example fast while

@@ -13,6 +13,13 @@
 #   6. trace validation       -- a traced fixed-seed faulted run whose
 #                                counters must re-derive bit-exactly from
 #                                the event stream (inspect's `trace` leg)
+#   7. service smoke          -- the sharded prefetch service at 1 and 2
+#                                shards, 2 tenants: cross-shard-count
+#                                fingerprint identity plus the snapshot ->
+#                                restore -> fingerprint round-trip
+#   8. deprecation audit      -- no in-repo caller (outside the deprecated
+#                                wrappers themselves) still uses the old
+#                                pre-redesign entry points
 #
 # This wraps the canonical tier-1 verify from ROADMAP.md
 # (`cargo build --release && cargo test -q`) with the lint front-line so
@@ -42,5 +49,20 @@ cargo test -q --workspace --doc
 echo "== trace validation (faulted, seed 7)"
 ULMT_FAULT_SEED=7 ULMT_SCALE=small \
     cargo run -q --release -p ulmt-bench --bin inspect -- trace mcf target/traces
+
+echo "== service smoke (1 vs 2 shards, 2 tenants, snapshot round-trip)"
+ULMT_SHARDS=1,2 ULMT_TENANTS=2 BENCH_OUT=target/BENCH_service_smoke.json \
+    cargo run -q --release -p ulmt-bench --bin serve
+
+echo "== deprecation audit"
+# The old names survive only as #[deprecated] wrappers (and their own
+# definitions/docs); nothing else in the repo may still call them.
+if grep -rn --include='*.rs' -E '\b(run_figure7_schemes|compare_policies)\(' \
+        src tests examples crates \
+        | grep -v 'crates/system/src/experiment.rs' \
+        | grep -v 'crates/system/src/multiprog.rs'; then
+    echo "deprecation audit: stale callers of redesigned APIs (above)"
+    exit 1
+fi
 
 echo "ci.sh: all gates passed"

@@ -23,12 +23,16 @@
 //!   character of the paper's nine applications.
 //! * [`system`] — the full-system simulator and the experiment runners that
 //!   regenerate every table and figure of the evaluation.
+//! * [`service`] — a sharded, multi-tenant **online** prefetch service over
+//!   the same correlation tables, with bounded ingestion queues, snapshots
+//!   and deterministic sharding.
+//!
+//! Most programs only need [`prelude`]:
 //!
 //! # Quickstart
 //!
 //! ```
-//! use ulmt::system::{Experiment, PrefetchScheme, SystemConfig};
-//! use ulmt::workloads::{App, WorkloadSpec};
+//! use ulmt::prelude::*;
 //!
 //! // Run a small Mcf-like pointer-chasing workload with and without the
 //! // Replicated ULMT prefetcher and compare execution times.
@@ -41,12 +45,47 @@
 //!     .run();
 //! assert!(repl.exec_cycles < base.exec_cycles);
 //! ```
+//!
+//! And the same tables as an online service:
+//!
+//! ```
+//! use ulmt::prelude::*;
+//!
+//! let service = PrefetchService::start(ServiceConfig::default());
+//! let mut session = service.open(1, TenantSpec::repl(1024)).unwrap();
+//! let spec = WorkloadSpec::new(App::Mcf).scale(1.0 / 32.0).iterations(2);
+//! let misses: Vec<_> = ulmt::system::l2_miss_stream_with(&SystemConfig::small(), &spec).collect();
+//! let reply = session.submit(misses).unwrap().wait().unwrap();
+//! assert!(reply.observed > 0);
+//! service.shutdown();
+//! ```
 
 pub use ulmt_cache as cache;
 pub use ulmt_core as core;
 pub use ulmt_cpu as cpu;
 pub use ulmt_dram as dram;
 pub use ulmt_memproc as memproc;
+pub use ulmt_service as service;
 pub use ulmt_simcore as simcore;
 pub use ulmt_system as system;
 pub use ulmt_workloads as workloads;
+
+/// The types most programs need, in one `use`.
+///
+/// Batch experiments: [`Experiment`], [`PrefetchScheme`],
+/// [`SystemConfig`], [`WorkloadSpec`], [`App`], [`RunResult`], plus the
+/// fault-injection ([`FaultConfig`]), tracing ([`TraceConfig`]) and
+/// cancellation ([`CancelToken`]) knobs.
+///
+/// Online serving: [`PrefetchService`], [`ServiceConfig`], [`Session`],
+/// [`TenantSpec`], [`TrySubmit`].
+pub mod prelude {
+    pub use ulmt_service::{
+        PrefetchService, ServiceConfig, Session, TableKind, TenantSpec, TrySubmit,
+    };
+    pub use ulmt_simcore::{CancelToken, FaultConfig, LineAddr, TraceConfig};
+    pub use ulmt_system::{
+        Experiment, MultiprogExperiment, PrefetchScheme, RunResult, SystemConfig,
+    };
+    pub use ulmt_workloads::{App, WorkloadSpec};
+}
