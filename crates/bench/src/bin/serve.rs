@@ -18,11 +18,12 @@
 //! shard counts, or if a restored snapshot does not reproduce its
 //! source fingerprint bit-for-bit.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ulmt_bench::io::atomic_write;
-use ulmt_service::{PrefetchService, ServiceConfig, TenantSpec};
+use ulmt_service::{PendingBatch, PrefetchService, ServiceConfig, TenantSpec};
 use ulmt_simcore::LineAddr;
 use ulmt_system::{l2_miss_stream_with, SystemConfig};
 use ulmt_workloads::{App, WorkloadSpec};
@@ -103,31 +104,62 @@ fn run_leg(shards: usize, tenants: &[Tenant]) -> Leg {
 
     let start = Instant::now();
     // Interleave tenants round-robin, one batch each per round, so every
-    // shard sees its tenants' streams genuinely mixed.
+    // shard sees its tenants' streams genuinely mixed. Each tenant keeps
+    // a bounded pending window; once it is full, the oldest reply is
+    // reaped and its recycled observation buffer refilled for the next
+    // batch — steady-state submission allocates nothing.
+    const WINDOW: usize = 4;
+    struct Feeder {
+        pool: Vec<Vec<LineAddr>>,
+        pending: VecDeque<PendingBatch>,
+    }
     let rounds = tenants
         .iter()
         .map(|t| t.obs.len().div_ceil(BATCH))
         .max()
         .unwrap_or(0);
-    let mut pending = Vec::new();
+    let mut feeders: Vec<Feeder> = tenants
+        .iter()
+        .map(|_| Feeder {
+            pool: Vec::new(),
+            pending: VecDeque::new(),
+        })
+        .collect();
+    let mut observed = 0u64;
     for round in 0..rounds {
-        for (t, session) in tenants.iter().zip(&mut sessions) {
+        for ((t, session), feeder) in tenants.iter().zip(&mut sessions).zip(&mut feeders) {
             let lo = round * BATCH;
             if lo >= t.obs.len() {
                 continue;
             }
             let hi = (lo + BATCH).min(t.obs.len());
-            pending.push(
+            if feeder.pending.len() >= WINDOW {
+                let reply = feeder
+                    .pending
+                    .pop_front()
+                    .expect("window is non-empty")
+                    .wait()
+                    .expect("shard alive");
+                observed += reply.observed;
+                feeder.pool.push(reply.recycled);
+            }
+            let mut buf = feeder
+                .pool
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(BATCH));
+            buf.extend_from_slice(&t.obs[lo..hi]);
+            feeder.pending.push_back(
                 session
-                    .submit(t.obs[lo..hi].to_vec())
+                    .submit(buf)
                     .unwrap_or_else(|e| panic!("submitting to tenant {}: {e}", t.id)),
             );
         }
     }
-    let observed: u64 = pending
-        .into_iter()
-        .map(|p| p.wait().expect("shard alive").observed)
-        .sum();
+    for feeder in &mut feeders {
+        while let Some(p) = feeder.pending.pop_front() {
+            observed += p.wait().expect("shard alive").observed;
+        }
+    }
     service.drain().expect("drain");
     let wall_nanos = start.elapsed().as_nanos() as u64;
 

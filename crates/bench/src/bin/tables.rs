@@ -1,0 +1,405 @@
+//! Correlation-table microbench: the flat-arena layout against the
+//! preserved pre-arena reference layout, plus the batch-ingestion
+//! kernel, with bit-identity gates.
+//!
+//! Three legs per algorithm (Base/Chain/Repl), all over the same seeded
+//! miss stream:
+//!
+//! * `reference` — the pre-rewrite boxed-row layout
+//!   ([`ulmt_core::table::reference`]), per-miss `process_miss`;
+//! * `arena` — the flat-arena layout, per-miss `process_miss`;
+//! * `arena_batch` — the flat-arena layout through the zero-alloc batch
+//!   kernel `process_misses` (the path `ulmt-service` shards ingest on).
+//!
+//! Plus a raw-allocation leg (`find_or_alloc` throughput in rows/sec,
+//! reference vs arena) isolating the table probe/replace path.
+//!
+//! Identity gates (exit 1 on failure): after replaying the stream, the
+//! arena table's fingerprint must equal the reference table's
+//! bit-for-bit, the batch kernel's table must equal the per-miss table,
+//! and every snapshot must survive the byte-codec round trip with its
+//! fingerprint intact.
+//!
+//! Environment:
+//!
+//! * `ULMT_TABLE_MISSES` — stream length per leg (default `500000`).
+//! * `ULMT_TABLE_ROWS` — table rows (default `65536`; the paper's real
+//!   tables are 1–2M rows, far beyond any private cache, which is the
+//!   regime the cache-conscious layout targets).
+//! * `ULMT_REPEAT` — timed repetitions, best-of (default `3`).
+//! * `BENCH_OUT` — output path (default `BENCH_tables.json`).
+//!
+//! The report is written atomically (temp file + rename).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ulmt_bench::io::atomic_write;
+use ulmt_core::algorithm::{StepSink, UlmtAlgorithm};
+use ulmt_core::table::reference::{RefBase, RefChain, RefReplicated, RefRowTable};
+use ulmt_core::table::{
+    AllocKind, Base, Chain, MruList, Replicated, RowTable, TableParams, TableSnapshot,
+};
+use ulmt_simcore::{LineAddr, Pcg32};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// The differential tests' stream shape: a random walk over a hot pool
+/// (hits, MRU churn) plus cold lines (allocations, replacements).
+fn miss_stream(seed: u64, len: usize, lines: u64) -> Vec<LineAddr> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let pool: Vec<u64> = (0..64).map(|_| rng.gen_range_u64(0..lines)).collect();
+    let mut cursor = 0usize;
+    (0..len)
+        .map(|_| {
+            let n = if rng.gen_bool(0.75) {
+                cursor = (cursor + rng.gen_range_usize(1..4)) % pool.len();
+                pool[cursor]
+            } else {
+                rng.gen_range_u64(0..lines)
+            };
+            LineAddr::new(n)
+        })
+        .collect()
+}
+
+/// Sink for the batch leg: counts and checksums without allocating, the
+/// way the service's ingest sink consumes steps.
+#[derive(Default)]
+struct CountSink {
+    prefetches: u64,
+    insns: u64,
+    checksum: u64,
+}
+
+impl StepSink for CountSink {
+    fn begin(&mut self, _miss: LineAddr) {}
+
+    fn prefetch(&mut self, addr: LineAddr) {
+        self.prefetches += 1;
+        self.checksum ^= addr.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn end(&mut self, prefetch_insns: u64, learn_insns: u64) {
+        self.insns += prefetch_insns + learn_insns;
+    }
+}
+
+/// One timed leg: best-of-`repeat` observations/sec, plus a checksum so
+/// the work cannot be optimized away.
+struct Timing {
+    obs_per_sec: f64,
+    checksum: u64,
+}
+
+fn best_of(repeat: usize, obs: usize, mut run: impl FnMut() -> u64) -> Timing {
+    let mut best = f64::MIN;
+    let mut checksum = 0u64;
+    for _ in 0..repeat.max(1) {
+        let start = Instant::now();
+        checksum = run();
+        let rate = obs as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(rate);
+    }
+    Timing {
+        obs_per_sec: best,
+        checksum,
+    }
+}
+
+fn per_miss_leg<A: UlmtAlgorithm>(
+    mut make: impl FnMut() -> A,
+    misses: &[LineAddr],
+    repeat: usize,
+) -> Timing {
+    best_of(repeat, misses.len(), || {
+        let mut alg = make();
+        let mut checksum = 0u64;
+        for &m in misses {
+            let step = alg.process_miss(m);
+            for &p in &step.prefetches {
+                checksum ^= p.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            checksum = checksum.wrapping_add(step.total_insns());
+        }
+        checksum
+    })
+}
+
+fn batch_leg<A: UlmtAlgorithm>(
+    mut make: impl FnMut() -> A,
+    misses: &[LineAddr],
+    repeat: usize,
+) -> Timing {
+    best_of(repeat, misses.len(), || {
+        let mut alg = make();
+        let mut sink = CountSink::default();
+        for chunk in misses.chunks(512) {
+            alg.process_misses(chunk, &mut sink);
+        }
+        sink.checksum.wrapping_add(sink.insns)
+    })
+}
+
+/// Everything measured and verified for one algorithm.
+struct AlgReport {
+    name: &'static str,
+    reference: Timing,
+    arena: Timing,
+    arena_batch: Timing,
+    fingerprint: u64,
+    identical: bool,
+    codec_ok: bool,
+}
+
+impl AlgReport {
+    fn speedup(&self) -> f64 {
+        self.arena.obs_per_sec / self.reference.obs_per_sec.max(1e-12)
+    }
+
+    fn batch_speedup(&self) -> f64 {
+        self.arena_batch.obs_per_sec / self.reference.obs_per_sec.max(1e-12)
+    }
+}
+
+fn codec_round_trips(snap: &TableSnapshot) -> bool {
+    match TableSnapshot::from_bytes(&snap.to_bytes()) {
+        Ok(decoded) => decoded.fingerprint() == snap.fingerprint(),
+        Err(_) => false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_algorithm<A, R>(
+    name: &'static str,
+    make_arena: impl Fn() -> A,
+    make_ref: impl Fn() -> R,
+    fp_arena: impl Fn(&A) -> u64,
+    fp_ref: impl Fn(&R) -> u64,
+    snap_arena: impl Fn(&A) -> TableSnapshot,
+    misses: &[LineAddr],
+    repeat: usize,
+) -> AlgReport
+where
+    A: UlmtAlgorithm,
+    R: UlmtAlgorithm,
+{
+    let reference = per_miss_leg(&make_ref, misses, repeat);
+    let arena = per_miss_leg(&make_arena, misses, repeat);
+    let arena_batch = batch_leg(&make_arena, misses, repeat);
+
+    // Identity gate: replay once more on fresh tables and compare end
+    // states. Per-miss checksums already pin the emitted streams.
+    let mut a = make_arena();
+    let mut r = make_ref();
+    let mut b = make_arena();
+    let mut bsink = CountSink::default();
+    for &m in misses {
+        a.process_miss(m);
+        r.process_miss(m);
+    }
+    b.process_misses(misses, &mut bsink);
+    let fingerprint = fp_arena(&a);
+    let identical = fingerprint == fp_ref(&r)
+        && fingerprint == fp_arena(&b)
+        && reference.checksum == arena.checksum;
+    let codec_ok = codec_round_trips(&snap_arena(&a));
+    AlgReport {
+        name,
+        reference,
+        arena,
+        arena_batch,
+        fingerprint,
+        identical,
+        codec_ok,
+    }
+}
+
+/// Raw `find_or_alloc` throughput (rows/sec): the probe/replace path in
+/// isolation, reference boxed rows vs the flat arena.
+fn alloc_legs(rows: usize, misses: &[LineAddr], repeat: usize) -> (Timing, Timing) {
+    let params = TableParams {
+        num_rows: rows,
+        assoc: 4,
+        num_succ: 4,
+        num_levels: 1,
+    };
+    fn kind_tag(kind: AllocKind) -> u64 {
+        match kind {
+            AllocKind::Existing => 1,
+            AllocKind::Fresh => 2,
+            AllocKind::Replaced => 3,
+        }
+    }
+    let reference = best_of(repeat, misses.len(), || {
+        let mut t = RefRowTable::new(&params, 20, MruList::new(params.num_succ));
+        let mut acc = 0u64;
+        for &m in misses {
+            let (_, kind) = t.find_or_alloc(m);
+            acc = acc.wrapping_add(kind_tag(kind));
+        }
+        acc
+    });
+    let arena = best_of(repeat, misses.len(), || {
+        let mut t = RowTable::new(&params, 20, 1);
+        let mut acc = 0u64;
+        for &m in misses {
+            let (_, kind) = t.find_or_alloc(m);
+            acc = acc.wrapping_add(kind_tag(kind));
+        }
+        acc
+    });
+    (reference, arena)
+}
+
+fn json_report(
+    reports: &[AlgReport],
+    alloc: &(Timing, Timing),
+    misses: usize,
+    rows: usize,
+    repeat: usize,
+    overall: f64,
+    target: f64,
+) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"misses\": {misses},");
+    let _ = writeln!(j, "  \"rows\": {rows},");
+    let _ = writeln!(j, "  \"repeat\": {repeat},");
+    let _ = writeln!(j, "  \"speedup_target\": {target},");
+    let _ = writeln!(j, "  \"overall_speedup\": {overall:.3},");
+    let _ = writeln!(j, "  \"speedup_ok\": {},", overall >= target);
+    let _ = writeln!(
+        j,
+        "  \"identity_ok\": {},",
+        reports.iter().all(|r| r.identical && r.codec_ok)
+    );
+    j.push_str("  \"algorithms\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"name\": \"{}\", \"reference_obs_per_sec\": {:.0}, \"arena_obs_per_sec\": {:.0}, \"arena_batch_obs_per_sec\": {:.0}, \"speedup\": {:.3}, \"batch_speedup\": {:.3}, \"fingerprint\": \"{:016x}\", \"fingerprints_identical\": {}, \"codec_roundtrip_ok\": {}}}{}",
+            r.name,
+            r.reference.obs_per_sec,
+            r.arena.obs_per_sec,
+            r.arena_batch.obs_per_sec,
+            r.speedup(),
+            r.batch_speedup(),
+            r.fingerprint,
+            r.identical,
+            r.codec_ok,
+            if i + 1 < reports.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"alloc\": {{\"reference_rows_per_sec\": {:.0}, \"arena_rows_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+        alloc.0.obs_per_sec,
+        alloc.1.obs_per_sec,
+        alloc.1.obs_per_sec / alloc.0.obs_per_sec.max(1e-12)
+    );
+    j.push_str("}\n");
+    j
+}
+
+fn main() {
+    let misses = env_usize("ULMT_TABLE_MISSES", 500_000);
+    let rows = env_usize("ULMT_TABLE_ROWS", 65_536);
+    let repeat = env_usize("ULMT_REPEAT", 3);
+    // Roughly 2 lines per slot so the stream forces replacements.
+    let stream = miss_stream(0xDECAF, misses, (rows * 8) as u64);
+    eprintln!("tables: {misses} misses, {rows} rows, best of {repeat}");
+
+    let base = TableParams {
+        num_rows: rows,
+        assoc: 4,
+        num_succ: 4,
+        num_levels: 1,
+    };
+    let multi = TableParams {
+        num_rows: rows,
+        assoc: 2,
+        num_succ: 2,
+        num_levels: 3,
+    };
+    let reports = vec![
+        run_algorithm(
+            "base",
+            || Base::new(base),
+            || RefBase::new(base),
+            |a| a.table_fingerprint(),
+            |r| r.table_fingerprint(),
+            |a| a.snapshot(),
+            &stream,
+            repeat,
+        ),
+        run_algorithm(
+            "chain",
+            || Chain::new(multi),
+            || RefChain::new(multi),
+            |a| a.table_fingerprint(),
+            |r| r.table_fingerprint(),
+            |a| a.snapshot(),
+            &stream,
+            repeat,
+        ),
+        run_algorithm(
+            "repl",
+            || Replicated::new(multi),
+            || RefReplicated::new(multi),
+            |a| a.table_fingerprint(),
+            |r| r.table_fingerprint(),
+            |a| a.snapshot(),
+            &stream,
+            repeat,
+        ),
+    ];
+
+    let alloc = alloc_legs(rows, &stream, repeat);
+
+    // Overall speedup: geometric mean of the batch-kernel speedups —
+    // the path the service actually ingests on.
+    let overall =
+        (reports.iter().map(|r| r.batch_speedup().ln()).sum::<f64>() / reports.len() as f64).exp();
+    let target = 1.5;
+
+    for r in &reports {
+        eprintln!(
+            "  {:<6} ref {:>12.0} obs/s | arena {:>12.0} ({:.2}x) | batch {:>12.0} ({:.2}x) | identity {}",
+            r.name,
+            r.reference.obs_per_sec,
+            r.arena.obs_per_sec,
+            r.speedup(),
+            r.arena_batch.obs_per_sec,
+            r.batch_speedup(),
+            if r.identical && r.codec_ok { "ok" } else { "FAILED" }
+        );
+    }
+    eprintln!(
+        "  alloc  ref {:>12.0} rows/s | arena {:>12.0} ({:.2}x)",
+        alloc.0.obs_per_sec,
+        alloc.1.obs_per_sec,
+        alloc.1.obs_per_sec / alloc.0.obs_per_sec.max(1e-12)
+    );
+    eprintln!("  overall batch speedup: {overall:.2}x (target {target}x)");
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_tables.json".to_string());
+    atomic_write(
+        &out,
+        &json_report(&reports, &alloc, misses, rows, repeat, overall, target),
+    )
+    .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+
+    if !reports.iter().all(|r| r.identical && r.codec_ok) {
+        eprintln!("tables: FAILED (fingerprint or codec identity)");
+        std::process::exit(1);
+    }
+    eprintln!("tables: identity gates passed");
+}

@@ -74,7 +74,7 @@ pub fn derive_num_rows(workload: &WorkloadSpec) -> usize {
             num_succ: 1,
             num_levels: 1,
         };
-        let mut table = ulmt_core::table::RowTable::new(&params, 8, ());
+        let mut table = ulmt_core::table::RowTable::new(&params, 8, 1);
         for &m in &misses {
             table.find_or_alloc(m);
         }

@@ -27,6 +27,68 @@ pub mod insn_cost {
     pub const PER_STREAM_CHECK: u64 = 2;
 }
 
+/// Receiver of the per-step outputs of a batch kernel
+/// ([`UlmtAlgorithm::process_misses`]).
+///
+/// For each observed miss the kernel calls [`StepSink::begin`], then
+/// [`StepSink::prefetch`] once per generated prefetch address (in issue
+/// order), then [`StepSink::end`] with the step's instruction costs. The
+/// sink owns whatever aggregation the caller needs (virtual clocks,
+/// utilization servers, prefetch buffers), so the kernel itself never
+/// allocates per step — this is what makes batched ingestion
+/// allocation-free in `ulmt-service`.
+pub trait StepSink {
+    /// A new observed miss is about to be processed.
+    fn begin(&mut self, miss: LineAddr);
+
+    /// One prefetch address generated for the current miss, in issue
+    /// order (duplicates already suppressed, exactly like the
+    /// [`StepResult::prefetches`] of the per-miss path).
+    fn prefetch(&mut self, addr: LineAddr);
+
+    /// The current miss is done; `prefetch_insns` and `learn_insns` are
+    /// the instruction costs of its two phases — always equal to the
+    /// `prefetch_cost.insns` / `learn_cost.insns` the per-miss path would
+    /// have reported.
+    fn end(&mut self, prefetch_insns: u64, learn_insns: u64);
+}
+
+/// A [`StepSink`] that aggregates everything into plain vectors/counters.
+/// Convenient for tests and benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    /// All prefetches, in issue order across the whole batch.
+    pub prefetches: Vec<LineAddr>,
+    /// Number of misses processed.
+    pub steps: u64,
+    /// Sum of prefetch-phase instructions.
+    pub prefetch_insns: u64,
+    /// Sum of learning-phase instructions.
+    pub learn_insns: u64,
+}
+
+impl CollectSink {
+    /// Total instructions across both phases.
+    pub fn total_insns(&self) -> u64 {
+        self.prefetch_insns + self.learn_insns
+    }
+}
+
+impl StepSink for CollectSink {
+    fn begin(&mut self, _miss: LineAddr) {
+        self.steps += 1;
+    }
+
+    fn prefetch(&mut self, addr: LineAddr) {
+        self.prefetches.push(addr);
+    }
+
+    fn end(&mut self, prefetch_insns: u64, learn_insns: u64) {
+        self.prefetch_insns += prefetch_insns;
+        self.learn_insns += learn_insns;
+    }
+}
+
 /// A prefetching algorithm runnable as a User-Level Memory Thread.
 ///
 /// The ULMT sits in the infinite loop of Figure 2: *wait → Prefetching
@@ -40,6 +102,29 @@ pub trait UlmtAlgorithm {
     /// Handles one observed L2 miss (or, in Verbose mode, an observed
     /// processor-side prefetch request): generates prefetches and learns.
     fn process_miss(&mut self, miss: LineAddr) -> StepResult;
+
+    /// Batch kernel: processes every miss of `batch` in order, streaming
+    /// the outputs into `sink` instead of materializing one
+    /// [`StepResult`] per miss.
+    ///
+    /// The default implementation forwards to
+    /// [`UlmtAlgorithm::process_miss`]; the table algorithms override it
+    /// with a fast path that skips table-touch recording and per-step
+    /// allocation while performing **identical** state transitions and
+    /// reporting identical instruction counts (held to account by unit
+    /// tests and the `arena_differential` suite). Table touches are a
+    /// memory-processor modeling concern; batched service ingestion only
+    /// consumes instruction costs, which is what makes the skip sound.
+    fn process_misses(&mut self, batch: &[LineAddr], sink: &mut dyn StepSink) {
+        for &miss in batch {
+            sink.begin(miss);
+            let step = self.process_miss(miss);
+            for &p in &step.prefetches {
+                sink.prefetch(p);
+            }
+            sink.end(step.prefetch_cost.insns, step.learn_cost.insns);
+        }
+    }
 
     /// Pure per-level successor predictions for `miss`, used by the
     /// prediction experiment of Figure 5. `out[k]` holds the predicted

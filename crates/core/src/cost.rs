@@ -79,7 +79,7 @@ impl Cost {
 }
 
 /// Everything an algorithm did for one observed miss.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StepResult {
     /// Prefetch addresses generated, in issue order (most critical first —
     /// the MRU level-1 successor leads).

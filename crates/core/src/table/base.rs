@@ -9,11 +9,11 @@
 
 use ulmt_simcore::{ConfigError, LineAddr, PageAddr};
 
-use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::algorithm::{insn_cost, StepSink, UlmtAlgorithm};
 use crate::cost::StepResult;
 
 use super::snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
-use super::storage::{MruList, RowPtr, RowTable, TableStats};
+use super::storage::{RowPtr, RowTable, TableStats};
 use super::TableParams;
 
 /// The conventional one-level correlation prefetcher.
@@ -38,7 +38,7 @@ use super::TableParams;
 #[derive(Debug, Clone)]
 pub struct Base {
     params: TableParams,
-    table: RowTable<MruList>,
+    table: RowTable,
     last: Option<RowPtr>,
 }
 
@@ -57,7 +57,7 @@ impl Base {
         );
         let row_bytes = params.flat_row_bytes();
         Base {
-            table: RowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
+            table: RowTable::new(&params, row_bytes, 1),
             params,
             last: None,
         }
@@ -102,7 +102,7 @@ impl Base {
                 .into_iter()
                 .map(|(tag, row)| RowSnapshot {
                     tag: tag.raw(),
-                    levels: vec![row.iter().map(|s| s.raw()).collect()],
+                    levels: vec![row.level(0).iter().map(|s| s.raw()).collect()],
                 })
                 .collect(),
         }
@@ -125,13 +125,9 @@ impl Base {
         let mut base = Base::new(snap.params);
         for row in &snap.rows {
             let (ptr, _) = base.table.find_or_alloc(LineAddr::new(row.tag));
-            let list = base
-                .table
-                .get_mut(ptr)
-                .expect("fresh pointer from alloc is valid");
             if let Some(level) = row.levels.first() {
                 for &succ in level.iter().rev() {
-                    list.insert_mru(LineAddr::new(succ));
+                    base.table.insert_mru(ptr, 0, LineAddr::new(succ));
                 }
             }
         }
@@ -145,7 +141,7 @@ impl Base {
     }
 
     /// Prefetching step: look up `miss` and emit all its stored successors
-    /// (MRU first). Shared with [`Chain`](super::Chain)'s first level.
+    /// (MRU first).
     fn prefetch_step(&mut self, miss: LineAddr, step: &mut StepResult) -> Option<RowPtr> {
         step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
         for addr in self.table.probe_addrs(miss) {
@@ -159,7 +155,7 @@ impl Base {
             .table
             .get(ptr)
             .expect("fresh pointer from lookup is valid");
-        for succ in row.iter() {
+        for &succ in row.level(0) {
             step.prefetches.push(succ);
             step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
         }
@@ -172,8 +168,7 @@ impl Base {
     fn learn_step(&mut self, miss: LineAddr, found: Option<RowPtr>, step: &mut StepResult) {
         step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
         if let Some(last) = self.last {
-            if let Some(row) = self.table.get_mut(last) {
-                row.insert_mru(miss);
+            if self.table.insert_mru(last, 0, miss) {
                 let addr = self.table.row_addr(last);
                 step.learn_cost.write(addr, self.table.row_bytes());
                 step.learn_cost.add_insns(insn_cost::PER_INSERT);
@@ -205,20 +200,59 @@ impl UlmtAlgorithm for Base {
         step
     }
 
+    /// Batch fast path: same state transitions and instruction counts as
+    /// [`Base::process_miss`] per element, but with the set-probe cost
+    /// hoisted out of the loop and no per-step [`StepResult`] or
+    /// table-touch vectors allocated.
+    fn process_misses(&mut self, batch: &[LineAddr], sink: &mut dyn StepSink) {
+        let probe_insns =
+            insn_cost::STEP_OVERHEAD + self.table.assoc() as u64 * insn_cost::PROBE_PER_WAY;
+        for &miss in batch {
+            sink.begin(miss);
+            let mut prefetch_insns = probe_insns;
+            let found = self.table.lookup(miss);
+            if let Some(ptr) = found {
+                let row = self
+                    .table
+                    .get(ptr)
+                    .expect("fresh pointer from lookup is valid");
+                for &succ in row.level(0) {
+                    sink.prefetch(succ);
+                    prefetch_insns += insn_cost::PER_PREFETCH;
+                }
+            }
+            let mut learn_insns = insn_cost::LEARN_OVERHEAD;
+            if let Some(last) = self.last {
+                if self.table.insert_mru(last, 0, miss) {
+                    learn_insns += insn_cost::PER_INSERT;
+                }
+            }
+            let ptr = match found {
+                Some(ptr) => ptr,
+                None => {
+                    let (ptr, _) = self.table.find_or_alloc(miss);
+                    learn_insns += insn_cost::PER_ALLOC;
+                    ptr
+                }
+            };
+            self.last = Some(ptr);
+            sink.end(prefetch_insns, learn_insns);
+        }
+    }
+
     fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
         let mut out = vec![Vec::new(); levels];
         if levels == 0 {
             return out;
         }
         if let Some(row) = self.table.peek(miss) {
-            out[0] = row.iter().collect();
+            out[0] = row.level(0).to_vec();
         }
         out
     }
 
     fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
-        self.table
-            .remap_page(old, new, |row, o, n| row.remap_page(o, n));
+        self.table.remap_page(old, new);
     }
 
     fn table_size_bytes(&self) -> u64 {
@@ -368,5 +402,30 @@ mod tests {
         base.process_miss(line(1));
         let step = base.process_miss(line(2));
         assert!(step.prefetches.is_empty() || !step.prefetches.is_empty());
+    }
+
+    #[test]
+    fn batch_kernel_matches_per_miss_path() {
+        use crate::algorithm::CollectSink;
+
+        let seq: Vec<LineAddr> = [10u64, 20, 30, 10, 40, 30, 20, 10, 50, 40, 30, 20]
+            .iter()
+            .map(|&n| line(n))
+            .collect();
+        let mut slow = small();
+        let mut expected = Vec::new();
+        let mut expected_insns = 0u64;
+        for &m in &seq {
+            let step = slow.process_miss(m);
+            expected.extend(step.prefetches.iter().copied());
+            expected_insns += step.total_insns();
+        }
+        let mut fast = small();
+        let mut sink = CollectSink::default();
+        fast.process_misses(&seq, &mut sink);
+        assert_eq!(sink.prefetches, expected);
+        assert_eq!(sink.total_insns(), expected_insns);
+        assert_eq!(fast.table_fingerprint(), slow.table_fingerprint());
+        assert_eq!(fast.table_stats(), slow.table_stats());
     }
 }

@@ -14,11 +14,11 @@
 
 use ulmt_simcore::{LineAddr, PageAddr};
 
-use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::algorithm::{insn_cost, StepSink, UlmtAlgorithm};
 use crate::cost::StepResult;
 
 use super::snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
-use super::storage::{MruList, RowPtr, RowTable, TableStats};
+use super::storage::{RowPtr, RowTable, TableStats};
 use super::TableParams;
 
 /// Multi-level correlation prefetching over the conventional table.
@@ -43,7 +43,7 @@ use super::TableParams;
 #[derive(Debug, Clone)]
 pub struct Chain {
     params: TableParams,
-    table: RowTable<MruList>,
+    table: RowTable,
     last: Option<RowPtr>,
 }
 
@@ -56,8 +56,10 @@ impl Chain {
     pub fn new(params: TableParams) -> Self {
         params.checked();
         let row_bytes = params.flat_row_bytes();
+        // Chain walks `num_levels` rows when prefetching but each row
+        // stores a single successor level, like Base.
         Chain {
-            table: RowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
+            table: RowTable::new(&params, row_bytes, 1),
             params,
             last: None,
         }
@@ -91,7 +93,7 @@ impl Chain {
                 .into_iter()
                 .map(|(tag, row)| RowSnapshot {
                     tag: tag.raw(),
-                    levels: vec![row.iter().map(|s| s.raw()).collect()],
+                    levels: vec![row.level(0).iter().map(|s| s.raw()).collect()],
                 })
                 .collect(),
         }
@@ -108,13 +110,9 @@ impl Chain {
         let mut chain = Chain::new(snap.params);
         for row in &snap.rows {
             let (ptr, _) = chain.table.find_or_alloc(LineAddr::new(row.tag));
-            let list = chain
-                .table
-                .get_mut(ptr)
-                .expect("fresh pointer from alloc is valid");
             if let Some(level) = row.levels.first() {
                 for &succ in level.iter().rev() {
-                    list.insert_mru(LineAddr::new(succ));
+                    chain.table.insert_mru(ptr, 0, LineAddr::new(succ));
                 }
             }
         }
@@ -158,8 +156,8 @@ impl UlmtAlgorithm for Chain {
                 .table
                 .get(ptr)
                 .expect("fresh pointer from lookup is valid");
-            let mru = row.mru();
-            for succ in row.iter() {
+            let mru = row.mru(0);
+            for &succ in row.level(0) {
                 if !step.prefetches.contains(&succ) {
                     step.prefetches.push(succ);
                 }
@@ -175,8 +173,7 @@ impl UlmtAlgorithm for Chain {
         // successor of the previous miss via the retained pointer.
         step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
         if let Some(last) = self.last {
-            if let Some(row) = self.table.get_mut(last) {
-                row.insert_mru(miss);
+            if self.table.insert_mru(last, 0, miss) {
                 let addr = self.table.row_addr(last);
                 step.learn_cost.write(addr, self.table.row_bytes());
                 step.learn_cost.add_insns(insn_cost::PER_INSERT);
@@ -195,6 +192,62 @@ impl UlmtAlgorithm for Chain {
         step
     }
 
+    /// Batch fast path: the same MRU-path walk and learning as
+    /// [`Chain::process_miss`], with per-step de-duplication running over
+    /// a scratch buffer reused across the whole batch.
+    fn process_misses(&mut self, batch: &[LineAddr], sink: &mut dyn StepSink) {
+        let probe_insns = self.table.assoc() as u64 * insn_cost::PROBE_PER_WAY;
+        let mut seen: Vec<LineAddr> = Vec::new();
+        for &miss in batch {
+            sink.begin(miss);
+            seen.clear();
+            let mut prefetch_insns = insn_cost::STEP_OVERHEAD;
+            let mut cur = miss;
+            let mut found_first: Option<RowPtr> = None;
+            for level in 0..self.params.num_levels {
+                prefetch_insns += probe_insns;
+                let Some(ptr) = self.table.lookup(cur) else {
+                    break;
+                };
+                if level == 0 {
+                    found_first = Some(ptr);
+                }
+                let row = self
+                    .table
+                    .get(ptr)
+                    .expect("fresh pointer from lookup is valid");
+                let mru = row.mru(0);
+                for &succ in row.level(0) {
+                    if !seen.contains(&succ) {
+                        seen.push(succ);
+                        sink.prefetch(succ);
+                    }
+                    prefetch_insns += insn_cost::PER_PREFETCH;
+                }
+                match mru {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            let mut learn_insns = insn_cost::LEARN_OVERHEAD;
+            if let Some(last) = self.last {
+                if self.table.insert_mru(last, 0, miss) {
+                    learn_insns += insn_cost::PER_INSERT;
+                }
+            }
+            let ptr = match found_first {
+                Some(ptr) => ptr,
+                None => {
+                    let (ptr, _) = self.table.find_or_alloc(miss);
+                    learn_insns += insn_cost::PER_ALLOC;
+                    ptr
+                }
+            };
+            self.last = Some(ptr);
+            sink.end(prefetch_insns, learn_insns);
+        }
+    }
+
     fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
         let mut out = vec![Vec::new(); levels];
         let mut cur = miss;
@@ -202,8 +255,8 @@ impl UlmtAlgorithm for Chain {
             let Some(row) = self.table.peek(cur) else {
                 break;
             };
-            *level = row.iter().collect();
-            match row.mru() {
+            *level = row.level(0).to_vec();
+            match row.mru(0) {
                 Some(next) => cur = next,
                 None => break,
             }
@@ -212,8 +265,7 @@ impl UlmtAlgorithm for Chain {
     }
 
     fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
-        self.table
-            .remap_page(old, new, |row, o, n| row.remap_page(o, n));
+        self.table.remap_page(old, new);
     }
 
     fn table_size_bytes(&self) -> u64 {
@@ -331,5 +383,30 @@ mod tests {
         let mut chain = small();
         let step = chain.process_miss(line(7));
         assert!(step.prefetches.is_empty());
+    }
+
+    #[test]
+    fn batch_kernel_matches_per_miss_path() {
+        use crate::algorithm::CollectSink;
+
+        let seq: Vec<LineAddr> = [1u64, 2, 3, 1, 4, 3, 2, 1, 5, 4, 3, 2, 1, 2, 3]
+            .iter()
+            .map(|&n| line(n))
+            .collect();
+        let mut slow = small();
+        let mut expected = Vec::new();
+        let mut expected_insns = 0u64;
+        for &m in &seq {
+            let step = slow.process_miss(m);
+            expected.extend(step.prefetches.iter().copied());
+            expected_insns += step.total_insns();
+        }
+        let mut fast = small();
+        let mut sink = CollectSink::default();
+        fast.process_misses(&seq, &mut sink);
+        assert_eq!(sink.prefetches, expected);
+        assert_eq!(sink.total_insns(), expected_insns);
+        assert_eq!(fast.table_fingerprint(), slow.table_fingerprint());
+        assert_eq!(fast.table_stats(), slow.table_stats());
     }
 }

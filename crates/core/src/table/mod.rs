@@ -9,6 +9,8 @@
 
 mod base;
 mod chain;
+#[doc(hidden)]
+pub mod reference;
 mod replicated;
 mod snapshot;
 mod storage;
@@ -19,7 +21,7 @@ pub use base::Base;
 pub use chain::Chain;
 pub use replicated::Replicated;
 pub use snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
-pub use storage::{MruList, RowPtr, RowTable, TableStats};
+pub use storage::{AllocKind, MruList, RowPtr, RowRef, RowTable, TableStats};
 
 /// Parameters of a correlation table and its algorithm (Table 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

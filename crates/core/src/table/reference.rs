@@ -1,0 +1,672 @@
+//! The pre-arena table layout, kept verbatim as a differential oracle.
+//!
+//! This module preserves the historical storage organization — one
+//! heap-allocated [`MruList`] per slot (Replicated: a `Vec<MruList>` per
+//! slot), a `template.clone()` on every row allocation — together with
+//! the Base/Chain/Replicated algorithms running on top of it. It exists
+//! for two consumers only:
+//!
+//! * the differential property tests (`tests/arena_differential.rs`),
+//!   which replay seeded miss streams through both layouts and assert
+//!   bit-identical prefetches, costs, stats, snapshots and fingerprints;
+//! * the `tables` microbench, which uses it as the recorded
+//!   "before" baseline that the flat arena is measured against.
+//!
+//! It is **not** API: everything here is `#[doc(hidden)]` and may change
+//! or disappear without notice. Production code uses
+//! [`RowTable`](super::RowTable) and the real algorithms.
+
+use std::collections::VecDeque;
+
+use ulmt_simcore::{Addr, LineAddr, PageAddr};
+
+use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::cost::StepResult;
+
+use super::snapshot::{RowSnapshot, SnapshotKind, TableSnapshot};
+use super::storage::{AllocKind, MruList, TableStats, TABLE_BASE};
+use super::TableParams;
+
+/// A validated pointer into a [`RefRowTable`] (same contract as the
+/// arena's `RowPtr`, private to the reference layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefRowPtr {
+    slot: usize,
+    gen: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<R> {
+    tag: LineAddr,
+    valid: bool,
+    gen: u64,
+    lru: u64,
+    row: R,
+}
+
+/// The historical array-of-structs row table, generic over the row type.
+#[derive(Debug, Clone)]
+pub struct RefRowTable<R> {
+    num_sets: usize,
+    assoc: usize,
+    row_bytes: u64,
+    base_addr: Addr,
+    slots: Vec<Slot<R>>,
+    template: R,
+    lru_clock: u64,
+    stats: TableStats,
+}
+
+impl<R: Clone> RefRowTable<R> {
+    pub fn new(params: &TableParams, row_bytes: u64, template: R) -> Self {
+        params.checked();
+        RefRowTable {
+            num_sets: params.num_sets(),
+            assoc: params.assoc,
+            row_bytes,
+            base_addr: Addr::new(TABLE_BASE),
+            slots: vec![
+                Slot {
+                    tag: LineAddr::new(0),
+                    valid: false,
+                    gen: 0,
+                    lru: 0,
+                    row: template.clone()
+                };
+                params.num_rows
+            ],
+            template,
+            lru_clock: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn size_bytes(&self) -> u64 {
+        self.slots.len() as u64 * self.row_bytes
+    }
+
+    pub fn row_addr(&self, ptr: RefRowPtr) -> Addr {
+        self.base_addr
+            .offset((ptr.slot as u64 * self.row_bytes) as i64)
+    }
+
+    pub fn row_bytes(&self) -> u64 {
+        self.row_bytes
+    }
+
+    pub fn probe_addrs(&self, line: LineAddr) -> impl Iterator<Item = Addr> + '_ {
+        let start = self.set_of(line) * self.assoc;
+        let row_bytes = self.row_bytes;
+        let base = self.base_addr;
+        (start..start + self.assoc).map(move |slot| base.offset((slot as u64 * row_bytes) as i64))
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.num_sets - 1)
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let start = self.set_of(line) * self.assoc;
+        start..start + self.assoc
+    }
+
+    pub fn lookup(&mut self, line: LineAddr) -> Option<RefRowPtr> {
+        self.stats.lookups += 1;
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        for i in self.set_range(line) {
+            let slot = &mut self.slots[i];
+            if slot.valid && slot.tag == line {
+                slot.lru = clock;
+                self.stats.hits += 1;
+                return Some(RefRowPtr {
+                    slot: i,
+                    gen: slot.gen,
+                });
+            }
+        }
+        None
+    }
+
+    pub fn peek(&self, line: LineAddr) -> Option<&R> {
+        self.set_range(line)
+            .find(|&i| self.slots[i].valid && self.slots[i].tag == line)
+            .map(|i| &self.slots[i].row)
+    }
+
+    pub fn find_or_alloc(&mut self, line: LineAddr) -> (RefRowPtr, AllocKind) {
+        if let Some(ptr) = self.lookup(line) {
+            return (ptr, AllocKind::Existing);
+        }
+        self.stats.insertions += 1;
+        let victim = self
+            .set_range(line)
+            .min_by_key(|&i| (self.slots[i].valid, self.slots[i].lru))
+            .expect("associativity is positive");
+        let kind = if self.slots[victim].valid {
+            AllocKind::Replaced
+        } else {
+            AllocKind::Fresh
+        };
+        if kind == AllocKind::Replaced {
+            self.stats.replacements += 1;
+        }
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let slot = &mut self.slots[victim];
+        slot.tag = line;
+        slot.valid = true;
+        slot.gen += 1;
+        slot.lru = clock;
+        // The allocation path the arena removed: a heap clone per row.
+        slot.row = self.template.clone();
+        (
+            RefRowPtr {
+                slot: victim,
+                gen: slot.gen,
+            },
+            kind,
+        )
+    }
+
+    pub fn get(&self, ptr: RefRowPtr) -> Option<&R> {
+        let slot = &self.slots[ptr.slot];
+        (slot.valid && slot.gen == ptr.gen).then_some(&slot.row)
+    }
+
+    pub fn get_mut(&mut self, ptr: RefRowPtr) -> Option<&mut R> {
+        let slot = &mut self.slots[ptr.slot];
+        (slot.valid && slot.gen == ptr.gen).then_some(&mut slot.row)
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    pub fn remap_page<F>(&mut self, old: PageAddr, new: PageAddr, mut rewrite: F) -> usize
+    where
+        F: FnMut(&mut R, PageAddr, PageAddr),
+    {
+        let mut moved = 0;
+        for offset in 0..PageAddr::lines_per_page() {
+            let old_line = LineAddr::new(old.first_line().raw() + offset);
+            let Some(src) = self.lookup(old_line) else {
+                continue;
+            };
+            let template = self.template.clone();
+            let mut row = std::mem::replace(
+                self.get_mut(src)
+                    .expect("fresh pointer from lookup is valid"),
+                template,
+            );
+            self.slots[src.slot].valid = false;
+            self.slots[src.slot].gen += 1;
+            rewrite(&mut row, old, new);
+            let new_line = LineAddr::new(new.first_line().raw() + offset);
+            let (dst, _) = self.find_or_alloc(new_line);
+            *self
+                .get_mut(dst)
+                .expect("fresh pointer from alloc is valid") = row;
+            moved += 1;
+        }
+        moved
+    }
+
+    pub fn live_rows_lru(&self) -> Vec<(LineAddr, &R)> {
+        // The double-buffering the arena's resize fix removed: every live
+        // row is collected (here by reference, in resize by clone), sorted
+        // as whole tuples, then copied again into the destination.
+        let mut live: Vec<(u64, LineAddr, &R)> = self
+            .slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.lru, s.tag, &s.row))
+            .collect();
+        live.sort_by_key(|(lru, _, _)| *lru);
+        live.into_iter().map(|(_, tag, row)| (tag, row)).collect()
+    }
+
+    pub fn resize(&mut self, new_params: &TableParams) {
+        new_params.checked();
+        let mut live: Vec<(u64, LineAddr, R)> = self
+            .slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.lru, s.tag, s.row.clone()))
+            .collect();
+        live.sort_by_key(|(lru, _, _)| *lru);
+        let row_bytes = self.row_bytes;
+        *self = RefRowTable::new(new_params, row_bytes, self.template.clone());
+        for (_, tag, row) in live {
+            let (ptr, _) = self.find_or_alloc(tag);
+            *self
+                .get_mut(ptr)
+                .expect("fresh pointer from alloc is valid") = row;
+        }
+    }
+}
+
+/// The historical Base algorithm on the historical layout.
+#[derive(Debug, Clone)]
+pub struct RefBase {
+    params: TableParams,
+    table: RefRowTable<MruList>,
+    last: Option<RefRowPtr>,
+}
+
+impl RefBase {
+    pub fn new(params: TableParams) -> Self {
+        params.checked();
+        assert_eq!(params.num_levels, 1);
+        let row_bytes = params.flat_row_bytes();
+        RefBase {
+            table: RefRowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
+            params,
+            last: None,
+        }
+    }
+
+    pub fn table_stats(&self) -> &TableStats {
+        self.table.stats()
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    pub fn resize(&mut self, num_rows: usize) {
+        let new_params = TableParams {
+            num_rows,
+            ..self.params
+        };
+        self.table.resize(&new_params);
+        self.params = new_params;
+        self.last = None;
+    }
+
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Base,
+            params: self.params,
+            rows: self
+                .table
+                .live_rows_lru()
+                .into_iter()
+                .map(|(tag, row)| RowSnapshot {
+                    tag: tag.raw(),
+                    levels: vec![row.iter().map(|s| s.raw()).collect()],
+                })
+                .collect(),
+        }
+    }
+
+    pub fn table_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
+    }
+}
+
+impl UlmtAlgorithm for RefBase {
+    fn name(&self) -> String {
+        "ref-base".to_string()
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let mut step = StepResult::new();
+        step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
+        for addr in self.table.probe_addrs(miss) {
+            step.prefetch_cost.read(addr, 4);
+            step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
+        }
+        let found = self.table.lookup(miss);
+        if let Some(ptr) = found {
+            step.prefetch_cost
+                .read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self
+                .table
+                .get(ptr)
+                .expect("fresh pointer from lookup is valid");
+            for succ in row.iter() {
+                step.prefetches.push(succ);
+                step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
+            }
+        }
+        step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
+        if let Some(last) = self.last {
+            if let Some(row) = self.table.get_mut(last) {
+                row.insert_mru(miss);
+                let addr = self.table.row_addr(last);
+                step.learn_cost.write(addr, self.table.row_bytes());
+                step.learn_cost.add_insns(insn_cost::PER_INSERT);
+            }
+        }
+        let ptr = match found {
+            Some(ptr) => ptr,
+            None => {
+                let (ptr, _) = self.table.find_or_alloc(miss);
+                step.learn_cost.write(self.table.row_addr(ptr), 4);
+                step.learn_cost.add_insns(insn_cost::PER_ALLOC);
+                ptr
+            }
+        };
+        self.last = Some(ptr);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        let mut out = vec![Vec::new(); levels];
+        if levels == 0 {
+            return out;
+        }
+        if let Some(row) = self.table.peek(miss) {
+            out[0] = row.iter().collect();
+        }
+        out
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.table
+            .remap_page(old, new, |row, o, n| row.remap_page(o, n));
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+}
+
+/// The historical Chain algorithm on the historical layout.
+#[derive(Debug, Clone)]
+pub struct RefChain {
+    params: TableParams,
+    table: RefRowTable<MruList>,
+    last: Option<RefRowPtr>,
+}
+
+impl RefChain {
+    pub fn new(params: TableParams) -> Self {
+        params.checked();
+        let row_bytes = params.flat_row_bytes();
+        RefChain {
+            table: RefRowTable::new(&params, row_bytes, MruList::new(params.num_succ)),
+            params,
+            last: None,
+        }
+    }
+
+    pub fn table_stats(&self) -> &TableStats {
+        self.table.stats()
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Chain,
+            params: self.params,
+            rows: self
+                .table
+                .live_rows_lru()
+                .into_iter()
+                .map(|(tag, row)| RowSnapshot {
+                    tag: tag.raw(),
+                    levels: vec![row.iter().map(|s| s.raw()).collect()],
+                })
+                .collect(),
+        }
+    }
+
+    pub fn table_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
+    }
+}
+
+impl UlmtAlgorithm for RefChain {
+    fn name(&self) -> String {
+        "ref-chain".to_string()
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let mut step = StepResult::new();
+        step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
+        let mut cur = miss;
+        let mut found_first: Option<RefRowPtr> = None;
+        for level in 0..self.params.num_levels {
+            for addr in self.table.probe_addrs(cur) {
+                step.prefetch_cost.read(addr, 4);
+                step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
+            }
+            let Some(ptr) = self.table.lookup(cur) else {
+                break;
+            };
+            if level == 0 {
+                found_first = Some(ptr);
+            }
+            step.prefetch_cost
+                .read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self
+                .table
+                .get(ptr)
+                .expect("fresh pointer from lookup is valid");
+            let mru = row.mru();
+            for succ in row.iter() {
+                if !step.prefetches.contains(&succ) {
+                    step.prefetches.push(succ);
+                }
+                step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
+            }
+            match mru {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
+        if let Some(last) = self.last {
+            if let Some(row) = self.table.get_mut(last) {
+                row.insert_mru(miss);
+                let addr = self.table.row_addr(last);
+                step.learn_cost.write(addr, self.table.row_bytes());
+                step.learn_cost.add_insns(insn_cost::PER_INSERT);
+            }
+        }
+        let ptr = match found_first {
+            Some(ptr) => ptr,
+            None => {
+                let (ptr, _) = self.table.find_or_alloc(miss);
+                step.learn_cost.write(self.table.row_addr(ptr), 4);
+                step.learn_cost.add_insns(insn_cost::PER_ALLOC);
+                ptr
+            }
+        };
+        self.last = Some(ptr);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        let mut out = vec![Vec::new(); levels];
+        let mut cur = miss;
+        for level in out.iter_mut() {
+            let Some(row) = self.table.peek(cur) else {
+                break;
+            };
+            *level = row.iter().collect();
+            match row.mru() {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.table
+            .remap_page(old, new, |row, o, n| row.remap_page(o, n));
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+}
+
+/// One historical Replicated row: `NumLevels` heap-allocated MRU lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefReplRow {
+    levels: Vec<MruList>,
+}
+
+impl RefReplRow {
+    fn new(num_levels: usize, num_succ: usize) -> Self {
+        RefReplRow {
+            levels: (0..num_levels).map(|_| MruList::new(num_succ)).collect(),
+        }
+    }
+}
+
+/// The historical Replicated algorithm on the historical layout.
+#[derive(Debug, Clone)]
+pub struct RefReplicated {
+    params: TableParams,
+    table: RefRowTable<RefReplRow>,
+    pointers: VecDeque<RefRowPtr>,
+}
+
+impl RefReplicated {
+    pub fn new(params: TableParams) -> Self {
+        params.checked();
+        let row_bytes = params.repl_row_bytes();
+        RefReplicated {
+            table: RefRowTable::new(
+                &params,
+                row_bytes,
+                RefReplRow::new(params.num_levels, params.num_succ),
+            ),
+            pointers: VecDeque::with_capacity(params.num_levels),
+            params,
+        }
+    }
+
+    pub fn table_stats(&self) -> &TableStats {
+        self.table.stats()
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    pub fn resize(&mut self, num_rows: usize) {
+        let new_params = TableParams {
+            num_rows,
+            ..self.params
+        };
+        self.table.resize(&new_params);
+        self.params = new_params;
+        self.pointers.clear();
+    }
+
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            kind: SnapshotKind::Repl,
+            params: self.params,
+            rows: self
+                .table
+                .live_rows_lru()
+                .into_iter()
+                .map(|(tag, row)| RowSnapshot {
+                    tag: tag.raw(),
+                    levels: row
+                        .levels
+                        .iter()
+                        .map(|level| level.iter().map(|s| s.raw()).collect())
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn table_fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
+    }
+}
+
+impl UlmtAlgorithm for RefReplicated {
+    fn name(&self) -> String {
+        "ref-repl".to_string()
+    }
+
+    fn process_miss(&mut self, miss: LineAddr) -> StepResult {
+        let mut step = StepResult::new();
+        step.prefetch_cost.add_insns(insn_cost::STEP_OVERHEAD);
+        for addr in self.table.probe_addrs(miss) {
+            step.prefetch_cost.read(addr, 4);
+            step.prefetch_cost.add_insns(insn_cost::PROBE_PER_WAY);
+        }
+        let found = self.table.lookup(miss);
+        if let Some(ptr) = found {
+            step.prefetch_cost
+                .read(self.table.row_addr(ptr), self.table.row_bytes());
+            let row = self
+                .table
+                .get(ptr)
+                .expect("fresh pointer from lookup is valid");
+            for level in &row.levels {
+                for succ in level.iter() {
+                    if !step.prefetches.contains(&succ) {
+                        step.prefetches.push(succ);
+                    }
+                    step.prefetch_cost.add_insns(insn_cost::PER_PREFETCH);
+                }
+            }
+        }
+        step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
+        for (i, &ptr) in self.pointers.iter().enumerate() {
+            let addr = self.table.row_addr(ptr);
+            if let Some(row) = self.table.get_mut(ptr) {
+                row.levels[i].insert_mru(miss);
+                let level_bytes = 4 * self.params.num_succ as u64;
+                step.learn_cost.write(
+                    addr.offset((4 + i as u64 * level_bytes) as i64),
+                    level_bytes,
+                );
+                step.learn_cost.add_insns(insn_cost::PER_INSERT);
+            }
+        }
+        let ptr = match found {
+            Some(ptr) => ptr,
+            None => {
+                let (ptr, _) = self.table.find_or_alloc(miss);
+                step.learn_cost.write(self.table.row_addr(ptr), 4);
+                step.learn_cost.add_insns(insn_cost::PER_ALLOC);
+                ptr
+            }
+        };
+        self.pointers.push_front(ptr);
+        self.pointers.truncate(self.params.num_levels);
+        step
+    }
+
+    fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
+        let mut out = vec![Vec::new(); levels];
+        if let Some(row) = self.table.peek(miss) {
+            for (level, list) in row.levels.iter().take(levels).enumerate() {
+                out[level] = list.iter().collect();
+            }
+        }
+        out
+    }
+
+    fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
+        self.table.remap_page(old, new, |row, o, n| {
+            for level in &mut row.levels {
+                level.remap_page(o, n);
+            }
+        });
+    }
+
+    fn table_size_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+}

@@ -16,26 +16,12 @@ use std::collections::VecDeque;
 
 use ulmt_simcore::{LineAddr, PageAddr};
 
-use crate::algorithm::{insn_cost, UlmtAlgorithm};
+use crate::algorithm::{insn_cost, StepSink, UlmtAlgorithm};
 use crate::cost::StepResult;
 
 use super::snapshot::{RowSnapshot, SnapshotError, SnapshotKind, TableSnapshot};
-use super::storage::{MruList, RowPtr, RowTable, TableStats};
+use super::storage::{RowPtr, RowTable, TableStats};
 use super::TableParams;
-
-/// One Replicated row: `NumLevels` MRU lists of successors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct ReplRow {
-    levels: Vec<MruList>,
-}
-
-impl ReplRow {
-    fn new(num_levels: usize, num_succ: usize) -> Self {
-        ReplRow {
-            levels: (0..num_levels).map(|_| MruList::new(num_succ)).collect(),
-        }
-    }
-}
 
 /// The Replicated multi-level correlation prefetcher.
 ///
@@ -60,7 +46,7 @@ impl ReplRow {
 #[derive(Debug, Clone)]
 pub struct Replicated {
     params: TableParams,
-    table: RowTable<ReplRow>,
+    table: RowTable,
     /// Rows of the last, second-last, ... misses; front = most recent.
     pointers: VecDeque<RowPtr>,
 }
@@ -74,12 +60,9 @@ impl Replicated {
     pub fn new(params: TableParams) -> Self {
         params.checked();
         let row_bytes = params.repl_row_bytes();
+        // Replicated rows store all NumLevels successor levels inline.
         Replicated {
-            table: RowTable::new(
-                &params,
-                row_bytes,
-                ReplRow::new(params.num_levels, params.num_succ),
-            ),
+            table: RowTable::new(&params, row_bytes, params.num_levels),
             pointers: VecDeque::with_capacity(params.num_levels),
             params,
         }
@@ -124,10 +107,8 @@ impl Replicated {
                 .into_iter()
                 .map(|(tag, row)| RowSnapshot {
                     tag: tag.raw(),
-                    levels: row
-                        .levels
-                        .iter()
-                        .map(|level| level.iter().map(|s| s.raw()).collect())
+                    levels: (0..row.levels())
+                        .map(|level| row.level(level).iter().map(|s| s.raw()).collect())
                         .collect(),
                 })
                 .collect(),
@@ -145,13 +126,9 @@ impl Replicated {
         let mut repl = Replicated::new(snap.params);
         for row in &snap.rows {
             let (ptr, _) = repl.table.find_or_alloc(LineAddr::new(row.tag));
-            let dst = repl
-                .table
-                .get_mut(ptr)
-                .expect("fresh pointer from alloc is valid");
-            for (level, succs) in dst.levels.iter_mut().zip(&row.levels) {
+            for (level, succs) in row.levels.iter().enumerate().take(snap.params.num_levels) {
                 for &succ in succs.iter().rev() {
-                    level.insert_mru(LineAddr::new(succ));
+                    repl.table.insert_mru(ptr, level, LineAddr::new(succ));
                 }
             }
         }
@@ -188,8 +165,8 @@ impl UlmtAlgorithm for Replicated {
                 .table
                 .get(ptr)
                 .expect("fresh pointer from lookup is valid");
-            for level in &row.levels {
-                for succ in level.iter() {
+            for level in 0..row.levels() {
+                for &succ in row.level(level) {
                     if !step.prefetches.contains(&succ) {
                         step.prefetches.push(succ);
                     }
@@ -203,11 +180,11 @@ impl UlmtAlgorithm for Replicated {
         // "these multiple learning updates are inexpensive ... the rows to
         // be updated are most likely still in the cache" (Section 3.3.2).
         step.learn_cost.add_insns(insn_cost::LEARN_OVERHEAD);
-        for (i, &ptr) in self.pointers.iter().enumerate() {
-            let addr = self.table.row_addr(ptr);
-            if let Some(row) = self.table.get_mut(ptr) {
-                row.levels[i].insert_mru(miss);
+        for i in 0..self.pointers.len() {
+            let ptr = self.pointers[i];
+            if self.table.insert_mru(ptr, i, miss) {
                 // Each level is a small slice of the row.
+                let addr = self.table.row_addr(ptr);
                 let level_bytes = 4 * self.params.num_succ as u64;
                 step.learn_cost.write(
                     addr.offset((4 + i as u64 * level_bytes) as i64),
@@ -230,22 +207,65 @@ impl UlmtAlgorithm for Replicated {
         step
     }
 
+    /// Batch fast path: one lookup and one inline row visit per miss,
+    /// pointer-based learning, no per-step allocations.
+    fn process_misses(&mut self, batch: &[LineAddr], sink: &mut dyn StepSink) {
+        let probe_insns =
+            insn_cost::STEP_OVERHEAD + self.table.assoc() as u64 * insn_cost::PROBE_PER_WAY;
+        let mut seen: Vec<LineAddr> = Vec::new();
+        for &miss in batch {
+            sink.begin(miss);
+            seen.clear();
+            let mut prefetch_insns = probe_insns;
+            let found = self.table.lookup(miss);
+            if let Some(ptr) = found {
+                let row = self
+                    .table
+                    .get(ptr)
+                    .expect("fresh pointer from lookup is valid");
+                for level in 0..row.levels() {
+                    for &succ in row.level(level) {
+                        if !seen.contains(&succ) {
+                            seen.push(succ);
+                            sink.prefetch(succ);
+                        }
+                        prefetch_insns += insn_cost::PER_PREFETCH;
+                    }
+                }
+            }
+            let mut learn_insns = insn_cost::LEARN_OVERHEAD;
+            for i in 0..self.pointers.len() {
+                let ptr = self.pointers[i];
+                if self.table.insert_mru(ptr, i, miss) {
+                    learn_insns += insn_cost::PER_INSERT;
+                }
+            }
+            let ptr = match found {
+                Some(ptr) => ptr,
+                None => {
+                    let (ptr, _) = self.table.find_or_alloc(miss);
+                    learn_insns += insn_cost::PER_ALLOC;
+                    ptr
+                }
+            };
+            self.pointers.push_front(ptr);
+            self.pointers.truncate(self.params.num_levels);
+            sink.end(prefetch_insns, learn_insns);
+        }
+    }
+
     fn predict(&self, miss: LineAddr, levels: usize) -> Vec<Vec<LineAddr>> {
         let mut out = vec![Vec::new(); levels];
         if let Some(row) = self.table.peek(miss) {
-            for (level, list) in row.levels.iter().take(levels).enumerate() {
-                out[level] = list.iter().collect();
+            for (level, slot) in out.iter_mut().enumerate().take(row.levels()) {
+                *slot = row.level(level).to_vec();
             }
         }
         out
     }
 
     fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
-        self.table.remap_page(old, new, |row, o, n| {
-            for level in &mut row.levels {
-                level.remap_page(o, n);
-            }
-        });
+        self.table.remap_page(old, new);
     }
 
     fn table_size_bytes(&self) -> u64 {
@@ -429,5 +449,30 @@ mod tests {
         });
         assert!(l4.table_size_bytes() > l3.table_size_bytes());
         assert_eq!(l3.table_size_bytes(), 1024 * 28);
+    }
+
+    #[test]
+    fn batch_kernel_matches_per_miss_path() {
+        use crate::algorithm::CollectSink;
+
+        let seq: Vec<LineAddr> = [10u64, 20, 30, 10, 40, 30, 20, 10, 50, 40, 30, 20, 10]
+            .iter()
+            .map(|&n| line(n))
+            .collect();
+        let mut slow = small();
+        let mut expected = Vec::new();
+        let mut expected_insns = 0u64;
+        for &m in &seq {
+            let step = slow.process_miss(m);
+            expected.extend(step.prefetches.iter().copied());
+            expected_insns += step.total_insns();
+        }
+        let mut fast = small();
+        let mut sink = CollectSink::default();
+        fast.process_misses(&seq, &mut sink);
+        assert_eq!(sink.prefetches, expected);
+        assert_eq!(sink.total_insns(), expected_insns);
+        assert_eq!(fast.table_fingerprint(), slow.table_fingerprint());
+        assert_eq!(fast.table_stats(), slow.table_stats());
     }
 }

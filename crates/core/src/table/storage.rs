@@ -1,4 +1,22 @@
 //! Set-associative row storage shared by the correlation algorithms.
+//!
+//! # Flat-arena layout
+//!
+//! The table is stored as a struct-of-arrays over one contiguous
+//! allocation per field: `tags`, `valid`, `gens` and `lrus` are parallel
+//! vectors indexed by slot, and every successor list lives **inline** in
+//! a single flat `Vec<LineAddr>` arena — slot `i`'s successors occupy
+//! `i * levels * num_succ ..` with level `l` at offset `l * num_succ`,
+//! and per-level lengths in a parallel `lens` byte vector. No slot owns a
+//! heap allocation: a set probe walks one contiguous run of tags, row
+//! replacement just zeroes the length bytes (no `template.clone()`), and
+//! the learning hot path rotates a fixed-capacity slice in place.
+//!
+//! The arena is purely a host-performance change: every operation
+//! performs the same logical state transitions (and the same
+//! [`TableStats`] counts, LRU stamp sequence and snapshot bytes) as the
+//! historical one-`Vec`-per-row layout, which survives as
+//! [`reference`](super::reference) for differential testing.
 
 use ulmt_simcore::{Addr, LineAddr, PageAddr};
 
@@ -8,6 +26,11 @@ use super::TableParams;
 ///
 /// Within a row, "successors are listed in MRU order" and "entries in a
 /// row replace each other with a LRU policy" (Section 2.2).
+///
+/// This owned list is the *semantic specification* of a successor level:
+/// [`RowTable`] stores the same lists inline in its flat arena (see the
+/// module docs) and the [`reference`](super::reference) tables store one
+/// `MruList` per level per row, exactly as the pre-arena layout did.
 ///
 /// # Example
 ///
@@ -94,17 +117,49 @@ impl MruList {
     /// Rewrites entries falling in `old` page to the corresponding line in
     /// `new` (page re-mapping, Section 3.4).
     pub fn remap_page(&mut self, old: PageAddr, new: PageAddr) {
-        for item in &mut self.items {
-            if item.page() == old {
-                let offset = item.raw() - old.first_line().raw();
-                *item = LineAddr::new(new.first_line().raw() + offset);
-            }
-        }
+        remap_lines(&mut self.items, old, new);
     }
 
     /// Clears the list.
     pub fn clear(&mut self) {
         self.items.clear();
+    }
+}
+
+/// Rewrites every line of `old` page in `items` to the corresponding
+/// line of `new`. Shared by [`MruList`] and the arena's inline lists so
+/// both layouts re-map identically.
+pub(crate) fn remap_lines(items: &mut [LineAddr], old: PageAddr, new: PageAddr) {
+    for item in items {
+        if item.page() == old {
+            let offset = item.raw() - old.first_line().raw();
+            *item = LineAddr::new(new.first_line().raw() + offset);
+        }
+    }
+}
+
+/// [`MruList::insert_mru`] on an inline arena slice: `items` is the
+/// level's fixed-capacity region, `len` its current length. Returns the
+/// new length. Must stay observationally identical to the owned list —
+/// the differential tests hold it to account.
+#[inline]
+fn slice_insert_mru(items: &mut [LineAddr], len: usize, x: LineAddr) -> usize {
+    let cap = items.len();
+    if let Some(pos) = items[..len].iter().position(|&i| i == x) {
+        items[..=pos].rotate_right(1);
+        len
+    } else if len < cap {
+        // Append at the end of the live prefix, then rotate it to the
+        // front — same result as the owned list's push + rotate.
+        items[len] = x;
+        items[..=len].rotate_right(1);
+        len + 1
+    } else if cap > 0 {
+        items[..len].rotate_right(1);
+        items[0] = x;
+        len
+    } else {
+        0
     }
 }
 
@@ -134,7 +189,7 @@ pub enum AllocKind {
 }
 
 /// Counters for table behavior (used to size Table 2).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Associative lookups performed.
     pub lookups: u64,
@@ -159,29 +214,64 @@ impl TableStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Slot<R> {
-    tag: LineAddr,
-    valid: bool,
-    gen: u64,
-    lru: u64,
-    row: R,
+/// A borrowed view of one valid row's successor levels, resolved into
+/// the flat arena. Obtained from [`RowTable::get`], [`RowTable::peek`]
+/// or [`RowTable::live_rows_lru`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    /// The row's successor region of the arena (`levels * num_succ`
+    /// entries, including dead tails).
+    region: &'a [LineAddr],
+    /// The row's `levels` length bytes.
+    lens: &'a [u8],
+    num_succ: usize,
 }
 
-/// Set-associative storage of correlation rows, generic over the row type
-/// (`MruList` for Base/Chain, a vector of levels for Replicated).
+impl<'a> RowRef<'a> {
+    /// Number of stored successor levels.
+    pub fn levels(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Level `level`'s successors in MRU-to-LRU order.
+    pub fn level(&self, level: usize) -> &'a [LineAddr] {
+        let start = level * self.num_succ;
+        &self.region[start..start + self.lens[level] as usize]
+    }
+
+    /// The MRU successor of `level`, if any.
+    pub fn mru(&self, level: usize) -> Option<LineAddr> {
+        self.level(level).first().copied()
+    }
+}
+
+/// Set-associative storage of correlation rows in a flat arena (see the
+/// module docs for the memory layout).
 ///
 /// Rows live at synthetic main-memory addresses (`base_addr +
 /// slot * row_bytes`) so the memory-processor model can replay table
 /// accesses against its private cache.
 #[derive(Debug, Clone)]
-pub struct RowTable<R> {
+pub struct RowTable {
     num_sets: usize,
     assoc: usize,
+    num_succ: usize,
+    /// Successor levels stored per row: 1 for the conventional
+    /// organization (Base/Chain), `NumLevels` for Replicated.
+    levels: usize,
     row_bytes: u64,
     base_addr: Addr,
-    slots: Vec<Slot<R>>,
-    template: R,
+    tags: Vec<LineAddr>,
+    valid: Vec<bool>,
+    gens: Vec<u64>,
+    lrus: Vec<u64>,
+    /// `lens[slot * levels + level]` = live length of that level's list.
+    lens: Vec<u8>,
+    /// The successor arena; slot stride is `levels * num_succ`.
+    succ: Vec<LineAddr>,
+    /// Live-row counter, maintained on alloc/invalidate/resize so
+    /// [`RowTable::occupancy`] is O(1).
+    live: usize,
     lru_clock: u64,
     stats: TableStats,
 }
@@ -190,32 +280,38 @@ pub struct RowTable<R> {
 /// space. Arbitrary, but distinct from application data.
 pub(crate) const TABLE_BASE: u64 = 0x4000_0000;
 
-impl<R: Clone> RowTable<R> {
+impl RowTable {
     /// Creates an empty table from `params`, with `row_bytes` bytes per
     /// row (the algorithms pass their organization's row size) and
-    /// `template` as the initial contents of a freshly allocated row.
+    /// `levels` inline successor levels per row (1 for the conventional
+    /// organization, `NumLevels` for Replicated).
     ///
     /// # Panics
     ///
-    /// Panics if `params` are invalid.
-    pub fn new(params: &TableParams, row_bytes: u64, template: R) -> Self {
+    /// Panics if `params` are invalid, `levels` is zero, or `num_succ`
+    /// exceeds the arena's 255-entry per-level length encoding.
+    pub fn new(params: &TableParams, row_bytes: u64, levels: usize) -> Self {
         params.checked();
+        assert!(levels > 0, "a row stores at least one successor level");
+        assert!(
+            params.num_succ <= u8::MAX as usize,
+            "NumSucc must fit the arena's u8 level lengths"
+        );
+        let rows = params.num_rows;
         RowTable {
             num_sets: params.num_sets(),
             assoc: params.assoc,
+            num_succ: params.num_succ,
+            levels,
             row_bytes,
             base_addr: Addr::new(TABLE_BASE),
-            slots: vec![
-                Slot {
-                    tag: LineAddr::new(0),
-                    valid: false,
-                    gen: 0,
-                    lru: 0,
-                    row: template.clone()
-                };
-                params.num_rows
-            ],
-            template,
+            tags: vec![LineAddr::new(0); rows],
+            valid: vec![false; rows],
+            gens: vec![0; rows],
+            lrus: vec![0; rows],
+            lens: vec![0; rows * levels],
+            succ: vec![LineAddr::new(0); rows * levels * params.num_succ],
+            live: 0,
             lru_clock: 0,
             stats: TableStats::default(),
         }
@@ -223,12 +319,22 @@ impl<R: Clone> RowTable<R> {
 
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
-        self.slots.len()
+        self.tags.len()
     }
 
     /// Associativity.
     pub fn assoc(&self) -> usize {
         self.assoc
+    }
+
+    /// Successor levels stored per row.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Successor capacity per level (`NumSucc`).
+    pub fn num_succ(&self) -> usize {
+        self.num_succ
     }
 
     /// Behavior counters.
@@ -238,7 +344,7 @@ impl<R: Clone> RowTable<R> {
 
     /// Total size of the table in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.slots.len() as u64 * self.row_bytes
+        self.tags.len() as u64 * self.row_bytes
     }
 
     /// Memory address of the row behind `ptr`.
@@ -261,28 +367,50 @@ impl<R: Clone> RowTable<R> {
         (start..start + self.assoc).map(move |slot| base.offset((slot as u64 * row_bytes) as i64))
     }
 
+    #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
         (line.raw() as usize) & (self.num_sets - 1)
     }
 
+    #[inline]
     fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
         let start = self.set_of(line) * self.assoc;
         start..start + self.assoc
     }
 
+    /// Slot stride in the successor arena.
+    #[inline]
+    fn stride(&self) -> usize {
+        self.levels * self.num_succ
+    }
+
+    #[inline]
+    fn row_ref(&self, slot: usize) -> RowRef<'_> {
+        let start = slot * self.stride();
+        RowRef {
+            region: &self.succ[start..start + self.stride()],
+            lens: &self.lens[slot * self.levels..(slot + 1) * self.levels],
+            num_succ: self.num_succ,
+        }
+    }
+
     /// Associative lookup. Bumps the row's LRU stamp on a hit.
+    ///
+    /// The probe touches one contiguous run of `assoc` tags — with the
+    /// struct-of-arrays layout that is a single cache line for any
+    /// realistic associativity, where the old array-of-structs layout
+    /// striped the tags across whole rows.
     pub fn lookup(&mut self, line: LineAddr) -> Option<RowPtr> {
         self.stats.lookups += 1;
         self.lru_clock += 1;
         let clock = self.lru_clock;
         for i in self.set_range(line) {
-            let slot = &mut self.slots[i];
-            if slot.valid && slot.tag == line {
-                slot.lru = clock;
+            if self.valid[i] && self.tags[i] == line {
+                self.lrus[i] = clock;
                 self.stats.hits += 1;
                 return Some(RowPtr {
                     slot: i,
-                    gen: slot.gen,
+                    gen: self.gens[i],
                 });
             }
         }
@@ -290,10 +418,10 @@ impl<R: Clone> RowTable<R> {
     }
 
     /// Non-mutating lookup (used by the Figure 5 prediction scorer).
-    pub fn peek(&self, line: LineAddr) -> Option<&R> {
+    pub fn peek(&self, line: LineAddr) -> Option<RowRef<'_>> {
         self.set_range(line)
-            .find(|&i| self.slots[i].valid && self.slots[i].tag == line)
-            .map(|i| &self.slots[i].row)
+            .find(|&i| self.valid[i] && self.tags[i] == line)
+            .map(|i| self.row_ref(i))
     }
 
     /// Finds the row for `line`, allocating (and possibly replacing the
@@ -305,127 +433,163 @@ impl<R: Clone> RowTable<R> {
         self.stats.insertions += 1;
         let victim = self
             .set_range(line)
-            .min_by_key(|&i| (self.slots[i].valid, self.slots[i].lru))
+            .min_by_key(|&i| (self.valid[i], self.lrus[i]))
             .expect("associativity is positive");
-        let kind = if self.slots[victim].valid {
+        let kind = if self.valid[victim] {
             AllocKind::Replaced
         } else {
+            self.live += 1;
             AllocKind::Fresh
         };
         if kind == AllocKind::Replaced {
             self.stats.replacements += 1;
         }
         self.lru_clock += 1;
-        let clock = self.lru_clock;
-        let slot = &mut self.slots[victim];
-        slot.tag = line;
-        slot.valid = true;
-        slot.gen += 1;
-        slot.lru = clock;
-        slot.row = self.template.clone();
+        self.tags[victim] = line;
+        self.valid[victim] = true;
+        self.gens[victim] += 1;
+        self.lrus[victim] = self.lru_clock;
+        // Re-initializing the row is zeroing its length bytes — the old
+        // layout's `template.clone()` heap allocation is gone.
+        self.lens[victim * self.levels..(victim + 1) * self.levels].fill(0);
         (
             RowPtr {
                 slot: victim,
-                gen: slot.gen,
+                gen: self.gens[victim],
             },
             kind,
         )
     }
 
-    /// Dereferences `ptr` if it is still valid (same generation).
-    pub fn get(&self, ptr: RowPtr) -> Option<&R> {
-        let slot = &self.slots[ptr.slot];
-        (slot.valid && slot.gen == ptr.gen).then_some(&slot.row)
+    #[inline]
+    fn ptr_live(&self, ptr: RowPtr) -> bool {
+        self.valid[ptr.slot] && self.gens[ptr.slot] == ptr.gen
     }
 
-    /// Mutably dereferences `ptr` if it is still valid.
-    pub fn get_mut(&mut self, ptr: RowPtr) -> Option<&mut R> {
-        let slot = &mut self.slots[ptr.slot];
-        (slot.valid && slot.gen == ptr.gen).then_some(&mut slot.row)
+    /// Dereferences `ptr` if it is still valid (same generation).
+    pub fn get(&self, ptr: RowPtr) -> Option<RowRef<'_>> {
+        self.ptr_live(ptr).then(|| self.row_ref(ptr.slot))
+    }
+
+    /// Inserts `x` as the MRU successor of `ptr`'s row at `level`.
+    /// Returns `false` (and does nothing) if the pointer is stale.
+    ///
+    /// This replaces the old `get_mut(ptr)` + `MruList::insert_mru` pair:
+    /// the rotation happens directly on the row's inline arena slice.
+    pub fn insert_mru(&mut self, ptr: RowPtr, level: usize, x: LineAddr) -> bool {
+        if !self.ptr_live(ptr) {
+            return false;
+        }
+        let start = ptr.slot * self.stride() + level * self.num_succ;
+        let len_at = ptr.slot * self.levels + level;
+        let len = self.lens[len_at] as usize;
+        self.lens[len_at] =
+            slice_insert_mru(&mut self.succ[start..start + self.num_succ], len, x) as u8;
+        true
     }
 
     /// Tag of the row behind `ptr`, if still valid.
     pub fn tag_of(&self, ptr: RowPtr) -> Option<LineAddr> {
-        let slot = &self.slots[ptr.slot];
-        (slot.valid && slot.gen == ptr.gen).then_some(slot.tag)
+        self.ptr_live(ptr).then(|| self.tags[ptr.slot])
     }
 
-    /// Number of valid rows.
+    /// Number of valid rows. O(1): a live counter maintained on
+    /// alloc/invalidate/resize (the service polls this per stats
+    /// request, so the old full-table scan was a hot path).
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.valid).count()
+        self.live
     }
 
     /// Re-maps all rows of page `old` to page `new` (Section 3.4): each
     /// row tagged with a line of `old` is relocated to the set of the
-    /// corresponding line of `new`, and `rewrite` is applied to its
-    /// contents so in-row successors can be re-mapped too.
+    /// corresponding line of `new`, and every in-row successor level is
+    /// re-mapped too.
     ///
     /// Rows whose target set is full replace that set's LRU row, exactly
     /// like a fresh insertion. Returns the number of rows relocated.
-    pub fn remap_page<F>(&mut self, old: PageAddr, new: PageAddr, mut rewrite: F) -> usize
-    where
-        F: FnMut(&mut R, PageAddr, PageAddr),
-    {
+    pub fn remap_page(&mut self, old: PageAddr, new: PageAddr) -> usize {
         let mut moved = 0;
+        let stride = self.stride();
+        // One scratch row reused across the whole page walk — the only
+        // allocation in the operation, vs. a template clone per row.
+        let mut row = vec![LineAddr::new(0); stride];
+        let mut lens = vec![0u8; self.levels];
         for offset in 0..PageAddr::lines_per_page() {
             let old_line = LineAddr::new(old.first_line().raw() + offset);
             let Some(src) = self.lookup(old_line) else {
                 continue;
             };
-            let template = self.template.clone();
-            let mut row = std::mem::replace(
-                self.get_mut(src)
-                    .expect("fresh pointer from lookup is valid"),
-                template,
-            );
-            self.slots[src.slot].valid = false;
-            self.slots[src.slot].gen += 1;
-            rewrite(&mut row, old, new);
+            let slot = src.slot;
+            row.copy_from_slice(&self.succ[slot * stride..(slot + 1) * stride]);
+            lens.copy_from_slice(&self.lens[slot * self.levels..(slot + 1) * self.levels]);
+            self.valid[slot] = false;
+            self.gens[slot] += 1;
+            self.live -= 1;
+            for level in 0..self.levels {
+                let start = level * self.num_succ;
+                remap_lines(&mut row[start..start + lens[level] as usize], old, new);
+            }
             let new_line = LineAddr::new(new.first_line().raw() + offset);
             let (dst, _) = self.find_or_alloc(new_line);
-            *self
-                .get_mut(dst)
-                .expect("fresh pointer from alloc is valid") = row;
+            let d = dst.slot;
+            self.succ[d * stride..(d + 1) * stride].copy_from_slice(&row);
+            self.lens[d * self.levels..(d + 1) * self.levels].copy_from_slice(&lens);
             moved += 1;
         }
         moved
     }
 
-    /// Valid rows as `(tag, row)` pairs in LRU-to-MRU order — the same
+    /// Slot indices of the valid rows in LRU-to-MRU order — the canonical
+    /// replay order shared by [`RowTable::resize`] and the snapshot
+    /// machinery.
+    fn live_slots_lru(&self) -> Vec<usize> {
+        let mut live: Vec<usize> = (0..self.tags.len()).filter(|&i| self.valid[i]).collect();
+        live.sort_by_key(|&i| self.lrus[i]);
+        live
+    }
+
+    /// Valid rows as `(tag, row)` views in LRU-to-MRU order — the same
     /// canonical order [`RowTable::resize`] replays, so re-inserting them
     /// into an empty table of the same geometry reproduces this table's
     /// contents exactly. Used by the snapshot machinery.
-    pub fn live_rows_lru(&self) -> Vec<(LineAddr, &R)> {
-        let mut live: Vec<(u64, LineAddr, &R)> = self
-            .slots
-            .iter()
-            .filter(|s| s.valid)
-            .map(|s| (s.lru, s.tag, &s.row))
-            .collect();
-        live.sort_by_key(|(lru, _, _)| *lru);
-        live.into_iter().map(|(_, tag, row)| (tag, row)).collect()
+    pub fn live_rows_lru(&self) -> Vec<(LineAddr, RowRef<'_>)> {
+        self.live_slots_lru()
+            .into_iter()
+            .map(|i| (self.tags[i], self.row_ref(i)))
+            .collect()
     }
 
     /// Dynamically resizes the table to `new_params` (Section 3.4: "if an
     /// application does not use the space, its table shrinks"). Valid rows
     /// are re-inserted in LRU-to-MRU order so the most recent correlations
     /// survive a shrink.
+    ///
+    /// Only the slot *indices* are sorted; each surviving row's successor
+    /// region is copied exactly once, old arena to new (the historical
+    /// implementation cloned every row into a scratch vector and then
+    /// again into the new table).
     pub fn resize(&mut self, new_params: &TableParams) {
         new_params.checked();
-        let mut live: Vec<(u64, LineAddr, R)> = self
-            .slots
-            .iter()
-            .filter(|s| s.valid)
-            .map(|s| (s.lru, s.tag, s.row.clone()))
-            .collect();
-        live.sort_by_key(|(lru, _, _)| *lru);
-        let row_bytes = self.row_bytes;
-        *self = RowTable::new(new_params, row_bytes, self.template.clone());
-        for (_, tag, row) in live {
-            let (ptr, _) = self.find_or_alloc(tag);
-            *self
-                .get_mut(ptr)
-                .expect("fresh pointer from alloc is valid") = row;
+        let order = self.live_slots_lru();
+        let old = std::mem::replace(
+            self,
+            RowTable::new(
+                &TableParams {
+                    num_succ: self.num_succ,
+                    ..*new_params
+                },
+                self.row_bytes,
+                self.levels,
+            ),
+        );
+        let stride = old.stride();
+        for src in order {
+            let (ptr, _) = self.find_or_alloc(old.tags[src]);
+            let d = ptr.slot;
+            self.succ[d * stride..(d + 1) * stride]
+                .copy_from_slice(&old.succ[src * stride..(src + 1) * stride]);
+            self.lens[d * old.levels..(d + 1) * old.levels]
+                .copy_from_slice(&old.lens[src * old.levels..(src + 1) * old.levels]);
         }
     }
 }
@@ -445,6 +609,11 @@ mod tests {
 
     fn line(n: u64) -> LineAddr {
         LineAddr::new(n)
+    }
+
+    /// `insert_mru` through a fresh pointer; panics if the row vanished.
+    fn push_succ(t: &mut RowTable, ptr: RowPtr, x: LineAddr) {
+        assert!(t.insert_mru(ptr, 0, x), "pointer unexpectedly stale");
     }
 
     #[test]
@@ -520,26 +689,20 @@ mod tests {
     }
 
     #[test]
-    fn mru_list_matches_remove_insert_reference() {
-        // The rotate_right implementation must be observationally
-        // identical to the straightforward remove+insert version on
-        // arbitrary streams.
-        for cap in 1..=4usize {
-            let mut fast = MruList::new(cap);
-            let mut reference: Vec<u64> = Vec::new();
+    fn slice_insert_matches_owned_list() {
+        // The arena's slice rotation must be observationally identical to
+        // the owned MruList on arbitrary streams, for every capacity.
+        for cap in 0..=4usize {
+            let mut owned = MruList::new(cap);
+            let mut arena = vec![line(0); cap];
+            let mut len = 0usize;
             let mut x: u64 = 0x9e3779b9;
             for _ in 0..500 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let n = (x >> 33) % 7;
-                fast.insert_mru(line(n));
-                if let Some(pos) = reference.iter().position(|&i| i == n) {
-                    reference.remove(pos);
-                } else if reference.len() >= cap {
-                    reference.pop();
-                }
-                reference.insert(0, n);
-                let expected: Vec<LineAddr> = reference.iter().map(|&i| line(i)).collect();
-                assert_eq!(fast.as_slice(), &expected[..], "cap {cap}");
+                owned.insert_mru(line(n));
+                len = slice_insert_mru(&mut arena, len, line(n));
+                assert_eq!(&arena[..len], owned.as_slice(), "cap {cap}");
             }
         }
     }
@@ -559,12 +722,12 @@ mod tests {
 
     #[test]
     fn alloc_lookup_roundtrip() {
-        let mut t = RowTable::new(&params(8, 2), 12, MruList::new(2));
+        let mut t = RowTable::new(&params(8, 2), 12, 1);
         let (ptr, kind) = t.find_or_alloc(line(5));
         assert_eq!(kind, AllocKind::Fresh);
-        t.get_mut(ptr).unwrap().insert_mru(line(6));
+        push_succ(&mut t, ptr, line(6));
         let found = t.lookup(line(5)).unwrap();
-        assert_eq!(t.get(found).unwrap().mru(), Some(line(6)));
+        assert_eq!(t.get(found).unwrap().mru(0), Some(line(6)));
         assert_eq!(t.tag_of(found), Some(line(5)));
         assert_eq!(t.occupancy(), 1);
     }
@@ -572,20 +735,23 @@ mod tests {
     #[test]
     fn replacement_invalidates_pointers() {
         // 1 set x 2 ways: third distinct tag replaces the LRU row.
-        let mut t = RowTable::new(&params(2, 2), 12, MruList::new(2));
+        let mut t = RowTable::new(&params(2, 2), 12, 1);
         let (p1, _) = t.find_or_alloc(line(1));
         let (_p2, _) = t.find_or_alloc(line(2));
         let (_, kind) = t.find_or_alloc(line(3));
         assert_eq!(kind, AllocKind::Replaced);
         // line(1) was LRU; its pointer is now stale.
         assert!(t.get(p1).is_none());
+        assert!(!t.insert_mru(p1, 0, line(9)));
         assert_eq!(t.stats().replacements, 1);
         assert!(t.stats().replacement_ratio() > 0.3);
+        // Replacement swaps one valid row for another.
+        assert_eq!(t.occupancy(), 2);
     }
 
     #[test]
     fn lru_within_set_guides_replacement() {
-        let mut t = RowTable::new(&params(2, 2), 12, MruList::new(2));
+        let mut t = RowTable::new(&params(2, 2), 12, 1);
         t.find_or_alloc(line(1));
         t.find_or_alloc(line(2));
         t.lookup(line(1)); // touch 1, so 2 becomes LRU
@@ -595,8 +761,21 @@ mod tests {
     }
 
     #[test]
+    fn replacement_clears_stale_successors() {
+        // A replaced slot must not leak the previous row's successors.
+        let mut t = RowTable::new(&params(2, 2), 12, 1);
+        let (p1, _) = t.find_or_alloc(line(1));
+        push_succ(&mut t, p1, line(7));
+        push_succ(&mut t, p1, line(8));
+        t.find_or_alloc(line(2));
+        let (p3, kind) = t.find_or_alloc(line(3)); // replaces row 1
+        assert_eq!(kind, AllocKind::Replaced);
+        assert!(t.get(p3).unwrap().level(0).is_empty());
+    }
+
+    #[test]
     fn probe_addrs_cover_the_set() {
-        let t = RowTable::new(&params(8, 2), 12, MruList::new(2));
+        let t = RowTable::new(&params(8, 2), 12, 1);
         let addrs: Vec<_> = t.probe_addrs(line(1)).collect();
         assert_eq!(addrs.len(), 2);
         // Set 1 of 4 -> slots 2 and 3.
@@ -606,30 +785,26 @@ mod tests {
 
     #[test]
     fn remap_page_relocates_rows_and_successors() {
-        let mut t = RowTable::new(&params(1024, 2), 12, MruList::new(2));
+        let mut t = RowTable::new(&params(1024, 2), 12, 1);
         let lpp = PageAddr::lines_per_page();
         let old_line = line(lpp * 2 + 10);
         let (ptr, _) = t.find_or_alloc(old_line);
-        {
-            let row = t.get_mut(ptr).unwrap();
-            row.insert_mru(line(lpp * 2 + 11)); // successor in the same page
-            row.insert_mru(line(5)); // successor elsewhere
-        }
-        let moved = t.remap_page(PageAddr::new(2), PageAddr::new(6), |row, old, new| {
-            row.remap_page(old, new);
-        });
+        push_succ(&mut t, ptr, line(lpp * 2 + 11)); // successor in the same page
+        push_succ(&mut t, ptr, line(5)); // successor elsewhere
+        let moved = t.remap_page(PageAddr::new(2), PageAddr::new(6));
         assert_eq!(moved, 1);
         assert!(t.lookup(old_line).is_none());
         let new_line = line(lpp * 6 + 10);
         let got = t.lookup(new_line).unwrap();
         let row = t.get(got).unwrap();
-        assert!(row.as_slice().contains(&line(lpp * 6 + 11)));
-        assert!(row.as_slice().contains(&line(5)));
+        assert!(row.level(0).contains(&line(lpp * 6 + 11)));
+        assert!(row.level(0).contains(&line(5)));
+        assert_eq!(t.occupancy(), 1);
     }
 
     #[test]
     fn resize_preserves_recent_rows() {
-        let mut t = RowTable::new(&params(64, 2), 12, MruList::new(2));
+        let mut t = RowTable::new(&params(64, 2), 12, 1);
         for n in 0..64 {
             t.find_or_alloc(line(n));
         }
@@ -642,8 +817,69 @@ mod tests {
     }
 
     #[test]
+    fn resize_moves_successors() {
+        let mut t = RowTable::new(&params(64, 2), 12, 1);
+        let (ptr, _) = t.find_or_alloc(line(3));
+        push_succ(&mut t, ptr, line(4));
+        push_succ(&mut t, ptr, line(5));
+        t.resize(&params(16, 2));
+        let row = t.peek(line(3)).expect("row survives a shrink to 16");
+        assert_eq!(row.level(0), &[line(5), line(4)]);
+    }
+
+    #[test]
+    fn multi_level_rows_are_independent() {
+        let p = TableParams {
+            num_rows: 8,
+            assoc: 2,
+            num_succ: 2,
+            num_levels: 3,
+        };
+        let mut t = RowTable::new(&p, 28, 3);
+        let (ptr, _) = t.find_or_alloc(line(1));
+        assert!(t.insert_mru(ptr, 0, line(10)));
+        assert!(t.insert_mru(ptr, 1, line(20)));
+        assert!(t.insert_mru(ptr, 2, line(30)));
+        assert!(t.insert_mru(ptr, 2, line(31)));
+        let row = t.get(ptr).unwrap();
+        assert_eq!(row.level(0), &[line(10)]);
+        assert_eq!(row.level(1), &[line(20)]);
+        assert_eq!(row.level(2), &[line(31), line(30)]);
+        assert_eq!(row.levels(), 3);
+    }
+
+    #[test]
+    fn occupancy_counter_tracks_scan() {
+        // Random alloc/remap/resize churn: the O(1) counter must always
+        // equal a full validity scan (recomputed via live_rows_lru).
+        let mut t = RowTable::new(&params(16, 2), 12, 1);
+        let mut x: u64 = 1;
+        for step in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            match x % 16 {
+                0..=11 => {
+                    t.find_or_alloc(line((x >> 16) % 64));
+                }
+                12 | 13 => {
+                    let lpp = PageAddr::lines_per_page();
+                    t.remap_page(
+                        PageAddr::new((x >> 16) % 4),
+                        PageAddr::new(4 + (x >> 24) % 4),
+                    );
+                    let _ = lpp;
+                }
+                _ => {
+                    let rows = if x % 32 < 16 { 16 } else { 32 };
+                    t.resize(&params(rows, 2));
+                }
+            }
+            assert_eq!(t.occupancy(), t.live_rows_lru().len(), "step {step}");
+        }
+    }
+
+    #[test]
     fn size_bytes() {
-        let t: RowTable<MruList> = RowTable::new(&params(1024, 2), 28, MruList::new(2));
+        let t = RowTable::new(&params(1024, 2), 28, 1);
         assert_eq!(t.size_bytes(), 1024 * 28);
     }
 }

@@ -211,6 +211,53 @@ mod tests {
     }
 
     #[test]
+    fn recycled_buffers_flow_back_through_every_ack_path() {
+        let service = PrefetchService::start(cfg(1));
+        let mut session = service.open(1, TenantSpec::repl(256)).unwrap();
+
+        // Accepted: the submitted Vec comes back cleared, capacity intact,
+        // and can be refilled for the next batch — steady state allocates
+        // no observation buffers.
+        let mut buf = Vec::with_capacity(64);
+        let full_stream = stream(1, 192);
+        let mut offline = Replicated::new(TableParams::repl_default(256));
+        for chunk in full_stream.chunks(64) {
+            buf.extend_from_slice(chunk);
+            let cap_before = buf.capacity();
+            let reply = session.submit(buf).unwrap().wait().unwrap();
+            assert_eq!(reply.observed, 64);
+            buf = reply.recycled;
+            assert!(buf.is_empty(), "recycled buffer comes back cleared");
+            assert_eq!(buf.capacity(), cap_before, "capacity survives the trip");
+        }
+        for &m in &full_stream {
+            offline.process_miss(m);
+        }
+        assert_eq!(session.fingerprint().unwrap(), offline.table_fingerprint());
+
+        // Rejected (unknown tenant): still hands the buffer back.
+        let mut ghost = Session::test_clone_for_tenant(&session, 999);
+        buf.extend_from_slice(&full_stream[..8]);
+        let cap = buf.capacity();
+        let reply = ghost.submit(buf).unwrap().wait().unwrap();
+        assert!(matches!(
+            reply.error,
+            Some(ServiceError::UnknownTenant(999))
+        ));
+        assert_eq!(reply.recycled.capacity(), cap);
+
+        // Cancelled: same.
+        service.cancel_token().cancel();
+        let mut buf = reply.recycled;
+        buf.extend_from_slice(&full_stream[..8]);
+        let cap = buf.capacity();
+        let reply = session.submit(buf).unwrap().wait().unwrap();
+        assert!(reply.cancelled);
+        assert_eq!(reply.recycled.capacity(), cap);
+        service.shutdown();
+    }
+
+    #[test]
     fn cancel_acknowledges_without_learning() {
         let service = PrefetchService::start(cfg(1));
         let mut session = service.open(5, TenantSpec::repl(256)).unwrap();

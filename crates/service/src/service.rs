@@ -115,33 +115,46 @@ pub struct BatchReply {
     pub cancelled: bool,
     /// Set if the shard could not process the batch at all.
     pub error: Option<ServiceError>,
+    /// The submitted observation buffer, cleared but with its capacity
+    /// intact. Every ack path hands the batch `Vec` back (accepted,
+    /// cancelled and rejected alike), so a client that re-fills the
+    /// returned buffer for its next submission ingests in a steady
+    /// state with no allocation on either side of the queue.
+    pub recycled: Vec<LineAddr>,
 }
 
 impl BatchReply {
-    pub(crate) fn accepted(observed: u64, prefetches: Vec<LineAddr>) -> Self {
+    pub(crate) fn accepted(
+        observed: u64,
+        prefetches: Vec<LineAddr>,
+        recycled: Vec<LineAddr>,
+    ) -> Self {
         BatchReply {
             observed,
             prefetches,
             cancelled: false,
             error: None,
+            recycled,
         }
     }
 
-    pub(crate) fn cancelled() -> Self {
+    pub(crate) fn cancelled(recycled: Vec<LineAddr>) -> Self {
         BatchReply {
             observed: 0,
             prefetches: Vec::new(),
             cancelled: true,
             error: None,
+            recycled,
         }
     }
 
-    pub(crate) fn rejected(error: ServiceError) -> Self {
+    pub(crate) fn rejected(error: ServiceError, recycled: Vec<LineAddr>) -> Self {
         BatchReply {
             observed: 0,
             prefetches: Vec::new(),
             cancelled: false,
             error: Some(error),
+            recycled,
         }
     }
 }
@@ -293,6 +306,18 @@ impl Session {
 
     fn control(&self, msg: ShardMsg) -> Result<(), ServiceError> {
         self.tx.send(msg).map_err(|_| ServiceError::Closed)
+    }
+
+    /// Test-only: a session on the same shard queue for a tenant that
+    /// was never opened, to exercise the rejected ack path.
+    #[cfg(test)]
+    pub(crate) fn test_clone_for_tenant(other: &Session, tenant: u32) -> Session {
+        Session {
+            tenant,
+            shard: other.shard,
+            tx: other.tx.clone(),
+            rejected_since_last: 0,
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 use std::collections::hash_map::Entry;
 use std::sync::mpsc::{Receiver, Sender};
 
-use ulmt_core::algorithm::UlmtAlgorithm;
+use ulmt_core::algorithm::{StepSink, UlmtAlgorithm};
 use ulmt_core::table::{Base, Chain, Replicated, SnapshotError, SnapshotKind, TableSnapshot};
 use ulmt_simcore::{CancelToken, Cycle, FxHashMap, LineAddr, Server, TraceBuffer, TraceEvent};
 
@@ -56,11 +56,14 @@ impl TenantTable {
         }
     }
 
-    fn process_miss(&mut self, miss: LineAddr) -> ulmt_core::StepResult {
+    /// Runs the whole batch through the algorithm's zero-alloc batch
+    /// kernel ([`UlmtAlgorithm::process_misses`]); per-step effects are
+    /// delivered through `sink` instead of allocated `StepResult`s.
+    fn process_misses(&mut self, batch: &[LineAddr], sink: &mut dyn StepSink) {
         match self {
-            TenantTable::Base(t) => t.process_miss(miss),
-            TenantTable::Chain(t) => t.process_miss(miss),
-            TenantTable::Repl(t) => t.process_miss(miss),
+            TenantTable::Base(t) => t.process_misses(batch, sink),
+            TenantTable::Chain(t) => t.process_misses(batch, sink),
+            TenantTable::Repl(t) => t.process_misses(batch, sink),
         }
     }
 
@@ -94,6 +97,33 @@ impl TenantTable {
             TenantTable::Chain(t) => t.table_size_bytes(),
             TenantTable::Repl(t) => t.table_size_bytes(),
         }
+    }
+}
+
+/// Receives the per-step effects of one batch straight from the table's
+/// batch kernel. The cadence is exactly the old per-miss loop: advance
+/// shard time by `obs_cycles` when a step begins, collect each prefetch
+/// as it is emitted, and occupy the shard's server for the step's
+/// instruction cost when it ends — 1 cycle/insn, like the memory
+/// processor, giving the utilization figure.
+struct IngestSink<'a> {
+    now: &'a mut Cycle,
+    obs_cycles: Cycle,
+    server: &'a mut Server,
+    prefetches: &'a mut Vec<LineAddr>,
+}
+
+impl StepSink for IngestSink<'_> {
+    fn begin(&mut self, _miss: LineAddr) {
+        *self.now += self.obs_cycles;
+    }
+
+    fn prefetch(&mut self, addr: LineAddr) {
+        self.prefetches.push(addr);
+    }
+
+    fn end(&mut self, prefetch_insns: u64, learn_insns: u64) {
+        self.server.serve(*self.now, prefetch_insns + learn_insns);
     }
 }
 
@@ -216,12 +246,16 @@ pub(crate) fn run_shard(
             }
             ShardMsg::Batch {
                 tenant,
-                obs,
+                mut obs,
                 rejected_since_last,
                 reply,
             } => {
                 let Some(state) = tenants.get_mut(&tenant) else {
-                    let _ = reply.send(BatchReply::rejected(ServiceError::UnknownTenant(tenant)));
+                    obs.clear();
+                    let _ = reply.send(BatchReply::rejected(
+                        ServiceError::UnknownTenant(tenant),
+                        obs,
+                    ));
                     continue;
                 };
                 if rejected_since_last > 0 {
@@ -241,7 +275,8 @@ pub(crate) fn run_shard(
                 if cancel.is_cancelled() {
                     // Graceful wind-down: acknowledge without learning so
                     // clients draining their pipelines don't hang.
-                    let _ = reply.send(BatchReply::cancelled());
+                    obs.clear();
+                    let _ = reply.send(BatchReply::cancelled(obs));
                     continue;
                 }
                 if let Some(t) = &mut trace {
@@ -256,14 +291,14 @@ pub(crate) fn run_shard(
                 }
                 let mut prefetches = Vec::new();
                 let observed = obs.len() as u64;
-                for miss in obs {
-                    now += cfg.obs_cycles;
-                    let step = state.table.process_miss(miss);
-                    // Table work occupies the shard's server for the
-                    // step's instruction cost (1 cycle/insn, like the
-                    // memory processor), giving the utilization figure.
-                    server.serve(now, step.prefetch_cost.insns + step.learn_cost.insns);
-                    prefetches.extend(step.prefetches);
+                {
+                    let mut sink = IngestSink {
+                        now: &mut now,
+                        obs_cycles: cfg.obs_cycles,
+                        server: &mut server,
+                        prefetches: &mut prefetches,
+                    };
+                    state.table.process_misses(&obs, &mut sink);
                 }
                 state.stats.batches += 1;
                 state.stats.observed += observed;
@@ -271,7 +306,10 @@ pub(crate) fn run_shard(
                 stats.batches += 1;
                 stats.observed += observed;
                 stats.prefetches += prefetches.len() as u64;
-                let _ = reply.send(BatchReply::accepted(observed, prefetches));
+                // Hand the (cleared) batch buffer back so the client can
+                // refill it: steady-state ingestion allocates nothing.
+                obs.clear();
+                let _ = reply.send(BatchReply::accepted(observed, prefetches, obs));
             }
             ShardMsg::Snapshot { tenant, reply } => {
                 let result = tenants

@@ -52,30 +52,45 @@ pub fn parse_workers(raw: &str) -> Option<usize> {
 }
 
 /// Number of workers the harness uses by default: `ULMT_WORKERS` if set
-/// to a positive integer, otherwise the machine's available parallelism.
+/// to a positive integer, otherwise the machine's available parallelism —
+/// and never more than the machine's available parallelism. The jobs are
+/// CPU-bound with no blocking I/O, so oversubscription only adds
+/// scheduler noise to the wall-clock measurements; an oversized override
+/// is clamped (with a one-time warning) instead of honored.
 ///
 /// An unusable `ULMT_WORKERS` value (non-numeric or `0`) used to fall
 /// through silently; it now warns once on stderr and falls back to the
 /// machine default, so a typo in a sweep script cannot silently serialize
 /// (or mis-parallelize) a whole figure run.
 pub fn worker_count() -> usize {
-    let default = || {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     match std::env::var("ULMT_WORKERS") {
-        Ok(v) => parse_workers(&v).unwrap_or_else(|| {
-            static WARN: Once = Once::new();
-            WARN.call_once(|| {
-                eprintln!(
-                    "warning: ULMT_WORKERS={v:?} is not a positive integer; \
-                     falling back to available parallelism"
-                );
-            });
-            default()
-        }),
-        Err(_) => default(),
+        Ok(v) => match parse_workers(&v) {
+            Some(n) if n > cores => {
+                static CLAMP: Once = Once::new();
+                CLAMP.call_once(|| {
+                    eprintln!(
+                        "warning: ULMT_WORKERS={n} exceeds available parallelism; \
+                         clamping to {cores}"
+                    );
+                });
+                cores
+            }
+            Some(n) => n,
+            None => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "warning: ULMT_WORKERS={v:?} is not a positive integer; \
+                         falling back to available parallelism"
+                    );
+                });
+                cores
+            }
+        },
+        Err(_) => cores,
     }
 }
 

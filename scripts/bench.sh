@@ -5,8 +5,13 @@
 # writes it atomically (temp file + rename), so an interrupted run never
 # leaves a truncated report.
 #
+# On a single-core host the parallel leg still runs (for the identity
+# gate) but the report carries "skipped_single_core": true — the speedup
+# figure is not a threading measurement there.
+#
 # Knobs (all optional):
-#   ULMT_WORKERS    worker count for the parallel leg (default: all cores)
+#   ULMT_WORKERS    worker count for the parallel leg (default: all
+#                   cores; values above the core count are clamped)
 #   SWEEP_APPS      comma-separated apps (default: Mcf,Gap)
 #   ULMT_SCALE      small | mid | paper (default: small)
 #   BENCH_OUT       output path (default: BENCH_harness.json)

@@ -17,7 +17,13 @@
 #                                shards, 2 tenants: cross-shard-count
 #                                fingerprint identity plus the snapshot ->
 #                                restore -> fingerprint round-trip
-#   8. deprecation audit      -- no in-repo caller (outside the deprecated
+#   8. tables microbench smoke -- the flat-arena table layout against the
+#                                preserved reference layout on a tiny
+#                                profile: table fingerprints must be
+#                                bit-identical and every snapshot must
+#                                survive the byte-codec round trip (the
+#                                bin exits 1 on any mismatch)
+#   9. deprecation audit      -- no in-repo caller (outside the deprecated
 #                                wrappers themselves) still uses the old
 #                                pre-redesign entry points
 #
@@ -53,6 +59,11 @@ ULMT_FAULT_SEED=7 ULMT_SCALE=small \
 echo "== service smoke (1 vs 2 shards, 2 tenants, snapshot round-trip)"
 ULMT_SHARDS=1,2 ULMT_TENANTS=2 BENCH_OUT=target/BENCH_service_smoke.json \
     cargo run -q --release -p ulmt-bench --bin serve
+
+echo "== tables microbench smoke (arena vs reference identity, tiny profile)"
+ULMT_TABLE_MISSES=20000 ULMT_TABLE_ROWS=512 ULMT_REPEAT=1 \
+    BENCH_OUT=target/BENCH_tables_smoke.json \
+    cargo run -q --release -p ulmt-bench --bin tables
 
 echo "== deprecation audit"
 # The old names survive only as #[deprecated] wrappers (and their own
