@@ -9,22 +9,36 @@
 //!
 //! * `ULMT_SHARDS` — comma-separated shard counts (default `1,2,4`).
 //! * `ULMT_TENANTS` — number of tenants (default `4`).
+//! * `ULMT_FAULT_SEED` — seed for the chaos leg's fault schedule
+//!   (default `7`); the schedule is a pure function of the seed.
 //! * `BENCH_OUT` — output path (default `BENCH_service.json`).
 //!
 //! The report is written atomically (temp file + rename), so an
 //! interrupted run never leaves a truncated `BENCH_service.json`.
 //!
+//! After the throughput legs, a chaos leg kills the shard mid-stream
+//! under two recovery policies. With a journal window that covers the
+//! checkpoint gap, recovery must be **clean**: every tenant's final
+//! fingerprint identical to the fault-free legs. With a deliberately
+//! undersized window, recovery must be **lossy** with an exact
+//! `dropped_batches` count satisfying the conservation identity
+//! `recovered.batches + dropped == total batches`. Recovery latency
+//! percentiles land in the report under `"chaos"`.
+//!
 //! Exits non-zero if any tenant's table fingerprint differs between
-//! shard counts, or if a restored snapshot does not reproduce its
-//! source fingerprint bit-for-bit.
+//! shard counts, if a restored snapshot does not reproduce its source
+//! fingerprint bit-for-bit, or if any chaos-leg invariant fails.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ulmt_bench::io::atomic_write;
-use ulmt_service::{PendingBatch, PrefetchService, ServiceConfig, TenantSpec};
-use ulmt_simcore::LineAddr;
+use ulmt_service::{
+    PendingBatch, PrefetchService, RecoveryOutcome, ServiceConfig, ServiceError, Session,
+    ShardState, SupervisionConfig, TenantSpec,
+};
+use ulmt_simcore::{LineAddr, ServiceFaultConfig};
 use ulmt_system::{l2_miss_stream_with, SystemConfig};
 use ulmt_workloads::{App, WorkloadSpec};
 
@@ -164,7 +178,7 @@ fn run_leg(shards: usize, tenants: &[Tenant]) -> Leg {
     let wall_nanos = start.elapsed().as_nanos() as u64;
 
     let fingerprints = sessions
-        .iter()
+        .iter_mut()
         .map(|s| (s.tenant(), s.fingerprint().expect("fingerprint")))
         .collect();
     let utilization = (0..shards)
@@ -199,7 +213,7 @@ fn snapshot_restore_identical(tenants: &[Tenant]) -> bool {
         let source = session.fingerprint().expect("fingerprint");
         // Restore into a disjoint tenant ID: a cold table warm-started
         // from the snapshot must reproduce the source exactly.
-        let warm = service.open(t.id + 1000, t.spec).expect("open warm");
+        let mut warm = service.open(t.id + 1000, t.spec).expect("open warm");
         warm.restore(snap).expect("restore");
         let restored = warm.fingerprint().expect("fingerprint");
         if restored != source {
@@ -214,7 +228,256 @@ fn snapshot_restore_identical(tenants: &[Tenant]) -> bool {
     ok
 }
 
-fn json_report(tenants: &[Tenant], legs: &[Leg], identical: bool, snapshot_ok: bool) -> String {
+/// Aggregate verdict of the chaos leg: how many kill/recover rounds ran
+/// under each policy, whether every invariant held, and the observed
+/// recovery latencies.
+struct ChaosSummary {
+    seed: u64,
+    rounds: usize,
+    clean_recoveries: usize,
+    lossy_recoveries: usize,
+    clean_identical: bool,
+    lossy_conserved: bool,
+    dropped_batches: u64,
+    latencies_nanos: Vec<u64>,
+}
+
+impl ChaosSummary {
+    fn ok(&self) -> bool {
+        self.clean_recoveries > 0
+            && self.lossy_recoveries > 0
+            && self.clean_identical
+            && self.lossy_conserved
+    }
+
+    /// Nearest-rank percentile of recovery latency, in milliseconds.
+    fn latency_ms(&self, pct: u64) -> f64 {
+        let mut sorted = self.latencies_nanos.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((pct * sorted.len() as u64).div_ceil(100)).clamp(1, sorted.len() as u64);
+        sorted[rank as usize - 1] as f64 / 1e6
+    }
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("ULMT_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(7)
+}
+
+/// Submits one batch and waits for its ack, resubmitting through the
+/// crash and recovery. Safe because the shard journals before acking: a
+/// batch whose ack never arrived was never journaled, so replaying it
+/// cannot double-count.
+fn submit_until_acked(session: &mut Session, obs: &[LineAddr]) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "chaos: batch not acked within 30s — recovery wedged?"
+        );
+        let pending = match session.submit(obs.to_vec()) {
+            Ok(p) => p,
+            Err(ServiceError::Timeout | ServiceError::Closed | ServiceError::ShardDown(_)) => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            Err(e) => panic!("chaos: unrecoverable submit error: {e}"),
+        };
+        match pending.wait() {
+            Ok(reply) if reply.error.is_none() && !reply.shed => return,
+            Ok(_) | Err(_) => continue,
+        }
+    }
+}
+
+/// One kill/recover round: a single-shard service with a seeded kill
+/// fault mid-stream, a client that resubmits through the crash, and the
+/// round's invariants checked against the fault-free reference.
+fn chaos_round(
+    tenants: &[Tenant],
+    reference_fps: &[(u32, u64)],
+    seed: u64,
+    round: usize,
+    clean_policy: bool,
+    summary: &mut ChaosSummary,
+) -> bool {
+    const CHAOS_BATCH: usize = 64;
+    const CHECKPOINT_EVERY: u64 = 8;
+    let total_batches: u64 = tenants
+        .iter()
+        .map(|t| t.obs.len().div_ceil(CHAOS_BATCH) as u64)
+        .sum();
+
+    // Seed-derived kill point, placed a fixed offset past a checkpoint
+    // boundary so the checkpoint gap at the crash (~5 acked batches)
+    // exceeds the lossy policy's journal window but not the clean one's.
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1);
+    x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let periods = (total_batches / CHECKPOINT_EVERY).saturating_sub(2).max(1);
+    let kill_at = (CHECKPOINT_EVERY * (1 + (x >> 33) % periods) + 6)
+        .min(total_batches.saturating_sub(1))
+        .max(2);
+
+    let supervision = SupervisionConfig {
+        max_restarts: 8,
+        tick_ms: 2,
+        wedge_ticks: 25,
+        checkpoint_every: CHECKPOINT_EVERY,
+        // Clean policy: the window always covers the checkpoint gap.
+        // Lossy policy: a 2-batch window guarantees acked batches fall
+        // off the ring before the crash at checkpoint-gap ~5.
+        journal_window: if clean_policy { 64 } else { 2 },
+        backoff_base_ms: 1,
+        backoff_max_ms: 8,
+        shed_when_down: false,
+        control_timeout_ms: 10_000,
+    };
+    let service = PrefetchService::start(ServiceConfig {
+        shards: 1,
+        queue_depth: 64,
+        supervision,
+        fault: Some(ServiceFaultConfig::disabled(seed ^ round as u64).kill(0, kill_at)),
+        ..ServiceConfig::default()
+    });
+
+    let mut sessions: Vec<Session> = tenants
+        .iter()
+        .map(|t| service.open(t.id, t.spec).expect("chaos: open"))
+        .collect();
+    let rounds = tenants
+        .iter()
+        .map(|t| t.obs.len().div_ceil(CHAOS_BATCH))
+        .max()
+        .unwrap_or(0);
+    for r in 0..rounds {
+        for (t, session) in tenants.iter().zip(&mut sessions) {
+            let lo = r * CHAOS_BATCH;
+            if lo >= t.obs.len() {
+                continue;
+            }
+            let hi = (lo + CHAOS_BATCH).min(t.obs.len());
+            submit_until_acked(session, &t.obs[lo..hi]);
+        }
+    }
+
+    // The kill fires mid-stream, so by the time every batch is acked the
+    // replacement worker is necessarily up; give the supervisor a beat
+    // to publish the report it wrote while we were resubmitting.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.recovery_reports().is_empty() || service.shard_state(0) != ShardState::Up {
+        assert!(
+            Instant::now() < deadline,
+            "chaos: recovery not reported within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let fps: Vec<(u32, u64)> = sessions
+        .iter_mut()
+        .map(|s| (s.tenant(), s.fingerprint().expect("chaos: fingerprint")))
+        .collect();
+    let stats = service.shard_stats(0).expect("chaos: shard stats");
+    let reports = service.recovery_reports();
+    service.shutdown();
+
+    let mut dropped = 0u64;
+    let mut any_lossy = false;
+    let mut all_clean = true;
+    for report in &reports {
+        summary.latencies_nanos.push(report.latency_nanos);
+        match report.outcome {
+            RecoveryOutcome::Clean { .. } => {}
+            RecoveryOutcome::Lossy {
+                dropped_batches, ..
+            } => {
+                any_lossy = true;
+                all_clean = false;
+                dropped += dropped_batches;
+            }
+        }
+    }
+    summary.dropped_batches += dropped;
+
+    let identical = fps == reference_fps;
+    let conserved = stats.batches + dropped == total_batches;
+    let mut ok = true;
+    if clean_policy {
+        summary.clean_recoveries += reports.len();
+        if !all_clean || !identical || !conserved {
+            summary.clean_identical = false;
+            ok = false;
+        }
+    } else {
+        summary.lossy_recoveries += reports.len();
+        if !any_lossy || !conserved {
+            summary.lossy_conserved = false;
+            ok = false;
+        }
+    }
+    eprintln!(
+        "  chaos round {round}: kill@{kill_at}/{total_batches} policy={} recoveries={} \
+         dropped={dropped} identical={identical} conserved={conserved}{}",
+        if clean_policy { "clean" } else { "lossy" },
+        reports.len(),
+        if ok { "" } else { "  <-- VIOLATION" },
+    );
+    ok
+}
+
+/// The chaos leg: alternating clean-policy and lossy-policy kill rounds
+/// driven by a seeded, deterministic fault schedule.
+fn run_chaos(tenants: &[Tenant], reference_fps: &[(u32, u64)]) -> ChaosSummary {
+    const ROUNDS: usize = 6;
+    let seed = chaos_seed();
+    eprintln!("chaos leg: {ROUNDS} kill/recover rounds, seed {seed} ...");
+    let mut summary = ChaosSummary {
+        seed,
+        rounds: ROUNDS,
+        clean_recoveries: 0,
+        lossy_recoveries: 0,
+        clean_identical: true,
+        lossy_conserved: true,
+        dropped_batches: 0,
+        latencies_nanos: Vec::new(),
+    };
+    for round in 0..ROUNDS {
+        let clean_policy = round % 2 == 0;
+        chaos_round(
+            tenants,
+            reference_fps,
+            seed,
+            round,
+            clean_policy,
+            &mut summary,
+        );
+    }
+    eprintln!(
+        "  chaos: {} clean + {} lossy recoveries, {} batches dropped (lossy policy), \
+         recovery p50 {:.3} ms / p90 {:.3} ms / max {:.3} ms",
+        summary.clean_recoveries,
+        summary.lossy_recoveries,
+        summary.dropped_batches,
+        summary.latency_ms(50),
+        summary.latency_ms(90),
+        summary.latency_ms(100),
+    );
+    summary
+}
+
+fn json_report(
+    tenants: &[Tenant],
+    legs: &[Leg],
+    identical: bool,
+    snapshot_ok: bool,
+    chaos: &ChaosSummary,
+) -> String {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"tenants\": {},", tenants.len());
@@ -225,6 +488,22 @@ fn json_report(tenants: &[Tenant], legs: &[Leg], identical: bool, snapshot_ok: b
     );
     let _ = writeln!(j, "  \"fingerprints_identical\": {identical},");
     let _ = writeln!(j, "  \"snapshot_restore_identical\": {snapshot_ok},");
+    j.push_str("  \"chaos\": {\n");
+    let _ = writeln!(j, "    \"seed\": {},", chaos.seed);
+    let _ = writeln!(j, "    \"rounds\": {},", chaos.rounds);
+    let _ = writeln!(j, "    \"clean_recoveries\": {},", chaos.clean_recoveries);
+    let _ = writeln!(j, "    \"lossy_recoveries\": {},", chaos.lossy_recoveries);
+    let _ = writeln!(j, "    \"clean_identical\": {},", chaos.clean_identical);
+    let _ = writeln!(j, "    \"lossy_conserved\": {},", chaos.lossy_conserved);
+    let _ = writeln!(j, "    \"dropped_batches\": {},", chaos.dropped_batches);
+    let _ = writeln!(
+        j,
+        "    \"recovery_latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"max\": {:.3}}}",
+        chaos.latency_ms(50),
+        chaos.latency_ms(90),
+        chaos.latency_ms(100),
+    );
+    j.push_str("  },\n");
     j.push_str("  \"legs\": [\n");
     for (i, leg) in legs.iter().enumerate() {
         let util = leg
@@ -300,12 +579,17 @@ fn main() {
     eprintln!("snapshot/restore pass ...");
     let snapshot_ok = snapshot_restore_identical(&tenants);
 
+    let chaos = run_chaos(&tenants, &legs[0].fingerprints);
+
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
-    atomic_write(&out, &json_report(&tenants, &legs, identical, snapshot_ok))
-        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    atomic_write(
+        &out,
+        &json_report(&tenants, &legs, identical, snapshot_ok, &chaos),
+    )
+    .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
 
-    if !identical || !snapshot_ok {
+    if !identical || !snapshot_ok || !chaos.ok() {
         eprintln!("serve: FAILED");
         std::process::exit(1);
     }

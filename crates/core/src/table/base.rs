@@ -89,9 +89,9 @@ impl Base {
         self.last = None;
     }
 
-    /// Captures the learned rows as a portable [`TableSnapshot`]. The
-    /// retained learning pointer and the behavior counters are transient
-    /// and not part of the snapshot.
+    /// Captures the learned rows and the retained learning pointer as a
+    /// portable [`TableSnapshot`]; only the behavior counters are
+    /// transient.
     pub fn snapshot(&self) -> TableSnapshot {
         TableSnapshot {
             kind: SnapshotKind::Base,
@@ -105,12 +105,18 @@ impl Base {
                     levels: vec![row.level(0).iter().map(|s| s.raw()).collect()],
                 })
                 .collect(),
+            learn_ctx: self
+                .last
+                .iter()
+                .map(|&ptr| self.table.tag_of(ptr).map(LineAddr::raw))
+                .collect(),
         }
     }
 
     /// Rebuilds a prefetcher from a snapshot taken by
     /// [`Base::snapshot`]; the result fingerprints identically to the
-    /// captured table.
+    /// captured table and — because the learning pointer is re-armed
+    /// from the snapshot's context — continues learning identically too.
     pub fn from_snapshot(snap: &TableSnapshot) -> Result<Self, SnapshotError> {
         snap.expect_kind(SnapshotKind::Base)?;
         snap.params
@@ -131,6 +137,7 @@ impl Base {
                 }
             }
         }
+        base.last = snap.learn_ctx.first().map(|&e| base.table.ctx_ptr(e));
         Ok(base)
     }
 
@@ -379,6 +386,25 @@ mod tests {
         // And through the byte codec too.
         let snap2 = super::super::TableSnapshot::from_bytes(&snap.to_bytes()).unwrap();
         assert_eq!(snap2.fingerprint(), snap.fingerprint());
+    }
+
+    #[test]
+    fn restored_table_continues_bit_identically() {
+        let mut live = small();
+        for n in [10u64, 20, 30, 10, 40, 30, 20] {
+            live.process_miss(line(n));
+        }
+        // The restored table must not just fingerprint equal — it must
+        // *evolve* identically, which requires the learning pointer to
+        // survive the snapshot (the next miss links to the last row).
+        let mut warm = Base::from_snapshot(&live.snapshot()).unwrap();
+        for n in [10u64, 50, 20, 60, 10, 50] {
+            let a = live.process_miss(line(n));
+            let b = warm.process_miss(line(n));
+            assert_eq!(a.prefetches, b.prefetches, "diverged at miss {n}");
+            assert_eq!(a.total_insns(), b.total_insns(), "cost diverged at {n}");
+        }
+        assert_eq!(warm.table_fingerprint(), live.table_fingerprint());
     }
 
     #[test]

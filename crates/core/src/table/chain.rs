@@ -80,9 +80,9 @@ impl Chain {
         self.table.occupancy()
     }
 
-    /// Captures the learned rows as a portable [`TableSnapshot`]. The
-    /// retained learning pointer and the behavior counters are transient
-    /// and not part of the snapshot.
+    /// Captures the learned rows and the retained learning pointer as a
+    /// portable [`TableSnapshot`]; only the behavior counters are
+    /// transient.
     pub fn snapshot(&self) -> TableSnapshot {
         TableSnapshot {
             kind: SnapshotKind::Chain,
@@ -96,12 +96,18 @@ impl Chain {
                     levels: vec![row.level(0).iter().map(|s| s.raw()).collect()],
                 })
                 .collect(),
+            learn_ctx: self
+                .last
+                .iter()
+                .map(|&ptr| self.table.tag_of(ptr).map(LineAddr::raw))
+                .collect(),
         }
     }
 
     /// Rebuilds a prefetcher from a snapshot taken by
     /// [`Chain::snapshot`]; the result fingerprints identically to the
-    /// captured table.
+    /// captured table and — because the learning pointer is re-armed
+    /// from the snapshot's context — continues learning identically too.
     pub fn from_snapshot(snap: &TableSnapshot) -> Result<Self, SnapshotError> {
         snap.expect_kind(SnapshotKind::Chain)?;
         snap.params
@@ -116,6 +122,7 @@ impl Chain {
                 }
             }
         }
+        chain.last = snap.learn_ctx.first().map(|&e| chain.table.ctx_ptr(e));
         Ok(chain)
     }
 
@@ -376,6 +383,15 @@ mod tests {
         assert_eq!(restored.snapshot(), snap);
         assert_eq!(restored.table_fingerprint(), chain.table_fingerprint());
         assert_eq!(restored.predict(line(1), 2), chain.predict(line(1), 2));
+        // And the restored table continues learning exactly like the
+        // live one — the snapshot re-armed the learning pointer.
+        let mut warm = restored;
+        for n in [1u64, 5, 2, 6, 1] {
+            let a = chain.process_miss(line(n));
+            let b = warm.process_miss(line(n));
+            assert_eq!(a.prefetches, b.prefetches, "diverged at miss {n}");
+        }
+        assert_eq!(warm.table_fingerprint(), chain.table_fingerprint());
     }
 
     #[test]

@@ -178,6 +178,13 @@ impl<R: Clone> RefRowTable<R> {
         (slot.valid && slot.gen == ptr.gen).then_some(&slot.row)
     }
 
+    /// Tag of the row behind `ptr`, if still valid (same contract as the
+    /// arena's `tag_of`; snapshots capture the learning context with it).
+    pub fn tag_of(&self, ptr: RefRowPtr) -> Option<LineAddr> {
+        let slot = &self.slots[ptr.slot];
+        (slot.valid && slot.gen == ptr.gen).then_some(slot.tag)
+    }
+
     pub fn get_mut(&mut self, ptr: RefRowPtr) -> Option<&mut R> {
         let slot = &mut self.slots[ptr.slot];
         (slot.valid && slot.gen == ptr.gen).then_some(&mut slot.row)
@@ -301,6 +308,11 @@ impl RefBase {
                     levels: vec![row.iter().map(|s| s.raw()).collect()],
                 })
                 .collect(),
+            learn_ctx: self
+                .last
+                .iter()
+                .map(|&ptr| self.table.tag_of(ptr).map(LineAddr::raw))
+                .collect(),
         }
     }
 
@@ -416,6 +428,11 @@ impl RefChain {
                     tag: tag.raw(),
                     levels: vec![row.iter().map(|s| s.raw()).collect()],
                 })
+                .collect(),
+            learn_ctx: self
+                .last
+                .iter()
+                .map(|&ptr| self.table.tag_of(ptr).map(LineAddr::raw))
                 .collect(),
         }
     }
@@ -583,6 +600,11 @@ impl RefReplicated {
                         .map(|level| level.iter().map(|s| s.raw()).collect())
                         .collect(),
                 })
+                .collect(),
+            learn_ctx: self
+                .pointers
+                .iter()
+                .map(|&ptr| self.table.tag_of(ptr).map(LineAddr::raw))
                 .collect(),
         }
     }

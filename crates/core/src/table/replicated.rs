@@ -94,9 +94,10 @@ impl Replicated {
         self.pointers.clear();
     }
 
-    /// Captures the learned rows as a portable [`TableSnapshot`]. The
-    /// retained learning pointers and the behavior counters are
-    /// transient and not part of the snapshot.
+    /// Captures the learned rows and the retained learning pointers as a
+    /// portable [`TableSnapshot`]; only the behavior counters are
+    /// transient. Pointers to since-evicted rows are kept as tombstones
+    /// because the pointer *position* selects the level it learns at.
     pub fn snapshot(&self) -> TableSnapshot {
         TableSnapshot {
             kind: SnapshotKind::Repl,
@@ -112,12 +113,19 @@ impl Replicated {
                         .collect(),
                 })
                 .collect(),
+            learn_ctx: self
+                .pointers
+                .iter()
+                .map(|&ptr| self.table.tag_of(ptr).map(LineAddr::raw))
+                .collect(),
         }
     }
 
     /// Rebuilds a prefetcher from a snapshot taken by
     /// [`Replicated::snapshot`]; the result fingerprints identically to
-    /// the captured table.
+    /// the captured table and — because the learning pointers are
+    /// re-armed from the snapshot's context — continues learning
+    /// identically too.
     pub fn from_snapshot(snap: &TableSnapshot) -> Result<Self, SnapshotError> {
         snap.expect_kind(SnapshotKind::Repl)?;
         snap.params
@@ -131,6 +139,9 @@ impl Replicated {
                     repl.table.insert_mru(ptr, level, LineAddr::new(succ));
                 }
             }
+        }
+        for &entry in snap.learn_ctx.iter().take(snap.params.num_levels) {
+            repl.pointers.push_back(repl.table.ctx_ptr(entry));
         }
         Ok(repl)
     }
@@ -427,17 +438,17 @@ mod tests {
         assert_eq!(restored.snapshot(), snap);
         assert_eq!(restored.table_fingerprint(), repl.table_fingerprint());
         assert_eq!(restored.predict(line(10), 2), repl.predict(line(10), 2));
-        // Two independent restores keep learning identically: feed both
-        // the same continuation and the fingerprints stay equal. (The
-        // live table would diverge here — its transient learning
-        // pointers are deliberately not part of the snapshot.)
-        let mut warm_a = Replicated::from_snapshot(&snap).unwrap();
-        let mut warm_b = restored;
-        for n in [20u64, 30, 10, 60] {
-            warm_a.process_miss(line(n));
-            warm_b.process_miss(line(n));
+        // The restored table continues exactly like the live one: the
+        // snapshot's learning context re-arms the level pointers, so the
+        // very next misses learn into the same rows at the same levels.
+        let mut warm = restored;
+        for n in [20u64, 30, 10, 60, 40, 20] {
+            let a = repl.process_miss(line(n));
+            let b = warm.process_miss(line(n));
+            assert_eq!(a.prefetches, b.prefetches, "diverged at miss {n}");
+            assert_eq!(a.total_insns(), b.total_insns(), "cost diverged at {n}");
         }
-        assert_eq!(warm_a.table_fingerprint(), warm_b.table_fingerprint());
+        assert_eq!(warm.table_fingerprint(), repl.table_fingerprint());
     }
 
     #[test]

@@ -2,18 +2,20 @@
 //!
 //! A [`TableSnapshot`] captures everything a table has *learned* — the
 //! live rows, in global LRU-to-MRU order, with every successor list in
-//! MRU order — in an algorithm-independent form. Restoring a snapshot
-//! into an empty table of the same geometry reproduces the table's
-//! contents exactly (the restore replays rows in the same canonical
-//! order [`RowTable::resize`](super::RowTable::resize) uses), so
-//! `snapshot -> restore -> snapshot` is bit-identical. This is what the
-//! prefetch service uses to warm-start tenants and to prove determinism
-//! across shard layouts.
+//! MRU order — in an algorithm-independent form, plus the **learning
+//! context**: which rows the algorithm's retained learning pointers
+//! were referencing at capture time. Restoring a snapshot into an empty
+//! table of the same geometry reproduces the table's contents exactly
+//! (the restore replays rows in the same canonical order
+//! [`RowTable::resize`](super::RowTable::resize) uses) *and* re-arms
+//! the learning pointers, so a restored table does not just fingerprint
+//! identically — it **continues** identically, miss for miss. That is
+//! what lets the prefetch service's crash recovery replay journaled
+//! batches on top of a checkpoint and land bit-identical to a shard
+//! that never died.
 //!
-//! Deliberately excluded: transient learning state (the retained row
-//! pointers of Base/Chain/Replicated, which are rebuilt within a few
-//! misses) and the [`TableStats`](super::TableStats) counters (a
-//! restored table starts counting afresh).
+//! Deliberately excluded: the [`TableStats`](super::TableStats)
+//! counters (a restored table starts counting afresh).
 
 use std::hash::Hasher;
 
@@ -81,6 +83,15 @@ pub struct TableSnapshot {
     pub params: TableParams,
     /// Live rows in global LRU-to-MRU order (the canonical replay order).
     pub rows: Vec<RowSnapshot>,
+    /// The learning context: tags of the rows the algorithm's retained
+    /// learning pointers referenced at capture time, most recent miss
+    /// first (Base/Chain keep at most one, Replicated up to
+    /// `NumLevels`). `None` marks a pointer whose row had already been
+    /// evicted — position matters (Replicated's i-th pointer learns at
+    /// level i), so tombstones are kept, not dropped. Restoring re-arms
+    /// the pointers so the table continues learning exactly where the
+    /// captured one left off.
+    pub learn_ctx: Vec<Option<u64>>,
 }
 
 /// Errors decoding or restoring a snapshot.
@@ -128,8 +139,8 @@ impl std::error::Error for SnapshotError {}
 
 /// Magic prefix of the binary encoding.
 const MAGIC: &[u8; 8] = b"ULMTSNAP";
-/// Current format version.
-const VERSION: u16 = 1;
+/// Current format version. Version 2 added the learning context.
+const VERSION: u16 = 2;
 
 impl TableSnapshot {
     /// Returns `Ok(())` if the snapshot was produced by `expected`.
@@ -142,6 +153,24 @@ impl TableSnapshot {
                 found: self.kind,
             })
         }
+    }
+
+    /// Approximate in-memory size of the snapshot, in bytes. Used by the
+    /// service's checkpoint accounting to report how much learned state a
+    /// recovery checkpoint retains, without serializing it first.
+    pub fn approx_bytes(&self) -> u64 {
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|r| {
+                std::mem::size_of::<RowSnapshot>()
+                    + r.levels
+                        .iter()
+                        .map(|l| std::mem::size_of::<Vec<u64>>() + l.len() * 8)
+                        .sum::<usize>()
+            })
+            .sum();
+        (std::mem::size_of::<TableSnapshot>() + rows + self.learn_ctx.len() * 9) as u64
     }
 
     /// A 64-bit fingerprint of the learned contents, computed over the
@@ -178,6 +207,16 @@ impl TableSnapshot {
                 for succ in level {
                     out.extend_from_slice(&succ.to_le_bytes());
                 }
+            }
+        }
+        out.push(self.learn_ctx.len() as u8);
+        for entry in &self.learn_ctx {
+            match entry {
+                Some(tag) => {
+                    out.push(1);
+                    out.extend_from_slice(&tag.to_le_bytes());
+                }
+                None => out.push(0),
             }
         }
         out
@@ -218,7 +257,18 @@ impl TableSnapshot {
             }
             rows.push(RowSnapshot { tag, levels });
         }
-        Ok(TableSnapshot { kind, params, rows })
+        let ctx_len = r.u8()? as usize;
+        let mut learn_ctx = Vec::with_capacity(ctx_len);
+        for _ in 0..ctx_len {
+            let present = r.u8()? != 0;
+            learn_ctx.push(if present { Some(r.u64()?) } else { None });
+        }
+        Ok(TableSnapshot {
+            kind,
+            params,
+            rows,
+            learn_ctx,
+        })
     }
 }
 
@@ -274,6 +324,7 @@ mod tests {
                     levels: vec![vec![7], vec![]],
                 },
             ],
+            learn_ctx: vec![Some(6), None],
         }
     }
 
@@ -325,6 +376,18 @@ mod tests {
             TableSnapshot::from_bytes(&snap.to_bytes()),
             Err(SnapshotError::InvalidParams(_))
         ));
+    }
+
+    #[test]
+    fn learning_context_rides_the_encoding_and_fingerprint() {
+        let snap = sample();
+        let decoded = TableSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded.learn_ctx, vec![Some(6), None]);
+        // Same rows, different pointer context: behaviorally different
+        // tables must fingerprint differently.
+        let mut rearmed = snap.clone();
+        rearmed.learn_ctx = vec![Some(5), None];
+        assert_ne!(snap.fingerprint(), rearmed.fingerprint());
     }
 
     #[test]

@@ -176,6 +176,20 @@ pub struct RowPtr {
     gen: u64,
 }
 
+impl RowPtr {
+    /// A pointer that never resolves: generation `u64::MAX` is never
+    /// reached by a live slot, so [`RowTable::get`] and
+    /// [`RowTable::insert_mru`] treat it exactly like a pointer whose
+    /// row was re-allocated. Snapshot restore uses it to reproduce
+    /// tombstoned learning-context entries position-for-position.
+    pub fn dangling() -> Self {
+        RowPtr {
+            slot: 0,
+            gen: u64::MAX,
+        }
+    }
+}
+
 /// How [`RowTable::find_or_alloc`] obtained the row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocKind {
@@ -422,6 +436,26 @@ impl RowTable {
         self.set_range(line)
             .find(|&i| self.valid[i] && self.tags[i] == line)
             .map(|i| self.row_ref(i))
+    }
+
+    /// Non-mutating lookup returning a pointer: no stats, no LRU bump.
+    pub fn peek_ptr(&self, line: LineAddr) -> Option<RowPtr> {
+        self.set_range(line)
+            .find(|&i| self.valid[i] && self.tags[i] == line)
+            .map(|i| RowPtr {
+                slot: i,
+                gen: self.gens[i],
+            })
+    }
+
+    /// Resolves one snapshot learning-context entry back into a pointer:
+    /// the live row for `tag` when it exists, otherwise a dangling
+    /// pointer — the behavioral twin of the stale pointer the snapshot
+    /// tombstoned.
+    pub fn ctx_ptr(&self, entry: Option<u64>) -> RowPtr {
+        entry
+            .and_then(|tag| self.peek_ptr(LineAddr::new(tag)))
+            .unwrap_or_else(RowPtr::dangling)
     }
 
     /// Finds the row for `line`, allocating (and possibly replacing the

@@ -1,7 +1,7 @@
 //! Service and tenant configuration.
 
 use ulmt_core::table::{SnapshotKind, TableParams};
-use ulmt_simcore::{ConfigError, Cycle, TraceConfig};
+use ulmt_simcore::{ConfigError, Cycle, ServiceFaultConfig, TraceConfig};
 
 /// Which correlation algorithm a tenant runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,8 +94,91 @@ impl TenantSpec {
     }
 }
 
-/// Configuration of a [`PrefetchService`](crate::PrefetchService).
+/// Supervision, checkpointing and degraded-mode policy of a
+/// [`PrefetchService`](crate::PrefetchService).
+///
+/// The recovery window math (see [`crate::journal`]): a shard
+/// checkpoints every [`checkpoint_every`](Self::checkpoint_every)
+/// accepted batches and journals the last
+/// [`journal_window`](Self::journal_window) of them, so
+/// `journal_window >= checkpoint_every` guarantees every crash recovers
+/// **cleanly** (bit-identical tables, counters and virtual clock);
+/// a smaller window trades memory for a bounded lossy gap whose exact
+/// size every [`RecoveryReport`](crate::RecoveryReport) carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// Restarts a single shard may consume before it is parked in
+    /// [`ShardState::Failed`](crate::ShardState::Failed) for good.
+    pub max_restarts: u32,
+    /// Supervisor tick, in milliseconds: the cadence of the wedge scan
+    /// and the poll interval of worker queue waits.
+    pub tick_ms: u64,
+    /// Consecutive no-progress ticks (queue behind, message counters and
+    /// virtual-clock watermark unchanged) before a shard is declared
+    /// wedged and fenced.
+    pub wedge_ticks: u32,
+    /// Accepted batches between checkpoints of a shard's full state.
+    pub checkpoint_every: u64,
+    /// Acked batches the observation journal retains per shard.
+    pub journal_window: usize,
+    /// First restart backoff, in milliseconds (doubles per restart).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub backoff_max_ms: u64,
+    /// Degraded-mode routing: `true` makes sessions *shed* batches
+    /// aimed at a down shard — acknowledge without learning, counted in
+    /// [`TenantStats::shed`](crate::TenantStats::shed) — so clients
+    /// keep their latency budget during recovery. `false` makes
+    /// [`Session::submit`](crate::Session::submit) wait for the shard
+    /// to come back (bounded by its timeout).
+    pub shed_when_down: bool,
+    /// Upper bound, in milliseconds, a control-plane call (open,
+    /// snapshot, fingerprint, stats) waits for its shard before
+    /// reporting [`ServiceError::Timeout`](crate::ServiceError::Timeout).
+    pub control_timeout_ms: u64,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            max_restarts: 8,
+            tick_ms: 25,
+            wedge_ticks: 8,
+            checkpoint_every: 64,
+            journal_window: 128,
+            backoff_base_ms: 1,
+            backoff_max_ms: 100,
+            shed_when_down: true,
+            control_timeout_ms: 10_000,
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Validates the supervision policy.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("supervision", reason));
+        if self.wedge_ticks == 0 {
+            return err("wedge detection needs at least one tick");
+        }
+        if self.checkpoint_every == 0 {
+            return err("checkpoint interval must be positive");
+        }
+        if self.journal_window == 0 {
+            return err("journal window must be positive");
+        }
+        Ok(())
+    }
+
+    /// `true` if every crash inside this policy recovers cleanly
+    /// (journal window covers the checkpoint interval).
+    pub fn guarantees_clean_recovery(&self) -> bool {
+        self.journal_window as u64 >= self.checkpoint_every
+    }
+}
+
+/// Configuration of a [`PrefetchService`](crate::PrefetchService).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Number of shard worker threads. Tenants hash onto shards; each
     /// tenant's whole stream is handled by exactly one shard, which is
@@ -119,6 +202,11 @@ pub struct ServiceConfig {
     /// [`TraceEvent::ShardBatch`]: ulmt_simcore::TraceEvent::ShardBatch
     /// [`TraceEvent::ShardReject`]: ulmt_simcore::TraceEvent::ShardReject
     pub trace: Option<TraceConfig>,
+    /// Supervision, checkpointing and degraded-mode policy.
+    pub supervision: SupervisionConfig,
+    /// Deterministic service-level chaos injection (kill / wedge / slow
+    /// faults), for tests and the chaos bench leg. `None` in production.
+    pub fault: Option<ServiceFaultConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -129,6 +217,8 @@ impl Default for ServiceConfig {
             seed: 0x5EED,
             obs_cycles: 8,
             trace: None,
+            supervision: SupervisionConfig::default(),
+            fault: None,
         }
     }
 }
@@ -147,6 +237,7 @@ impl ServiceConfig {
         if self.obs_cycles == 0 {
             return err("observation interval must be positive");
         }
+        self.supervision.validate()?;
         Ok(())
     }
 
@@ -187,6 +278,34 @@ mod tests {
             ..ServiceConfig::default()
         };
         assert!(cfg.validate().unwrap_err().reason().contains("queue depth"));
+    }
+
+    #[test]
+    fn supervision_policy_validates_and_classifies_windows() {
+        let sup = SupervisionConfig::default();
+        assert!(sup.validate().is_ok());
+        assert!(
+            sup.guarantees_clean_recovery(),
+            "default window covers the gap"
+        );
+        let lossy = SupervisionConfig {
+            checkpoint_every: 64,
+            journal_window: 8,
+            ..sup
+        };
+        assert!(lossy.validate().is_ok());
+        assert!(!lossy.guarantees_clean_recovery());
+        let bad = SupervisionConfig {
+            journal_window: 0,
+            ..sup
+        };
+        let e = ServiceConfig {
+            supervision: bad,
+            ..ServiceConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(e.component(), "supervision");
     }
 
     #[test]

@@ -22,8 +22,22 @@
 //!   to prove **determinism**: a tenant's table after a given stream is
 //!   bit-identical for 1, 2 or 4 shards;
 //! * shutdown is graceful ([`PrefetchService::shutdown`] drains every
-//!   queue) and cooperative cancellation uses the simulator's existing
-//!   [`CancelToken`](ulmt_simcore::CancelToken).
+//!   queue, and anything racing in behind the drain is rejected with a
+//!   typed [`ServiceError::ShuttingDown`] — never silently dropped) and
+//!   cooperative cancellation uses the simulator's existing
+//!   [`CancelToken`](ulmt_simcore::CancelToken);
+//! * the service is **self-healing**: a supervisor thread detects dead
+//!   (panicked) and wedged (alive but not consuming) shards, rebuilds
+//!   them from periodic checkpoints plus a bounded observation
+//!   [`journal`] replay — bit-identical when the journal window covers
+//!   the gap, explicitly [`Lossy`](RecoveryOutcome::Lossy) with an exact
+//!   dropped-batch count when it does not — and every restart is
+//!   recorded as a [`RecoveryReport`]. While a shard is down, sessions
+//!   shed (acknowledge-without-learning, exactly counted in
+//!   [`TenantStats::shed`]) or wait, per
+//!   [`SupervisionConfig::shed_when_down`]. Deterministic chaos faults
+//!   ([`ServiceFaultConfig`](ulmt_simcore::ServiceFaultConfig)) exercise
+//!   all of it under test.
 //!
 //! [`Base`]: ulmt_core::table::Base
 //! [`Chain`]: ulmt_core::table::Chain
@@ -31,15 +45,18 @@
 //! [`LineAddr`]: ulmt_simcore::LineAddr
 
 mod config;
+mod journal;
 mod service;
 mod shard;
+mod supervisor;
 
-pub use config::{ServiceConfig, TableKind, TenantSpec};
+pub use config::{ServiceConfig, SupervisionConfig, TableKind, TenantSpec};
 pub use service::{
     BatchReply, PauseGuard, PendingBatch, PrefetchService, ServiceError, Session, ShardStats,
     TenantStats, TrySubmit,
 };
 pub use shard::ShardReport;
+pub use supervisor::{RecoveryCause, RecoveryOutcome, RecoveryReport, ShardState};
 
 #[cfg(test)]
 mod tests {
@@ -113,7 +130,12 @@ mod tests {
                 }
             }
             service.drain().unwrap();
-            per_count.push(sessions.iter().map(|s| s.fingerprint().unwrap()).collect());
+            per_count.push(
+                sessions
+                    .iter_mut()
+                    .map(|s| s.fingerprint().unwrap())
+                    .collect(),
+            );
             service.shutdown();
         }
         assert_eq!(per_count[0], per_count[1], "1 vs 2 shards");
@@ -130,7 +152,7 @@ mod tests {
         assert_eq!(snap.fingerprint(), fp);
 
         // Warm-start a second tenant from the snapshot: bit-identical.
-        let warm = service.open(4, TenantSpec::chain(256)).unwrap();
+        let mut warm = service.open(4, TenantSpec::chain(256)).unwrap();
         warm.restore(snap.clone()).unwrap();
         assert_eq!(warm.fingerprint().unwrap(), fp);
         // Byte codec round trip preserves the fingerprint too.
@@ -145,7 +167,7 @@ mod tests {
         let mut chain = service.open(1, TenantSpec::chain(256)).unwrap();
         chain.submit(stream(1, 50)).unwrap().wait().unwrap();
         let snap = chain.snapshot().unwrap();
-        let repl = service.open(2, TenantSpec::repl(256)).unwrap();
+        let mut repl = service.open(2, TenantSpec::repl(256)).unwrap();
         match repl.restore(snap) {
             Err(ServiceError::Snapshot(_)) => {}
             other => panic!("expected a snapshot kind mismatch, got {other:?}"),
@@ -179,7 +201,7 @@ mod tests {
                     assert_eq!(obs.len(), 4, "rejected batch is handed back intact");
                     handed_back = Some(obs);
                 }
-                TrySubmit::Closed(_) => panic!("service closed unexpectedly"),
+                other => panic!("service unavailable unexpectedly: {other:?}"),
             }
         }
         assert!(
@@ -329,6 +351,80 @@ mod tests {
         ) {
             Err(ServiceError::InvalidSpec(e)) => assert!(e.reason().contains("one level")),
             other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_race_rejects_late_batches_with_typed_error() {
+        // Deterministic ordering: pause the shard, queue real work, queue
+        // the shutdown marker, queue a late batch *behind* it, resume.
+        // The late batch must get a typed ShuttingDown rejection — not a
+        // silently dropped reply channel.
+        let service = PrefetchService::start(ServiceConfig {
+            shards: 1,
+            queue_depth: 16,
+            ..ServiceConfig::default()
+        });
+        let mut session = service.open(1, TenantSpec::repl(256)).unwrap();
+        let pause = service.pause_shard(0).unwrap();
+        let early = match session.try_submit(stream(1, 32)) {
+            TrySubmit::Enqueued(p) => p,
+            other => panic!("queue should have space: {other:?}"),
+        };
+        service.begin_shutdown();
+        let late = match session.try_submit(stream(1, 32)) {
+            TrySubmit::Enqueued(p) => p,
+            other => panic!("queue should still have space: {other:?}"),
+        };
+        drop(pause);
+
+        let early_reply = early.wait().unwrap();
+        assert!(early_reply.error.is_none());
+        assert_eq!(early_reply.observed, 32, "work before the marker lands");
+        let late_reply = late.wait().unwrap();
+        assert!(
+            matches!(late_reply.error, Some(ServiceError::ShuttingDown)),
+            "late batch gets the typed drain rejection: {late_reply:?}"
+        );
+        assert_eq!(late_reply.observed, 0, "nothing was learned from it");
+        assert!(
+            late_reply.recycled.capacity() >= 32,
+            "rejected batch buffer still comes back"
+        );
+
+        let reports = service.shutdown();
+        assert_eq!(reports[0].stats.batches, 1, "only the early batch counted");
+    }
+
+    #[test]
+    fn submit_timeout_hands_batch_back_when_queue_stays_full() {
+        let service = PrefetchService::start(ServiceConfig {
+            shards: 1,
+            queue_depth: 1,
+            ..ServiceConfig::default()
+        });
+        let mut session = service.open(2, TenantSpec::base(64)).unwrap();
+        let pause = service.pause_shard(0).unwrap();
+        // Fill the depth-1 queue, then a bounded submit must time out and
+        // hand the observations back intact.
+        let pending = loop {
+            match session.try_submit(stream(2, 8)) {
+                TrySubmit::Enqueued(p) => break p,
+                TrySubmit::Full(_) => continue,
+                other => panic!("unexpected: {other:?}"),
+            }
+        };
+        match session.submit_timeout(stream(2, 8), std::time::Duration::from_millis(20)) {
+            TrySubmit::TimedOut(obs) => assert_eq!(obs.len(), 8),
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        drop(pause);
+        assert!(pending.wait().unwrap().error.is_none());
+        // With the queue flowing again the bounded submit succeeds.
+        match session.submit_timeout(stream(2, 8), std::time::Duration::from_secs(5)) {
+            TrySubmit::Enqueued(p) => assert!(p.wait().unwrap().error.is_none()),
+            other => panic!("expected Enqueued, got {other:?}"),
         }
         service.shutdown();
     }

@@ -1,22 +1,44 @@
 //! The service front end: [`PrefetchService`] and the per-tenant
 //! [`Session`] handle.
+//!
+//! Since the supervision layer, sessions no longer hold a raw channel to
+//! a worker thread: they hold the shard's *slot*
+//! ([`crate::supervisor::ShardSlot`]) and resolve the current worker
+//! epoch's sender through it on demand. When a worker dies, the
+//! supervisor rebuilds it (checkpoint + journal replay) and publishes a
+//! fresh sender under a bumped epoch; sessions notice the stale link and
+//! re-resolve. While the shard is down, the data plane either *sheds*
+//! (acknowledges without learning, exactly counted) or waits, per
+//! [`SupervisionConfig::shed_when_down`](crate::SupervisionConfig::shed_when_down).
 
 use std::hash::Hasher;
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::thread::JoinHandle;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ulmt_core::table::{SnapshotError, TableSnapshot};
 use ulmt_simcore::{CancelToken, ConfigError, Cycle, FxHasher, LineAddr};
 use ulmt_workloads::codec::{decode_lines, TraceCodecError};
 
 use crate::config::{ServiceConfig, TenantSpec};
-use crate::shard::{run_shard, ShardMsg, ShardReport};
+use crate::shard::{ShardMsg, ShardReport};
+use crate::supervisor::{
+    lock, start_supervisor, RecoveryReport, ShardSlot, ShardState, SupervisorHandle, SupervisorMsg,
+};
 
 /// Errors surfaced by the service API.
 #[derive(Debug)]
 pub enum ServiceError {
     /// The target shard has shut down (or its thread died).
     Closed,
+    /// The batch or request arrived after shutdown began draining the
+    /// shard; nothing was learned from it.
+    ShuttingDown,
+    /// The target shard is down — being rebuilt after a crash, or parked
+    /// in [`ShardState::Failed`] with its restart budget exhausted.
+    ShardDown(u32),
+    /// The request did not complete within its time bound.
+    Timeout,
     /// The tenant is already registered on its shard.
     TenantExists(u32),
     /// The tenant was never opened on its shard.
@@ -33,6 +55,11 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Closed => write!(f, "prefetch shard has shut down"),
+            ServiceError::ShuttingDown => {
+                write!(f, "prefetch service is draining for shutdown")
+            }
+            ServiceError::ShardDown(s) => write!(f, "shard {s} is down"),
+            ServiceError::Timeout => write!(f, "shard request timed out"),
             ServiceError::TenantExists(t) => write!(f, "tenant {t} is already open"),
             ServiceError::UnknownTenant(t) => write!(f, "tenant {t} is not open"),
             ServiceError::InvalidSpec(e) => write!(f, "invalid tenant spec: {e}"),
@@ -48,9 +75,10 @@ impl std::error::Error for ServiceError {}
 ///
 /// Conservation invariant: every batch attempt a session makes is
 /// eventually counted exactly once — accepted batches in `batches` /
-/// `observed`, rejected attempts in `rejected` (reported on the next
-/// accepted batch; a session that ends on a rejection leaves its final
-/// rejections unflushed until it submits again).
+/// `observed`, rejected attempts in `rejected`, shed attempts in
+/// `shed` (both reported on the next accepted batch; a session that
+/// ends on a rejection or shed leaves its final tail unflushed until it
+/// submits again).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// The tenant ID.
@@ -61,6 +89,9 @@ pub struct TenantStats {
     pub observed: u64,
     /// Batch attempts rejected with [`TrySubmit::Full`].
     pub rejected: u64,
+    /// Batch attempts acknowledged without learning because the shard
+    /// was down (degraded-mode shedding).
+    pub shed: u64,
     /// Prefetch predictions returned.
     pub prefetches: u64,
     /// Valid rows currently in the tenant's table.
@@ -82,6 +113,8 @@ pub struct ShardStats {
     pub observed: u64,
     /// Rejected batch attempts across tenants.
     pub rejected: u64,
+    /// Shed batch attempts across tenants (degraded-mode acks).
+    pub shed: u64,
     /// Prefetch predictions returned across tenants.
     pub prefetches: u64,
     /// Cycles the shard's table engine was busy.
@@ -106,19 +139,23 @@ impl ShardStats {
 /// The shard's response to one accepted batch.
 #[derive(Debug)]
 pub struct BatchReply {
-    /// Miss observations processed (0 if cancelled or rejected).
+    /// Miss observations processed (0 if cancelled, shed or rejected).
     pub observed: u64,
     /// Prefetch predictions, in emission order across the batch.
     pub prefetches: Vec<LineAddr>,
     /// `true` if the service was cancelled and the batch was
     /// acknowledged without learning.
     pub cancelled: bool,
+    /// `true` if the batch was shed: acknowledged without learning
+    /// because its shard was down and the service's policy keeps the
+    /// client's latency budget ahead of completeness.
+    pub shed: bool,
     /// Set if the shard could not process the batch at all.
     pub error: Option<ServiceError>,
     /// The submitted observation buffer, cleared but with its capacity
     /// intact. Every ack path hands the batch `Vec` back (accepted,
-    /// cancelled and rejected alike), so a client that re-fills the
-    /// returned buffer for its next submission ingests in a steady
+    /// cancelled, shed and rejected alike), so a client that re-fills
+    /// the returned buffer for its next submission ingests in a steady
     /// state with no allocation on either side of the queue.
     pub recycled: Vec<LineAddr>,
 }
@@ -133,6 +170,7 @@ impl BatchReply {
             observed,
             prefetches,
             cancelled: false,
+            shed: false,
             error: None,
             recycled,
         }
@@ -143,6 +181,18 @@ impl BatchReply {
             observed: 0,
             prefetches: Vec::new(),
             cancelled: true,
+            shed: false,
+            error: None,
+            recycled,
+        }
+    }
+
+    pub(crate) fn shed(recycled: Vec<LineAddr>) -> Self {
+        BatchReply {
+            observed: 0,
+            prefetches: Vec::new(),
+            cancelled: false,
+            shed: true,
             error: None,
             recycled,
         }
@@ -153,6 +203,7 @@ impl BatchReply {
             observed: 0,
             prefetches: Vec::new(),
             cancelled: false,
+            shed: false,
             error: Some(error),
             recycled,
         }
@@ -167,9 +218,28 @@ pub struct PendingBatch {
 }
 
 impl PendingBatch {
+    /// A handle whose reply is already decided (shed acks).
+    fn pre_filled(reply: BatchReply) -> Self {
+        let (tx, rx) = channel();
+        let _ = tx.send(reply);
+        PendingBatch { rx }
+    }
+
     /// Blocks until the shard has processed the batch.
     pub fn wait(self) -> Result<BatchReply, ServiceError> {
         self.rx.recv().map_err(|_| ServiceError::Closed)
+    }
+
+    /// Waits up to `timeout` for the reply without consuming the handle:
+    /// [`ServiceError::Timeout`] means "not yet", and the handle stays
+    /// valid to wait on again. [`ServiceError::Closed`] means the worker
+    /// died with the batch unacknowledged — the observations were never
+    /// journaled, so resubmitting them is safe (at-least-once).
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<BatchReply, ServiceError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServiceError::Timeout,
+            RecvTimeoutError::Disconnected => ServiceError::Closed,
+        })
     }
 
     /// Returns the reply if the shard has already processed the batch.
@@ -178,33 +248,63 @@ impl PendingBatch {
     }
 }
 
-/// Outcome of a non-blocking submission.
+/// Outcome of a non-blocking or time-bounded submission.
 #[derive(Debug)]
 pub enum TrySubmit {
-    /// The batch is in the shard's queue; the handle yields the reply.
+    /// The batch is in the shard's queue (or was shed with an immediate
+    /// ack — see [`BatchReply::shed`]); the handle yields the reply.
     Enqueued(PendingBatch),
-    /// The shard's ingestion queue is full. The observations are handed
-    /// back untouched — nothing was dropped — and the rejection will be
-    /// counted on the shard with the next accepted batch.
+    /// The shard's ingestion queue is full (or the shard is briefly
+    /// unavailable). The observations are handed back untouched —
+    /// nothing was dropped — and the rejection will be counted on the
+    /// shard with the next accepted batch.
     Full(Vec<LineAddr>),
-    /// The shard has shut down; the observations are handed back.
+    /// The submission's time bound expired before queue space appeared
+    /// ([`Session::submit_timeout`] only). Observations handed back.
+    TimedOut(Vec<LineAddr>),
+    /// The shard has shut down (or is permanently failed); the
+    /// observations are handed back.
     Closed(Vec<LineAddr>),
 }
+
+/// How long a down shard is polled for on the blocking paths.
+const DOWN_POLL: Duration = Duration::from_millis(1);
 
 /// A tenant's handle onto the service.
 ///
 /// Sessions are single-owner (`&mut self` on the data plane) because
-/// the handle locally accumulates the count of rejected submissions to
-/// piggyback on the next accepted batch.
+/// the handle locally accumulates the counts of rejected and shed
+/// submissions to piggyback on the next accepted batch.
 #[derive(Debug)]
 pub struct Session {
     tenant: u32,
     shard: u32,
-    tx: SyncSender<ShardMsg>,
+    slot: Arc<ShardSlot>,
+    /// Cached sender of the worker epoch last resolved.
+    tx: Option<SyncSender<ShardMsg>>,
+    epoch: u64,
+    shed_when_down: bool,
+    control_timeout: Duration,
     rejected_since_last: u32,
+    shed_since_last: u32,
 }
 
 impl Session {
+    fn new(tenant: u32, slot: Arc<ShardSlot>, cfg: &ServiceConfig) -> Self {
+        let (tx, epoch, _) = slot.resolve();
+        Session {
+            tenant,
+            shard: slot.shard,
+            slot,
+            tx,
+            epoch,
+            shed_when_down: cfg.supervision.shed_when_down,
+            control_timeout: Duration::from_millis(cfg.supervision.control_timeout_ms.max(1)),
+            rejected_since_last: 0,
+            shed_since_last: 0,
+        }
+    }
+
     /// The tenant ID this session feeds.
     pub fn tenant(&self) -> u32 {
         self.tenant
@@ -215,42 +315,202 @@ impl Session {
         self.shard
     }
 
-    /// Non-blocking submission of a batch of L2-miss line addresses.
-    /// Never drops observations: a full queue hands the batch back as
-    /// [`TrySubmit::Full`].
-    pub fn try_submit(&mut self, obs: Vec<LineAddr>) -> TrySubmit {
-        let (reply, rx) = channel();
-        let msg = ShardMsg::Batch {
+    /// The cached sender if it still belongs to the live epoch, else a
+    /// freshly resolved one.
+    fn link(&mut self) -> (Option<SyncSender<ShardMsg>>, u64, ShardState) {
+        let state = self.slot.health.state();
+        if state == ShardState::Up && self.tx.is_some() && self.epoch == self.slot.health.epoch() {
+            return (self.tx.clone(), self.epoch, state);
+        }
+        let (tx, epoch, state) = self.slot.resolve();
+        self.tx = tx.clone();
+        self.epoch = epoch;
+        (tx, epoch, state)
+    }
+
+    fn batch_msg(&self, obs: Vec<LineAddr>, reply: Sender<BatchReply>) -> ShardMsg {
+        ShardMsg::Batch {
             tenant: self.tenant,
             obs,
             rejected_since_last: self.rejected_since_last,
+            shed_since_last: self.shed_since_last,
             reply,
-        };
-        match self.tx.try_send(msg) {
-            Ok(()) => {
-                self.rejected_since_last = 0;
-                TrySubmit::Enqueued(PendingBatch { rx })
-            }
-            Err(TrySendError::Full(msg)) => {
-                self.rejected_since_last = self.rejected_since_last.saturating_add(1);
-                TrySubmit::Full(take_obs(msg))
-            }
-            Err(TrySendError::Disconnected(msg)) => TrySubmit::Closed(take_obs(msg)),
         }
     }
 
-    /// Blocking submission: waits for queue space instead of rejecting.
-    pub fn submit(&mut self, obs: Vec<LineAddr>) -> Result<PendingBatch, ServiceError> {
-        let (reply, rx) = channel();
-        let msg = ShardMsg::Batch {
-            tenant: self.tenant,
-            obs,
-            rejected_since_last: self.rejected_since_last,
-            reply,
-        };
-        self.tx.send(msg).map_err(|_| ServiceError::Closed)?;
+    /// The msg carried the piggyback counters onto the shard; stop
+    /// accumulating them locally.
+    fn flush_piggyback(&mut self) {
         self.rejected_since_last = 0;
-        Ok(PendingBatch { rx })
+        self.shed_since_last = 0;
+    }
+
+    /// Degraded-mode ack: the shard is down and policy says clients keep
+    /// their latency budget — acknowledge without learning, and count
+    /// the shed exactly (piggybacked onto the next accepted batch).
+    fn shed_ack(&mut self, mut obs: Vec<LineAddr>) -> PendingBatch {
+        self.shed_since_last = self.shed_since_last.saturating_add(1);
+        obs.clear();
+        PendingBatch::pre_filled(BatchReply::shed(obs))
+    }
+
+    /// Non-blocking submission of a batch of L2-miss line addresses.
+    /// Never drops observations: a full queue hands the batch back as
+    /// [`TrySubmit::Full`]. A down shard either sheds (immediate ack,
+    /// see [`BatchReply::shed`]) or hands the batch back as `Full`,
+    /// per the service's
+    /// [`shed_when_down`](crate::SupervisionConfig::shed_when_down)
+    /// policy.
+    pub fn try_submit(&mut self, obs: Vec<LineAddr>) -> TrySubmit {
+        let mut obs = obs;
+        loop {
+            let (tx, epoch, state) = self.link();
+            match state {
+                ShardState::Up => {
+                    let Some(tx) = tx else {
+                        // Mid-publish race: the link isn't out yet.
+                        self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                        return TrySubmit::Full(obs);
+                    };
+                    let (reply, rx) = channel();
+                    match tx.try_send(self.batch_msg(obs, reply)) {
+                        Ok(()) => {
+                            self.slot.health.note_enqueued();
+                            self.flush_piggyback();
+                            return TrySubmit::Enqueued(PendingBatch { rx });
+                        }
+                        Err(TrySendError::Full(msg)) => {
+                            self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                            return TrySubmit::Full(take_obs(msg));
+                        }
+                        Err(TrySendError::Disconnected(msg)) => {
+                            obs = take_obs(msg);
+                            if self.stale_after_disconnect(epoch) {
+                                return TrySubmit::Closed(obs);
+                            }
+                            // The link changed under us; retry against
+                            // the replacement epoch.
+                        }
+                    }
+                }
+                ShardState::Down => {
+                    return if self.shed_when_down {
+                        TrySubmit::Enqueued(self.shed_ack(obs))
+                    } else {
+                        self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                        TrySubmit::Full(obs)
+                    };
+                }
+                ShardState::Failed | ShardState::Closed => return TrySubmit::Closed(obs),
+            }
+        }
+    }
+
+    /// After a disconnected send: `true` if the slot still claims the
+    /// same epoch is Up — the worker died this instant and the
+    /// supervisor hasn't reacted yet; report closed rather than spin.
+    fn stale_after_disconnect(&mut self, seen_epoch: u64) -> bool {
+        let (tx, epoch, state) = self.slot.resolve();
+        self.tx = tx;
+        self.epoch = epoch;
+        state == ShardState::Up && epoch == seen_epoch
+    }
+
+    /// Blocking submission: waits for queue space instead of rejecting,
+    /// and rides out shard recoveries. A down shard sheds immediately
+    /// under the shedding policy; otherwise the wait for the shard to
+    /// come back is bounded by the service's control timeout
+    /// ([`ServiceError::Timeout`]), and a permanently failed shard
+    /// reports [`ServiceError::ShardDown`].
+    pub fn submit(&mut self, obs: Vec<LineAddr>) -> Result<PendingBatch, ServiceError> {
+        let deadline = Instant::now() + self.control_timeout;
+        let mut obs = obs;
+        loop {
+            let (tx, epoch, state) = self.link();
+            match state {
+                ShardState::Up => {
+                    let Some(tx) = tx else {
+                        if Instant::now() >= deadline {
+                            return Err(ServiceError::Timeout);
+                        }
+                        std::thread::sleep(DOWN_POLL);
+                        continue;
+                    };
+                    let (reply, rx) = channel();
+                    match tx.send(self.batch_msg(obs, reply)) {
+                        Ok(()) => {
+                            self.slot.health.note_enqueued();
+                            self.flush_piggyback();
+                            return Ok(PendingBatch { rx });
+                        }
+                        Err(e) => {
+                            obs = take_obs(e.0);
+                            if self.stale_after_disconnect(epoch) {
+                                return Err(ServiceError::Closed);
+                            }
+                        }
+                    }
+                }
+                ShardState::Down => {
+                    if self.shed_when_down {
+                        return Ok(self.shed_ack(obs));
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(ServiceError::Timeout);
+                    }
+                    std::thread::sleep(DOWN_POLL);
+                }
+                ShardState::Failed => return Err(ServiceError::ShardDown(self.shard)),
+                ShardState::Closed => return Err(ServiceError::Closed),
+            }
+        }
+    }
+
+    /// Time-bounded submission: waits up to `timeout` for queue space
+    /// (and across shard recoveries), then hands the batch back as
+    /// [`TrySubmit::TimedOut`] instead of blocking further. Never drops
+    /// observations.
+    pub fn submit_timeout(&mut self, obs: Vec<LineAddr>, timeout: Duration) -> TrySubmit {
+        let deadline = Instant::now() + timeout;
+        let mut obs = obs;
+        loop {
+            let (tx, epoch, state) = self.link();
+            match state {
+                ShardState::Up => {
+                    if let Some(tx) = tx {
+                        let (reply, rx) = channel();
+                        match tx.try_send(self.batch_msg(obs, reply)) {
+                            Ok(()) => {
+                                self.slot.health.note_enqueued();
+                                self.flush_piggyback();
+                                return TrySubmit::Enqueued(PendingBatch { rx });
+                            }
+                            Err(TrySendError::Full(msg)) => {
+                                obs = take_obs(msg);
+                            }
+                            Err(TrySendError::Disconnected(msg)) => {
+                                obs = take_obs(msg);
+                                if self.stale_after_disconnect(epoch) {
+                                    return TrySubmit::Closed(obs);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+                ShardState::Down => {
+                    if self.shed_when_down {
+                        return TrySubmit::Enqueued(self.shed_ack(obs));
+                    }
+                }
+                ShardState::Failed | ShardState::Closed => return TrySubmit::Closed(obs),
+            }
+            if Instant::now() >= deadline {
+                self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                return TrySubmit::TimedOut(obs);
+            }
+            std::thread::sleep(DOWN_POLL);
+        }
     }
 
     /// Blocking submission of a batch in the
@@ -262,50 +522,88 @@ impl Session {
 
     /// Captures the tenant's learned table, after everything already
     /// queued for it has been processed (FIFO ordering is the barrier).
-    pub fn snapshot(&self) -> Result<TableSnapshot, ServiceError> {
+    pub fn snapshot(&mut self) -> Result<TableSnapshot, ServiceError> {
         let (reply, rx) = channel();
         self.control(ShardMsg::Snapshot {
             tenant: self.tenant,
             reply,
         })?;
-        rx.recv().map_err(|_| ServiceError::Closed)?
+        self.control_recv(&rx)?
     }
 
     /// Replaces the tenant's table with a previously captured snapshot
     /// (warm start). The snapshot must come from the same algorithm.
-    pub fn restore(&self, snap: TableSnapshot) -> Result<(), ServiceError> {
+    pub fn restore(&mut self, snap: TableSnapshot) -> Result<(), ServiceError> {
         let (reply, rx) = channel();
         self.control(ShardMsg::Restore {
             tenant: self.tenant,
             snap: Box::new(snap),
             reply,
         })?;
-        rx.recv().map_err(|_| ServiceError::Closed)?
+        self.control_recv(&rx)?
     }
 
     /// Fingerprint of the tenant's learned table (see
     /// [`TableSnapshot::fingerprint`]).
-    pub fn fingerprint(&self) -> Result<u64, ServiceError> {
+    pub fn fingerprint(&mut self) -> Result<u64, ServiceError> {
         let (reply, rx) = channel();
         self.control(ShardMsg::Fingerprint {
             tenant: self.tenant,
             reply,
         })?;
-        rx.recv().map_err(|_| ServiceError::Closed)?
+        self.control_recv(&rx)?
     }
 
     /// The tenant's counters.
-    pub fn stats(&self) -> Result<TenantStats, ServiceError> {
+    pub fn stats(&mut self) -> Result<TenantStats, ServiceError> {
         let (reply, rx) = channel();
         self.control(ShardMsg::TenantStats {
             tenant: self.tenant,
             reply,
         })?;
-        rx.recv().map_err(|_| ServiceError::Closed)?
+        self.control_recv(&rx)?
     }
 
-    fn control(&self, msg: ShardMsg) -> Result<(), ServiceError> {
-        self.tx.send(msg).map_err(|_| ServiceError::Closed)
+    /// Sends a control-plane message to the live worker. A down or
+    /// failed shard reports [`ServiceError::ShardDown`] instead of
+    /// queueing into the void — control requests need the FIFO position
+    /// they were sent in, which a dead queue cannot honour.
+    fn control(&mut self, msg: ShardMsg) -> Result<(), ServiceError> {
+        let (tx, epoch, state) = self.link();
+        match state {
+            ShardState::Up => {
+                let Some(tx) = tx else {
+                    return Err(ServiceError::ShardDown(self.shard));
+                };
+                match tx.send(msg) {
+                    Ok(()) => {
+                        self.slot.health.note_enqueued();
+                        Ok(())
+                    }
+                    Err(_) => {
+                        if self.stale_after_disconnect(epoch) {
+                            Err(ServiceError::Closed)
+                        } else {
+                            Err(ServiceError::ShardDown(self.shard))
+                        }
+                    }
+                }
+            }
+            ShardState::Down | ShardState::Failed => Err(ServiceError::ShardDown(self.shard)),
+            ShardState::Closed => Err(ServiceError::Closed),
+        }
+    }
+
+    /// Receives a control reply within the control timeout, mapping a
+    /// died-while-we-waited worker to a typed error.
+    fn control_recv<T>(&self, rx: &Receiver<T>) -> Result<T, ServiceError> {
+        rx.recv_timeout(self.control_timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServiceError::Timeout,
+            RecvTimeoutError::Disconnected => match self.slot.health.state() {
+                ShardState::Closed => ServiceError::Closed,
+                _ => ServiceError::ShardDown(self.shard),
+            },
+        })
     }
 
     /// Test-only: a session on the same shard queue for a tenant that
@@ -315,8 +613,13 @@ impl Session {
         Session {
             tenant,
             shard: other.shard,
+            slot: Arc::clone(&other.slot),
             tx: other.tx.clone(),
+            epoch: other.epoch,
+            shed_when_down: other.shed_when_down,
+            control_timeout: other.control_timeout,
             rejected_since_last: 0,
+            shed_since_last: 0,
         }
     }
 }
@@ -336,7 +639,7 @@ pub struct PauseGuard {
     _resume: Sender<()>,
 }
 
-/// A long-lived, sharded, multi-tenant prefetch service.
+/// A long-lived, sharded, multi-tenant, *self-healing* prefetch service.
 ///
 /// `N` shard worker threads each own the correlation tables of the
 /// tenants hashed to them. Clients open a [`Session`] per tenant and
@@ -350,6 +653,16 @@ pub struct PauseGuard {
 /// count and any interleaving with other tenants: the tenant's stream
 /// flows FIFO through exactly one shard queue, and observations only
 /// touch their own tenant's table.
+///
+/// # Fault tolerance
+///
+/// A supervisor thread watches every shard for death (panic) and wedging
+/// (alive but not consuming). A failed shard is rebuilt from its last
+/// checkpoint plus a replay of the journaled batches past it — see
+/// [`crate::journal`] for the exact recovery contract — and every
+/// restart is recorded as a [`RecoveryReport`]. While a shard is down,
+/// sessions shed or wait per
+/// [`SupervisionConfig::shed_when_down`](crate::SupervisionConfig::shed_when_down).
 ///
 /// # Example
 ///
@@ -370,13 +683,14 @@ pub struct PauseGuard {
 /// ```
 pub struct PrefetchService {
     cfg: ServiceConfig,
-    senders: Vec<SyncSender<ShardMsg>>,
-    handles: Vec<JoinHandle<ShardReport>>,
+    slots: Vec<Arc<ShardSlot>>,
+    supervisor: SupervisorHandle,
     cancel: CancelToken,
 }
 
 impl PrefetchService {
-    /// Spawns the shard workers and returns the running service.
+    /// Spawns the shard workers and their supervisor, and returns the
+    /// running service.
     ///
     /// # Panics
     ///
@@ -384,23 +698,14 @@ impl PrefetchService {
     pub fn start(cfg: ServiceConfig) -> Self {
         cfg.checked();
         let cancel = CancelToken::new();
-        let mut senders = Vec::with_capacity(cfg.shards);
-        let mut handles = Vec::with_capacity(cfg.shards);
-        for shard in 0..cfg.shards as u32 {
-            let (tx, rx) = sync_channel(cfg.queue_depth);
-            let token = cancel.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ulmt-shard-{shard}"))
-                    .spawn(move || run_shard(shard, cfg, token, rx))
-                    .expect("spawning a shard worker thread"),
-            );
-            senders.push(tx);
-        }
+        let slots: Vec<Arc<ShardSlot>> = (0..cfg.shards as u32)
+            .map(|shard| Arc::new(ShardSlot::new(shard, &cfg)))
+            .collect();
+        let supervisor = start_supervisor(cfg, cancel.clone(), slots.clone());
         PrefetchService {
             cfg,
-            senders,
-            handles,
+            slots,
+            supervisor,
             cancel,
         }
     }
@@ -412,7 +717,7 @@ impl PrefetchService {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.senders.len()
+        self.slots.len()
     }
 
     /// The shard `tenant` is pinned to: a seeded hash, stable for the
@@ -421,7 +726,7 @@ impl PrefetchService {
         let mut h = FxHasher::default();
         h.write_u64(self.cfg.seed);
         h.write_u32(tenant);
-        (h.finish() % self.senders.len() as u64) as u32
+        (h.finish() % self.slots.len() as u64) as u32
     }
 
     /// The service's cancellation token. Cancelling makes shards
@@ -431,56 +736,107 @@ impl PrefetchService {
         self.cancel.clone()
     }
 
+    /// Current availability of one shard.
+    pub fn shard_state(&self, shard: usize) -> ShardState {
+        self.slots[shard].health.state()
+    }
+
+    /// Every recovery any shard has gone through so far, oldest first
+    /// per shard.
+    pub fn recovery_reports(&self) -> Vec<RecoveryReport> {
+        self.slots
+            .iter()
+            .flat_map(|slot| lock(&slot.recoveries).clone())
+            .collect()
+    }
+
     /// Registers `tenant` on its shard and returns its session.
     pub fn open(&self, tenant: u32, spec: TenantSpec) -> Result<Session, ServiceError> {
         let shard = self.shard_of(tenant);
-        let tx = self.senders[shard as usize].clone();
+        let slot = &self.slots[shard as usize];
+        // Register the spec before telling the worker: the spec registry
+        // is what recovery recreates tenants from, so a tenant whose
+        // open was acked can never be lost by a crash.
+        {
+            let mut specs = lock(&slot.specs);
+            if specs.iter().any(|&(t, _)| t == tenant) {
+                return Err(ServiceError::TenantExists(tenant));
+            }
+            spec.validate().map_err(ServiceError::InvalidSpec)?;
+            specs.push((tenant, spec));
+        }
+        let mut session = Session::new(tenant, Arc::clone(slot), &self.cfg);
         let (reply, rx) = channel();
-        tx.send(ShardMsg::Open {
-            tenant,
-            spec,
-            reply,
-        })
-        .map_err(|_| ServiceError::Closed)?;
-        rx.recv().map_err(|_| ServiceError::Closed)??;
-        Ok(Session {
-            tenant,
-            shard,
-            tx,
-            rejected_since_last: 0,
-        })
+        let result = session
+            .control(ShardMsg::Open {
+                tenant,
+                spec,
+                reply,
+            })
+            .and_then(|()| session.control_recv(&rx)?);
+        if let Err(e) = result {
+            // The worker never acked the open; withdraw the spec so a
+            // later retry (or a recovery) doesn't resurrect a tenant the
+            // client believes was never created.
+            lock(&slot.specs).retain(|&(t, _)| t != tenant);
+            return Err(e);
+        }
+        Ok(session)
     }
 
     /// Aggregate counters of one shard.
     pub fn shard_stats(&self, shard: usize) -> Result<ShardStats, ServiceError> {
+        let slot = &self.slots[shard];
+        let (tx, _, state) = slot.resolve();
+        let tx = match (state, tx) {
+            (ShardState::Up, Some(tx)) => tx,
+            (ShardState::Closed, _) => return Err(ServiceError::Closed),
+            _ => return Err(ServiceError::ShardDown(shard as u32)),
+        };
         let (reply, rx) = channel();
-        self.senders[shard]
-            .send(ShardMsg::ShardStats { reply })
-            .map_err(|_| ServiceError::Closed)?;
-        rx.recv().map_err(|_| ServiceError::Closed)
+        tx.send(ShardMsg::ShardStats { reply })
+            .map_err(|_| ServiceError::ShardDown(shard as u32))?;
+        slot.health.note_enqueued();
+        rx.recv().map_err(|_| ServiceError::ShardDown(shard as u32))
     }
 
     /// Blocks the given shard until the returned guard is dropped.
     /// While paused, the shard's ingestion queue fills up and
     /// [`Session::try_submit`] surfaces backpressure as
-    /// [`TrySubmit::Full`].
+    /// [`TrySubmit::Full`]. The supervisor's wedge detector knows a
+    /// paused shard is deliberate and leaves it alone.
     pub fn pause_shard(&self, shard: usize) -> Result<PauseGuard, ServiceError> {
+        let (tx, _, state) = self.slots[shard].resolve();
+        let tx = match (state, tx) {
+            (ShardState::Up, Some(tx)) => tx,
+            (ShardState::Closed, _) => return Err(ServiceError::Closed),
+            _ => return Err(ServiceError::ShardDown(shard as u32)),
+        };
         let (resume, gate) = channel();
-        self.senders[shard]
-            .send(ShardMsg::Pause(gate))
-            .map_err(|_| ServiceError::Closed)?;
+        tx.send(ShardMsg::Pause(gate))
+            .map_err(|_| ServiceError::ShardDown(shard as u32))?;
+        self.slots[shard].health.note_enqueued();
         Ok(PauseGuard { _resume: resume })
     }
 
-    /// Barrier: returns once every shard has processed everything queued
-    /// before this call.
+    /// Barrier: returns once every *live* shard has processed everything
+    /// queued before this call. Down shards have no queue to drain (it
+    /// died with their worker) and are skipped.
     pub fn drain(&self) -> Result<(), ServiceError> {
-        let mut waits = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
-            let (reply, rx) = channel();
-            tx.send(ShardMsg::Drain { reply })
-                .map_err(|_| ServiceError::Closed)?;
-            waits.push(rx);
+        let mut waits = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let (tx, _, state) = slot.resolve();
+            match (state, tx) {
+                (ShardState::Up, Some(tx)) => {
+                    let (reply, rx) = channel();
+                    tx.send(ShardMsg::Drain { reply })
+                        .map_err(|_| ServiceError::ShardDown(slot.shard))?;
+                    slot.health.note_enqueued();
+                    waits.push(rx);
+                }
+                (ShardState::Closed, _) => return Err(ServiceError::Closed),
+                _ => {}
+            }
         }
         for rx in waits {
             rx.recv().map_err(|_| ServiceError::Closed)?;
@@ -488,19 +844,37 @@ impl PrefetchService {
         Ok(())
     }
 
+    /// Starts the shutdown drain without consuming the service: a
+    /// `Shutdown` marker is queued behind everything already submitted,
+    /// and anything arriving after it is rejected with
+    /// [`ServiceError::ShuttingDown`] instead of being silently dropped.
+    /// Call [`PrefetchService::shutdown`] afterwards to join the workers
+    /// and collect reports.
+    pub fn begin_shutdown(&self) {
+        for slot in &self.slots {
+            let (tx, _, _) = slot.resolve();
+            if let Some(tx) = tx {
+                let _ = tx.send(ShardMsg::Shutdown);
+            }
+        }
+    }
+
     /// Graceful shutdown: every shard processes its remaining queue,
-    /// then exits; returns each shard's final report (counters plus
-    /// trace buffer, if tracing was on). Sessions still holding the
+    /// then exits; returns each shard's final report (counters, trace
+    /// buffer if tracing was on, and its recovery history). Batches that
+    /// race in behind the shutdown marker are rejected with
+    /// [`ServiceError::ShuttingDown`]; sessions still holding the
     /// service see [`ServiceError::Closed`] / [`TrySubmit::Closed`]
     /// afterwards.
     pub fn shutdown(mut self) -> Vec<ShardReport> {
-        for tx in &self.senders {
-            let _ = tx.send(ShardMsg::Shutdown);
-        }
-        self.senders.clear();
-        let mut reports = Vec::with_capacity(self.handles.len());
-        for handle in self.handles.drain(..) {
-            reports.push(handle.join().expect("shard worker panicked"));
+        let (reply, rx) = channel();
+        let _ = self
+            .supervisor
+            .tx
+            .send(SupervisorMsg::Stop { reply: Some(reply) });
+        let reports = rx.recv().unwrap_or_default();
+        if let Some(thread) = self.supervisor.thread.take() {
+            let _ = thread.join();
         }
         reports
     }
@@ -508,9 +882,12 @@ impl PrefetchService {
 
 impl Drop for PrefetchService {
     /// Dropping without [`PrefetchService::shutdown`] cancels the token
-    /// (so in-flight work winds down) but does not join the workers;
-    /// they exit once every session's sender is dropped.
+    /// (so in-flight work winds down) and stops the supervisor without
+    /// joining the workers; they exit once their queues disconnect.
     fn drop(&mut self) {
         self.cancel.cancel();
+        if self.supervisor.thread.take().is_some() {
+            let _ = self.supervisor.tx.send(SupervisorMsg::Stop { reply: None });
+        }
     }
 }

@@ -8,16 +8,34 @@
 //! many shards the service runs or which other tenants share the shard.
 //! That is the service's determinism argument, and the fingerprint
 //! checks in the tests and the `serve` benchmark hold it to account.
+//!
+//! Since the supervision layer (see [`crate::supervisor`]) the worker is
+//! also *recoverable*: every accepted batch is journaled before it is
+//! acknowledged, the whole shard state (tables, counters, virtual clock)
+//! is checkpointed every `checkpoint_every` accepted batches, and a
+//! replacement worker can be rebuilt from checkpoint + journal replay
+//! through the same `process_misses` batch kernel — bit-identical to a
+//! worker that never died whenever the journal window covers the gap.
 
 use std::collections::hash_map::Entry;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
 
 use ulmt_core::algorithm::{StepSink, UlmtAlgorithm};
 use ulmt_core::table::{Base, Chain, Replicated, SnapshotError, SnapshotKind, TableSnapshot};
-use ulmt_simcore::{CancelToken, Cycle, FxHashMap, LineAddr, Server, TraceBuffer, TraceEvent};
+use ulmt_simcore::{
+    CancelToken, Cycle, FxHashMap, LineAddr, Server, ServiceFault, ServiceFaultPlan, TraceBuffer,
+    TraceEvent,
+};
 
 use crate::config::{ServiceConfig, TableKind, TenantSpec};
+use crate::journal::{JournalCoverage, ObservationJournal};
 use crate::service::{BatchReply, ServiceError, ShardStats, TenantStats};
+use crate::supervisor::{
+    lock, RecoveryReport, ShardCheckpoint, ShardSlot, ShardState, TenantCheckpoint,
+};
 
 /// A tenant's concrete table. The [`UlmtAlgorithm`] trait is not
 /// object-safe across threads (tables are plain data, the trait is not
@@ -105,7 +123,9 @@ impl TenantTable {
 /// shard time by `obs_cycles` when a step begins, collect each prefetch
 /// as it is emitted, and occupy the shard's server for the step's
 /// instruction cost when it ends — 1 cycle/insn, like the memory
-/// processor, giving the utilization figure.
+/// processor, giving the utilization figure. Journal replay during
+/// recovery drives the *same* sink, which is why a clean recovery also
+/// reproduces the virtual clock and utilization bit-identically.
 struct IngestSink<'a> {
     now: &'a mut Cycle,
     obs_cycles: Cycle,
@@ -164,6 +184,11 @@ pub(crate) enum ShardMsg {
         /// stream order — so the rejection counters are exact even
         /// though rejected batches never reach the shard themselves.
         rejected_since_last: u32,
+        /// Number of batch attempts the session shed (acknowledged
+        /// without learning because the shard was down) since its
+        /// previous accepted batch. Same piggyback scheme as
+        /// `rejected_since_last`.
+        shed_since_last: u32,
         reply: Sender<BatchReply>,
     },
     /// Capture a tenant's learned table.
@@ -196,47 +221,233 @@ pub(crate) enum ShardMsg {
     /// [`PrefetchService::pause_shard`](crate::PrefetchService::pause_shard)
     /// to fill the ingestion queue deterministically in tests.
     Pause(Receiver<()>),
-    /// Process everything queued before this message, then exit.
+    /// Process everything queued before this message, reject everything
+    /// queued after it with a typed error, then exit.
     Shutdown,
 }
 
 /// What a shard worker hands back when it exits.
+#[derive(Debug)]
 pub struct ShardReport {
     /// Final aggregate counters.
     pub stats: ShardStats,
-    /// The shard's trace buffer, if tracing was enabled.
+    /// The shard's trace buffer, if tracing was enabled. A restarted
+    /// shard's buffer starts empty at the restart (the buffer dies with
+    /// the worker thread; only table state and counters are recovered).
     pub trace: Option<TraceBuffer>,
+    /// Worker epoch that produced this report (0 = never restarted).
+    pub epoch: u64,
+    /// Every recovery this shard went through, oldest first. Attached by
+    /// the supervisor at shutdown.
+    pub recoveries: Vec<RecoveryReport>,
 }
 
-/// The shard worker loop. Runs on its own thread until [`ShardMsg::Shutdown`]
-/// or until every sender is dropped.
-pub(crate) fn run_shard(
+/// How a worker epoch ended.
+pub(crate) enum ShardExit {
+    /// Graceful shutdown after draining the queue.
+    Finished(Box<ShardReport>),
+    /// The supervisor fenced this epoch (wedge recovery); a replacement
+    /// owns the shard now.
+    Abandoned,
+    /// The worker panicked; the panic was caught by the spawn wrapper.
+    Panicked,
+}
+
+/// Everything a (re)spawned worker needs besides its receiving queue.
+pub(crate) struct WorkerCtx {
+    pub shard: u32,
+    pub epoch: u64,
+    pub cfg: ServiceConfig,
+    pub cancel: CancelToken,
+    pub slot: Arc<ShardSlot>,
+}
+
+/// Prebuilt shard state a replacement worker resumes from; `None` means
+/// a fresh, empty shard (epoch 0).
+pub(crate) struct ShardInit {
+    tenants: FxHashMap<u32, TenantState>,
+    stats: ShardStats,
+    now: Cycle,
+    server: Server,
+}
+
+impl ShardInit {
+    /// The rebuilt virtual clock — the watermark a replacement worker's
+    /// wedge detector starts from.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+}
+
+/// What [`rebuild_shard`] could reconstruct, for the recovery report.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RebuildSummary {
+    pub coverage: JournalCoverage,
+    pub checkpoint_seq: u64,
+    pub resumed_seq: u64,
+    pub checkpoint_bytes: u64,
+    pub tenants_restored: u32,
+}
+
+/// Rebuilds a shard's in-memory state from its last checkpoint plus a
+/// replay of the journaled batches past it, through the same
+/// [`IngestSink`] cadence as live ingestion. Clean recovery (journal
+/// covers the whole gap) therefore reproduces tables, per-tenant stats,
+/// the virtual clock and the utilization server bit-identically.
+pub(crate) fn rebuild_shard(
     shard: u32,
-    cfg: ServiceConfig,
-    cancel: CancelToken,
-    rx: Receiver<ShardMsg>,
-) -> ShardReport {
+    cfg: &ServiceConfig,
+    specs: &[(u32, TenantSpec)],
+    checkpoint: Option<&ShardCheckpoint>,
+    journal: &ObservationJournal,
+) -> Result<(ShardInit, RebuildSummary), SnapshotError> {
     let mut tenants: FxHashMap<u32, TenantState> = FxHashMap::default();
-    let mut trace = cfg.trace.map(TraceBuffer::new);
-    let mut server = Server::new();
-    let mut now: Cycle = 0;
+    for &(tenant, ref spec) in specs {
+        tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantState::new(tenant, TenantTable::new(spec)));
+    }
     let mut stats = ShardStats {
         shard,
         ..ShardStats::default()
     };
+    let mut now: Cycle = 0;
+    let mut server = Server::new();
+    let mut checkpoint_seq = 0;
+    let mut checkpoint_bytes = 0;
+    if let Some(cp) = checkpoint {
+        checkpoint_seq = cp.seq;
+        stats = cp.stats;
+        now = cp.now;
+        server = Server::from_state(cp.server);
+        for tc in &cp.tenants {
+            if let Some(state) = tenants.get_mut(&tc.tenant) {
+                state.table = state.table.restored(&tc.snap)?;
+                state.stats = tc.stats;
+            }
+            checkpoint_bytes += tc.snap.approx_bytes();
+        }
+    }
 
-    while let Ok(msg) = rx.recv() {
+    let (entries, coverage) = journal.replay_from(checkpoint_seq);
+    let mut prefetches: Vec<LineAddr> = Vec::new();
+    for entry in &entries {
+        // A journaled batch was accepted for a registered tenant; a
+        // missing entry here would mean the spec registry lost a tenant
+        // the journal still references — skip rather than poison
+        // recovery, the session will surface UnknownTenant loudly.
+        let Some(state) = tenants.get_mut(&entry.tenant) else {
+            continue;
+        };
+        apply_piggyback(
+            &mut state.stats,
+            &mut stats,
+            entry.rejected_since_last,
+            entry.shed_since_last,
+        );
+        prefetches.clear();
+        let observed = entry.obs.len() as u64;
+        {
+            let mut sink = IngestSink {
+                now: &mut now,
+                obs_cycles: cfg.obs_cycles,
+                server: &mut server,
+                prefetches: &mut prefetches,
+            };
+            state.table.process_misses(&entry.obs, &mut sink);
+        }
+        note_accepted(
+            &mut state.stats,
+            &mut stats,
+            observed,
+            prefetches.len() as u64,
+        );
+    }
+
+    let summary = RebuildSummary {
+        coverage,
+        checkpoint_seq,
+        resumed_seq: journal.last_acked(),
+        checkpoint_bytes,
+        tenants_restored: tenants.len() as u32,
+    };
+    Ok((
+        ShardInit {
+            tenants,
+            stats,
+            now,
+            server,
+        },
+        summary,
+    ))
+}
+
+fn apply_piggyback(tenant: &mut TenantStats, shard: &mut ShardStats, rejected: u32, shed: u32) {
+    tenant.rejected += rejected as u64;
+    shard.rejected += rejected as u64;
+    tenant.shed += shed as u64;
+    shard.shed += shed as u64;
+}
+
+fn note_accepted(tenant: &mut TenantStats, shard: &mut ShardStats, observed: u64, prefetches: u64) {
+    tenant.batches += 1;
+    tenant.observed += observed;
+    tenant.prefetches += prefetches;
+    shard.batches += 1;
+    shard.observed += observed;
+    shard.prefetches += prefetches;
+}
+
+/// The worker entry point the spawn wrapper calls inside `catch_unwind`.
+/// Runs until [`ShardMsg::Shutdown`], queue disconnection, or the
+/// supervisor fences this epoch.
+pub(crate) fn run_worker(
+    ctx: &WorkerCtx,
+    rx: &Receiver<ShardMsg>,
+    init: Option<ShardInit>,
+) -> ShardExit {
+    let WorkerCtx {
+        shard,
+        epoch,
+        cfg,
+        cancel,
+        slot,
+    } = ctx;
+    let (shard, epoch) = (*shard, *epoch);
+    let mut st = init.unwrap_or_else(|| ShardInit {
+        tenants: FxHashMap::default(),
+        stats: ShardStats {
+            shard,
+            ..ShardStats::default()
+        },
+        now: 0,
+        server: Server::new(),
+    });
+    let mut trace = cfg.trace.map(TraceBuffer::new);
+    let mut fault_plan = cfg.fault.map(|fc| ServiceFaultPlan::new(fc, shard, epoch));
+    let mut since_checkpoint: u64 = 0;
+    let poll = Duration::from_millis(cfg.supervision.tick_ms.max(1));
+
+    loop {
+        if slot.is_abandoned(epoch) {
+            return ShardExit::Abandoned;
+        }
+        let msg = match rx.recv_timeout(poll) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
         match msg {
             ShardMsg::Open {
                 tenant,
                 spec,
                 reply,
             } => {
-                let result = match tenants.entry(tenant) {
+                let result = match st.tenants.entry(tenant) {
                     Entry::Occupied(_) => Err(ServiceError::TenantExists(tenant)),
-                    Entry::Vacant(slot) => match spec.validate() {
+                    Entry::Vacant(vacant) => match spec.validate() {
                         Ok(()) => {
-                            slot.insert(TenantState::new(tenant, TenantTable::new(&spec)));
+                            vacant.insert(TenantState::new(tenant, TenantTable::new(&spec)));
                             Ok(())
                         }
                         Err(e) => Err(ServiceError::InvalidSpec(e)),
@@ -248,22 +459,56 @@ pub(crate) fn run_shard(
                 tenant,
                 mut obs,
                 rejected_since_last,
+                shed_since_last,
                 reply,
             } => {
-                let Some(state) = tenants.get_mut(&tenant) else {
+                let Some(state) = st.tenants.get_mut(&tenant) else {
                     obs.clear();
                     let _ = reply.send(BatchReply::rejected(
                         ServiceError::UnknownTenant(tenant),
                         obs,
                     ));
+                    slot.health.note_processed(st.now);
                     continue;
                 };
-                if rejected_since_last > 0 {
-                    state.stats.rejected += rejected_since_last as u64;
-                    stats.rejected += rejected_since_last as u64;
+                if cancel.is_cancelled() {
+                    // Graceful wind-down: acknowledge without learning so
+                    // clients draining their pipelines don't hang.
+                    obs.clear();
+                    let _ = reply.send(BatchReply::cancelled(obs));
+                    slot.health.note_processed(st.now);
+                    continue;
+                }
+                // Chaos hook: evaluated before the batch is journaled or
+                // acknowledged, so a killed/wedged shard never acks the
+                // triggering batch and the client can safely resubmit it.
+                if let Some(plan) = &mut fault_plan {
+                    let seq_next = lock(&slot.journal).next_seq();
+                    match plan.on_batch(seq_next, &slot.fault_state) {
+                        Some(ServiceFault::KillShard) => {
+                            panic!("chaos: kill-shard fault at batch seq {seq_next}");
+                        }
+                        Some(ServiceFault::WedgeShard) => {
+                            // Stop consuming and stop heartbeating, but
+                            // stay alive until the supervisor fences this
+                            // epoch — the queued messages (including this
+                            // batch) die with the fenced worker, and their
+                            // reply channels error out at the clients.
+                            // Service shutdown also releases the park, so
+                            // joining a wedged shard can't deadlock.
+                            while !slot.is_abandoned(epoch) && !slot.is_closing() {
+                                std::thread::park_timeout(Duration::from_millis(1));
+                            }
+                            return ShardExit::Abandoned;
+                        }
+                        Some(ServiceFault::SlowConsumer(extra)) => st.now += extra,
+                        None => {}
+                    }
+                }
+                if rejected_since_last > 0 && trace.is_some() {
                     if let Some(t) = &mut trace {
                         t.record(
-                            now,
+                            st.now,
                             TraceEvent::ShardReject {
                                 shard,
                                 tenant,
@@ -272,16 +517,15 @@ pub(crate) fn run_shard(
                         );
                     }
                 }
-                if cancel.is_cancelled() {
-                    // Graceful wind-down: acknowledge without learning so
-                    // clients draining their pipelines don't hang.
-                    obs.clear();
-                    let _ = reply.send(BatchReply::cancelled(obs));
-                    continue;
-                }
+                apply_piggyback(
+                    &mut state.stats,
+                    &mut st.stats,
+                    rejected_since_last,
+                    shed_since_last,
+                );
                 if let Some(t) = &mut trace {
                     t.record(
-                        now,
+                        st.now,
                         TraceEvent::ShardBatch {
                             shard,
                             tenant,
@@ -293,26 +537,37 @@ pub(crate) fn run_shard(
                 let observed = obs.len() as u64;
                 {
                     let mut sink = IngestSink {
-                        now: &mut now,
+                        now: &mut st.now,
                         obs_cycles: cfg.obs_cycles,
-                        server: &mut server,
+                        server: &mut st.server,
                         prefetches: &mut prefetches,
                     };
                     state.table.process_misses(&obs, &mut sink);
                 }
-                state.stats.batches += 1;
-                state.stats.observed += observed;
-                state.stats.prefetches += prefetches.len() as u64;
-                stats.batches += 1;
-                stats.observed += observed;
-                stats.prefetches += prefetches.len() as u64;
+                note_accepted(
+                    &mut state.stats,
+                    &mut st.stats,
+                    observed,
+                    prefetches.len() as u64,
+                );
+                // Journal the acked batch *before* replying: once the
+                // client sees the ack, the batch is recoverable (within
+                // the journal window) — the exactly-once half of the
+                // recovery contract.
+                lock(&slot.journal).push(tenant, rejected_since_last, shed_since_last, &obs);
+                since_checkpoint += 1;
                 // Hand the (cleared) batch buffer back so the client can
                 // refill it: steady-state ingestion allocates nothing.
                 obs.clear();
                 let _ = reply.send(BatchReply::accepted(observed, prefetches, obs));
+                if since_checkpoint >= cfg.supervision.checkpoint_every {
+                    take_checkpoint(slot, &st);
+                    since_checkpoint = 0;
+                }
             }
             ShardMsg::Snapshot { tenant, reply } => {
-                let result = tenants
+                let result = st
+                    .tenants
                     .get(&tenant)
                     .map(|s| s.table.snapshot())
                     .ok_or(ServiceError::UnknownTenant(tenant));
@@ -323,7 +578,7 @@ pub(crate) fn run_shard(
                 snap,
                 reply,
             } => {
-                let result = match tenants.get_mut(&tenant) {
+                let result = match st.tenants.get_mut(&tenant) {
                     None => Err(ServiceError::UnknownTenant(tenant)),
                     Some(state) => match state.table.restored(&snap) {
                         Ok(table) => {
@@ -333,17 +588,27 @@ pub(crate) fn run_shard(
                         Err(e) => Err(ServiceError::Snapshot(e)),
                     },
                 };
+                let restored = result.is_ok();
                 let _ = reply.send(result);
+                if restored {
+                    // A warm start is control-plane state the journal
+                    // never sees; checkpoint immediately so a crash can
+                    // never silently roll the tenant back past it.
+                    take_checkpoint(slot, &st);
+                    since_checkpoint = 0;
+                }
             }
             ShardMsg::Fingerprint { tenant, reply } => {
-                let result = tenants
+                let result = st
+                    .tenants
                     .get(&tenant)
                     .map(|s| s.table.fingerprint())
                     .ok_or(ServiceError::UnknownTenant(tenant));
                 let _ = reply.send(result);
             }
             ShardMsg::TenantStats { tenant, reply } => {
-                let result = tenants
+                let result = st
+                    .tenants
                     .get(&tenant)
                     .map(|s| {
                         let mut stats = s.stats;
@@ -355,7 +620,7 @@ pub(crate) fn run_shard(
                 let _ = reply.send(result);
             }
             ShardMsg::ShardStats { reply } => {
-                let _ = reply.send(finalize(&stats, &tenants, &server, now));
+                let _ = reply.send(finalize(&st));
             }
             ShardMsg::Drain { reply } => {
                 let _ = reply.send(());
@@ -363,28 +628,105 @@ pub(crate) fn run_shard(
             ShardMsg::Pause(gate) => {
                 // Blocks until the PauseGuard is dropped (recv returns
                 // Err on hangup, which is the expected resume signal).
+                // The paused flag tells the supervisor this stall is
+                // deliberate, not a wedge.
+                slot.health.paused.store(true, Ordering::SeqCst);
                 let _ = gate.recv();
+                slot.health.paused.store(false, Ordering::SeqCst);
             }
-            ShardMsg::Shutdown => break,
+            ShardMsg::Shutdown => {
+                // Shutdown/drain race fix: everything queued *behind* the
+                // shutdown marker is rejected with a typed error instead
+                // of being silently dropped with the receiver. Marking
+                // the slot closed first routes later submissions to
+                // TrySubmit::Closed, and tells the wedge detector this
+                // worker is gone on purpose.
+                slot.take_down(ShardState::Closed);
+                while let Ok(late) = rx.try_recv() {
+                    reject_late(late, &st);
+                }
+                return ShardExit::Finished(Box::new(ShardReport {
+                    stats: finalize(&st),
+                    trace,
+                    epoch,
+                    recoveries: Vec::new(),
+                }));
+            }
         }
+        slot.health.note_processed(st.now);
     }
 
-    ShardReport {
-        stats: finalize(&stats, &tenants, &server, now),
+    ShardExit::Finished(Box::new(ShardReport {
+        stats: finalize(&st),
         trace,
+        epoch,
+        recoveries: Vec::new(),
+    }))
+}
+
+/// Rejects one message that arrived after drain began, with a typed
+/// error instead of a dropped reply channel.
+fn reject_late(msg: ShardMsg, st: &ShardInit) {
+    match msg {
+        ShardMsg::Batch { mut obs, reply, .. } => {
+            obs.clear();
+            let _ = reply.send(BatchReply::rejected(ServiceError::ShuttingDown, obs));
+        }
+        ShardMsg::Open { reply, .. } => {
+            let _ = reply.send(Err(ServiceError::ShuttingDown));
+        }
+        ShardMsg::Snapshot { reply, .. } => {
+            let _ = reply.send(Err(ServiceError::ShuttingDown));
+        }
+        ShardMsg::Restore { reply, .. } => {
+            let _ = reply.send(Err(ServiceError::ShuttingDown));
+        }
+        ShardMsg::Fingerprint { reply, .. } => {
+            let _ = reply.send(Err(ServiceError::ShuttingDown));
+        }
+        ShardMsg::TenantStats { reply, .. } => {
+            let _ = reply.send(Err(ServiceError::ShuttingDown));
+        }
+        // Stats and barriers still answer truthfully during drain.
+        ShardMsg::ShardStats { reply } => {
+            let _ = reply.send(finalize(st));
+        }
+        ShardMsg::Drain { reply } => {
+            let _ = reply.send(());
+        }
+        ShardMsg::Pause(_) | ShardMsg::Shutdown => {}
     }
 }
 
+/// Captures the shard's complete state into its slot's checkpoint cell.
+fn take_checkpoint(slot: &ShardSlot, st: &ShardInit) {
+    let mut tenants: Vec<TenantCheckpoint> = st
+        .tenants
+        .values()
+        .map(|s| TenantCheckpoint {
+            tenant: s.stats.tenant,
+            snap: s.table.snapshot(),
+            stats: s.stats,
+        })
+        .collect();
+    // Deterministic order, so checkpoint contents don't depend on hash
+    // map iteration.
+    tenants.sort_by_key(|t| t.tenant);
+    let cp = ShardCheckpoint {
+        seq: lock(&slot.journal).last_acked(),
+        now: st.now,
+        server: st.server.state(),
+        stats: st.stats,
+        tenants,
+    };
+    *lock(&slot.checkpoint) = Some(cp);
+}
+
 /// Fills in the derived fields of the running counters.
-fn finalize(
-    stats: &ShardStats,
-    tenants: &FxHashMap<u32, TenantState>,
-    server: &Server,
-    now: Cycle,
-) -> ShardStats {
-    let mut out = *stats;
-    out.tenants = tenants.len() as u32;
-    out.busy_cycles = server.busy_cycles();
-    out.elapsed_cycles = now.max(server.next_free());
+fn finalize(st: &ShardInit) -> ShardStats {
+    let mut out = st.stats;
+    out.tenants = st.tenants.len() as u32;
+    out.busy_cycles = st.server.busy_cycles();
+    out.elapsed_cycles = st.now.max(st.server.next_free());
     out
 }

@@ -54,10 +54,13 @@ pub use addr::{Addr, LineAddr, PageAddr};
 pub use cancel::CancelToken;
 pub use config::ConfigError;
 pub use event::EventQueue;
-pub use fault::{FaultConfig, FaultCounts, FaultPlan, ObservationFault};
+pub use fault::{
+    FaultConfig, FaultCounts, FaultPlan, ObservationFault, ServiceFault, ServiceFaultConfig,
+    ServiceFaultCounts, ServiceFaultPlan, ServiceFaultState,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::Pcg32;
-pub use server::Server;
+pub use server::{Server, ServerState};
 pub use trace::{SharedTracer, TraceBuffer, TraceConfig, TraceEvent, TraceSink};
 
 /// Global simulation time, measured in 1.6 GHz main-processor cycles.

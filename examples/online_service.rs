@@ -46,7 +46,9 @@ fn main() {
             match session.try_submit(batch) {
                 TrySubmit::Enqueued(p) => break p,
                 TrySubmit::Full(b) => batch = b,
-                TrySubmit::Closed(_) => unreachable!("service is up"),
+                TrySubmit::Closed(_) | TrySubmit::TimedOut(_) => {
+                    unreachable!("service is up")
+                }
             }
         };
         let reply = pending.wait().unwrap();
@@ -69,7 +71,7 @@ fn main() {
     // Warm start: a brand-new tenant restored from tenant 3's snapshot
     // has the identical table before seeing a single miss.
     let snap = warm_source.unwrap();
-    let warm = service.open(4, TenantSpec::repl(1024)).unwrap();
+    let mut warm = service.open(4, TenantSpec::repl(1024)).unwrap();
     warm.restore(snap).unwrap();
     println!(
         "\nWarm-started tenant 4 from tenant 3's snapshot: fingerprint {:016x}",

@@ -15,15 +15,23 @@
 #                                the event stream (inspect's `trace` leg)
 #   7. service smoke          -- the sharded prefetch service at 1 and 2
 #                                shards, 2 tenants: cross-shard-count
-#                                fingerprint identity plus the snapshot ->
-#                                restore -> fingerprint round-trip
-#   8. tables microbench smoke -- the flat-arena table layout against the
+#                                fingerprint identity, the snapshot ->
+#                                restore -> fingerprint round-trip, and
+#                                the seeded chaos leg (kill/recover
+#                                rounds under clean and lossy recovery
+#                                policies)
+#   8. chaos gate             -- asserts on the smoke report that the
+#                                chaos leg actually exercised BOTH paths
+#                                (>=1 clean recovery bit-identical to the
+#                                fault-free run, >=1 lossy recovery with
+#                                exact dropped-batch conservation)
+#   9. tables microbench smoke -- the flat-arena table layout against the
 #                                preserved reference layout on a tiny
 #                                profile: table fingerprints must be
 #                                bit-identical and every snapshot must
 #                                survive the byte-codec round trip (the
 #                                bin exits 1 on any mismatch)
-#   9. deprecation audit      -- no in-repo caller (outside the deprecated
+#  10. deprecation audit      -- no in-repo caller (outside the deprecated
 #                                wrappers themselves) still uses the old
 #                                pre-redesign entry points
 #
@@ -56,9 +64,24 @@ echo "== trace validation (faulted, seed 7)"
 ULMT_FAULT_SEED=7 ULMT_SCALE=small \
     cargo run -q --release -p ulmt-bench --bin inspect -- trace mcf target/traces
 
-echo "== service smoke (1 vs 2 shards, 2 tenants, snapshot round-trip)"
-ULMT_SHARDS=1,2 ULMT_TENANTS=2 BENCH_OUT=target/BENCH_service_smoke.json \
+echo "== service smoke (1 vs 2 shards, 2 tenants, snapshot round-trip, chaos leg)"
+ULMT_SHARDS=1,2 ULMT_TENANTS=2 ULMT_FAULT_SEED=7 \
+    BENCH_OUT=target/BENCH_service_smoke.json \
     cargo run -q --release -p ulmt-bench --bin serve
+
+echo "== chaos gate (clean AND lossy recovery paths both exercised)"
+# serve exits non-zero on any chaos violation; this gate additionally
+# proves the fixed seed drove both recovery paths, so a refactor that
+# silently stops scheduling one of them fails CI instead of passing
+# vacuously.
+grep -Eq '"clean_recoveries": [1-9]' target/BENCH_service_smoke.json \
+    || { echo "chaos gate: no clean recoveries exercised"; exit 1; }
+grep -Eq '"lossy_recoveries": [1-9]' target/BENCH_service_smoke.json \
+    || { echo "chaos gate: no lossy recoveries exercised"; exit 1; }
+grep -q '"clean_identical": true' target/BENCH_service_smoke.json \
+    || { echo "chaos gate: clean recovery not bit-identical"; exit 1; }
+grep -q '"lossy_conserved": true' target/BENCH_service_smoke.json \
+    || { echo "chaos gate: lossy recovery accounting not conserved"; exit 1; }
 
 echo "== tables microbench smoke (arena vs reference identity, tiny profile)"
 ULMT_TABLE_MISSES=20000 ULMT_TABLE_ROWS=512 ULMT_REPEAT=1 \
