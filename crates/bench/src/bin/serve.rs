@@ -35,8 +35,8 @@ use std::time::{Duration, Instant};
 
 use ulmt_bench::io::atomic_write;
 use ulmt_service::{
-    PendingBatch, PrefetchService, RecoveryOutcome, ServiceConfig, ServiceError, Session,
-    ShardState, SupervisionConfig, TenantSpec,
+    PendingBatch, PrefetchService, RecoveryOutcome, SchedulerPolicy, ServiceConfig, ServiceError,
+    Session, ShardState, SupervisionConfig, TenantSpec,
 };
 use ulmt_simcore::{LineAddr, ServiceFaultConfig};
 use ulmt_system::{l2_miss_stream_with, SystemConfig};
@@ -101,10 +101,11 @@ impl Leg {
 /// Feeds every tenant's stream through a `shards`-shard service in
 /// interleaved rounds and returns throughput plus per-tenant table
 /// fingerprints.
-fn run_leg(shards: usize, tenants: &[Tenant]) -> Leg {
+fn run_leg(shards: usize, tenants: &[Tenant], scheduler: SchedulerPolicy) -> Leg {
     const BATCH: usize = 256;
     let service = PrefetchService::start(ServiceConfig {
         shards,
+        scheduler,
         ..ServiceConfig::default()
     });
     let mut sessions: Vec<_> = tenants
@@ -252,13 +253,61 @@ impl ChaosSummary {
 
     /// Nearest-rank percentile of recovery latency, in milliseconds.
     fn latency_ms(&self, pct: u64) -> f64 {
-        let mut sorted = self.latencies_nanos.clone();
-        sorted.sort_unstable();
-        if sorted.is_empty() {
-            return 0.0;
-        }
-        let rank = ((pct * sorted.len() as u64).div_ceil(100)).clamp(1, sorted.len() as u64);
-        sorted[rank as usize - 1] as f64 / 1e6
+        nearest_rank_ms(&self.latencies_nanos, pct)
+    }
+}
+
+/// Nearest-rank percentile over nanosecond samples, in milliseconds.
+///
+/// `rank = ceil(pct * n / 100)` clamped to `[1, n]`: p0 is the minimum,
+/// p100 the maximum, and an empty sample set reports 0. The clamp makes
+/// the degenerate cases total rather than panicking on `rank - 1`.
+fn nearest_rank_ms(samples: &[u64], pct: u64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct * sorted.len() as u64).div_ceil(100)).clamp(1, sorted.len() as u64);
+    sorted[rank as usize - 1] as f64 / 1e6
+}
+
+/// Jain fairness index `(Σx)² / (n·Σx²)` over per-tenant rates: 1.0 is
+/// perfectly fair, `1/n` is one tenant taking everything. Empty or
+/// all-zero inputs report 0 (no service observed is not "fair").
+fn jain(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (rates.len() as f64 * sq)
+}
+
+/// Picks the chaos kill point from the **actual checkpoint schedule**:
+/// `OFFSET` acked batches past a seed-chosen checkpoint boundary, so the
+/// checkpoint gap at the crash is always `OFFSET` — bigger than the
+/// lossy policy's 2-batch journal window, smaller than the clean one's.
+///
+/// The boundary is chosen among those that still leave the kill strictly
+/// inside the stream (`kill < total`). Short streams that fit no such
+/// boundary fall back to killing as late as possible — the gap then runs
+/// from batch 0 (no checkpoint has been taken yet), which still exceeds
+/// the lossy window whenever the stream has more than 3 batches. Pure
+/// function of its inputs; unit-tested against degenerate sizes.
+fn kill_point(total_batches: u64, checkpoint_every: u64, x: u64) -> u64 {
+    const OFFSET: u64 = 6;
+    let last = total_batches.saturating_sub(1);
+    // Checkpoint boundaries are every, 2*every, ...; usable ones satisfy
+    // k*every + OFFSET <= last.
+    let usable = last.saturating_sub(OFFSET) / checkpoint_every.max(1);
+    if usable > 0 {
+        checkpoint_every * (1 + x % usable) + OFFSET
+    } else {
+        last.max(2)
     }
 }
 
@@ -314,16 +363,13 @@ fn chaos_round(
         .sum();
 
     // Seed-derived kill point, placed a fixed offset past a checkpoint
-    // boundary so the checkpoint gap at the crash (~5 acked batches)
+    // boundary so the checkpoint gap at the crash (~6 acked batches)
     // exceeds the lossy policy's journal window but not the clean one's.
     let mut x = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(round as u64 + 1);
     x = x
         .wrapping_mul(6364136223846793005)
         .wrapping_add(1442695040888963407);
-    let periods = (total_batches / CHECKPOINT_EVERY).saturating_sub(2).max(1);
-    let kill_at = (CHECKPOINT_EVERY * (1 + (x >> 33) % periods) + 6)
-        .min(total_batches.saturating_sub(1))
-        .max(2);
+    let kill_at = kill_point(total_batches, CHECKPOINT_EVERY, x >> 33);
 
     let supervision = SupervisionConfig {
         max_restarts: 8,
@@ -471,12 +517,196 @@ fn run_chaos(tenants: &[Tenant], reference_fps: &[(u32, u64)]) -> ChaosSummary {
     summary
 }
 
+/// One scheduling policy's side of the starvation leg.
+struct StarvationSide {
+    /// Pooled submit→ack latencies of every light-tenant probe, nanos.
+    light_latencies_nanos: Vec<u64>,
+    /// Completed probes per light tenant (for the Jain index).
+    light_probes: Vec<u64>,
+    hot_batches: u64,
+    wall_nanos: u64,
+}
+
+impl StarvationSide {
+    /// Jain fairness index over the light tenants' probe rates.
+    fn jain(&self) -> f64 {
+        let wall_secs = self.wall_nanos.max(1) as f64 / 1e9;
+        let rates: Vec<f64> = self
+            .light_probes
+            .iter()
+            .map(|&p| p as f64 / wall_secs)
+            .collect();
+        jain(&rates)
+    }
+}
+
+/// The starvation leg's verdict: one hot tenant flooding a single shard
+/// with large bursty batches while light tenants probe with small ones,
+/// run under the FIFO policy (which reproduces the old shared-queue
+/// arrival order — the baseline) and under deficit round-robin.
+struct StarvationSummary {
+    fifo: StarvationSide,
+    drr: StarvationSide,
+}
+
+impl StarvationSummary {
+    /// FIFO light p99 over DRR light p99 — how much queue-wait the
+    /// scheduler shaves off the light tenants' tail.
+    fn p99_improvement(&self) -> f64 {
+        let fifo = nearest_rank_ms(&self.fifo.light_latencies_nanos, 99);
+        let drr = nearest_rank_ms(&self.drr.light_latencies_nanos, 99);
+        if drr <= 0.0 {
+            return 0.0;
+        }
+        fifo / drr
+    }
+
+    fn ok(&self) -> bool {
+        self.p99_improvement() >= 5.0 && self.drr.jain() >= 0.9
+    }
+}
+
+/// Runs one policy's side: the hot tenant floods from its own thread
+/// (deep pending window, 1024-observation batches, the deterministic
+/// burst fault stretching every 8th batch), while each light tenant
+/// probes closed-loop from its own thread with 64-observation batches,
+/// timing every submit→ack round trip.
+fn run_starvation_policy(scheduler: SchedulerPolicy, seed: u64) -> StarvationSide {
+    const HOT: u32 = 1;
+    const LIGHTS: u32 = 4;
+    const HOT_BATCH: usize = 1024;
+    const LIGHT_BATCH: usize = 64;
+    const HOT_WINDOW: usize = 48;
+    const RUN_MS: u64 = 400;
+
+    let service = PrefetchService::start(ServiceConfig {
+        shards: 1,
+        queue_depth: 64,
+        scheduler,
+        // Hot tenant batches cost four quanta; a light batch a quarter of
+        // one — DRR preempts the hot backlog between every large batch.
+        quantum_obs: 256,
+        fault: Some(ServiceFaultConfig::disabled(seed).burst(HOT, 8, 2, 50_000)),
+        ..ServiceConfig::default()
+    });
+
+    let addrs = |tenant: u32, len: usize| -> Vec<LineAddr> {
+        let mut x = seed ^ ((tenant as u64) << 32);
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                LineAddr::new((x >> 40) & 0xFFF)
+            })
+            .collect()
+    };
+
+    let mut hot_session = service.open(HOT, TenantSpec::repl(2048)).unwrap();
+    let hot_obs = addrs(HOT, HOT_BATCH);
+    let light_sessions: Vec<(Session, Vec<LineAddr>)> = (0..LIGHTS)
+        .map(|i| {
+            let id = HOT + 1 + i;
+            (
+                service.open(id, TenantSpec::repl(2048)).unwrap(),
+                addrs(id, LIGHT_BATCH),
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(RUN_MS);
+    std::thread::scope(|scope| {
+        let hot = scope.spawn(move || {
+            let mut pending: VecDeque<PendingBatch> = VecDeque::new();
+            let mut batches = 0u64;
+            while Instant::now() < deadline {
+                if pending.len() >= HOT_WINDOW {
+                    let reply = pending.pop_front().unwrap().wait().expect("hot ack");
+                    assert!(reply.error.is_none(), "hot tenant rejected");
+                }
+                pending.push_back(hot_session.submit(hot_obs.clone()).expect("hot submit"));
+                batches += 1;
+            }
+            for p in pending {
+                let _ = p.wait();
+            }
+            batches
+        });
+        let lights: Vec<_> = light_sessions
+            .into_iter()
+            .map(|(mut session, obs)| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    while Instant::now() < deadline {
+                        let t0 = Instant::now();
+                        let reply = session
+                            .submit(obs.clone())
+                            .expect("light submit")
+                            .wait()
+                            .expect("light ack");
+                        assert!(reply.error.is_none(), "light tenant rejected");
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+
+        let hot_batches = hot.join().expect("hot thread");
+        let mut light_latencies_nanos = Vec::new();
+        let mut light_probes = Vec::new();
+        for handle in lights {
+            let lat = handle.join().expect("light thread");
+            light_probes.push(lat.len() as u64);
+            light_latencies_nanos.extend(lat);
+        }
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        service.drain().expect("drain");
+        service.shutdown();
+        StarvationSide {
+            light_latencies_nanos,
+            light_probes,
+            hot_batches,
+            wall_nanos,
+        }
+    })
+}
+
+/// The starvation leg: same contention pattern under the shared-queue
+/// baseline (FIFO) and under DRR.
+fn run_starvation() -> StarvationSummary {
+    let seed = chaos_seed() ^ 0x5747_4152;
+    eprintln!("starvation leg: 1 hot + 4 light tenants, one shard ...");
+    let fifo = run_starvation_policy(SchedulerPolicy::Fifo, seed);
+    let drr = run_starvation_policy(SchedulerPolicy::Drr, seed);
+    for (name, side) in [("fifo", &fifo), ("drr", &drr)] {
+        eprintln!(
+            "  {name}: light p50 {:.3} ms / p99 {:.3} ms, jain {:.3}, hot {} batches, {} probes",
+            nearest_rank_ms(&side.light_latencies_nanos, 50),
+            nearest_rank_ms(&side.light_latencies_nanos, 99),
+            side.jain(),
+            side.hot_batches,
+            side.light_latencies_nanos.len(),
+        );
+    }
+    let summary = StarvationSummary { fifo, drr };
+    eprintln!(
+        "  starvation: light p99 improves {:.1}x under DRR{}",
+        summary.p99_improvement(),
+        if summary.ok() { "" } else { "  <-- VIOLATION" },
+    );
+    summary
+}
+
 fn json_report(
     tenants: &[Tenant],
     legs: &[Leg],
     identical: bool,
+    scheduler_identical: bool,
     snapshot_ok: bool,
     chaos: &ChaosSummary,
+    starvation: &StarvationSummary,
 ) -> String {
     let mut j = String::new();
     j.push_str("{\n");
@@ -487,6 +717,10 @@ fn json_report(
         tenants.iter().map(|t| t.obs.len()).sum::<usize>()
     );
     let _ = writeln!(j, "  \"fingerprints_identical\": {identical},");
+    let _ = writeln!(
+        j,
+        "  \"scheduler_fingerprints_identical\": {scheduler_identical},"
+    );
     let _ = writeln!(j, "  \"snapshot_restore_identical\": {snapshot_ok},");
     j.push_str("  \"chaos\": {\n");
     let _ = writeln!(j, "    \"seed\": {},", chaos.seed);
@@ -503,6 +737,32 @@ fn json_report(
         chaos.latency_ms(90),
         chaos.latency_ms(100),
     );
+    j.push_str("  },\n");
+    j.push_str("  \"starvation\": {\n");
+    let _ = writeln!(j, "    \"hot_tenants\": 1,");
+    let _ = writeln!(
+        j,
+        "    \"light_tenants\": {},",
+        starvation.drr.light_probes.len()
+    );
+    for (name, side) in [("fifo", &starvation.fifo), ("drr", &starvation.drr)] {
+        let _ = writeln!(
+            j,
+            "    \"{name}\": {{\"light_p50_ms\": {:.3}, \"light_p99_ms\": {:.3}, \
+             \"jain\": {:.4}, \"light_probes\": {}, \"hot_batches\": {}}},",
+            nearest_rank_ms(&side.light_latencies_nanos, 50),
+            nearest_rank_ms(&side.light_latencies_nanos, 99),
+            side.jain(),
+            side.light_latencies_nanos.len(),
+            side.hot_batches,
+        );
+    }
+    let _ = writeln!(
+        j,
+        "    \"light_p99_improvement\": {:.2},",
+        starvation.p99_improvement()
+    );
+    let _ = writeln!(j, "    \"ok\": {}", starvation.ok());
     j.push_str("  },\n");
     j.push_str("  \"legs\": [\n");
     for (i, leg) in legs.iter().enumerate() {
@@ -549,7 +809,7 @@ fn main() {
     let legs: Vec<Leg> = shard_counts
         .iter()
         .map(|&shards| {
-            let leg = run_leg(shards, &tenants);
+            let leg = run_leg(shards, &tenants, SchedulerPolicy::Drr);
             eprintln!(
                 "  {} shard(s): {:.1} ms, {:.0} obs/sec",
                 shards,
@@ -576,22 +836,123 @@ fn main() {
         }
     }
 
+    // Scheduler-identity gate: the FIFO policy (shared-queue arrival
+    // order) must learn the exact same tables as DRR — scheduling moves
+    // batches in time, never within a tenant's stream.
+    eprintln!("scheduler identity pass (FIFO vs DRR) ...");
+    let fifo_leg = run_leg(1, &tenants, SchedulerPolicy::Fifo);
+    let mut scheduler_identical = true;
+    for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&fifo_leg.fingerprints) {
+        if want != got {
+            eprintln!(
+                "MISMATCH: tenant {tenant} fingerprint {got:016x} under FIFO != {want:016x} under DRR"
+            );
+            scheduler_identical = false;
+        }
+    }
+
     eprintln!("snapshot/restore pass ...");
     let snapshot_ok = snapshot_restore_identical(&tenants);
 
     let chaos = run_chaos(&tenants, &legs[0].fingerprints);
 
+    let starvation = run_starvation();
+
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
     atomic_write(
         &out,
-        &json_report(&tenants, &legs, identical, snapshot_ok, &chaos),
+        &json_report(
+            &tenants,
+            &legs,
+            identical,
+            scheduler_identical,
+            snapshot_ok,
+            &chaos,
+            &starvation,
+        ),
     )
     .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
 
-    if !identical || !snapshot_ok || !chaos.ok() {
+    if !identical || !scheduler_identical || !snapshot_ok || !chaos.ok() || !starvation.ok() {
         eprintln!("serve: FAILED");
         std::process::exit(1);
     }
     eprintln!("serve: all checks passed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{jain, kill_point, nearest_rank_ms};
+
+    #[test]
+    fn nearest_rank_handles_degenerate_sample_sets() {
+        // Empty: every percentile is 0, not a panic.
+        for pct in [0, 50, 90, 100] {
+            assert_eq!(nearest_rank_ms(&[], pct), 0.0);
+        }
+        // Single sample: every percentile is that sample.
+        for pct in [0, 50, 90, 100] {
+            assert_eq!(nearest_rank_ms(&[3_000_000], pct), 3.0);
+        }
+        // Even length, unsorted input: p0 is the min, p100 the max,
+        // p50 the ceil-rank (2nd of 4), p90 the 4th of 4.
+        let samples = [4_000_000, 1_000_000, 3_000_000, 2_000_000];
+        assert_eq!(nearest_rank_ms(&samples, 0), 1.0);
+        assert_eq!(nearest_rank_ms(&samples, 50), 2.0);
+        assert_eq!(nearest_rank_ms(&samples, 90), 4.0);
+        assert_eq!(nearest_rank_ms(&samples, 100), 4.0);
+        // Odd length: p50 is the true median.
+        let odd = [5_000_000, 1_000_000, 3_000_000];
+        assert_eq!(nearest_rank_ms(&odd, 50), 3.0);
+    }
+
+    #[test]
+    fn kill_point_rides_the_checkpoint_schedule() {
+        // Whenever a checkpoint boundary + offset fits in the stream, the
+        // kill lands exactly 6 acked batches past a boundary: the gap the
+        // lossy 2-batch journal window cannot cover.
+        for total in 15..200u64 {
+            for x in [0u64, 1, 7, 1 << 20] {
+                let k = kill_point(total, 8, x);
+                assert!(k >= 2 && k < total, "kill {k} in range for total {total}");
+                assert_eq!((k - 6) % 8, 0, "kill {k} sits 6 past a boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn kill_point_degenerate_streams_still_kill_in_range() {
+        // Streams too short for boundary+offset fall back to the latest
+        // possible kill — still inside the stream, still past the lossy
+        // window whenever the stream has more than 3 batches.
+        for total in 1..15u64 {
+            for x in [0u64, 3, 99] {
+                let k = kill_point(total, 8, x);
+                assert!(k >= 2, "kill {k} never before batch 2");
+                if total >= 3 {
+                    assert!(k < total, "kill {k} inside stream of {total}");
+                }
+                if total >= 4 {
+                    assert!(k > 2, "kill {k} beats the 2-batch lossy window");
+                }
+            }
+        }
+        // The old schedule pinned these streams at min(total-1) — on a
+        // 10-batch stream that was batch 9, a checkpoint gap of 1 that
+        // the lossy window silently covered. Now the gap is 9.
+        assert_eq!(kill_point(10, 8, 0), 9);
+        assert_eq!(kill_point(15, 8, 12345), 14);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain(&[]), 0.0);
+        assert_eq!(jain(&[0.0, 0.0]), 0.0);
+        assert!((jain(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant taking everything scores 1/n.
+        assert!((jain(&[8.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        let skewed = jain(&[16.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(skewed < 0.35, "heavy skew scores low, got {skewed}");
+    }
 }

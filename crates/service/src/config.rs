@@ -35,13 +35,81 @@ impl TableKind {
     }
 }
 
-/// Per-tenant table choice: which algorithm and what geometry.
+/// A per-tenant token-bucket admission quota, enforced by the tenant's
+/// [`Session`](crate::Session) *before* a batch reaches its queue.
+///
+/// A tenant holds up to [`burst_batches`](Self::burst_batches) tokens;
+/// each submission spends one, and tokens refill at
+/// [`refill_per_sec`](Self::refill_per_sec) per wall-clock second
+/// (capped at the burst size). A submission finding no token is **shed**
+/// — acknowledged without learning and counted exactly in
+/// [`TenantStats::shed`](crate::TenantStats::shed), the same piggyback
+/// path degraded-mode shedding uses. A refill rate of 0 makes the bucket
+/// a pure burst allowance, which is deterministic and what the tests
+/// use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionQuota {
+    /// Maximum tokens the bucket holds (and its initial fill).
+    pub burst_batches: u32,
+    /// Tokens regained per wall-clock second (0 = never refill).
+    pub refill_per_sec: u32,
+}
+
+impl AdmissionQuota {
+    /// A bucket of `burst_batches` tokens refilling at `refill_per_sec`.
+    pub fn new(burst_batches: u32, refill_per_sec: u32) -> Self {
+        AdmissionQuota {
+            burst_batches,
+            refill_per_sec,
+        }
+    }
+
+    /// Validates the quota.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.burst_batches == 0 {
+            return Err(ConfigError::new(
+                "tenant",
+                "admission quota needs at least one token of burst",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How a shard worker picks the next batch across its tenants' queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Global arrival order, regardless of tenant — the behavior of the
+    /// pre-fairness shared queue, kept as the baseline the starvation
+    /// bench and the CI fingerprint-identity gate compare against.
+    Fifo,
+    /// Weighted deficit round-robin across tenants (see
+    /// [`crate::ingress`]): backlogged tenants get throughput
+    /// proportional to their [`TenantSpec::weight`], and a hot tenant
+    /// can no longer head-of-line block its neighbors.
+    #[default]
+    Drr,
+}
+
+/// Per-tenant table choice (which algorithm, what geometry) plus the
+/// tenant's fairness knobs (scheduling weight, queue depth, admission
+/// quota).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TenantSpec {
     /// The correlation algorithm.
     pub kind: TableKind,
     /// Table geometry (Table 4 defaults via the constructors).
     pub params: TableParams,
+    /// Deficit-round-robin scheduling weight: a backlogged tenant's
+    /// throughput share is proportional to its weight. Must be >= 1;
+    /// the constructors default to 1 (equal shares).
+    pub weight: u32,
+    /// This tenant's ingestion queue depth, in batches. `None` uses the
+    /// service-wide [`ServiceConfig::queue_depth`].
+    pub queue_depth: Option<usize>,
+    /// Optional token-bucket admission quota, enforced client-side
+    /// before enqueue. `None` admits everything the queue has room for.
+    pub quota: Option<AdmissionQuota>,
 }
 
 impl TenantSpec {
@@ -50,6 +118,9 @@ impl TenantSpec {
         TenantSpec {
             kind: TableKind::Base,
             params: TableParams::base_default(num_rows),
+            weight: 1,
+            queue_depth: None,
+            quota: None,
         }
     }
 
@@ -58,6 +129,9 @@ impl TenantSpec {
         TenantSpec {
             kind: TableKind::Chain,
             params: TableParams::chain_default(num_rows),
+            weight: 1,
+            queue_depth: None,
+            quota: None,
         }
     }
 
@@ -66,11 +140,33 @@ impl TenantSpec {
         TenantSpec {
             kind: TableKind::Repl,
             params: TableParams::repl_default(num_rows),
+            weight: 1,
+            queue_depth: None,
+            quota: None,
         }
     }
 
+    /// Sets the DRR scheduling weight (>= 1).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets a per-tenant ingestion queue depth, in batches.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = Some(depth);
+        self
+    }
+
+    /// Attaches a token-bucket admission quota.
+    pub fn with_quota(mut self, quota: AdmissionQuota) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
     /// Validates the spec: the geometry must be consistent and match the
-    /// algorithm (Base stores exactly one level).
+    /// algorithm (Base stores exactly one level), and the fairness knobs
+    /// must be positive.
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.params.validate()?;
         if self.kind == TableKind::Base && self.params.num_levels != 1 {
@@ -78,6 +174,21 @@ impl TenantSpec {
                 "tenant",
                 "Base stores exactly one level of successors",
             ));
+        }
+        if self.weight == 0 {
+            return Err(ConfigError::new(
+                "tenant",
+                "scheduling weight must be positive",
+            ));
+        }
+        if self.queue_depth == Some(0) {
+            return Err(ConfigError::new(
+                "tenant",
+                "per-tenant queue depth must be positive",
+            ));
+        }
+        if let Some(q) = &self.quota {
+            q.validate()?;
         }
         Ok(())
     }
@@ -184,11 +295,19 @@ pub struct ServiceConfig {
     /// tenant's whole stream is handled by exactly one shard, which is
     /// what makes table contents independent of the shard count.
     pub shards: usize,
-    /// Capacity of each shard's ingestion queue, in messages. A full
+    /// Default capacity of each *tenant's* ingestion queue, in batches
+    /// (overridable per tenant via [`TenantSpec::queue_depth`]). A full
     /// queue makes [`Session::try_submit`](crate::Session::try_submit)
-    /// return [`TrySubmit::Full`](crate::TrySubmit::Full) instead of
-    /// blocking or dropping.
+    /// return [`TrySubmit::Full`](crate::TrySubmit::Full) for that
+    /// tenant only — neighbors on the shard are unaffected.
     pub queue_depth: usize,
+    /// How the shard worker schedules across its tenants' queues.
+    pub scheduler: SchedulerPolicy,
+    /// Deficit-round-robin quantum, in observations: the service credit
+    /// a weight-1 tenant replenishes per scheduler rotation. Larger
+    /// quanta approach per-tenant batching (fewer switches); smaller
+    /// quanta interleave more finely. Must be positive.
+    pub quantum_obs: usize,
     /// Seed mixed into the tenant-to-shard hash, so different
     /// deployments can spread the same tenant IDs differently.
     pub seed: u64,
@@ -214,6 +333,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 2,
             queue_depth: 64,
+            scheduler: SchedulerPolicy::Drr,
+            quantum_obs: 256,
             seed: 0x5EED,
             obs_cycles: 8,
             trace: None,
@@ -233,6 +354,9 @@ impl ServiceConfig {
         }
         if self.queue_depth == 0 {
             return err("queue depth must be positive");
+        }
+        if self.quantum_obs == 0 {
+            return err("scheduler quantum must be positive");
         }
         if self.obs_cycles == 0 {
             return err("observation interval must be positive");
@@ -325,8 +449,42 @@ mod tests {
         let spec = TenantSpec {
             kind: TableKind::Base,
             params: TableParams::repl_default(64),
+            ..TenantSpec::base(64)
         };
         let e = spec.validate().unwrap_err();
         assert!(e.reason().contains("one level"));
+    }
+
+    #[test]
+    fn fairness_knobs_validate() {
+        let spec = TenantSpec::repl(64)
+            .with_weight(4)
+            .with_queue_depth(8)
+            .with_quota(AdmissionQuota::new(16, 100));
+        spec.checked();
+        assert!(TenantSpec::repl(64)
+            .with_weight(0)
+            .validate()
+            .unwrap_err()
+            .reason()
+            .contains("weight"));
+        assert!(TenantSpec::repl(64)
+            .with_queue_depth(0)
+            .validate()
+            .unwrap_err()
+            .reason()
+            .contains("queue depth"));
+        assert!(TenantSpec::repl(64)
+            .with_quota(AdmissionQuota::new(0, 5))
+            .validate()
+            .unwrap_err()
+            .reason()
+            .contains("burst"));
+        let cfg = ServiceConfig {
+            quantum_obs: 0,
+            ..ServiceConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().reason().contains("quantum"));
+        assert_eq!(ServiceConfig::default().scheduler, SchedulerPolicy::Drr);
     }
 }

@@ -47,10 +47,13 @@ pub(crate) struct JournalEntry {
     pub seq: u64,
     /// Tenant the batch belongs to.
     pub tenant: u32,
-    /// Rejected-submission count piggybacked on this batch.
-    pub rejected_since_last: u32,
-    /// Shed-submission count piggybacked on this batch.
-    pub shed_since_last: u32,
+    /// The submitting session's *cumulative* rejected-submission count
+    /// as of this batch. Cumulative (not a delta) so that replay and
+    /// at-least-once resubmission apply it idempotently: the shard
+    /// merges `max(applied, cum)`, never a blind add.
+    pub rejected_cum: u64,
+    /// The session's cumulative shed-submission count (same scheme).
+    pub shed_cum: u64,
     /// The observations themselves.
     pub obs: Vec<LineAddr>,
 }
@@ -105,13 +108,7 @@ impl ObservationJournal {
 
     /// Assigns the next seq to an acked batch and retains it, evicting
     /// the oldest entry if the window is full. Returns the assigned seq.
-    pub fn push(
-        &mut self,
-        tenant: u32,
-        rejected_since_last: u32,
-        shed_since_last: u32,
-        obs: &[LineAddr],
-    ) -> u64 {
+    pub fn push(&mut self, tenant: u32, rejected_cum: u64, shed_cum: u64, obs: &[LineAddr]) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.ring.len() == self.window {
@@ -120,8 +117,8 @@ impl ObservationJournal {
         self.ring.push_back(JournalEntry {
             seq,
             tenant,
-            rejected_since_last,
-            shed_since_last,
+            rejected_cum,
+            shed_cum,
             obs: obs.to_vec(),
         });
         seq
@@ -227,8 +224,8 @@ mod tests {
         let mut j = ObservationJournal::new(4);
         j.push(3, 2, 1, &lines(0..1));
         let (entries, _) = j.replay_from(0);
-        assert_eq!(entries[0].rejected_since_last, 2);
-        assert_eq!(entries[0].shed_since_last, 1);
+        assert_eq!(entries[0].rejected_cum, 2);
+        assert_eq!(entries[0].shed_cum, 1);
         assert_eq!(entries[0].tenant, 3);
     }
 }

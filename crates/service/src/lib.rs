@@ -14,9 +14,14 @@
 //!   and feed batches of L2-miss observations (plain [`LineAddr`]s or
 //!   the [`encode_lines`](ulmt_workloads::codec::encode_lines) wire
 //!   format), getting back prefetch predictions and per-tenant stats;
-//! * ingestion queues are **bounded**: a full shard queue surfaces as
-//!   [`TrySubmit::Full`] with the batch handed back — observations are
-//!   never silently dropped, and rejections are counted exactly;
+//! * ingestion queues are **bounded and per-tenant**: each tenant owns
+//!   a bounded queue on its shard, drained by a weighted
+//!   deficit-round-robin scheduler ([`SchedulerPolicy`]) so one hot
+//!   tenant cannot starve its neighbors; a full queue surfaces as
+//!   [`TrySubmit::Full`] *to that tenant only*, with the batch handed
+//!   back — observations are never silently dropped, and rejections are
+//!   counted exactly. An optional per-tenant [`AdmissionQuota`] sheds
+//!   (acknowledges without learning, exactly counted) before enqueue;
 //! * tables can be [`snapshot`](Session::snapshot)ted and
 //!   [`restore`](Session::restore)d for warm starts, and fingerprinted
 //!   to prove **determinism**: a tenant's table after a given stream is
@@ -45,12 +50,15 @@
 //! [`LineAddr`]: ulmt_simcore::LineAddr
 
 mod config;
+mod ingress;
 mod journal;
 mod service;
 mod shard;
 mod supervisor;
 
-pub use config::{ServiceConfig, SupervisionConfig, TableKind, TenantSpec};
+pub use config::{
+    AdmissionQuota, SchedulerPolicy, ServiceConfig, SupervisionConfig, TableKind, TenantSpec,
+};
 pub use service::{
     BatchReply, PauseGuard, PendingBatch, PrefetchService, ServiceError, Session, ShardStats,
     TenantStats, TrySubmit,
@@ -347,6 +355,7 @@ mod tests {
             TenantSpec {
                 kind: TableKind::Base,
                 params: TableParams::repl_default(64),
+                ..TenantSpec::base(64)
             },
         ) {
             Err(ServiceError::InvalidSpec(e)) => assert!(e.reason().contains("one level")),

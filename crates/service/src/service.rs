@@ -12,7 +12,7 @@
 //! [`SupervisionConfig::shed_when_down`](crate::SupervisionConfig::shed_when_down).
 
 use std::hash::Hasher;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,7 +20,8 @@ use ulmt_core::table::{SnapshotError, TableSnapshot};
 use ulmt_simcore::{CancelToken, ConfigError, Cycle, FxHasher, LineAddr};
 use ulmt_workloads::codec::{decode_lines, TraceCodecError};
 
-use crate::config::{ServiceConfig, TenantSpec};
+use crate::config::{AdmissionQuota, ServiceConfig, TenantSpec};
+use crate::ingress::{Enqueue, Ingress, IngressParts};
 use crate::shard::{ShardMsg, ShardReport};
 use crate::supervisor::{
     lock, start_supervisor, RecoveryReport, ShardSlot, ShardState, SupervisorHandle, SupervisorMsg,
@@ -76,9 +77,12 @@ impl std::error::Error for ServiceError {}
 /// Conservation invariant: every batch attempt a session makes is
 /// eventually counted exactly once — accepted batches in `batches` /
 /// `observed`, rejected attempts in `rejected`, shed attempts in
-/// `shed` (both reported on the next accepted batch; a session that
-/// ends on a rejection or shed leaves its final tail unflushed until it
-/// submits again).
+/// `shed`. Rejections and sheds ride piggyback on the next accepted
+/// batch as the session's *cumulative* totals, which the shard merges
+/// idempotently — so at-least-once resubmission after a crash can never
+/// double-count, and a crash between enqueue and ack can never lose
+/// counts. A session that ends on a rejection or shed leaves its final
+/// tail unreported until it submits (and gets accepted) again.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// The tenant ID.
@@ -254,10 +258,11 @@ pub enum TrySubmit {
     /// The batch is in the shard's queue (or was shed with an immediate
     /// ack — see [`BatchReply::shed`]); the handle yields the reply.
     Enqueued(PendingBatch),
-    /// The shard's ingestion queue is full (or the shard is briefly
-    /// unavailable). The observations are handed back untouched —
-    /// nothing was dropped — and the rejection will be counted on the
-    /// shard with the next accepted batch.
+    /// The *tenant's* ingestion queue is full (or the shard is briefly
+    /// unavailable). Admission is per-tenant: one tenant filling its
+    /// queue never makes its neighbors see `Full`. The observations are
+    /// handed back untouched — nothing was dropped — and the rejection
+    /// will be counted on the shard with the next accepted batch.
     Full(Vec<LineAddr>),
     /// The submission's time bound expired before queue space appeared
     /// ([`Session::submit_timeout`] only). Observations handed back.
@@ -270,11 +275,59 @@ pub enum TrySubmit {
 /// How long a down shard is polled for on the blocking paths.
 const DOWN_POLL: Duration = Duration::from_millis(1);
 
+/// Client-side token-bucket state for a tenant's admission quota.
+/// `refill_per_sec == 0` makes the bucket deterministic: exactly
+/// `burst_batches` submissions are ever admitted.
+#[derive(Debug)]
+struct QuotaState {
+    quota: AdmissionQuota,
+    tokens: u64,
+    last: Instant,
+}
+
+impl QuotaState {
+    fn new(quota: AdmissionQuota) -> Self {
+        QuotaState {
+            quota,
+            tokens: quota.burst_batches as u64,
+            last: Instant::now(),
+        }
+    }
+
+    /// Takes one token if available, refilling first at the configured
+    /// rate. Charges only the time the granted tokens cost, so
+    /// fractional refill progress survives frequent calls.
+    fn admit(&mut self) -> bool {
+        let rate = self.quota.refill_per_sec as u128;
+        if rate > 0 {
+            let nanos = self.last.elapsed().as_nanos();
+            let add = (nanos * rate / 1_000_000_000) as u64;
+            if add > 0 {
+                let cap = self.quota.burst_batches as u64;
+                self.tokens = self.tokens.saturating_add(add).min(cap);
+                if self.tokens == cap {
+                    self.last = Instant::now();
+                } else {
+                    let charged = (add as u128) * 1_000_000_000 / rate;
+                    self.last += Duration::from_nanos(charged as u64);
+                }
+            }
+        }
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// A tenant's handle onto the service.
 ///
 /// Sessions are single-owner (`&mut self` on the data plane) because
-/// the handle locally accumulates the counts of rejected and shed
-/// submissions to piggyback on the next accepted batch.
+/// the handle locally accumulates the *cumulative* counts of rejected
+/// and shed submissions to piggyback on the next accepted batch, plus
+/// the tenant's admission-quota bucket.
 #[derive(Debug)]
 pub struct Session {
     tenant: u32,
@@ -282,26 +335,39 @@ pub struct Session {
     slot: Arc<ShardSlot>,
     /// Cached sender of the worker epoch last resolved.
     tx: Option<SyncSender<ShardMsg>>,
+    /// Cached ingress of the worker epoch last resolved.
+    ingress: Option<Arc<Ingress>>,
     epoch: u64,
     shed_when_down: bool,
     control_timeout: Duration,
-    rejected_since_last: u32,
-    shed_since_last: u32,
+    /// Cumulative totals, never reset: the shard applies the *delta*
+    /// from what it has already recorded, making the piggyback
+    /// idempotent under at-least-once resubmission.
+    rejected_cum: u64,
+    shed_cum: u64,
+    quota: Option<QuotaState>,
 }
 
 impl Session {
-    fn new(tenant: u32, slot: Arc<ShardSlot>, cfg: &ServiceConfig) -> Self {
-        let (tx, epoch, _) = slot.resolve();
+    fn new(
+        tenant: u32,
+        slot: Arc<ShardSlot>,
+        cfg: &ServiceConfig,
+        quota: Option<AdmissionQuota>,
+    ) -> Self {
+        let (tx, ingress, epoch, _) = slot.resolve();
         Session {
             tenant,
             shard: slot.shard,
             slot,
             tx,
+            ingress,
             epoch,
             shed_when_down: cfg.supervision.shed_when_down,
             control_timeout: Duration::from_millis(cfg.supervision.control_timeout_ms.max(1)),
-            rejected_since_last: 0,
-            shed_since_last: 0,
+            rejected_cum: 0,
+            shed_cum: 0,
+            quota: quota.map(QuotaState::new),
         }
     }
 
@@ -315,43 +381,69 @@ impl Session {
         self.shard
     }
 
-    /// The cached sender if it still belongs to the live epoch, else a
+    /// The cached link if it still belongs to the live epoch, else a
     /// freshly resolved one.
-    fn link(&mut self) -> (Option<SyncSender<ShardMsg>>, u64, ShardState) {
+    #[allow(clippy::type_complexity)]
+    fn link(
+        &mut self,
+    ) -> (
+        Option<SyncSender<ShardMsg>>,
+        Option<Arc<Ingress>>,
+        u64,
+        ShardState,
+    ) {
         let state = self.slot.health.state();
-        if state == ShardState::Up && self.tx.is_some() && self.epoch == self.slot.health.epoch() {
-            return (self.tx.clone(), self.epoch, state);
+        if state == ShardState::Up
+            && self.tx.is_some()
+            && self.ingress.is_some()
+            && self.epoch == self.slot.health.epoch()
+        {
+            return (self.tx.clone(), self.ingress.clone(), self.epoch, state);
         }
-        let (tx, epoch, state) = self.slot.resolve();
+        let (tx, ingress, epoch, state) = self.slot.resolve();
         self.tx = tx.clone();
+        self.ingress = ingress.clone();
         self.epoch = epoch;
-        (tx, epoch, state)
+        (tx, ingress, epoch, state)
     }
 
-    fn batch_msg(&self, obs: Vec<LineAddr>, reply: Sender<BatchReply>) -> ShardMsg {
-        ShardMsg::Batch {
+    fn make_parts(&self, obs: Vec<LineAddr>, reply: Sender<BatchReply>) -> IngressParts {
+        IngressParts {
             tenant: self.tenant,
             obs,
-            rejected_since_last: self.rejected_since_last,
-            shed_since_last: self.shed_since_last,
+            rejected_cum: self.rejected_cum,
+            shed_cum: self.shed_cum,
             reply,
         }
     }
 
-    /// The msg carried the piggyback counters onto the shard; stop
-    /// accumulating them locally.
-    fn flush_piggyback(&mut self) {
-        self.rejected_since_last = 0;
-        self.shed_since_last = 0;
+    /// `true` if the tenant's admission quota (if any) grants this
+    /// submission a token.
+    fn admit_quota(&mut self) -> bool {
+        match &mut self.quota {
+            None => true,
+            Some(q) => q.admit(),
+        }
     }
 
-    /// Degraded-mode ack: the shard is down and policy says clients keep
-    /// their latency budget — acknowledge without learning, and count
-    /// the shed exactly (piggybacked onto the next accepted batch).
+    /// Shed ack: acknowledge without learning — because the shard is
+    /// down and policy keeps the client's latency budget, or because the
+    /// tenant's admission quota ran dry — and count the shed exactly
+    /// (piggybacked cumulatively onto the next accepted batch).
     fn shed_ack(&mut self, mut obs: Vec<LineAddr>) -> PendingBatch {
-        self.shed_since_last = self.shed_since_last.saturating_add(1);
+        self.shed_cum = self.shed_cum.saturating_add(1);
         obs.clear();
         PendingBatch::pre_filled(BatchReply::shed(obs))
+    }
+
+    /// Immediate typed rejection for a tenant the shard doesn't know,
+    /// with the (cleared) buffer recycled like every other ack path.
+    fn unknown_ack(&self, mut obs: Vec<LineAddr>) -> PendingBatch {
+        obs.clear();
+        PendingBatch::pre_filled(BatchReply::rejected(
+            ServiceError::UnknownTenant(self.tenant),
+            obs,
+        ))
     }
 
     /// Non-blocking submission of a batch of L2-miss line addresses.
@@ -364,32 +456,42 @@ impl Session {
     pub fn try_submit(&mut self, obs: Vec<LineAddr>) -> TrySubmit {
         let mut obs = obs;
         loop {
-            let (tx, epoch, state) = self.link();
+            let (_, ingress, epoch, state) = self.link();
             match state {
                 ShardState::Up => {
-                    let Some(tx) = tx else {
+                    let Some(ingress) = ingress else {
                         // Mid-publish race: the link isn't out yet.
-                        self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                        self.rejected_cum = self.rejected_cum.saturating_add(1);
                         return TrySubmit::Full(obs);
                     };
+                    if !self.admit_quota() {
+                        return TrySubmit::Enqueued(self.shed_ack(obs));
+                    }
                     let (reply, rx) = channel();
-                    match tx.try_send(self.batch_msg(obs, reply)) {
-                        Ok(()) => {
+                    match ingress.try_enqueue(self.make_parts(obs, reply)) {
+                        Enqueue::Ok => {
                             self.slot.health.note_enqueued();
-                            self.flush_piggyback();
                             return TrySubmit::Enqueued(PendingBatch { rx });
                         }
-                        Err(TrySendError::Full(msg)) => {
-                            self.rejected_since_last = self.rejected_since_last.saturating_add(1);
-                            return TrySubmit::Full(take_obs(msg));
+                        Enqueue::Full(o) => {
+                            self.rejected_cum = self.rejected_cum.saturating_add(1);
+                            return TrySubmit::Full(o);
                         }
-                        Err(TrySendError::Disconnected(msg)) => {
-                            obs = take_obs(msg);
+                        Enqueue::Unknown(o) => {
+                            return TrySubmit::Enqueued(self.unknown_ack(o));
+                        }
+                        Enqueue::Closed(o) => {
+                            obs = o;
                             if self.stale_after_disconnect(epoch) {
                                 return TrySubmit::Closed(obs);
                             }
                             // The link changed under us; retry against
                             // the replacement epoch.
+                        }
+                        Enqueue::TimedOut(o) => {
+                            // try_enqueue never waits; defensive.
+                            self.rejected_cum = self.rejected_cum.saturating_add(1);
+                            return TrySubmit::Full(o);
                         }
                     }
                 }
@@ -397,7 +499,7 @@ impl Session {
                     return if self.shed_when_down {
                         TrySubmit::Enqueued(self.shed_ack(obs))
                     } else {
-                        self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                        self.rejected_cum = self.rejected_cum.saturating_add(1);
                         TrySubmit::Full(obs)
                     };
                 }
@@ -406,45 +508,56 @@ impl Session {
         }
     }
 
-    /// After a disconnected send: `true` if the slot still claims the
-    /// same epoch is Up — the worker died this instant and the
-    /// supervisor hasn't reacted yet; report closed rather than spin.
+    /// After an enqueue against a closed ingress: `true` if the slot
+    /// still claims the same epoch is Up — the worker died this instant
+    /// and the supervisor hasn't reacted yet; report closed rather than
+    /// spin.
     fn stale_after_disconnect(&mut self, seen_epoch: u64) -> bool {
-        let (tx, epoch, state) = self.slot.resolve();
+        let (tx, ingress, epoch, state) = self.slot.resolve();
         self.tx = tx;
+        self.ingress = ingress;
         self.epoch = epoch;
         state == ShardState::Up && epoch == seen_epoch
     }
 
     /// Blocking submission: waits for queue space instead of rejecting,
     /// and rides out shard recoveries. A down shard sheds immediately
-    /// under the shedding policy; otherwise the wait for the shard to
-    /// come back is bounded by the service's control timeout
-    /// ([`ServiceError::Timeout`]), and a permanently failed shard
-    /// reports [`ServiceError::ShardDown`].
+    /// under the shedding policy; otherwise the wait — for queue space
+    /// or for the shard to come back — is bounded by the service's
+    /// control timeout ([`ServiceError::Timeout`]), and a permanently
+    /// failed shard reports [`ServiceError::ShardDown`].
     pub fn submit(&mut self, obs: Vec<LineAddr>) -> Result<PendingBatch, ServiceError> {
         let deadline = Instant::now() + self.control_timeout;
         let mut obs = obs;
         loop {
-            let (tx, epoch, state) = self.link();
+            let (_, ingress, epoch, state) = self.link();
             match state {
                 ShardState::Up => {
-                    let Some(tx) = tx else {
+                    let Some(ingress) = ingress else {
                         if Instant::now() >= deadline {
                             return Err(ServiceError::Timeout);
                         }
                         std::thread::sleep(DOWN_POLL);
                         continue;
                     };
+                    if !self.admit_quota() {
+                        return Ok(self.shed_ack(obs));
+                    }
                     let (reply, rx) = channel();
-                    match tx.send(self.batch_msg(obs, reply)) {
-                        Ok(()) => {
+                    match ingress.enqueue_deadline(self.make_parts(obs, reply), deadline) {
+                        Enqueue::Ok => {
                             self.slot.health.note_enqueued();
-                            self.flush_piggyback();
                             return Ok(PendingBatch { rx });
                         }
-                        Err(e) => {
-                            obs = take_obs(e.0);
+                        Enqueue::TimedOut(_) | Enqueue::Full(_) => {
+                            // Count the failed attempt like every other
+                            // rejection so conservation holds.
+                            self.rejected_cum = self.rejected_cum.saturating_add(1);
+                            return Err(ServiceError::Timeout);
+                        }
+                        Enqueue::Unknown(o) => return Ok(self.unknown_ack(o)),
+                        Enqueue::Closed(o) => {
+                            obs = o;
                             if self.stale_after_disconnect(epoch) {
                                 return Err(ServiceError::Closed);
                             }
@@ -474,22 +587,28 @@ impl Session {
         let deadline = Instant::now() + timeout;
         let mut obs = obs;
         loop {
-            let (tx, epoch, state) = self.link();
+            let (_, ingress, epoch, state) = self.link();
             match state {
                 ShardState::Up => {
-                    if let Some(tx) = tx {
+                    if let Some(ingress) = ingress {
+                        if !self.admit_quota() {
+                            return TrySubmit::Enqueued(self.shed_ack(obs));
+                        }
                         let (reply, rx) = channel();
-                        match tx.try_send(self.batch_msg(obs, reply)) {
-                            Ok(()) => {
+                        match ingress.enqueue_deadline(self.make_parts(obs, reply), deadline) {
+                            Enqueue::Ok => {
                                 self.slot.health.note_enqueued();
-                                self.flush_piggyback();
                                 return TrySubmit::Enqueued(PendingBatch { rx });
                             }
-                            Err(TrySendError::Full(msg)) => {
-                                obs = take_obs(msg);
+                            Enqueue::TimedOut(o) | Enqueue::Full(o) => {
+                                self.rejected_cum = self.rejected_cum.saturating_add(1);
+                                return TrySubmit::TimedOut(o);
                             }
-                            Err(TrySendError::Disconnected(msg)) => {
-                                obs = take_obs(msg);
+                            Enqueue::Unknown(o) => {
+                                return TrySubmit::Enqueued(self.unknown_ack(o));
+                            }
+                            Enqueue::Closed(o) => {
+                                obs = o;
                                 if self.stale_after_disconnect(epoch) {
                                     return TrySubmit::Closed(obs);
                                 }
@@ -506,7 +625,7 @@ impl Session {
                 ShardState::Failed | ShardState::Closed => return TrySubmit::Closed(obs),
             }
             if Instant::now() >= deadline {
-                self.rejected_since_last = self.rejected_since_last.saturating_add(1);
+                self.rejected_cum = self.rejected_cum.saturating_add(1);
                 return TrySubmit::TimedOut(obs);
             }
             std::thread::sleep(DOWN_POLL);
@@ -521,11 +640,14 @@ impl Session {
     }
 
     /// Captures the tenant's learned table, after everything already
-    /// queued for it has been processed (FIFO ordering is the barrier).
+    /// queued for it has been processed (the captured per-tenant
+    /// barrier; the worker drains the tenant's queue to it first).
     pub fn snapshot(&mut self) -> Result<TableSnapshot, ServiceError> {
         let (reply, rx) = channel();
-        self.control(ShardMsg::Snapshot {
-            tenant: self.tenant,
+        let tenant = self.tenant;
+        self.control(|barrier| ShardMsg::Snapshot {
+            tenant,
+            barrier,
             reply,
         })?;
         self.control_recv(&rx)?
@@ -535,8 +657,10 @@ impl Session {
     /// (warm start). The snapshot must come from the same algorithm.
     pub fn restore(&mut self, snap: TableSnapshot) -> Result<(), ServiceError> {
         let (reply, rx) = channel();
-        self.control(ShardMsg::Restore {
-            tenant: self.tenant,
+        let tenant = self.tenant;
+        self.control(move |barrier| ShardMsg::Restore {
+            tenant,
+            barrier,
             snap: Box::new(snap),
             reply,
         })?;
@@ -547,8 +671,10 @@ impl Session {
     /// [`TableSnapshot::fingerprint`]).
     pub fn fingerprint(&mut self) -> Result<u64, ServiceError> {
         let (reply, rx) = channel();
-        self.control(ShardMsg::Fingerprint {
-            tenant: self.tenant,
+        let tenant = self.tenant;
+        self.control(|barrier| ShardMsg::Fingerprint {
+            tenant,
+            barrier,
             reply,
         })?;
         self.control_recv(&rx)?
@@ -557,27 +683,38 @@ impl Session {
     /// The tenant's counters.
     pub fn stats(&mut self) -> Result<TenantStats, ServiceError> {
         let (reply, rx) = channel();
-        self.control(ShardMsg::TenantStats {
-            tenant: self.tenant,
+        let tenant = self.tenant;
+        self.control(|barrier| ShardMsg::TenantStats {
+            tenant,
+            barrier,
             reply,
         })?;
         self.control_recv(&rx)?
     }
 
-    /// Sends a control-plane message to the live worker. A down or
-    /// failed shard reports [`ServiceError::ShardDown`] instead of
-    /// queueing into the void — control requests need the FIFO position
-    /// they were sent in, which a dead queue cannot honour.
-    fn control(&mut self, msg: ShardMsg) -> Result<(), ServiceError> {
-        let (tx, epoch, state) = self.link();
+    /// Sends a control-plane message to the live worker, handing the
+    /// constructor this tenant's current ingress barrier (batches
+    /// enqueued so far — what "everything already submitted" means for
+    /// the operation's ordering guarantee), and kicks the worker so it
+    /// doesn't sleep out its poll tick. A down or failed shard reports
+    /// [`ServiceError::ShardDown`] instead of queueing into the void.
+    fn control(&mut self, make: impl FnOnce(u64) -> ShardMsg) -> Result<(), ServiceError> {
+        let (tx, ingress, epoch, state) = self.link();
         match state {
             ShardState::Up => {
                 let Some(tx) = tx else {
                     return Err(ServiceError::ShardDown(self.shard));
                 };
-                match tx.send(msg) {
+                let barrier = ingress
+                    .as_ref()
+                    .map(|i| i.barrier(self.tenant))
+                    .unwrap_or(0);
+                match tx.send(make(barrier)) {
                     Ok(()) => {
                         self.slot.health.note_enqueued();
+                        if let Some(i) = &ingress {
+                            i.kick();
+                        }
                         Ok(())
                     }
                     Err(_) => {
@@ -606,8 +743,8 @@ impl Session {
         })
     }
 
-    /// Test-only: a session on the same shard queue for a tenant that
-    /// was never opened, to exercise the rejected ack path.
+    /// Test-only: a session on the same shard for a tenant that was
+    /// never opened, to exercise the rejected ack path.
     #[cfg(test)]
     pub(crate) fn test_clone_for_tenant(other: &Session, tenant: u32) -> Session {
         Session {
@@ -615,19 +752,14 @@ impl Session {
             shard: other.shard,
             slot: Arc::clone(&other.slot),
             tx: other.tx.clone(),
+            ingress: other.ingress.clone(),
             epoch: other.epoch,
             shed_when_down: other.shed_when_down,
             control_timeout: other.control_timeout,
-            rejected_since_last: 0,
-            shed_since_last: 0,
+            rejected_cum: 0,
+            shed_cum: 0,
+            quota: None,
         }
-    }
-}
-
-fn take_obs(msg: ShardMsg) -> Vec<LineAddr> {
-    match msg {
-        ShardMsg::Batch { obs, .. } => obs,
-        _ => unreachable!("only Batch messages are submitted non-blockingly"),
     }
 }
 
@@ -650,8 +782,10 @@ pub struct PauseGuard {
 ///
 /// A tenant's table state after a given observation stream is
 /// bit-identical (equal [`TableSnapshot::fingerprint`]) for any shard
-/// count and any interleaving with other tenants: the tenant's stream
-/// flows FIFO through exactly one shard queue, and observations only
+/// count, scheduler policy, weights, and any interleaving with other
+/// tenants: the tenant's stream flows in order through its own bounded
+/// queue on exactly one shard — the scheduler decides only *when* a
+/// tenant's batches run, never their order — and observations only
 /// touch their own tenant's table.
 ///
 /// # Fault tolerance
@@ -765,10 +899,10 @@ impl PrefetchService {
             spec.validate().map_err(ServiceError::InvalidSpec)?;
             specs.push((tenant, spec));
         }
-        let mut session = Session::new(tenant, Arc::clone(slot), &self.cfg);
+        let mut session = Session::new(tenant, Arc::clone(slot), &self.cfg, spec.quota);
         let (reply, rx) = channel();
         let result = session
-            .control(ShardMsg::Open {
+            .control(|_barrier| ShardMsg::Open {
                 tenant,
                 spec,
                 reply,
@@ -787,7 +921,7 @@ impl PrefetchService {
     /// Aggregate counters of one shard.
     pub fn shard_stats(&self, shard: usize) -> Result<ShardStats, ServiceError> {
         let slot = &self.slots[shard];
-        let (tx, _, state) = slot.resolve();
+        let (tx, ingress, _, state) = slot.resolve();
         let tx = match (state, tx) {
             (ShardState::Up, Some(tx)) => tx,
             (ShardState::Closed, _) => return Err(ServiceError::Closed),
@@ -797,6 +931,9 @@ impl PrefetchService {
         tx.send(ShardMsg::ShardStats { reply })
             .map_err(|_| ServiceError::ShardDown(shard as u32))?;
         slot.health.note_enqueued();
+        if let Some(i) = &ingress {
+            i.kick();
+        }
         rx.recv().map_err(|_| ServiceError::ShardDown(shard as u32))
     }
 
@@ -806,7 +943,7 @@ impl PrefetchService {
     /// [`TrySubmit::Full`]. The supervisor's wedge detector knows a
     /// paused shard is deliberate and leaves it alone.
     pub fn pause_shard(&self, shard: usize) -> Result<PauseGuard, ServiceError> {
-        let (tx, _, state) = self.slots[shard].resolve();
+        let (tx, ingress, _, state) = self.slots[shard].resolve();
         let tx = match (state, tx) {
             (ShardState::Up, Some(tx)) => tx,
             (ShardState::Closed, _) => return Err(ServiceError::Closed),
@@ -816,6 +953,9 @@ impl PrefetchService {
         tx.send(ShardMsg::Pause(gate))
             .map_err(|_| ServiceError::ShardDown(shard as u32))?;
         self.slots[shard].health.note_enqueued();
+        if let Some(i) = &ingress {
+            i.kick();
+        }
         Ok(PauseGuard { _resume: resume })
     }
 
@@ -825,13 +965,17 @@ impl PrefetchService {
     pub fn drain(&self) -> Result<(), ServiceError> {
         let mut waits = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
-            let (tx, _, state) = slot.resolve();
+            let (tx, ingress, _, state) = slot.resolve();
             match (state, tx) {
                 (ShardState::Up, Some(tx)) => {
+                    let barriers = ingress.as_ref().map(|i| i.barriers()).unwrap_or_default();
                     let (reply, rx) = channel();
-                    tx.send(ShardMsg::Drain { reply })
+                    tx.send(ShardMsg::Drain { barriers, reply })
                         .map_err(|_| ServiceError::ShardDown(slot.shard))?;
                     slot.health.note_enqueued();
+                    if let Some(i) = &ingress {
+                        i.kick();
+                    }
                     waits.push(rx);
                 }
                 (ShardState::Closed, _) => return Err(ServiceError::Closed),
@@ -852,9 +996,13 @@ impl PrefetchService {
     /// and collect reports.
     pub fn begin_shutdown(&self) {
         for slot in &self.slots {
-            let (tx, _, _) = slot.resolve();
+            let (tx, ingress, _, _) = slot.resolve();
             if let Some(tx) = tx {
-                let _ = tx.send(ShardMsg::Shutdown);
+                let barriers = ingress.as_ref().map(|i| i.barriers()).unwrap_or_default();
+                let _ = tx.send(ShardMsg::Shutdown { barriers });
+                if let Some(i) = &ingress {
+                    i.kick();
+                }
             }
         }
     }

@@ -1,13 +1,24 @@
 //! The shard worker: one thread owning the tables of every tenant
 //! hashed to it.
 //!
-//! A shard processes its ingestion queue strictly in FIFO order. Because
-//! a tenant's whole observation stream flows through exactly one queue
-//! and each observation touches only that tenant's table, the table a
-//! tenant ends up with depends solely on its own stream — never on how
-//! many shards the service runs or which other tenants share the shard.
+//! A shard's data plane is its [`Ingress`](crate::ingress::Ingress):
+//! per-tenant bounded queues drained by a weighted deficit-round-robin
+//! scheduler (or global-FIFO, for baseline comparison). Because a
+//! tenant's whole observation stream flows through exactly one
+//! per-tenant FIFO queue and each observation touches only that tenant's
+//! table, the table a tenant ends up with depends solely on its own
+//! stream — never on how many shards the service runs, which other
+//! tenants share the shard, or how the scheduler interleaves them.
 //! That is the service's determinism argument, and the fingerprint
 //! checks in the tests and the `serve` benchmark hold it to account.
+//!
+//! Control-plane messages ([`ShardMsg`]) travel on a separate channel.
+//! Operations that used to rely on the shared queue's FIFO position for
+//! ordering (snapshot, stats, drain, shutdown) now carry explicit
+//! per-tenant *barriers* — the count of batches enqueued for the tenant
+//! at send time — and the worker drains the tenant's queue to the
+//! barrier before executing them, preserving the old "everything
+//! submitted before is included" contract.
 //!
 //! Since the supervision layer (see [`crate::supervisor`]) the worker is
 //! also *recoverable*: every accepted batch is journaled before it is
@@ -16,10 +27,15 @@
 //! replacement worker can be rebuilt from checkpoint + journal replay
 //! through the same `process_misses` batch kernel — bit-identical to a
 //! worker that never died whenever the journal window covers the gap.
+//! Queued ingress batches die with their worker epoch; their clients
+//! observe a dropped reply channel and resubmit (at-least-once), which
+//! is also why the piggybacked rejected/shed counters are *cumulative*:
+//! the shard merges them idempotently, so a retry can never double-count
+//! and a crash can never lose them.
 
 use std::collections::hash_map::Entry;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +47,7 @@ use ulmt_simcore::{
 };
 
 use crate::config::{ServiceConfig, TableKind, TenantSpec};
+use crate::ingress::{Ingress, IngressBatch};
 use crate::journal::{JournalCoverage, ObservationJournal};
 use crate::service::{BatchReply, ServiceError, ShardStats, TenantStats};
 use crate::supervisor::{
@@ -165,65 +182,63 @@ impl TenantState {
     }
 }
 
-/// Messages a shard worker processes, strictly in FIFO order.
+/// Control-plane messages a shard worker processes. The data plane
+/// (observation batches) flows through the shard's
+/// [`Ingress`](crate::ingress::Ingress) instead; messages that need
+/// ordering against it carry per-tenant barriers captured at send time.
 pub(crate) enum ShardMsg {
     /// Register a tenant (fails if it already exists on the shard).
+    /// Registers the tenant's ingress queue before acking, so an acked
+    /// open can immediately submit.
     Open {
         tenant: u32,
         spec: TenantSpec,
         reply: Sender<Result<(), ServiceError>>,
     },
-    /// A batch of L2-miss observations for one tenant. This is the only
-    /// data-plane message; everything else is control-plane.
-    Batch {
-        tenant: u32,
-        obs: Vec<LineAddr>,
-        /// Number of batch attempts this tenant's session saw rejected
-        /// ([`TrySubmit::Full`](crate::TrySubmit::Full)) since its
-        /// previous *accepted* batch. Counted here — on the shard, in
-        /// stream order — so the rejection counters are exact even
-        /// though rejected batches never reach the shard themselves.
-        rejected_since_last: u32,
-        /// Number of batch attempts the session shed (acknowledged
-        /// without learning because the shard was down) since its
-        /// previous accepted batch. Same piggyback scheme as
-        /// `rejected_since_last`.
-        shed_since_last: u32,
-        reply: Sender<BatchReply>,
-    },
-    /// Capture a tenant's learned table.
+    /// Capture a tenant's learned table, after draining its queue to
+    /// `barrier` (batches enqueued for it when the request was sent).
     Snapshot {
         tenant: u32,
+        barrier: u64,
         reply: Sender<Result<TableSnapshot, ServiceError>>,
     },
     /// Replace a tenant's table with a previously captured snapshot
-    /// (warm start).
+    /// (warm start), after draining its queue to `barrier`.
     Restore {
         tenant: u32,
+        barrier: u64,
         snap: Box<TableSnapshot>,
         reply: Sender<Result<(), ServiceError>>,
     },
-    /// Fingerprint of a tenant's learned table.
+    /// Fingerprint of a tenant's learned table, at `barrier`.
     Fingerprint {
         tenant: u32,
+        barrier: u64,
         reply: Sender<Result<u64, ServiceError>>,
     },
-    /// A tenant's counters.
+    /// A tenant's counters, at `barrier`.
     TenantStats {
         tenant: u32,
+        barrier: u64,
         reply: Sender<Result<TenantStats, ServiceError>>,
     },
-    /// The shard's aggregate counters.
+    /// The shard's aggregate counters (point-in-time; pair with
+    /// [`ShardMsg::Drain`] for an all-submitted view).
     ShardStats { reply: Sender<ShardStats> },
-    /// Barrier: replying proves every earlier message was processed.
-    Drain { reply: Sender<()> },
+    /// Barrier: replying proves every batch enqueued before this call
+    /// (the captured per-tenant barriers) and every earlier control
+    /// message was processed.
+    Drain {
+        barriers: Vec<(u32, u64)>,
+        reply: Sender<()>,
+    },
     /// Block until the held sender is dropped. Used by
     /// [`PrefetchService::pause_shard`](crate::PrefetchService::pause_shard)
-    /// to fill the ingestion queue deterministically in tests.
+    /// to fill the ingestion queues deterministically in tests.
     Pause(Receiver<()>),
-    /// Process everything queued before this message, reject everything
-    /// queued after it with a typed error, then exit.
-    Shutdown,
+    /// Process every batch enqueued before shutdown began (the captured
+    /// barriers), reject everything after with a typed error, then exit.
+    Shutdown { barriers: Vec<(u32, u64)> },
 }
 
 /// What a shard worker hands back when it exits.
@@ -260,6 +275,7 @@ pub(crate) struct WorkerCtx {
     pub cfg: ServiceConfig,
     pub cancel: CancelToken,
     pub slot: Arc<ShardSlot>,
+    pub ingress: Arc<Ingress>,
 }
 
 /// Prebuilt shard state a replacement worker resumes from; `None` means
@@ -342,8 +358,8 @@ pub(crate) fn rebuild_shard(
         apply_piggyback(
             &mut state.stats,
             &mut stats,
-            entry.rejected_since_last,
-            entry.shed_since_last,
+            entry.rejected_cum,
+            entry.shed_cum,
         );
         prefetches.clear();
         let observed = entry.obs.len() as u64;
@@ -382,11 +398,26 @@ pub(crate) fn rebuild_shard(
     ))
 }
 
-fn apply_piggyback(tenant: &mut TenantStats, shard: &mut ShardStats, rejected: u32, shed: u32) {
-    tenant.rejected += rejected as u64;
-    shard.rejected += rejected as u64;
-    tenant.shed += shed as u64;
-    shard.shed += shed as u64;
+/// Merges a batch's piggybacked *cumulative* rejected/shed counters into
+/// the stats, returning the applied deltas. `saturating_sub` makes the
+/// merge idempotent: a resubmitted batch (at-least-once delivery after a
+/// crash) or a journal-replayed one carries the same cumulative values,
+/// so applying it again adds zero — the fix for the old delta scheme,
+/// which lost counts when a worker died between enqueue and ack, and
+/// would have double-counted them had the client re-carried its deltas.
+fn apply_piggyback(
+    tenant: &mut TenantStats,
+    shard: &mut ShardStats,
+    rejected_cum: u64,
+    shed_cum: u64,
+) -> (u64, u64) {
+    let dr = rejected_cum.saturating_sub(tenant.rejected);
+    let ds = shed_cum.saturating_sub(tenant.shed);
+    tenant.rejected += dr;
+    shard.rejected += dr;
+    tenant.shed += ds;
+    shard.shed += ds;
+    (dr, ds)
 }
 
 fn note_accepted(tenant: &mut TenantStats, shard: &mut ShardStats, observed: u64, prefetches: u64) {
@@ -396,6 +427,328 @@ fn note_accepted(tenant: &mut TenantStats, shard: &mut ShardStats, observed: u64
     shard.batches += 1;
     shard.observed += observed;
     shard.prefetches += prefetches;
+}
+
+/// How processing one ingress batch ended.
+enum BatchOutcome {
+    /// Processed (or acked without learning); keep going.
+    Done,
+    /// A chaos wedge fired: stop consuming and park until fenced.
+    Wedge,
+}
+
+/// The worker's whole mutable state, so the control handlers and the
+/// batch processor can share it without threading a dozen parameters.
+struct WorkerLoop<'a> {
+    shard: u32,
+    epoch: u64,
+    cfg: &'a ServiceConfig,
+    cancel: &'a CancelToken,
+    slot: &'a ShardSlot,
+    ingress: &'a Ingress,
+    st: ShardInit,
+    trace: Option<TraceBuffer>,
+    fault_plan: Option<ServiceFaultPlan>,
+    since_checkpoint: u64,
+}
+
+impl WorkerLoop<'_> {
+    /// Processes one batch end-to-end: chaos hooks, piggyback merge,
+    /// batch kernel, journal-before-ack, periodic checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a chaos kill fault fires (caught by the spawn
+    /// wrapper; that is the fault's delivery mechanism).
+    fn process_one(&mut self, batch: IngressBatch) -> BatchOutcome {
+        let IngressBatch {
+            tenant,
+            mut obs,
+            rejected_cum,
+            shed_cum,
+            reply,
+            ..
+        } = batch;
+        let Some(state) = self.st.tenants.get_mut(&tenant) else {
+            // Defensive: the ingress only admits registered tenants, so
+            // this means the registries diverged. Surface it loudly.
+            obs.clear();
+            let _ = reply.send(BatchReply::rejected(
+                ServiceError::UnknownTenant(tenant),
+                obs,
+            ));
+            self.slot.health.note_processed(self.st.now);
+            return BatchOutcome::Done;
+        };
+        if self.cancel.is_cancelled() {
+            // Graceful wind-down: acknowledge without learning so
+            // clients draining their pipelines don't hang.
+            obs.clear();
+            let _ = reply.send(BatchReply::cancelled(obs));
+            self.slot.health.note_processed(self.st.now);
+            return BatchOutcome::Done;
+        }
+        // Chaos hook: evaluated before the batch is journaled or
+        // acknowledged, so a killed/wedged shard never acks the
+        // triggering batch and the client can safely resubmit it.
+        if let Some(plan) = &mut self.fault_plan {
+            let seq_next = lock(&self.slot.journal).next_seq();
+            match plan.on_batch(seq_next, &self.slot.fault_state) {
+                Some(ServiceFault::KillShard) => {
+                    panic!("chaos: kill-shard fault at batch seq {seq_next}");
+                }
+                Some(ServiceFault::WedgeShard) => return BatchOutcome::Wedge,
+                Some(ServiceFault::SlowConsumer(extra)) => self.st.now += extra,
+                None => {}
+            }
+            self.st.now += plan.burst_stall(tenant);
+        }
+        let (dr, _ds) =
+            apply_piggyback(&mut state.stats, &mut self.st.stats, rejected_cum, shed_cum);
+        if dr > 0 {
+            if let Some(t) = &mut self.trace {
+                t.record(
+                    self.st.now,
+                    TraceEvent::ShardReject {
+                        shard: self.shard,
+                        tenant,
+                        count: dr.min(u32::MAX as u64) as u32,
+                    },
+                );
+            }
+        }
+        if let Some(t) = &mut self.trace {
+            t.record(
+                self.st.now,
+                TraceEvent::ShardBatch {
+                    shard: self.shard,
+                    tenant,
+                    len: obs.len() as u32,
+                },
+            );
+        }
+        let mut prefetches = Vec::new();
+        let observed = obs.len() as u64;
+        {
+            let mut sink = IngestSink {
+                now: &mut self.st.now,
+                obs_cycles: self.cfg.obs_cycles,
+                server: &mut self.st.server,
+                prefetches: &mut prefetches,
+            };
+            state.table.process_misses(&obs, &mut sink);
+        }
+        note_accepted(
+            &mut state.stats,
+            &mut self.st.stats,
+            observed,
+            prefetches.len() as u64,
+        );
+        // Journal the acked batch *before* replying: once the client
+        // sees the ack, the batch is recoverable (within the journal
+        // window) — the exactly-once half of the recovery contract.
+        lock(&self.slot.journal).push(tenant, rejected_cum, shed_cum, &obs);
+        self.since_checkpoint += 1;
+        // Hand the (cleared) batch buffer back so the client can refill
+        // it: steady-state ingestion allocates nothing.
+        obs.clear();
+        let _ = reply.send(BatchReply::accepted(observed, prefetches, obs));
+        if self.since_checkpoint >= self.cfg.supervision.checkpoint_every {
+            take_checkpoint(self.slot, &self.st);
+            self.since_checkpoint = 0;
+        }
+        self.slot.health.note_processed(self.st.now);
+        BatchOutcome::Done
+    }
+
+    /// Drains `tenant`'s ingress queue until `barrier` batches have been
+    /// taken, processing each — the ordering guarantee behind the
+    /// control operations.
+    fn drain_to(&mut self, tenant: u32, barrier: u64) -> BatchOutcome {
+        while self.ingress.done(tenant) < barrier {
+            let Some(batch) = self.ingress.pop_tenant(tenant) else {
+                break;
+            };
+            if let BatchOutcome::Wedge = self.process_one(batch) {
+                return BatchOutcome::Wedge;
+            }
+        }
+        BatchOutcome::Done
+    }
+
+    /// Chaos-wedge park: stop consuming and stop heartbeating, but stay
+    /// alive until the supervisor fences this epoch. Service shutdown
+    /// also releases the park, so joining a wedged shard can't deadlock.
+    fn park_until_fenced(&self) -> ShardExit {
+        while !self.slot.is_abandoned(self.epoch) && !self.slot.is_closing() {
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+        ShardExit::Abandoned
+    }
+
+    /// Handles one control message. `Some(exit)` ends the worker.
+    fn handle_control(&mut self, msg: ShardMsg, rx: &Receiver<ShardMsg>) -> Option<ShardExit> {
+        match msg {
+            ShardMsg::Open {
+                tenant,
+                spec,
+                reply,
+            } => {
+                let result = match self.st.tenants.entry(tenant) {
+                    Entry::Occupied(_) => Err(ServiceError::TenantExists(tenant)),
+                    Entry::Vacant(vacant) => match spec.validate() {
+                        Ok(()) => {
+                            vacant.insert(TenantState::new(tenant, TenantTable::new(&spec)));
+                            // Queue registered before the ack, so an
+                            // acked open can immediately submit.
+                            self.ingress.register(tenant, spec.weight, spec.queue_depth);
+                            Ok(())
+                        }
+                        Err(e) => Err(ServiceError::InvalidSpec(e)),
+                    },
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Snapshot {
+                tenant,
+                barrier,
+                reply,
+            } => {
+                if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
+                    return Some(self.park_until_fenced());
+                }
+                let result = self
+                    .st
+                    .tenants
+                    .get(&tenant)
+                    .map(|s| s.table.snapshot())
+                    .ok_or(ServiceError::UnknownTenant(tenant));
+                let _ = reply.send(result);
+            }
+            ShardMsg::Restore {
+                tenant,
+                barrier,
+                snap,
+                reply,
+            } => {
+                if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
+                    return Some(self.park_until_fenced());
+                }
+                let result = match self.st.tenants.get_mut(&tenant) {
+                    None => Err(ServiceError::UnknownTenant(tenant)),
+                    Some(state) => match state.table.restored(&snap) {
+                        Ok(table) => {
+                            state.table = table;
+                            Ok(())
+                        }
+                        Err(e) => Err(ServiceError::Snapshot(e)),
+                    },
+                };
+                let restored = result.is_ok();
+                let _ = reply.send(result);
+                if restored {
+                    // A warm start is control-plane state the journal
+                    // never sees; checkpoint immediately so a crash can
+                    // never silently roll the tenant back past it.
+                    take_checkpoint(self.slot, &self.st);
+                    self.since_checkpoint = 0;
+                }
+            }
+            ShardMsg::Fingerprint {
+                tenant,
+                barrier,
+                reply,
+            } => {
+                if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
+                    return Some(self.park_until_fenced());
+                }
+                let result = self
+                    .st
+                    .tenants
+                    .get(&tenant)
+                    .map(|s| s.table.fingerprint())
+                    .ok_or(ServiceError::UnknownTenant(tenant));
+                let _ = reply.send(result);
+            }
+            ShardMsg::TenantStats {
+                tenant,
+                barrier,
+                reply,
+            } => {
+                if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
+                    return Some(self.park_until_fenced());
+                }
+                let result = self
+                    .st
+                    .tenants
+                    .get(&tenant)
+                    .map(|s| {
+                        let mut stats = s.stats;
+                        stats.live_rows = s.table.occupancy() as u64;
+                        stats.table_bytes = s.table.size_bytes();
+                        stats
+                    })
+                    .ok_or(ServiceError::UnknownTenant(tenant));
+                let _ = reply.send(result);
+            }
+            ShardMsg::ShardStats { reply } => {
+                let _ = reply.send(finalize(&self.st));
+            }
+            ShardMsg::Drain { barriers, reply } => {
+                for (tenant, barrier) in barriers {
+                    if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
+                        return Some(self.park_until_fenced());
+                    }
+                }
+                let _ = reply.send(());
+            }
+            ShardMsg::Pause(gate) => {
+                // Blocks until the PauseGuard is dropped (recv returns
+                // Err on hangup, which is the expected resume signal).
+                // The paused flag tells the supervisor this stall is
+                // deliberate, not a wedge.
+                self.slot.health.paused.store(true, Ordering::SeqCst);
+                let _ = gate.recv();
+                self.slot.health.paused.store(false, Ordering::SeqCst);
+            }
+            ShardMsg::Shutdown { barriers } => {
+                // Shutdown/drain contract: every batch enqueued before
+                // shutdown began (the barriers) is processed; everything
+                // behind them is rejected with a typed error instead of
+                // being silently dropped. Marking the slot closed routes
+                // later submissions to TrySubmit::Closed, and tells the
+                // wedge detector this worker is gone on purpose.
+                for (tenant, barrier) in barriers {
+                    if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
+                        return Some(self.park_until_fenced());
+                    }
+                }
+                // Close the ingress ourselves so the late batches get
+                // typed rejections; the slot's take_down below then
+                // finds it already closed and drops nothing.
+                let late = self.ingress.close();
+                self.slot.take_down(ShardState::Closed);
+                for b in late {
+                    let mut obs = b.obs;
+                    obs.clear();
+                    let _ = b
+                        .reply
+                        .send(BatchReply::rejected(ServiceError::ShuttingDown, obs));
+                }
+                while let Ok(late_msg) = rx.try_recv() {
+                    reject_late(late_msg, &self.st);
+                }
+                return Some(ShardExit::Finished(Box::new(ShardReport {
+                    stats: finalize(&self.st),
+                    trace: self.trace.take(),
+                    epoch: self.epoch,
+                    recoveries: Vec::new(),
+                })));
+            }
+        }
+        self.slot.health.note_processed(self.st.now);
+        None
+    }
 }
 
 /// The worker entry point the spawn wrapper calls inside `catch_unwind`.
@@ -412,9 +765,10 @@ pub(crate) fn run_worker(
         cfg,
         cancel,
         slot,
+        ingress,
     } = ctx;
     let (shard, epoch) = (*shard, *epoch);
-    let mut st = init.unwrap_or_else(|| ShardInit {
+    let st = init.unwrap_or_else(|| ShardInit {
         tenants: FxHashMap::default(),
         stats: ShardStats {
             shard,
@@ -423,255 +777,59 @@ pub(crate) fn run_worker(
         now: 0,
         server: Server::new(),
     });
-    let mut trace = cfg.trace.map(TraceBuffer::new);
-    let mut fault_plan = cfg.fault.map(|fc| ServiceFaultPlan::new(fc, shard, epoch));
-    let mut since_checkpoint: u64 = 0;
+    let mut w = WorkerLoop {
+        shard,
+        epoch,
+        cfg,
+        cancel,
+        slot,
+        ingress,
+        st,
+        trace: cfg.trace.map(TraceBuffer::new),
+        fault_plan: cfg.fault.map(|fc| ServiceFaultPlan::new(fc, shard, epoch)),
+        since_checkpoint: 0,
+    };
     let poll = Duration::from_millis(cfg.supervision.tick_ms.max(1));
 
     loop {
         if slot.is_abandoned(epoch) {
             return ShardExit::Abandoned;
         }
-        let msg = match rx.recv_timeout(poll) {
-            Ok(msg) => msg,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        match msg {
-            ShardMsg::Open {
-                tenant,
-                spec,
-                reply,
-            } => {
-                let result = match st.tenants.entry(tenant) {
-                    Entry::Occupied(_) => Err(ServiceError::TenantExists(tenant)),
-                    Entry::Vacant(vacant) => match spec.validate() {
-                        Ok(()) => {
-                            vacant.insert(TenantState::new(tenant, TenantTable::new(&spec)));
-                            Ok(())
-                        }
-                        Err(e) => Err(ServiceError::InvalidSpec(e)),
-                    },
-                };
-                let _ = reply.send(result);
-            }
-            ShardMsg::Batch {
-                tenant,
-                mut obs,
-                rejected_since_last,
-                shed_since_last,
-                reply,
-            } => {
-                let Some(state) = st.tenants.get_mut(&tenant) else {
-                    obs.clear();
-                    let _ = reply.send(BatchReply::rejected(
-                        ServiceError::UnknownTenant(tenant),
-                        obs,
-                    ));
-                    slot.health.note_processed(st.now);
-                    continue;
-                };
-                if cancel.is_cancelled() {
-                    // Graceful wind-down: acknowledge without learning so
-                    // clients draining their pipelines don't hang.
-                    obs.clear();
-                    let _ = reply.send(BatchReply::cancelled(obs));
-                    slot.health.note_processed(st.now);
-                    continue;
+        // Control messages first: they are rare, and a barrier-carrying
+        // one drains exactly the data it must see anyway.
+        match rx.try_recv() {
+            Ok(msg) => {
+                if let Some(exit) = w.handle_control(msg, rx) {
+                    return exit;
                 }
-                // Chaos hook: evaluated before the batch is journaled or
-                // acknowledged, so a killed/wedged shard never acks the
-                // triggering batch and the client can safely resubmit it.
-                if let Some(plan) = &mut fault_plan {
-                    let seq_next = lock(&slot.journal).next_seq();
-                    match plan.on_batch(seq_next, &slot.fault_state) {
-                        Some(ServiceFault::KillShard) => {
-                            panic!("chaos: kill-shard fault at batch seq {seq_next}");
-                        }
-                        Some(ServiceFault::WedgeShard) => {
-                            // Stop consuming and stop heartbeating, but
-                            // stay alive until the supervisor fences this
-                            // epoch — the queued messages (including this
-                            // batch) die with the fenced worker, and their
-                            // reply channels error out at the clients.
-                            // Service shutdown also releases the park, so
-                            // joining a wedged shard can't deadlock.
-                            while !slot.is_abandoned(epoch) && !slot.is_closing() {
-                                std::thread::park_timeout(Duration::from_millis(1));
-                            }
-                            return ShardExit::Abandoned;
-                        }
-                        Some(ServiceFault::SlowConsumer(extra)) => st.now += extra,
-                        None => {}
-                    }
-                }
-                if rejected_since_last > 0 && trace.is_some() {
-                    if let Some(t) = &mut trace {
-                        t.record(
-                            st.now,
-                            TraceEvent::ShardReject {
-                                shard,
-                                tenant,
-                                count: rejected_since_last,
-                            },
-                        );
-                    }
-                }
-                apply_piggyback(
-                    &mut state.stats,
-                    &mut st.stats,
-                    rejected_since_last,
-                    shed_since_last,
-                );
-                if let Some(t) = &mut trace {
-                    t.record(
-                        st.now,
-                        TraceEvent::ShardBatch {
-                            shard,
-                            tenant,
-                            len: obs.len() as u32,
-                        },
-                    );
-                }
-                let mut prefetches = Vec::new();
-                let observed = obs.len() as u64;
-                {
-                    let mut sink = IngestSink {
-                        now: &mut st.now,
-                        obs_cycles: cfg.obs_cycles,
-                        server: &mut st.server,
-                        prefetches: &mut prefetches,
-                    };
-                    state.table.process_misses(&obs, &mut sink);
-                }
-                note_accepted(
-                    &mut state.stats,
-                    &mut st.stats,
-                    observed,
-                    prefetches.len() as u64,
-                );
-                // Journal the acked batch *before* replying: once the
-                // client sees the ack, the batch is recoverable (within
-                // the journal window) — the exactly-once half of the
-                // recovery contract.
-                lock(&slot.journal).push(tenant, rejected_since_last, shed_since_last, &obs);
-                since_checkpoint += 1;
-                // Hand the (cleared) batch buffer back so the client can
-                // refill it: steady-state ingestion allocates nothing.
-                obs.clear();
-                let _ = reply.send(BatchReply::accepted(observed, prefetches, obs));
-                if since_checkpoint >= cfg.supervision.checkpoint_every {
-                    take_checkpoint(slot, &st);
-                    since_checkpoint = 0;
-                }
+                continue;
             }
-            ShardMsg::Snapshot { tenant, reply } => {
-                let result = st
-                    .tenants
-                    .get(&tenant)
-                    .map(|s| s.table.snapshot())
-                    .ok_or(ServiceError::UnknownTenant(tenant));
-                let _ = reply.send(result);
-            }
-            ShardMsg::Restore {
-                tenant,
-                snap,
-                reply,
-            } => {
-                let result = match st.tenants.get_mut(&tenant) {
-                    None => Err(ServiceError::UnknownTenant(tenant)),
-                    Some(state) => match state.table.restored(&snap) {
-                        Ok(table) => {
-                            state.table = table;
-                            Ok(())
-                        }
-                        Err(e) => Err(ServiceError::Snapshot(e)),
-                    },
-                };
-                let restored = result.is_ok();
-                let _ = reply.send(result);
-                if restored {
-                    // A warm start is control-plane state the journal
-                    // never sees; checkpoint immediately so a crash can
-                    // never silently roll the tenant back past it.
-                    take_checkpoint(slot, &st);
-                    since_checkpoint = 0;
-                }
-            }
-            ShardMsg::Fingerprint { tenant, reply } => {
-                let result = st
-                    .tenants
-                    .get(&tenant)
-                    .map(|s| s.table.fingerprint())
-                    .ok_or(ServiceError::UnknownTenant(tenant));
-                let _ = reply.send(result);
-            }
-            ShardMsg::TenantStats { tenant, reply } => {
-                let result = st
-                    .tenants
-                    .get(&tenant)
-                    .map(|s| {
-                        let mut stats = s.stats;
-                        stats.live_rows = s.table.occupancy() as u64;
-                        stats.table_bytes = s.table.size_bytes();
-                        stats
-                    })
-                    .ok_or(ServiceError::UnknownTenant(tenant));
-                let _ = reply.send(result);
-            }
-            ShardMsg::ShardStats { reply } => {
-                let _ = reply.send(finalize(&st));
-            }
-            ShardMsg::Drain { reply } => {
-                let _ = reply.send(());
-            }
-            ShardMsg::Pause(gate) => {
-                // Blocks until the PauseGuard is dropped (recv returns
-                // Err on hangup, which is the expected resume signal).
-                // The paused flag tells the supervisor this stall is
-                // deliberate, not a wedge.
-                slot.health.paused.store(true, Ordering::SeqCst);
-                let _ = gate.recv();
-                slot.health.paused.store(false, Ordering::SeqCst);
-            }
-            ShardMsg::Shutdown => {
-                // Shutdown/drain race fix: everything queued *behind* the
-                // shutdown marker is rejected with a typed error instead
-                // of being silently dropped with the receiver. Marking
-                // the slot closed first routes later submissions to
-                // TrySubmit::Closed, and tells the wedge detector this
-                // worker is gone on purpose.
-                slot.take_down(ShardState::Closed);
-                while let Ok(late) = rx.try_recv() {
-                    reject_late(late, &st);
-                }
-                return ShardExit::Finished(Box::new(ShardReport {
-                    stats: finalize(&st),
-                    trace,
-                    epoch,
-                    recoveries: Vec::new(),
-                }));
+            Err(TryRecvError::Disconnected) => break,
+            Err(TryRecvError::Empty) => {}
+        }
+        if let Some(batch) = w.ingress.next_batch() {
+            match w.process_one(batch) {
+                BatchOutcome::Done => continue,
+                BatchOutcome::Wedge => return w.park_until_fenced(),
             }
         }
-        slot.health.note_processed(st.now);
+        // Nothing to do: sleep until data or a kick arrives, bounded by
+        // the supervision tick so fence checks keep their cadence.
+        w.ingress.wait_work(poll);
     }
 
     ShardExit::Finished(Box::new(ShardReport {
-        stats: finalize(&st),
-        trace,
+        stats: finalize(&w.st),
+        trace: w.trace.take(),
         epoch,
         recoveries: Vec::new(),
     }))
 }
 
-/// Rejects one message that arrived after drain began, with a typed
-/// error instead of a dropped reply channel.
+/// Rejects one control message that arrived after drain began, with a
+/// typed error instead of a dropped reply channel.
 fn reject_late(msg: ShardMsg, st: &ShardInit) {
     match msg {
-        ShardMsg::Batch { mut obs, reply, .. } => {
-            obs.clear();
-            let _ = reply.send(BatchReply::rejected(ServiceError::ShuttingDown, obs));
-        }
         ShardMsg::Open { reply, .. } => {
             let _ = reply.send(Err(ServiceError::ShuttingDown));
         }
@@ -691,10 +849,10 @@ fn reject_late(msg: ShardMsg, st: &ShardInit) {
         ShardMsg::ShardStats { reply } => {
             let _ = reply.send(finalize(st));
         }
-        ShardMsg::Drain { reply } => {
+        ShardMsg::Drain { reply, .. } => {
             let _ = reply.send(());
         }
-        ShardMsg::Pause(_) | ShardMsg::Shutdown => {}
+        ShardMsg::Pause(_) | ShardMsg::Shutdown { .. } => {}
     }
 }
 

@@ -36,6 +36,7 @@ use ulmt_core::table::TableSnapshot;
 use ulmt_simcore::{CancelToken, Cycle, ServerState, ServiceFaultState};
 
 use crate::config::{ServiceConfig, TenantSpec};
+use crate::ingress::Ingress;
 use crate::journal::ObservationJournal;
 use crate::service::{ShardStats, TenantStats};
 use crate::shard::{rebuild_shard, run_worker, ShardExit, ShardMsg, ShardReport, WorkerCtx};
@@ -91,6 +92,9 @@ impl ShardState {
 pub(crate) struct ShardLink {
     /// `None` while the shard is down, failed, or closed.
     pub tx: Option<SyncSender<ShardMsg>>,
+    /// The epoch's data-plane ingress (per-tenant queues + scheduler).
+    /// `None` exactly when `tx` is.
+    pub ingress: Option<Arc<Ingress>>,
     /// Worker epoch the sender belongs to (bumped on every restart).
     pub epoch: u64,
 }
@@ -209,7 +213,11 @@ impl ShardSlot {
     pub fn new(shard: u32, cfg: &ServiceConfig) -> Self {
         ShardSlot {
             shard,
-            link: RwLock::new(ShardLink { tx: None, epoch: 0 }),
+            link: RwLock::new(ShardLink {
+                tx: None,
+                ingress: None,
+                epoch: 0,
+            }),
             health: ShardHealth::default(),
             specs: Mutex::new(Vec::new()),
             journal: Mutex::new(ObservationJournal::new(cfg.supervision.journal_window)),
@@ -221,10 +229,24 @@ impl ShardSlot {
         }
     }
 
-    /// Current sender + epoch + state, read under the link lock.
-    pub fn resolve(&self) -> (Option<SyncSender<ShardMsg>>, u64, ShardState) {
+    /// Current sender + ingress + epoch + state, read under the link
+    /// lock.
+    #[allow(clippy::type_complexity)]
+    pub fn resolve(
+        &self,
+    ) -> (
+        Option<SyncSender<ShardMsg>>,
+        Option<Arc<Ingress>>,
+        u64,
+        ShardState,
+    ) {
         let link = self.link.read().unwrap_or_else(|e| e.into_inner());
-        (link.tx.clone(), link.epoch, self.health.state())
+        (
+            link.tx.clone(),
+            link.ingress.clone(),
+            link.epoch,
+            self.health.state(),
+        )
     }
 
     /// `true` if the worker running `epoch` has been fenced.
@@ -241,12 +263,19 @@ impl ShardSlot {
         self.abandoned_below.fetch_max(epoch, Ordering::SeqCst);
     }
 
-    fn publish(&self, tx: SyncSender<ShardMsg>, epoch: u64, watermark: Cycle) {
+    fn publish(
+        &self,
+        tx: SyncSender<ShardMsg>,
+        ingress: Arc<Ingress>,
+        epoch: u64,
+        watermark: Cycle,
+    ) {
         self.health.reset_flow(watermark);
         {
             let mut link = self.link.write().unwrap_or_else(|e| e.into_inner());
             *link = ShardLink {
                 tx: Some(tx),
+                ingress: Some(ingress),
                 epoch,
             };
         }
@@ -256,8 +285,19 @@ impl ShardSlot {
 
     pub(crate) fn take_down(&self, state: ShardState) {
         self.health.set_state(state);
-        let mut link = self.link.write().unwrap_or_else(|e| e.into_inner());
-        link.tx = None;
+        let ingress = {
+            let mut link = self.link.write().unwrap_or_else(|e| e.into_inner());
+            link.tx = None;
+            link.ingress.take()
+        };
+        // Close the dead epoch's ingress and *drop* whatever was still
+        // queued: the reply channels die with the batches, clients see
+        // `Closed` and resubmit against the next epoch. (On the graceful
+        // path the worker already closed it and answered the stragglers
+        // with a typed error, so this drains nothing.)
+        if let Some(ingress) = ingress {
+            drop(ingress.close());
+        }
     }
 }
 
@@ -357,7 +397,10 @@ struct Worker {
     epoch: u64,
 }
 
-/// Spawns one worker epoch for `slot` and returns its sender + handle.
+/// Spawns one worker epoch for `slot` and returns its control sender,
+/// its freshly built ingress (with every registered tenant's queue
+/// pre-created from the spec registry, so recovered tenants can submit
+/// the moment the link publishes), and the thread handle.
 fn spawn_worker(
     slot: &Arc<ShardSlot>,
     cfg: ServiceConfig,
@@ -365,10 +408,19 @@ fn spawn_worker(
     cancel: CancelToken,
     events: Sender<SupervisorMsg>,
     init: Option<crate::shard::ShardInit>,
-) -> (SyncSender<ShardMsg>, JoinHandle<ShardExit>) {
+) -> (SyncSender<ShardMsg>, Arc<Ingress>, JoinHandle<ShardExit>) {
     let (tx, rx) = sync_channel(cfg.queue_depth);
+    let ingress = Arc::new(Ingress::new(
+        cfg.scheduler,
+        cfg.quantum_obs,
+        cfg.queue_depth,
+    ));
+    for (tenant, spec) in lock(&slot.specs).iter() {
+        ingress.register(*tenant, spec.weight, spec.queue_depth);
+    }
     let slot = Arc::clone(slot);
     let shard = slot.shard;
+    let worker_ingress = Arc::clone(&ingress);
     let handle = std::thread::Builder::new()
         .name(format!("ulmt-shard-{shard}.{epoch}"))
         .spawn(move || {
@@ -378,6 +430,7 @@ fn spawn_worker(
                 cfg,
                 cancel,
                 slot,
+                ingress: worker_ingress,
             };
             let mut init = init;
             match catch_unwind(AssertUnwindSafe(|| run_worker(&ctx, &rx, init.take()))) {
@@ -389,7 +442,7 @@ fn spawn_worker(
             }
         })
         .expect("spawning a shard worker thread");
-    (tx, handle)
+    (tx, ingress, handle)
 }
 
 /// Everything the supervisor thread owns.
@@ -523,7 +576,7 @@ impl Supervisor {
         };
         let epoch = old_epoch + 1;
         let watermark = init.now();
-        let (tx, handle) = spawn_worker(
+        let (tx, ingress, handle) = spawn_worker(
             &slot,
             self.cfg,
             epoch,
@@ -536,7 +589,7 @@ impl Supervisor {
             epoch,
         };
         self.last_flow[shard] = (0, 0);
-        slot.publish(tx, epoch, watermark);
+        slot.publish(tx, ingress, epoch, watermark);
 
         let outcome = if summary.coverage.dropped_batches == 0 {
             RecoveryOutcome::Clean {
@@ -571,13 +624,18 @@ impl Supervisor {
         for slot in &self.slots {
             slot.closing.store(true, Ordering::SeqCst);
         }
-        // Ask every live worker to drain and exit. The Shutdown marker
-        // makes the worker reject — with a typed error — anything that
-        // races in behind it.
+        // Ask every live worker to drain and exit, carrying per-tenant
+        // barriers captured *now*: everything enqueued before shutdown
+        // began gets processed, everything behind the barriers gets a
+        // typed rejection instead of a silent drop.
         for slot in &self.slots {
-            let (tx, _, _) = slot.resolve();
+            let (tx, ingress, _, _) = slot.resolve();
             if let Some(tx) = tx {
-                let _ = tx.send(ShardMsg::Shutdown);
+                let barriers = ingress.as_ref().map(|i| i.barriers()).unwrap_or_default();
+                let _ = tx.send(ShardMsg::Shutdown { barriers });
+                if let Some(i) = &ingress {
+                    i.kick();
+                }
             }
         }
         let mut reports = Vec::with_capacity(self.slots.len());
@@ -623,8 +681,9 @@ pub(crate) fn start_supervisor(
     let (events_tx, events_rx) = channel();
     let mut workers = Vec::with_capacity(slots.len());
     for slot in &slots {
-        let (tx, handle) = spawn_worker(slot, cfg, 0, cancel.clone(), events_tx.clone(), None);
-        slot.publish(tx, 0, 0);
+        let (tx, ingress, handle) =
+            spawn_worker(slot, cfg, 0, cancel.clone(), events_tx.clone(), None);
+        slot.publish(tx, ingress, 0, 0);
         workers.push(Worker {
             handle: Some(handle),
             epoch: 0,

@@ -437,6 +437,188 @@ fn snapshot_under_concurrent_ingestion_is_prefix_consistent() {
 }
 
 #[test]
+fn piggyback_counts_survive_an_epoch_fence_under_resubmission() {
+    // Regression for the delta-flush accounting bug: the old scheme
+    // zeroed the session's rejected/shed deltas the moment a batch was
+    // *enqueued*. If the worker then died before processing it, the
+    // deltas died with the queue — and a client retrying after
+    // `TimedOut`/`ShardDown` could never report them again. Cumulative
+    // piggyback counters make the merge idempotent: this test crashes
+    // the shard with count-carrying batches still queued, resubmits them
+    // (at-least-once), and demands the conservation identity exactly.
+    let sup = fast_supervision(8, 16);
+    let fault = ServiceFaultConfig::disabled(0xFE11CE).kill(0, 3);
+    let service = PrefetchService::start(ServiceConfig {
+        shards: 1,
+        queue_depth: 4,
+        supervision: sup,
+        fault: Some(fault),
+        ..ServiceConfig::default()
+    });
+    let mut session = service.open(1, TenantSpec::repl(256)).unwrap();
+    let stream = batches(1, 7);
+
+    // Two acked batches put the journal at seq 2; the kill budget fires
+    // on the next accepted batch (seq 3).
+    submit_until_acked(&mut session, &stream[0]);
+    submit_until_acked(&mut session, &stream[1]);
+
+    // Freeze the worker, fill the tenant's depth-4 queue, and pile up
+    // exactly 5 rejections plus 1 bounded-submit timeout — 6 counts the
+    // session now carries, with their flush batches *still queued*.
+    let pause = service.pause_shard(0).unwrap();
+    let mut queued = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..9 {
+        match session.try_submit(stream[2 + (i % 4)].clone()) {
+            TrySubmit::Enqueued(p) => queued.push(p),
+            TrySubmit::Full(_) => rejected += 1,
+            other => panic!("unexpected submit outcome: {other:?}"),
+        }
+    }
+    assert_eq!(queued.len(), 4, "depth-4 tenant queue holds 4");
+    assert_eq!(rejected, 5);
+    match session.submit_timeout(stream[6].clone(), Duration::from_millis(20)) {
+        TrySubmit::TimedOut(_) => rejected += 1,
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert_eq!(rejected, 6);
+
+    // Resume: the first queued batch trips the kill. The worker dies
+    // with all 4 count-carrying batches unacked; their reply channels
+    // drop, which is the client's resubmission signal.
+    drop(pause);
+    for p in queued {
+        assert!(
+            p.wait().is_err(),
+            "queued batches die with the epoch, unacked"
+        );
+    }
+    wait_for_recoveries(&service, 1);
+
+    // At-least-once: resubmit everything that was never acked. The
+    // resubmissions carry the same cumulative totals, so the counts are
+    // applied exactly once no matter how many retries it takes.
+    for obs in &stream[2..6] {
+        submit_until_acked(&mut session, obs);
+    }
+    service.drain().unwrap();
+
+    let stats = session.stats().unwrap();
+    assert_eq!(
+        stats.rejected, rejected,
+        "every rejection survives the fence; none double-count"
+    );
+    assert_eq!(stats.batches, 6, "2 pre-kill + 4 resubmitted");
+    assert_eq!(stats.observed, 6 * BATCH as u64);
+    assert_eq!(stats.shed, 0);
+    let shard = service.shard_stats(0).unwrap();
+    assert_eq!(shard.rejected, rejected, "shard aggregate agrees");
+    service.shutdown();
+}
+
+#[test]
+fn per_tenant_stats_sum_to_shard_totals_through_kill_and_shedding() {
+    // Cross-tenant conservation: after a mixed run with a kill-recovery
+    // and degraded-mode shedding, the per-tenant counter blocks must sum
+    // exactly to the shard's aggregates — nothing lost in recovery,
+    // nothing double-counted by resubmission, shed and rejected counted
+    // to the right tenant.
+    let sup = SupervisionConfig {
+        backoff_base_ms: 300,
+        backoff_max_ms: 300,
+        shed_when_down: true,
+        ..fast_supervision(8, 16)
+    };
+    let fault = ServiceFaultConfig::disabled(0x5CA1E).kill(0, 3);
+    let service = PrefetchService::start(ServiceConfig {
+        shards: 1,
+        queue_depth: 4,
+        supervision: sup,
+        fault: Some(fault),
+        ..ServiceConfig::default()
+    });
+    let mut a = service.open(1, TenantSpec::repl(256)).unwrap();
+    let mut b = service.open(2, TenantSpec::repl(256)).unwrap();
+    let a_stream = batches(1, 8);
+    let b_stream = batches(2, 8);
+
+    submit_until_acked(&mut a, &a_stream[0]);
+    submit_until_acked(&mut b, &b_stream[0]);
+
+    // Trip the kill (seq 3) and hold the shard Down on its backoff.
+    let tripwire = a.submit(a_stream[1].clone()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.shard_state(0) != ShardState::Down {
+        assert!(Instant::now() < deadline, "shard never went down");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _ = tripwire.wait();
+
+    // Degraded mode: both tenants shed — A twice, B once.
+    for (session, stream, sheds) in [(&mut a, &a_stream, 2usize), (&mut b, &b_stream, 1usize)] {
+        for k in 0..sheds {
+            let reply = match session.try_submit(stream[2 + k].clone()) {
+                TrySubmit::Enqueued(p) => p.wait().unwrap(),
+                other => panic!("expected shed ack, got {other:?}"),
+            };
+            assert!(reply.shed);
+        }
+    }
+
+    wait_for_recoveries(&service, 1);
+    // Resubmit A's killed batch, then rack up rejections against a
+    // paused shard: A gets 3, B gets 2 — distinct, so a cross-tenant
+    // mixup cannot cancel out.
+    submit_until_acked(&mut a, &a_stream[1]);
+    let pause = service.pause_shard(0).unwrap();
+    let mut queued = Vec::new();
+    let mut a_rejected = 0u64;
+    let mut b_rejected = 0u64;
+    for (session, stream, want, got) in [
+        (&mut a, &a_stream, 3u64, &mut a_rejected),
+        (&mut b, &b_stream, 2u64, &mut b_rejected),
+    ] {
+        let mut i = 0;
+        while *got < want {
+            match session.try_submit(stream[4 + (i % 4)].clone()) {
+                TrySubmit::Enqueued(p) => queued.push(p),
+                TrySubmit::Full(_) => *got += 1,
+                other => panic!("unexpected: {other:?}"),
+            }
+            i += 1;
+        }
+    }
+    drop(pause);
+    for p in queued {
+        let reply = p.wait().unwrap();
+        assert!(reply.error.is_none());
+    }
+    // One more accepted batch per tenant flushes the final tails.
+    submit_until_acked(&mut a, &a_stream[7]);
+    submit_until_acked(&mut b, &b_stream[7]);
+    service.drain().unwrap();
+
+    let sa = a.stats().unwrap();
+    let sb = b.stats().unwrap();
+    let shard = service.shard_stats(0).unwrap();
+    assert_eq!(sa.shed, 2);
+    assert_eq!(sb.shed, 1);
+    assert_eq!(sa.rejected, a_rejected);
+    assert_eq!(sb.rejected, b_rejected);
+    assert_eq!(sa.batches + sb.batches, shard.batches, "batches sum");
+    assert_eq!(sa.observed + sb.observed, shard.observed, "observed sum");
+    assert_eq!(sa.rejected + sb.rejected, shard.rejected, "rejected sum");
+    assert_eq!(sa.shed + sb.shed, shard.shed, "shed sum");
+    assert_eq!(
+        sa.prefetches + sb.prefetches,
+        shard.prefetches,
+        "prefetches sum"
+    );
+    service.shutdown();
+}
+
+#[test]
 fn slow_consumer_fault_perturbs_timing_but_never_state() {
     let streams = vec![(3u32, batches(3, 25))];
     let control_svc = PrefetchService::start(cfg(fast_supervision(8, 16), None));

@@ -25,6 +25,13 @@
 #                                (>=1 clean recovery bit-identical to the
 #                                fault-free run, >=1 lossy recovery with
 #                                exact dropped-batch conservation)
+#   8b. fairness gate         -- asserts on the same report that the
+#                                starvation leg held its invariants: the
+#                                FIFO (shared-queue baseline) tables are
+#                                bit-identical to the DRR tables, DRR
+#                                starves no light tenant (Jain >= 0.9,
+#                                light p99 >= 5x better than FIFO), and
+#                                the light-tenant p99 stays bounded
 #   9. tables microbench smoke -- the flat-arena table layout against the
 #                                preserved reference layout on a tiny
 #                                profile: table fingerprints must be
@@ -82,6 +89,21 @@ grep -q '"clean_identical": true' target/BENCH_service_smoke.json \
     || { echo "chaos gate: clean recovery not bit-identical"; exit 1; }
 grep -q '"lossy_conserved": true' target/BENCH_service_smoke.json \
     || { echo "chaos gate: lossy recovery accounting not conserved"; exit 1; }
+
+echo "== fairness gate (FIFO == DRR tables, bounded light-tenant p99)"
+# serve already exits non-zero when the starvation invariants fail; these
+# asserts prove the leg ran and keep the thresholds visible in CI output.
+grep -q '"scheduler_fingerprints_identical": true' target/BENCH_service_smoke.json \
+    || { echo "fairness gate: FIFO and DRR learned different tables"; exit 1; }
+grep -q '"ok": true' target/BENCH_service_smoke.json \
+    || { echo "fairness gate: starvation leg invariants failed"; exit 1; }
+# Bounded tail: under DRR the light tenants' submit->ack p99 must stay
+# under 5 ms even with the hot tenant flooding a 48-batch backlog.
+drr_p99=$(sed -n 's/.*"drr": {"light_p50_ms": [0-9.]*, "light_p99_ms": \([0-9.]*\),.*/\1/p' \
+    target/BENCH_service_smoke.json)
+[ -n "$drr_p99" ] || { echo "fairness gate: no DRR p99 in report"; exit 1; }
+awk -v p99="$drr_p99" 'BEGIN { exit !(p99 > 0 && p99 < 5.0) }' \
+    || { echo "fairness gate: DRR light p99 ${drr_p99} ms not bounded"; exit 1; }
 
 echo "== tables microbench smoke (arena vs reference identity, tiny profile)"
 ULMT_TABLE_MISSES=20000 ULMT_TABLE_ROWS=512 ULMT_REPEAT=1 \
