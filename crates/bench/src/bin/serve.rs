@@ -25,9 +25,16 @@
 //! `recovered.batches + dropped == total batches`. Recovery latency
 //! percentiles land in the report under `"chaos"`.
 //!
+//! With `--net`, an extra leg drives the same tenant streams through
+//! the TCP network front-end on loopback — one `NetClient` thread per
+//! tenant, pipelined submission with NACK retry — and records its
+//! throughput under a `"net"` object in the report.
+//!
 //! Exits non-zero if any tenant's table fingerprint differs between
 //! shard counts, if a restored snapshot does not reproduce its source
-//! fingerprint bit-for-bit, or if any chaos-leg invariant fails.
+//! fingerprint bit-for-bit, if any chaos-leg invariant fails, or if the
+//! `--net` leg's fingerprints are not bit-identical to the in-process
+//! path's.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -35,8 +42,9 @@ use std::time::{Duration, Instant};
 
 use ulmt_bench::io::atomic_write;
 use ulmt_service::{
-    PendingBatch, PrefetchService, RecoveryOutcome, SchedulerPolicy, ServiceConfig, ServiceError,
-    Session, ShardState, SupervisionConfig, TenantSpec,
+    NetClient, NetConfig, NetServer, NetSubmit, PendingBatch, PrefetchService, RecoveryOutcome,
+    SchedulerPolicy, ServiceConfig, ServiceError, Session, ShardState, SupervisionConfig,
+    TenantSpec,
 };
 use ulmt_simcore::{LineAddr, ServiceFaultConfig};
 use ulmt_system::{l2_miss_stream_with, SystemConfig};
@@ -192,6 +200,106 @@ fn run_leg(shards: usize, tenants: &[Tenant], scheduler: SchedulerPolicy) -> Leg
         observed,
         fingerprints,
         utilization,
+    }
+}
+
+/// The `--net` leg's result: throughput over the loopback TCP front-end
+/// plus the per-tenant fingerprints the network path produced.
+struct NetLeg {
+    shards: usize,
+    wall_nanos: u64,
+    observed: u64,
+    /// Backpressure NACKs absorbed (batches handed back and retried).
+    nacks: u64,
+    fingerprints: Vec<(u32, u64)>,
+}
+
+impl NetLeg {
+    fn obs_per_sec(&self) -> f64 {
+        self.observed as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+}
+
+/// Drives every tenant's stream through the TCP front-end on loopback,
+/// one client thread per tenant, with the same batch size and pending
+/// window as the in-process legs. NACKed batches are retried (after
+/// reaping to free queue space), so nothing is dropped; the resulting
+/// fingerprints must be bit-identical to the in-process path's.
+fn run_net_leg(tenants: &[Tenant]) -> NetLeg {
+    const BATCH: usize = 256;
+    const WINDOW: usize = 4;
+    let shards = 2;
+    let service = PrefetchService::start(ServiceConfig {
+        shards,
+        scheduler: SchedulerPolicy::Drr,
+        ..ServiceConfig::default()
+    });
+    let server = NetServer::bind(service, NetConfig::loopback()).expect("net: bind");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let results: Vec<(u32, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tenants
+            .iter()
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr, t.id, t.spec).expect("net: connect");
+                    let mut pool: Vec<Vec<LineAddr>> = Vec::new();
+                    let mut observed = 0u64;
+                    let mut nacks = 0u64;
+                    let reap_one = |client: &mut NetClient,
+                                    pool: &mut Vec<Vec<LineAddr>>,
+                                    observed: &mut u64| {
+                        let reply = client.reap().expect("net: reap");
+                        assert!(reply.error.is_none(), "net: batch rejected");
+                        *observed += reply.observed;
+                        pool.push(reply.recycled);
+                    };
+                    for chunk in t.obs.chunks(BATCH) {
+                        if client.pending() >= WINDOW {
+                            reap_one(&mut client, &mut pool, &mut observed);
+                        }
+                        let mut buf = pool.pop().unwrap_or_else(|| Vec::with_capacity(BATCH));
+                        buf.extend_from_slice(chunk);
+                        loop {
+                            match client
+                                .submit_timeout(buf, Duration::from_millis(100))
+                                .expect("net: submit")
+                            {
+                                NetSubmit::Enqueued { .. } => break,
+                                NetSubmit::Full(b) | NetSubmit::TimedOut(b) => {
+                                    nacks += 1;
+                                    buf = b;
+                                    if client.pending() > 0 {
+                                        reap_one(&mut client, &mut pool, &mut observed);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    while client.pending() > 0 {
+                        reap_one(&mut client, &mut pool, &mut observed);
+                    }
+                    let fp = client.fingerprint().expect("net: fingerprint");
+                    client.goodbye();
+                    (t.id, fp, observed, nacks)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net: client thread"))
+            .collect()
+    });
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    server.shutdown();
+
+    NetLeg {
+        shards,
+        wall_nanos,
+        observed: results.iter().map(|r| r.2).sum(),
+        nacks: results.iter().map(|r| r.3).sum(),
+        fingerprints: results.iter().map(|r| (r.0, r.1)).collect(),
     }
 }
 
@@ -699,6 +807,7 @@ fn run_starvation() -> StarvationSummary {
     summary
 }
 
+#[allow(clippy::too_many_arguments)]
 fn json_report(
     tenants: &[Tenant],
     legs: &[Leg],
@@ -707,6 +816,7 @@ fn json_report(
     snapshot_ok: bool,
     chaos: &ChaosSummary,
     starvation: &StarvationSummary,
+    net: Option<(&NetLeg, bool)>,
 ) -> String {
     let mut j = String::new();
     j.push_str("{\n");
@@ -764,6 +874,15 @@ fn json_report(
     );
     let _ = writeln!(j, "    \"ok\": {}", starvation.ok());
     j.push_str("  },\n");
+    if let Some((leg, identical)) = net {
+        j.push_str("  \"net\": {\n");
+        let _ = writeln!(j, "    \"shards\": {},", leg.shards);
+        let _ = writeln!(j, "    \"wall_ms\": {:.3},", leg.wall_nanos as f64 / 1e6);
+        let _ = writeln!(j, "    \"obs_per_sec\": {:.0},", leg.obs_per_sec());
+        let _ = writeln!(j, "    \"nacks\": {},", leg.nacks);
+        let _ = writeln!(j, "    \"identical_to_in_process\": {identical}");
+        j.push_str("  },\n");
+    }
     j.push_str("  \"legs\": [\n");
     for (i, leg) in legs.iter().enumerate() {
         let util = leg
@@ -858,6 +977,32 @@ fn main() {
 
     let starvation = run_starvation();
 
+    // Optional network leg: the same tenant streams through the TCP
+    // front-end on loopback must learn bit-identical tables.
+    let net = std::env::args().any(|a| a == "--net").then(|| {
+        eprintln!("network pass (loopback TCP front-end) ...");
+        let leg = run_net_leg(&tenants);
+        eprintln!(
+            "  net {} shard(s): {:.1} ms, {:.0} obs/sec, {} nacks",
+            leg.shards,
+            leg.wall_nanos as f64 / 1e6,
+            leg.obs_per_sec(),
+            leg.nacks
+        );
+        leg
+    });
+    let mut net_identical = true;
+    if let Some(leg) = &net {
+        for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&leg.fingerprints) {
+            if want != got {
+                eprintln!(
+                    "MISMATCH: tenant {tenant} fingerprint {got:016x} over the network != {want:016x} in-process"
+                );
+                net_identical = false;
+            }
+        }
+    }
+
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
     atomic_write(
         &out,
@@ -869,12 +1014,19 @@ fn main() {
             snapshot_ok,
             &chaos,
             &starvation,
+            net.as_ref().map(|leg| (leg, net_identical)),
         ),
     )
     .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
 
-    if !identical || !scheduler_identical || !snapshot_ok || !chaos.ok() || !starvation.ok() {
+    if !identical
+        || !scheduler_identical
+        || !snapshot_ok
+        || !chaos.ok()
+        || !starvation.ok()
+        || !net_identical
+    {
         eprintln!("serve: FAILED");
         std::process::exit(1);
     }

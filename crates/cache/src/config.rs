@@ -98,15 +98,6 @@ impl CacheConfig {
             panic!("{e}");
         }
     }
-
-    /// Checks the geometry without panicking.
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
-    )]
-    pub fn check(&self) -> Result<(), String> {
-        self.validate().map_err(ConfigError::into_reason)
-    }
 }
 
 #[cfg(test)]
@@ -174,16 +165,5 @@ mod tests {
             ..CacheConfig::l1()
         };
         assert!(zero_mshrs.validate().unwrap_err().reason().contains("MSHR"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_check_still_reports_strings() {
-        assert!(CacheConfig::l2().check().is_ok());
-        let zero_ways = CacheConfig {
-            assoc: 0,
-            ..CacheConfig::l1()
-        };
-        assert!(zero_ways.check().unwrap_err().contains("associativity"));
     }
 }

@@ -66,15 +66,6 @@ impl CpuConfig {
             panic!("{e}");
         }
     }
-
-    /// Checks the configuration without panicking.
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
-    )]
-    pub fn check(&self) -> Result<(), String> {
-        self.validate().map_err(ConfigError::into_reason)
-    }
 }
 
 #[cfg(test)]

@@ -75,15 +75,6 @@ impl DramConfig {
             panic!("{e}");
         }
     }
-
-    /// Checks the geometry without panicking.
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
-    )]
-    pub fn check(&self) -> Result<(), String> {
-        self.validate().map_err(ConfigError::into_reason)
-    }
 }
 
 /// Outcome of one DRAM core access.

@@ -74,15 +74,6 @@ impl FsbConfig {
             panic!("{e}");
         }
     }
-
-    /// Checks the timing parameters without panicking.
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
-    )]
-    pub fn check(&self) -> Result<(), String> {
-        self.validate().map_err(ConfigError::into_reason)
-    }
 }
 
 /// The front-side bus: a single FCFS resource with per-class accounting.

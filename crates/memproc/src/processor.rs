@@ -111,15 +111,6 @@ impl MemProcConfig {
             panic!("{e}");
         }
     }
-
-    /// Checks the parameters without panicking.
-    #[deprecated(
-        since = "0.1.0",
-        note = "renamed to `validate` (typed ConfigError); `check` will be removed next release"
-    )]
-    pub fn check(&self) -> Result<(), String> {
-        self.validate().map_err(ConfigError::into_reason)
-    }
 }
 
 /// Source of correlation-table lines on private-cache misses.

@@ -378,6 +378,85 @@ impl ServiceConfig {
     }
 }
 
+/// Configuration of the TCP network front-end
+/// ([`NetServer`](crate::net::NetServer)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Address to bind, `host:port`. Port 0 picks a free port; read the
+    /// bound address back with
+    /// [`NetServer::local_addr`](crate::net::NetServer::local_addr).
+    pub addr: String,
+    /// Connection cap of the bounded acceptor. A connection arriving at
+    /// the cap is answered with a typed
+    /// [`ServiceError::Busy`](crate::ServiceError::Busy) frame and
+    /// closed — never silently dropped and never queued unboundedly.
+    pub max_connections: usize,
+    /// Per-connection bound, in milliseconds, on how long the rest of a
+    /// frame may take to arrive once its first byte has (a stalled or
+    /// half-dead peer is disconnected, not waited on forever).
+    pub read_timeout_ms: u64,
+    /// Per-connection bound, in milliseconds, on blocking writes to the
+    /// peer (a reply the peer never reads cannot wedge a worker).
+    pub write_timeout_ms: u64,
+    /// Largest accepted frame payload, in bytes. An oversized header is
+    /// rejected with a typed error *before* any payload is read, so a
+    /// hostile length prefix cannot balloon server memory.
+    pub max_frame_bytes: u32,
+    /// Cadence, in milliseconds, at which an idle connection (waiting
+    /// for the next frame) polls the server's closing flag.
+    pub poll_tick_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            max_frame_bytes: 8 << 20,
+            poll_tick_ms: 25,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A loopback config binding an ephemeral port (the default).
+    pub fn loopback() -> Self {
+        NetConfig::default()
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let err = |reason: &str| Err(ConfigError::new("net", reason));
+        if self.max_connections == 0 {
+            return err("connection cap must be positive");
+        }
+        if self.max_frame_bytes < 64 {
+            return err("max frame size must hold at least a handshake (64 bytes)");
+        }
+        if self.read_timeout_ms == 0 || self.write_timeout_ms == 0 {
+            return err("read/write timeouts must be positive");
+        }
+        if self.poll_tick_ms == 0 {
+            return err("poll tick must be positive");
+        }
+        Ok(())
+    }
+
+    /// Infallible assertion form of [`NetConfig::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`] message if the configuration is
+    /// invalid.
+    pub fn checked(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +465,27 @@ mod tests {
     fn default_is_valid() {
         assert!(ServiceConfig::default().validate().is_ok());
         ServiceConfig::default().checked();
+        NetConfig::default().checked();
+        assert_eq!(NetConfig::loopback(), NetConfig::default());
+    }
+
+    #[test]
+    fn net_config_validates() {
+        let bad = NetConfig {
+            max_connections: 0,
+            ..NetConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().reason().contains("cap"));
+        let bad = NetConfig {
+            max_frame_bytes: 16,
+            ..NetConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().reason().contains("frame"));
+        let bad = NetConfig {
+            poll_tick_ms: 0,
+            ..NetConfig::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().component(), "net");
     }
 
     #[test]

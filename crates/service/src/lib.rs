@@ -52,13 +52,16 @@
 mod config;
 mod ingress;
 mod journal;
+pub mod net;
 mod service;
 mod shard;
 mod supervisor;
 
 pub use config::{
-    AdmissionQuota, SchedulerPolicy, ServiceConfig, SupervisionConfig, TableKind, TenantSpec,
+    AdmissionQuota, NetConfig, SchedulerPolicy, ServiceConfig, SupervisionConfig, TableKind,
+    TenantSpec,
 };
+pub use net::{NetClient, NetServer, NetSubmit, WireError};
 pub use service::{
     BatchReply, PauseGuard, PendingBatch, PrefetchService, ServiceError, Session, ShardStats,
     TenantStats, TrySubmit,

@@ -1,0 +1,465 @@
+//! The TCP server side of the network front-end.
+//!
+//! [`NetServer::bind`] wraps a running [`PrefetchService`] in a
+//! listener. Each accepted connection gets its own handler thread (the
+//! service's data plane is already sharded and thread-safe, so
+//! thread-per-connection keeps the front-end dependency-free without a
+//! reactor) behind a **bounded acceptor**: once
+//! [`NetConfig::max_connections`] handlers are live, further connects
+//! are answered with a typed [`ServiceError::Busy`] frame and dropped —
+//! the service never accumulates unserviced sockets.
+//!
+//! A connection speaks for exactly one tenant: its first frame must be
+//! a `Hello` naming the tenant and spec, which the server turns into a
+//! server-side [`Session`](crate::Session). Everything the in-process
+//! session guarantees therefore holds verbatim over the network —
+//! per-tenant bounded queues, NACKed batches handed back instead of
+//! dropped, and the cumulative rejected/shed piggyback accounting that
+//! makes those counts conservation-exact.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ulmt_core::table::TableSnapshot;
+use ulmt_simcore::LineAddr;
+use ulmt_workloads::codec::decode_lines_into;
+
+use crate::config::NetConfig;
+use crate::net::wire::{self, FrameKind, NackReason, Payload, WireError, WIRE_VERSION};
+use crate::service::{PrefetchService, ServiceError, Session, TrySubmit};
+use crate::shard::ShardReport;
+use crate::supervisor::lock;
+
+/// State shared between the acceptor, the connection handlers and the
+/// owning [`NetServer`] handle.
+struct Shared {
+    service: PrefetchService,
+    cfg: NetConfig,
+    addr: SocketAddr,
+    /// Set once shutdown begins; the acceptor stops accepting and idle
+    /// connections notice within one poll tick.
+    closing: AtomicBool,
+    /// Live connection handlers, bounded by `cfg.max_connections`.
+    active: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Decrements the live-connection count when a handler exits, however
+/// it exits.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A [`PrefetchService`] listening on a TCP socket.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_service::net::{NetClient, NetServer};
+/// use ulmt_service::{NetConfig, PrefetchService, ServiceConfig, TenantSpec};
+/// use ulmt_simcore::LineAddr;
+///
+/// let service = PrefetchService::start(ServiceConfig::default());
+/// let server = NetServer::bind(service, NetConfig::loopback()).unwrap();
+/// let mut client =
+///     NetClient::connect(server.local_addr(), 7, TenantSpec::repl(1024)).unwrap();
+/// let obs: Vec<LineAddr> = (1u64..=64).map(|n| LineAddr::new(n % 8)).collect();
+/// client.submit(obs).unwrap();
+/// let reply = client.reap().unwrap();
+/// assert_eq!(reply.observed, 64);
+/// client.goodbye();
+/// server.shutdown();
+/// ```
+pub struct NetServer {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `cfg.addr` and starts accepting connections for `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidSpec`] if `cfg` fails validation
+    /// and [`ServiceError::Wire`] if the listener cannot bind.
+    pub fn bind(service: PrefetchService, cfg: NetConfig) -> Result<NetServer, ServiceError> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(WireError::Io)?;
+        let addr = listener.local_addr().map_err(WireError::Io)?;
+        let shared = Arc::new(Shared {
+            service,
+            cfg,
+            addr,
+            closing: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ulmt-net-acceptor".into())
+                .spawn(move || accept_loop(&shared, &listener))
+                .map_err(WireError::Io)?
+        };
+        Ok(NetServer {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The wrapped service, for host-side control (pausing shards,
+    /// shard stats, recovery reports).
+    pub fn service(&self) -> &PrefetchService {
+        &self.shared.service
+    }
+
+    /// Live connection count.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stops accepting, tells idle connections the
+    /// service is shutting down (within one poll tick), joins every
+    /// handler, then drains and shuts down the wrapped service,
+    /// returning its shard reports.
+    pub fn shutdown(mut self) -> Vec<ShardReport> {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        // The acceptor is parked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.service.shutdown(),
+            // Unreachable once every handler is joined; degrade to a
+            // drain-only shutdown rather than panic.
+            Err(shared) => {
+                shared.service.begin_shutdown();
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Accepts until shutdown, enforcing the connection cap.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.closing.load(Ordering::SeqCst) {
+            return;
+        }
+        // Reap finished handlers so the vec stays proportional to the
+        // live set, not connection history.
+        lock(&shared.conns).retain(|h| !h.is_finished());
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+            refuse_busy(shared, stream);
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("ulmt-net-conn".into())
+            .spawn(move || {
+                let _guard = ActiveGuard(&conn_shared.active);
+                handle_conn(&conn_shared, stream);
+            });
+        match spawned {
+            Ok(handle) => lock(&shared.conns).push(handle),
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Best-effort typed refusal when the connection cap is reached.
+fn refuse_busy(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    let mut payload = Vec::new();
+    wire::encode_error(&mut payload, &ServiceError::Busy);
+    let _ = wire::write_frame(&mut stream, FrameKind::Err, &payload);
+}
+
+/// Per-connection scratch state: reusable frame/observation buffers and
+/// the FIFO of batches accepted but not yet reaped.
+struct Conn {
+    /// Incoming frame payloads, reused across frames.
+    buf: Vec<u8>,
+    /// Outgoing frame payloads, reused across replies.
+    out: Vec<u8>,
+    /// Observation buffers recycled through the service's ack paths
+    /// (see [`crate::BatchReply::recycled`]); steady state allocates
+    /// nothing per frame.
+    obs_pool: Vec<Vec<LineAddr>>,
+    /// Accepted-but-unreaped batches, oldest first. `Reap` pops the
+    /// front, mirroring pipelined in-process clients.
+    pending: std::collections::VecDeque<crate::service::PendingBatch>,
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    let mut conn = Conn {
+        buf: Vec::new(),
+        out: Vec::new(),
+        obs_pool: Vec::new(),
+        pending: std::collections::VecDeque::new(),
+    };
+    match serve_conn(shared, &mut stream, &mut conn) {
+        Ok(()) => {}
+        Err(e) => {
+            // Best-effort typed goodbye; a peer that already vanished
+            // simply doesn't get one.
+            conn.out.clear();
+            wire::encode_error(&mut conn.out, &ServiceError::Wire(e));
+            let _ = wire::write_frame(&mut stream, FrameKind::Err, &conn.out);
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Waits for the next frame's first header byte, polling the closing
+/// flag every `poll_tick` while idle. `Ok(None)` means the peer
+/// disconnected cleanly at a frame boundary or shutdown began.
+fn await_frame(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    conn: &mut Conn,
+) -> Result<Option<FrameKind>, WireError> {
+    use std::io::Read;
+    let poll_tick = Duration::from_millis(shared.cfg.poll_tick_ms);
+    let read_timeout = Duration::from_millis(shared.cfg.read_timeout_ms);
+    let mut first = [0u8; 1];
+    loop {
+        if shared.closing.load(Ordering::SeqCst) {
+            conn.out.clear();
+            wire::encode_error(&mut conn.out, &ServiceError::ShuttingDown);
+            let _ = wire::write_frame(stream, FrameKind::Err, &conn.out);
+            return Ok(None);
+        }
+        stream.set_read_timeout(Some(poll_tick))?;
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    // A frame has started: the rest of it must arrive within the full
+    // read timeout (bounds mid-frame stalls without capping idle time).
+    stream.set_read_timeout(Some(read_timeout))?;
+    wire::read_frame_rest(stream, first[0], &mut conn.buf, shared.cfg.max_frame_bytes).map(Some)
+}
+
+fn send(stream: &mut TcpStream, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    wire::write_frame(stream, kind, payload)
+}
+
+fn send_service_err(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    e: &ServiceError,
+) -> Result<(), WireError> {
+    out.clear();
+    wire::encode_error(out, e);
+    wire::write_frame(stream, FrameKind::Err, out)
+}
+
+fn serve_conn(shared: &Shared, stream: &mut TcpStream, conn: &mut Conn) -> Result<(), WireError> {
+    // Handshake: the first frame must be a valid Hello, delivered
+    // within the read timeout.
+    stream.set_read_timeout(Some(Duration::from_millis(shared.cfg.read_timeout_ms)))?;
+    let kind = wire::read_frame_into(stream, &mut conn.buf, shared.cfg.max_frame_bytes)?;
+    if kind != FrameKind::Hello {
+        return Err(WireError::UnexpectedFrame {
+            got: kind,
+            context: "Hello handshake",
+        });
+    }
+    let (tenant, spec) = wire::decode_hello(&conn.buf)?;
+    let mut session = match shared.service.open(tenant, spec) {
+        Ok(session) => session,
+        Err(e) => {
+            let _ = send_service_err(stream, &mut conn.out, &e);
+            return Ok(());
+        }
+    };
+    conn.out.clear();
+    wire::put_u16(&mut conn.out, WIRE_VERSION);
+    wire::put_u32(&mut conn.out, session.shard());
+    send(stream, FrameKind::HelloOk, &conn.out)?;
+
+    while let Some(kind) = await_frame(shared, stream, conn)? {
+        match kind {
+            FrameKind::Submit => handle_submit(stream, conn, &mut session)?,
+            FrameKind::Reap => handle_reap(stream, conn)?,
+            FrameKind::Snapshot => match session.snapshot() {
+                Ok(snap) => {
+                    let bytes = snap.to_bytes();
+                    send(stream, FrameKind::SnapshotOk, &bytes)?;
+                }
+                Err(e) => send_service_err(stream, &mut conn.out, &e)?,
+            },
+            FrameKind::Restore => {
+                let restored = TableSnapshot::from_bytes(&conn.buf)
+                    .map_err(ServiceError::Snapshot)
+                    .and_then(|snap| session.restore(snap));
+                match restored {
+                    Ok(()) => send(stream, FrameKind::RestoreOk, &[])?,
+                    Err(e) => send_service_err(stream, &mut conn.out, &e)?,
+                }
+            }
+            FrameKind::Fingerprint => match session.fingerprint() {
+                Ok(fp) => {
+                    conn.out.clear();
+                    wire::put_u64(&mut conn.out, fp);
+                    send(stream, FrameKind::FingerprintOk, &conn.out)?;
+                }
+                Err(e) => send_service_err(stream, &mut conn.out, &e)?,
+            },
+            FrameKind::Stats => match session.stats() {
+                Ok(stats) => {
+                    conn.out.clear();
+                    wire::encode_stats(&mut conn.out, &stats);
+                    send(stream, FrameKind::StatsOk, &conn.out)?;
+                }
+                Err(e) => send_service_err(stream, &mut conn.out, &e)?,
+            },
+            FrameKind::Drain => match shared.service.drain() {
+                Ok(()) => send(stream, FrameKind::DrainOk, &[])?,
+                Err(e) => send_service_err(stream, &mut conn.out, &e)?,
+            },
+            FrameKind::Shutdown => {
+                // Order matters: queue the drain markers first, then
+                // flip the flag other connections poll, then ack.
+                shared.service.begin_shutdown();
+                shared.closing.store(true, Ordering::SeqCst);
+                send(stream, FrameKind::ShutdownOk, &[])?;
+                return Ok(());
+            }
+            FrameKind::Goodbye => return Ok(()),
+            other => {
+                return Err(WireError::UnexpectedFrame {
+                    got: other,
+                    context: "a request frame",
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes and submits one observation batch, mapping every
+/// [`TrySubmit`] arm onto the wire: accepted batches ack with the
+/// pending depth, backpressure NACKs echo the whole batch back.
+fn handle_submit(
+    stream: &mut TcpStream,
+    conn: &mut Conn,
+    session: &mut Session,
+) -> Result<(), WireError> {
+    let mut p = Payload::new(&conn.buf, "Submit");
+    let wait_ms = p.u32()?;
+    let mut obs = conn.obs_pool.pop().unwrap_or_default();
+    if let Err(e) = decode_lines_into(p.rest(), &mut obs) {
+        conn.obs_pool.push(obs);
+        return Err(WireError::Codec(e));
+    }
+    let outcome = if wait_ms == 0 {
+        session.try_submit(obs)
+    } else {
+        session.submit_timeout(obs, Duration::from_millis(wait_ms as u64))
+    };
+    match outcome {
+        TrySubmit::Enqueued(pending) => {
+            conn.pending.push_back(pending);
+            conn.out.clear();
+            wire::put_u32(&mut conn.out, conn.pending.len() as u32);
+            send(stream, FrameKind::SubmitOk, &conn.out)?;
+        }
+        TrySubmit::Full(returned) => nack(stream, conn, NackReason::Full, returned)?,
+        TrySubmit::TimedOut(returned) => nack(stream, conn, NackReason::TimedOut, returned)?,
+        TrySubmit::Closed(returned) => {
+            conn.obs_pool.push(recycle(returned));
+            send_service_err(stream, &mut conn.out, &ServiceError::Closed)?;
+        }
+    }
+    Ok(())
+}
+
+/// NACK: echo the entire rejected batch back to the client — the wire
+/// twin of [`TrySubmit::Full`]/[`TrySubmit::TimedOut`] handing the
+/// `Vec` back. The observation buffer then returns to the pool.
+fn nack(
+    stream: &mut TcpStream,
+    conn: &mut Conn,
+    reason: NackReason,
+    returned: Vec<LineAddr>,
+) -> Result<(), WireError> {
+    conn.out.clear();
+    conn.out.push(reason as u8);
+    ulmt_workloads::codec::encode_lines_into(&returned, &mut conn.out);
+    conn.obs_pool.push(recycle(returned));
+    send(stream, FrameKind::Nack, &conn.out)
+}
+
+fn recycle(mut obs: Vec<LineAddr>) -> Vec<LineAddr> {
+    obs.clear();
+    obs
+}
+
+/// Pops the oldest pending batch and ships its reply.
+fn handle_reap(stream: &mut TcpStream, conn: &mut Conn) -> Result<(), WireError> {
+    let Some(pending) = conn.pending.pop_front() else {
+        return send_service_err(
+            stream,
+            &mut conn.out,
+            &ServiceError::Remote("no batch is pending on this connection".into()),
+        );
+    };
+    match pending.wait() {
+        Ok(reply) => {
+            conn.out.clear();
+            wire::encode_batch_reply(
+                &mut conn.out,
+                reply.observed,
+                reply.cancelled,
+                reply.shed,
+                reply.error.as_ref(),
+                &reply.prefetches,
+            );
+            conn.obs_pool.push(reply.recycled);
+            send(stream, FrameKind::Batch, &conn.out)
+        }
+        Err(e) => send_service_err(stream, &mut conn.out, &e),
+    }
+}

@@ -22,12 +22,17 @@ use ulmt_workloads::codec::{decode_lines, TraceCodecError};
 
 use crate::config::{AdmissionQuota, ServiceConfig, TenantSpec};
 use crate::ingress::{Enqueue, Ingress, IngressParts};
+use crate::net::WireError;
 use crate::shard::{ShardMsg, ShardReport};
 use crate::supervisor::{
     lock, start_supervisor, RecoveryReport, ShardSlot, ShardState, SupervisorHandle, SupervisorMsg,
 };
 
-/// Errors surfaced by the service API.
+/// Errors surfaced by the service API — one hierarchy for the
+/// in-process and network paths alike. Every lower-level error type
+/// ([`ConfigError`], [`SnapshotError`], [`TraceCodecError`],
+/// [`WireError`], [`std::io::Error`]) converts `From` into it, and
+/// [`std::error::Error::source`] exposes the wrapped cause.
 #[derive(Debug)]
 pub enum ServiceError {
     /// The target shard has shut down (or its thread died).
@@ -44,12 +49,21 @@ pub enum ServiceError {
     TenantExists(u32),
     /// The tenant was never opened on its shard.
     UnknownTenant(u32),
-    /// The tenant spec failed validation.
+    /// A spec or configuration failed validation.
     InvalidSpec(ConfigError),
     /// A snapshot could not be restored.
     Snapshot(SnapshotError),
     /// An encoded observation batch could not be decoded.
     Codec(TraceCodecError),
+    /// The network front-end's connection cap is reached; the
+    /// connection was refused before any state was touched.
+    Busy,
+    /// A wire-protocol failure on the network path (framing, protocol
+    /// version, socket I/O).
+    Wire(WireError),
+    /// An error the remote service reported whose exact variant does
+    /// not cross the wire; carries the remote's display text.
+    Remote(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -63,14 +77,57 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Timeout => write!(f, "shard request timed out"),
             ServiceError::TenantExists(t) => write!(f, "tenant {t} is already open"),
             ServiceError::UnknownTenant(t) => write!(f, "tenant {t} is not open"),
-            ServiceError::InvalidSpec(e) => write!(f, "invalid tenant spec: {e}"),
+            ServiceError::InvalidSpec(e) => write!(f, "invalid configuration: {e}"),
             ServiceError::Snapshot(e) => write!(f, "snapshot restore failed: {e}"),
             ServiceError::Codec(e) => write!(f, "bad observation batch: {e}"),
+            ServiceError::Busy => write!(f, "server connection limit reached"),
+            ServiceError::Wire(e) => write!(f, "wire protocol failure: {e}"),
+            ServiceError::Remote(msg) => write!(f, "remote service error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for ServiceError {}
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::InvalidSpec(e) => Some(e),
+            ServiceError::Snapshot(e) => Some(e),
+            ServiceError::Codec(e) => Some(e),
+            ServiceError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::InvalidSpec(e)
+    }
+}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(e: SnapshotError) -> Self {
+        ServiceError::Snapshot(e)
+    }
+}
+
+impl From<TraceCodecError> for ServiceError {
+    fn from(e: TraceCodecError) -> Self {
+        ServiceError::Codec(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Wire(WireError::Io(e))
+    }
+}
 
 /// Per-tenant counters, as maintained by the tenant's shard.
 ///

@@ -201,16 +201,6 @@ fn env_cycle_budget() -> Option<Cycle> {
     }
 }
 
-/// Runs every scheme of Figure 7 on one workload and returns the results
-/// in [`PrefetchScheme::FIGURE7`] order.
-#[deprecated(
-    since = "0.1.0",
-    note = "folded into the builder as `Experiment::figure7`; this free function will be removed next release"
-)]
-pub fn run_figure7_schemes(config: SystemConfig, workload: &WorkloadSpec) -> Vec<RunResult> {
-    Experiment::figure7(config, workload)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,8 +54,6 @@ pub use config::{PathLatencies, QueueDepths, SystemConfig};
 pub use error::{AbortReason, ConfigError, RunError, SimAbort};
 pub use experiment::Experiment;
 pub use miss_stream::{l2_miss_stream, l2_miss_stream_with};
-#[allow(deprecated)]
-pub use multiprog::compare_policies;
 pub use multiprog::{MultiprogExperiment, TablePolicy};
 pub use result::{FaultReport, PrefetchEffect, RunResult, TwinDelta};
 pub use runner::{

@@ -141,22 +141,6 @@ impl MultiprogExperiment {
     }
 }
 
-/// Runs one mix under both table policies and returns
-/// `(shared, per_application)`.
-#[deprecated(
-    since = "0.1.0",
-    note = "folded into the builder as `MultiprogExperiment::compare`; this free function will be removed next release"
-)]
-pub fn compare_policies(
-    config: SystemConfig,
-    apps: Vec<WorkloadSpec>,
-    epoch_refs: usize,
-) -> (RunResult, RunResult) {
-    MultiprogExperiment::new(config, apps)
-        .quantum(epoch_refs)
-        .compare()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

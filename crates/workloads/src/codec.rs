@@ -123,10 +123,19 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceCodecError> {
 /// full [`TraceRecord`]s.
 pub fn encode_lines(lines: &[LineAddr]) -> Vec<u8> {
     let mut out = Vec::with_capacity(lines.len() * LINE_BYTES);
+    encode_lines_into(lines, &mut out);
+    out
+}
+
+/// Appends the [`encode_lines`] encoding of `lines` onto `out`, reusing
+/// the buffer's capacity. The network front-end frames batches through
+/// this on a per-connection scratch buffer so steady-state framing
+/// allocates nothing.
+pub fn encode_lines_into(lines: &[LineAddr], out: &mut Vec<u8>) {
+    out.reserve(lines.len() * LINE_BYTES);
     for line in lines {
         out.extend_from_slice(&line.raw().to_le_bytes());
     }
-    out
 }
 
 /// Decodes a buffer produced by [`encode_lines`].
@@ -136,15 +145,34 @@ pub fn encode_lines(lines: &[LineAddr]) -> Vec<u8> {
 /// Returns [`TraceCodecError::TruncatedInput`] if `bytes` is not a whole
 /// number of [`LINE_BYTES`] entries.
 pub fn decode_lines(bytes: &[u8]) -> Result<Vec<LineAddr>, TraceCodecError> {
+    let mut out = Vec::with_capacity(bytes.len() / LINE_BYTES);
+    decode_lines_into(bytes, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes a buffer produced by [`encode_lines`] into `out`, appending
+/// to whatever it already holds and reusing its capacity. On error
+/// `out` is left untouched. This is the zero-alloc half of the framing
+/// pair ([`encode_lines_into`] / `decode_lines_into`) the prefetch
+/// service's network front-end runs per frame.
+///
+/// # Errors
+///
+/// Returns [`TraceCodecError::TruncatedInput`] if `bytes` is not a whole
+/// number of [`LINE_BYTES`] entries.
+pub fn decode_lines_into(bytes: &[u8], out: &mut Vec<LineAddr>) -> Result<(), TraceCodecError> {
     if !bytes.len().is_multiple_of(LINE_BYTES) {
         return Err(TraceCodecError::TruncatedInput {
             leftover: bytes.len() % LINE_BYTES,
         });
     }
-    Ok(bytes
-        .chunks_exact(LINE_BYTES)
-        .map(|c| LineAddr::new(u64::from_le_bytes(c.try_into().expect("chunk length is 8"))))
-        .collect())
+    out.reserve(bytes.len() / LINE_BYTES);
+    out.extend(
+        bytes
+            .chunks_exact(LINE_BYTES)
+            .map(|c| LineAddr::new(u64::from_le_bytes(c.try_into().expect("chunk length is 8")))),
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -221,6 +249,32 @@ mod tests {
             decode_lines(&bytes[..bytes.len() - 3]),
             Err(TraceCodecError::TruncatedInput { leftover: 5 })
         );
+    }
+
+    #[test]
+    fn lines_into_helpers_reuse_buffers_and_append() {
+        let lines: Vec<LineAddr> = (0..32u64).map(LineAddr::new).collect();
+        let mut bytes = Vec::with_capacity(1024);
+        bytes.push(0xAA); // pre-existing content survives the append
+        encode_lines_into(&lines, &mut bytes);
+        assert_eq!(bytes.len(), 1 + lines.len() * LINE_BYTES);
+        assert_eq!(bytes.capacity(), 1024);
+        assert_eq!(&bytes[1..], encode_lines(&lines).as_slice());
+
+        let mut out = Vec::with_capacity(256);
+        out.push(LineAddr::new(999));
+        decode_lines_into(&bytes[1..], &mut out).unwrap();
+        assert_eq!(out[0], LineAddr::new(999));
+        assert_eq!(&out[1..], lines.as_slice());
+        assert_eq!(out.capacity(), 256);
+
+        // A truncated buffer leaves the output untouched.
+        let before = out.clone();
+        assert_eq!(
+            decode_lines_into(&bytes[1..6], &mut out),
+            Err(TraceCodecError::TruncatedInput { leftover: 5 })
+        );
+        assert_eq!(out, before);
     }
 
     #[test]

@@ -32,15 +32,22 @@
 #                                starves no light tenant (Jain >= 0.9,
 #                                light p99 >= 5x better than FIFO), and
 #                                the light-tenant p99 stays bounded
+#   8c. net gate              -- asserts on the same report that the
+#                                `--net` leg drove every tenant stream
+#                                through the loopback TCP front-end and
+#                                that the network-path fingerprints are
+#                                bit-identical to the in-process path
 #   9. tables microbench smoke -- the flat-arena table layout against the
 #                                preserved reference layout on a tiny
 #                                profile: table fingerprints must be
 #                                bit-identical and every snapshot must
 #                                survive the byte-codec round trip (the
 #                                bin exits 1 on any mismatch)
-#  10. deprecation audit      -- no in-repo caller (outside the deprecated
-#                                wrappers themselves) still uses the old
-#                                pre-redesign entry points
+#  10. deprecation audit      -- the one-cycle deprecation window is
+#                                closed: no `#[deprecated]` item remains
+#                                anywhere in the tree, and nothing still
+#                                references the removed pre-redesign
+#                                entry points
 #
 # This wraps the canonical tier-1 verify from ROADMAP.md
 # (`cargo build --release && cargo test -q`) with the lint front-line so
@@ -71,10 +78,10 @@ echo "== trace validation (faulted, seed 7)"
 ULMT_FAULT_SEED=7 ULMT_SCALE=small \
     cargo run -q --release -p ulmt-bench --bin inspect -- trace mcf target/traces
 
-echo "== service smoke (1 vs 2 shards, 2 tenants, snapshot round-trip, chaos leg)"
+echo "== service smoke (1 vs 2 shards, 2 tenants, snapshot round-trip, chaos + net legs)"
 ULMT_SHARDS=1,2 ULMT_TENANTS=2 ULMT_FAULT_SEED=7 \
     BENCH_OUT=target/BENCH_service_smoke.json \
-    cargo run -q --release -p ulmt-bench --bin serve
+    cargo run -q --release -p ulmt-bench --bin serve -- --net
 
 echo "== chaos gate (clean AND lossy recovery paths both exercised)"
 # serve exits non-zero on any chaos violation; this gate additionally
@@ -105,19 +112,30 @@ drr_p99=$(sed -n 's/.*"drr": {"light_p50_ms": [0-9.]*, "light_p99_ms": \([0-9.]*
 awk -v p99="$drr_p99" 'BEGIN { exit !(p99 > 0 && p99 < 5.0) }' \
     || { echo "fairness gate: DRR light p99 ${drr_p99} ms not bounded"; exit 1; }
 
+echo "== net gate (network-path fingerprints bit-identical to in-process)"
+# serve exits non-zero when the net leg diverges; this gate additionally
+# proves the leg ran at all, so dropping `--net` from the smoke
+# invocation fails CI instead of passing vacuously.
+grep -q '"identical_to_in_process": true' target/BENCH_service_smoke.json \
+    || { echo "net gate: network leg missing or not bit-identical"; exit 1; }
+
 echo "== tables microbench smoke (arena vs reference identity, tiny profile)"
 ULMT_TABLE_MISSES=20000 ULMT_TABLE_ROWS=512 ULMT_REPEAT=1 \
     BENCH_OUT=target/BENCH_tables_smoke.json \
     cargo run -q --release -p ulmt-bench --bin tables
 
 echo "== deprecation audit"
-# The old names survive only as #[deprecated] wrappers (and their own
-# definitions/docs); nothing else in the repo may still call them.
-if grep -rn --include='*.rs' -E '\b(run_figure7_schemes|compare_policies)\(' \
-        src tests examples crates \
-        | grep -v 'crates/system/src/experiment.rs' \
-        | grep -v 'crates/system/src/multiprog.rs'; then
-    echo "deprecation audit: stale callers of redesigned APIs (above)"
+# The one-cycle deprecation window is closed: the old wrappers are gone,
+# so no #[deprecated] item may exist anywhere in the tree and nothing
+# may reference the removed pre-redesign entry points.
+if grep -rn --include='*.rs' '#\[deprecated' src tests examples crates; then
+    echo "deprecation audit: #[deprecated] items remain (above); the"
+    echo "deprecation window is one release cycle -- remove, don't park"
+    exit 1
+fi
+if grep -rn --include='*.rs' -E '\b(run_figure7_schemes|compare_policies)\b' \
+        src tests examples crates; then
+    echo "deprecation audit: references to removed pre-redesign APIs (above)"
     exit 1
 fi
 

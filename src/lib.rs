@@ -78,10 +78,12 @@ pub use ulmt_workloads as workloads;
 /// cancellation ([`CancelToken`]) knobs.
 ///
 /// Online serving: [`PrefetchService`], [`ServiceConfig`], [`Session`],
-/// [`TenantSpec`], [`TrySubmit`].
+/// [`TenantSpec`], [`TrySubmit`], plus the network front-end
+/// ([`NetServer`], [`NetClient`], [`NetConfig`]).
 pub mod prelude {
     pub use ulmt_service::{
-        PrefetchService, ServiceConfig, Session, TableKind, TenantSpec, TrySubmit,
+        NetClient, NetConfig, NetServer, NetSubmit, PrefetchService, ServiceConfig, ServiceError,
+        Session, TableKind, TenantSpec, TrySubmit,
     };
     pub use ulmt_simcore::{CancelToken, FaultConfig, LineAddr, TraceConfig};
     pub use ulmt_system::{
