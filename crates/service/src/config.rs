@@ -326,6 +326,14 @@ pub struct ServiceConfig {
     /// Deterministic service-level chaos injection (kill / wedge / slow
     /// faults), for tests and the chaos bench leg. `None` in production.
     pub fault: Option<ServiceFaultConfig>,
+    /// The always-on metrics plane (see [`crate::MetricsReport`]):
+    /// per-shard counters and log2 histograms for batch size,
+    /// queue wait, ingest latency and recovery latency. On by default;
+    /// switching it off removes every metrics-path clock read and
+    /// leaves one untaken branch per batch — ingestion results are
+    /// bit-identical either way (the metrics plane never touches the
+    /// virtual clock or the tables).
+    pub metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -340,6 +348,7 @@ impl Default for ServiceConfig {
             trace: None,
             supervision: SupervisionConfig::default(),
             fault: None,
+            metrics: true,
         }
     }
 }

@@ -75,6 +75,10 @@ pub(crate) struct IngressBatch {
     pub shed_cum: u64,
     /// Where the ack goes.
     pub reply: Sender<BatchReply>,
+    /// When the batch entered its queue, for the metrics plane's
+    /// queue-wait histogram. `None` when metrics are disabled: the
+    /// clock is never even read, so the disabled path costs nothing.
+    pub enqueued_at: Option<Instant>,
     /// Global arrival ticket (used by the FIFO policy).
     ticket: u64,
 }
@@ -144,6 +148,8 @@ pub(crate) struct Ingress {
     policy: SchedulerPolicy,
     quantum: u64,
     default_depth: usize,
+    /// Stamp each batch's enqueue time (metrics enabled)?
+    stamp: bool,
     inner: Mutex<IngressInner>,
     /// Worker waits here for data or a kick.
     work: Condvar,
@@ -168,11 +174,26 @@ fn guard<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Ingress {
+    /// An ingress without enqueue timestamping (tests only; the service
+    /// always picks per its metrics config).
+    #[cfg(test)]
     pub fn new(policy: SchedulerPolicy, quantum_obs: usize, default_depth: usize) -> Self {
+        Self::with_stamp(policy, quantum_obs, default_depth, false)
+    }
+
+    /// Builds an ingress, with enqueue timestamping (the metrics
+    /// plane's queue-wait source) switched on or off.
+    pub fn with_stamp(
+        policy: SchedulerPolicy,
+        quantum_obs: usize,
+        default_depth: usize,
+        stamp: bool,
+    ) -> Self {
         Ingress {
             policy,
             quantum: (quantum_obs as u64).max(1),
             default_depth: default_depth.max(1),
+            stamp,
             inner: Mutex::new(IngressInner {
                 tenants: FxHashMap::default(),
                 round: Vec::new(),
@@ -209,7 +230,7 @@ impl Ingress {
         inner.round.push(tenant);
     }
 
-    fn push_locked(inner: &mut IngressInner, parts: IngressParts) -> TryEnqueue {
+    fn push_locked(inner: &mut IngressInner, parts: IngressParts, stamp: bool) -> TryEnqueue {
         if inner.closed {
             return TryEnqueue::Closed(parts);
         }
@@ -228,6 +249,7 @@ impl Ingress {
             rejected_cum: parts.rejected_cum,
             shed_cum: parts.shed_cum,
             reply: parts.reply,
+            enqueued_at: stamp.then(Instant::now),
             ticket,
         });
         t.enq += 1;
@@ -237,7 +259,7 @@ impl Ingress {
 
     /// Non-blocking enqueue.
     pub fn try_enqueue(&self, parts: IngressParts) -> Enqueue {
-        let outcome = Self::push_locked(&mut guard(&self.inner), parts);
+        let outcome = Self::push_locked(&mut guard(&self.inner), parts, self.stamp);
         match outcome {
             TryEnqueue::Ok => {
                 self.work.notify_all();
@@ -255,7 +277,7 @@ impl Ingress {
         let mut parts = parts;
         let mut inner = guard(&self.inner);
         loop {
-            match Self::push_locked(&mut inner, parts) {
+            match Self::push_locked(&mut inner, parts, self.stamp) {
                 TryEnqueue::Ok => {
                     drop(inner);
                     self.work.notify_all();

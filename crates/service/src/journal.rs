@@ -70,6 +70,11 @@ pub(crate) struct JournalCoverage {
     /// are gone); this is the count of *surviving* replayable
     /// observations, for conservation reporting.
     pub replayable_obs: u64,
+    /// True when the checkpoint claimed a seq *ahead* of everything the
+    /// journal ever acked — recovery state is corrupt (a checkpoint can
+    /// only ever cover acked batches). Distinct from the legitimate
+    /// zero-gap case where the checkpoint exactly matches `last_acked()`.
+    pub checkpoint_ahead: bool,
 }
 
 /// A bounded, seq-ordered ring of recently-acked observation batches.
@@ -108,18 +113,29 @@ impl ObservationJournal {
 
     /// Assigns the next seq to an acked batch and retains it, evicting
     /// the oldest entry if the window is full. Returns the assigned seq.
+    ///
+    /// The evicted entry's observation buffer is recycled into the new
+    /// entry, so once the window is full the per-ack hot path allocates
+    /// only when a batch outgrows the recycled capacity — the journal
+    /// reaches the same steady-state zero-allocation regime as the reply
+    /// buffers.
     pub fn push(&mut self, tenant: u32, rejected_cum: u64, shed_cum: u64, obs: &[LineAddr]) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        if self.ring.len() == self.window {
-            self.ring.pop_front();
-        }
+        let mut buf = if self.ring.len() == self.window {
+            let mut recycled = self.ring.pop_front().expect("window >= 1").obs;
+            recycled.clear();
+            recycled
+        } else {
+            Vec::new()
+        };
+        buf.extend_from_slice(obs);
         self.ring.push_back(JournalEntry {
             seq,
             tenant,
             rejected_cum,
             shed_cum,
-            obs: obs.to_vec(),
+            obs: buf,
         });
         seq
     }
@@ -136,6 +152,16 @@ impl ObservationJournal {
     /// The replayable entries after `checkpoint_seq`, in seq order, plus
     /// the exact coverage accounting.
     pub fn replay_from(&self, checkpoint_seq: u64) -> (Vec<&JournalEntry>, JournalCoverage) {
+        // A checkpoint is always taken at an acked seq, so a checkpoint
+        // ahead of `last_acked()` means the recovery state is corrupt.
+        // Flag it (and fail fast in debug builds) instead of letting a
+        // saturating subtraction quietly report a clean zero-batch gap.
+        let checkpoint_ahead = checkpoint_seq > self.last_acked();
+        debug_assert!(
+            !checkpoint_ahead,
+            "journal: checkpoint seq {checkpoint_seq} is ahead of last acked {}",
+            self.last_acked()
+        );
         let entries: Vec<&JournalEntry> = self
             .ring
             .iter()
@@ -146,12 +172,14 @@ impl ObservationJournal {
             Some(first) => first.seq - oldest_needed,
             // Nothing retained past the checkpoint: everything acked
             // after it (if anything) is gone.
-            None => self.last_acked().saturating_sub(checkpoint_seq),
+            None if !checkpoint_ahead => self.last_acked() - checkpoint_seq,
+            None => 0,
         };
         let coverage = JournalCoverage {
             replayable: entries.len() as u64,
             dropped_batches,
             replayable_obs: entries.iter().map(|e| e.obs.len() as u64).sum(),
+            checkpoint_ahead,
         };
         (entries, coverage)
     }
@@ -217,6 +245,60 @@ mod tests {
         // Checkpoint newer than everything acked: nothing to do.
         let (_, cov) = j.replay_from(9);
         assert_eq!(cov.dropped_batches, 0);
+    }
+
+    #[test]
+    fn checkpoint_at_last_acked_is_a_legitimate_zero_gap() {
+        let mut j = ObservationJournal::new(4);
+        for _ in 0..6 {
+            j.push(1, 0, 0, &lines(0..2));
+        }
+        // Exactly at the boundary: nothing to replay, nothing dropped,
+        // and the recovery state is sound.
+        let (entries, cov) = j.replay_from(j.last_acked());
+        assert!(entries.is_empty());
+        assert_eq!(cov.dropped_batches, 0);
+        assert!(!cov.checkpoint_ahead);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "ahead of last acked"))]
+    fn checkpoint_ahead_of_acked_is_flagged_as_corrupt() {
+        let mut j = ObservationJournal::new(4);
+        j.set_next_seq(10); // 9 batches acked
+                            // One past the boundary: a checkpoint the shard never acked. In
+                            // debug builds the assertion fires; in release the coverage is
+                            // flagged instead of masquerading as a clean zero-batch gap.
+        let (entries, cov) = j.replay_from(10);
+        assert!(entries.is_empty());
+        assert!(cov.checkpoint_ahead, "corrupt state must be flagged");
+        assert_eq!(cov.dropped_batches, 0);
+    }
+
+    #[test]
+    fn steady_state_push_recycles_the_evicted_buffer() {
+        let mut j = ObservationJournal::new(2);
+        let obs = lines(0..64);
+        for _ in 0..2 {
+            j.push(1, 0, 0, &obs);
+        }
+        // Window full: every further push must reuse the evicted entry's
+        // buffer rather than allocating a fresh one.
+        let recycled_ptr = j.ring.front().expect("full window").obs.as_ptr();
+        let recycled_cap = j.ring.front().expect("full window").obs.capacity();
+        j.push(1, 0, 0, &obs);
+        let newest = &j.ring.back().expect("just pushed").obs;
+        assert_eq!(newest.as_ptr(), recycled_ptr, "evicted buffer is reused");
+        assert_eq!(newest.capacity(), recycled_cap, "capacity is preserved");
+        assert_eq!(newest.len(), 64);
+        // Smaller follow-up batches keep riding recycled capacity.
+        for _ in 0..8 {
+            j.push(1, 0, 0, &lines(0..16));
+        }
+        assert!(
+            j.ring.iter().all(|e| e.obs.capacity() >= 64),
+            "recycled capacity survives smaller batches"
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 mod config;
 mod ingress;
 mod journal;
+pub mod metrics;
 pub mod net;
 mod service;
 mod shard;
@@ -61,6 +62,7 @@ pub use config::{
     AdmissionQuota, NetConfig, SchedulerPolicy, ServiceConfig, SupervisionConfig, TableKind,
     TenantSpec,
 };
+pub use metrics::{MetricsReport, ShardMetrics};
 pub use net::{NetClient, NetServer, NetSubmit, WireError};
 pub use service::{
     BatchReply, PauseGuard, PendingBatch, PrefetchService, ServiceError, Session, ShardStats,

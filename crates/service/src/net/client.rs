@@ -305,6 +305,17 @@ impl NetClient {
         Ok(wire::decode_stats(&self.buf)?)
     }
 
+    /// The service-wide metrics report (see
+    /// [`PrefetchService::metrics`](crate::PrefetchService::metrics)).
+    /// Carries `enabled: false` and no shards when the server runs with
+    /// metrics off.
+    pub fn metrics(&mut self) -> Result<crate::metrics::MetricsReport, ServiceError> {
+        self.out.clear();
+        let kind = self.round_trip(FrameKind::Metrics)?;
+        self.expect(kind, FrameKind::MetricsOk, "a MetricsOk reply")?;
+        Ok(wire::decode_metrics(&self.buf)?)
+    }
+
     /// Service-wide barrier: returns once every live shard has
     /// processed everything queued before the call.
     pub fn drain(&mut self) -> Result<(), ServiceError> {

@@ -197,9 +197,14 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
-/// Best-effort typed refusal when the connection cap is reached.
+/// Best-effort typed refusal when the connection cap is reached. A
+/// socket that cannot take its write timeout gets no goodbye frame —
+/// writing to it unbounded could wedge the acceptor thread — so it is
+/// simply dropped (which closes it).
 fn refuse_busy(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    if setup_stream(&shared.cfg, &stream).is_err() {
+        return;
+    }
     let mut payload = Vec::new();
     wire::encode_error(&mut payload, &ServiceError::Busy);
     let _ = wire::write_frame(&mut stream, FrameKind::Err, &payload);
@@ -221,16 +226,27 @@ struct Conn {
     pending: std::collections::VecDeque<crate::service::PendingBatch>,
 }
 
-fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+/// Applies a connection's socket options. `set_nodelay` is a latency
+/// tweak and allowed to fail; the write timeout is a correctness bound
+/// (it is what keeps a stalled peer from wedging its handler thread),
+/// so failure to set it is a typed connection-setup error — the caller
+/// closes the connection instead of serving it with unbounded writes.
+fn setup_stream(cfg: &NetConfig, stream: &TcpStream) -> Result<(), WireError> {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.cfg.write_timeout_ms)));
+    stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms)))?;
+    Ok(())
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
     let mut conn = Conn {
         buf: Vec::new(),
         out: Vec::new(),
         obs_pool: Vec::new(),
         pending: std::collections::VecDeque::new(),
     };
-    match serve_conn(shared, &mut stream, &mut conn) {
+    let served = setup_stream(&shared.cfg, &stream)
+        .and_then(|()| serve_conn(shared, &mut stream, &mut conn));
+    match served {
         Ok(()) => {}
         Err(e) => {
             // Best-effort typed goodbye; a peer that already vanished
@@ -355,6 +371,14 @@ fn serve_conn(shared: &Shared, stream: &mut TcpStream, conn: &mut Conn) -> Resul
                 }
                 Err(e) => send_service_err(stream, &mut conn.out, &e)?,
             },
+            FrameKind::Metrics => match shared.service.metrics() {
+                Ok(report) => {
+                    conn.out.clear();
+                    wire::encode_metrics(&mut conn.out, &report);
+                    send(stream, FrameKind::MetricsOk, &conn.out)?;
+                }
+                Err(e) => send_service_err(stream, &mut conn.out, &e)?,
+            },
             FrameKind::Drain => match shared.service.drain() {
                 Ok(()) => send(stream, FrameKind::DrainOk, &[])?,
                 Err(e) => send_service_err(stream, &mut conn.out, &e)?,
@@ -461,5 +485,33 @@ fn handle_reap(stream: &mut TcpStream, conn: &mut Conn) -> Result<(), WireError>
             send(stream, FrameKind::Batch, &conn.out)
         }
         Err(e) => send_service_err(stream, &mut conn.out, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: connection setup used to swallow `set_write_timeout`
+    /// failures with `let _ =` and serve the socket anyway, leaving the
+    /// handler exposed to unbounded blocking writes. Setup failures are
+    /// now typed I/O errors the caller closes the connection on.
+    #[test]
+    fn stream_setup_failure_is_a_typed_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        // A zero write timeout is rejected by the socket layer — the
+        // deterministic stand-in for any setsockopt failure.
+        let bad = NetConfig {
+            write_timeout_ms: 0,
+            ..NetConfig::loopback()
+        };
+        match setup_stream(&bad, &stream) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput)
+            }
+            other => panic!("expected a typed Io setup error, got {other:?}"),
+        }
+        assert!(setup_stream(&NetConfig::loopback(), &stream).is_ok());
     }
 }

@@ -27,7 +27,10 @@ use std::io::{Read, Write};
 use ulmt_core::table::TableParams;
 use ulmt_workloads::codec::TraceCodecError;
 
+use ulmt_simcore::stats::{Log2Histogram, LOG2_BUCKETS};
+
 use crate::config::{AdmissionQuota, TableKind, TenantSpec};
+use crate::metrics::{MetricsReport, ShardMetrics};
 use crate::service::{ServiceError, TenantStats};
 
 /// Protocol magic leading every `Hello` payload: `"ULMT"`.
@@ -63,6 +66,8 @@ pub enum FrameKind {
     Shutdown = 0x09,
     /// Close this connection cleanly.
     Goodbye = 0x0A,
+    /// Fetch the service-wide metrics report.
+    Metrics = 0x0B,
     /// Handshake accepted: version + the tenant's shard.
     HelloOk = 0x81,
     /// Batch accepted and queued; payload is the pending depth.
@@ -86,6 +91,8 @@ pub enum FrameKind {
     ShutdownOk = 0x8A,
     /// A typed [`ServiceError`], encoded via [`encode_error`].
     Err = 0x8B,
+    /// A [`MetricsReport`], encoded via [`encode_metrics`].
+    MetricsOk = 0x8C,
 }
 
 impl FrameKind {
@@ -103,6 +110,7 @@ impl FrameKind {
             0x08 => Drain,
             0x09 => Shutdown,
             0x0A => Goodbye,
+            0x0B => Metrics,
             0x81 => HelloOk,
             0x82 => SubmitOk,
             0x83 => Nack,
@@ -114,6 +122,7 @@ impl FrameKind {
             0x89 => DrainOk,
             0x8A => ShutdownOk,
             0x8B => Err,
+            0x8C => MetricsOk,
             other => return std::result::Result::Err(WireError::UnknownFrame(other)),
         })
     }
@@ -477,6 +486,99 @@ pub(crate) fn decode_stats(bytes: &[u8]) -> Result<TenantStats, WireError> {
     Ok(stats)
 }
 
+/// Encodes one log2 histogram: a bucket count with trailing zero
+/// buckets trimmed, then that many `u64` counts. An empty histogram is
+/// 4 bytes.
+fn put_histogram(out: &mut Vec<u8>, h: &Log2Histogram) {
+    let counts = h.counts();
+    let n = counts.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    put_u32(out, n as u32);
+    for &c in &counts[..n] {
+        put_u64(out, c);
+    }
+}
+
+/// Decodes one log2 histogram written by [`put_histogram`].
+fn read_histogram(p: &mut Payload<'_>) -> Result<Log2Histogram, WireError> {
+    let n = p.u32()? as usize;
+    if n > LOG2_BUCKETS {
+        return Err(WireError::BadPayload {
+            context: "histogram bucket count exceeds LOG2_BUCKETS",
+        });
+    }
+    let mut counts = [0u64; LOG2_BUCKETS];
+    for slot in counts.iter_mut().take(n) {
+        *slot = p.u64()?;
+    }
+    Log2Histogram::from_counts(&counts).ok_or(WireError::BadPayload {
+        context: "histogram counts",
+    })
+}
+
+/// Encodes a `MetricsOk` payload: the service-wide report, shard by
+/// shard, each histogram with trailing zero buckets trimmed.
+pub(crate) fn encode_metrics(out: &mut Vec<u8>, r: &MetricsReport) {
+    out.push(u8::from(r.enabled));
+    put_u64(out, r.recoveries);
+    put_histogram(out, &r.recovery_nanos);
+    put_u32(out, r.shards.len() as u32);
+    for s in &r.shards {
+        put_u32(out, s.shard);
+        put_u64(out, s.epoch);
+        put_u64(out, s.batches);
+        put_u64(out, s.observed);
+        put_u64(out, s.prefetches);
+        put_u64(out, s.rejected);
+        put_u64(out, s.shed);
+        put_u64(out, s.obs_cycles);
+        put_u64(out, s.wall_unix_nanos);
+        put_histogram(out, &s.batch_size);
+        put_histogram(out, &s.queue_wait_nanos);
+        put_histogram(out, &s.ingest_nanos);
+    }
+}
+
+/// Decodes a `MetricsOk` payload.
+pub(crate) fn decode_metrics(bytes: &[u8]) -> Result<MetricsReport, WireError> {
+    let mut p = Payload::new(bytes, "MetricsOk");
+    let enabled = match p.u8()? {
+        0 => false,
+        1 => true,
+        _ => {
+            return Err(WireError::BadPayload {
+                context: "metrics enabled flag",
+            })
+        }
+    };
+    let recoveries = p.u64()?;
+    let recovery_nanos = read_histogram(&mut p)?;
+    let shard_count = p.u32()? as usize;
+    let mut shards = Vec::with_capacity(shard_count.min(1024));
+    for _ in 0..shard_count {
+        shards.push(ShardMetrics {
+            shard: p.u32()?,
+            epoch: p.u64()?,
+            batches: p.u64()?,
+            observed: p.u64()?,
+            prefetches: p.u64()?,
+            rejected: p.u64()?,
+            shed: p.u64()?,
+            obs_cycles: p.u64()?,
+            wall_unix_nanos: p.u64()?,
+            batch_size: read_histogram(&mut p)?,
+            queue_wait_nanos: read_histogram(&mut p)?,
+            ingest_nanos: read_histogram(&mut p)?,
+        });
+    }
+    p.finish()?;
+    Ok(MetricsReport {
+        enabled,
+        recoveries,
+        recovery_nanos,
+        shards,
+    })
+}
+
 /// Encodes a [`ServiceError`] as an `Err` payload: a discriminant, a
 /// numeric detail (shard or tenant where applicable) and the display
 /// text. Variants whose semantics matter to client control flow keep
@@ -734,6 +836,74 @@ mod tests {
         assert!(matches!(
             decode_stats(&bytes[..7]),
             Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_report_round_trips() {
+        let mut batch_size = Log2Histogram::new();
+        let mut queue_wait = Log2Histogram::new();
+        let mut ingest = Log2Histogram::new();
+        for v in [0u64, 1, 3, 256, 1 << 40, u64::MAX] {
+            batch_size.record(v);
+            queue_wait.record(v / 2);
+            ingest.record(v.saturating_add(7));
+        }
+        let mut recovery_nanos = Log2Histogram::new();
+        recovery_nanos.record(5_000_000);
+        let report = MetricsReport {
+            enabled: true,
+            recoveries: 1,
+            recovery_nanos,
+            shards: vec![ShardMetrics {
+                shard: 3,
+                epoch: 2,
+                batches: 10,
+                observed: 640,
+                prefetches: 99,
+                rejected: 4,
+                shed: 1,
+                obs_cycles: 5120,
+                wall_unix_nanos: 1_700_000_000_000_000_000,
+                batch_size,
+                queue_wait_nanos: queue_wait,
+                ingest_nanos: ingest,
+            }],
+        };
+        let mut bytes = Vec::new();
+        encode_metrics(&mut bytes, &report);
+        assert_eq!(decode_metrics(&bytes).unwrap(), report);
+
+        // Empty (disabled) report round-trips too.
+        let mut bytes = Vec::new();
+        encode_metrics(&mut bytes, &MetricsReport::disabled());
+        assert_eq!(decode_metrics(&bytes).unwrap(), MetricsReport::disabled());
+    }
+
+    #[test]
+    fn metrics_decode_rejects_truncation_and_bad_buckets() {
+        let mut bytes = Vec::new();
+        encode_metrics(&mut bytes, &MetricsReport::disabled());
+        assert!(matches!(
+            decode_metrics(&bytes[..bytes.len() - 2]),
+            Err(WireError::Truncated { .. })
+        ));
+        // A histogram advertising more buckets than exist is typed.
+        let mut bad = Vec::new();
+        bad.push(1); // enabled
+        put_u64(&mut bad, 0); // recoveries
+        put_u32(&mut bad, LOG2_BUCKETS as u32 + 1); // oversized histogram
+        assert!(matches!(
+            decode_metrics(&bad),
+            Err(WireError::BadPayload { .. })
+        ));
+        // A bad enabled flag is typed.
+        let mut bad = Vec::new();
+        encode_metrics(&mut bad, &MetricsReport::disabled());
+        bad[0] = 7;
+        assert!(matches!(
+            decode_metrics(&bad),
+            Err(WireError::BadPayload { .. })
         ));
     }
 

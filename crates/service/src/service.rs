@@ -22,6 +22,7 @@ use ulmt_workloads::codec::{decode_lines, TraceCodecError};
 
 use crate::config::{AdmissionQuota, ServiceConfig, TenantSpec};
 use crate::ingress::{Enqueue, Ingress, IngressParts};
+use crate::metrics::MetricsReport;
 use crate::net::WireError;
 use crate::shard::{ShardMsg, ShardReport};
 use crate::supervisor::{
@@ -992,6 +993,55 @@ impl PrefetchService {
             i.kick();
         }
         rx.recv().map_err(|_| ServiceError::ShardDown(shard as u32))
+    }
+
+    /// The service-wide metrics view: one snapshot per live shard,
+    /// collected through each shard's FIFO control plane (so every
+    /// snapshot is a prefix of that shard's ingestion stream; pair with
+    /// [`PrefetchService::drain`] for an all-submitted view), plus the
+    /// supervisor's recovery-latency history. Down or failed shards are
+    /// skipped, like [`PrefetchService::drain`]. With
+    /// [`ServiceConfig::metrics`] off this returns
+    /// [`MetricsReport::disabled`] without touching any shard.
+    pub fn metrics(&self) -> Result<MetricsReport, ServiceError> {
+        if !self.cfg.metrics {
+            return Ok(MetricsReport::disabled());
+        }
+        let mut waits = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let (tx, ingress, _, state) = slot.resolve();
+            match (state, tx) {
+                (ShardState::Up, Some(tx)) => {
+                    let (reply, rx) = channel();
+                    tx.send(ShardMsg::Metrics { reply })
+                        .map_err(|_| ServiceError::ShardDown(slot.shard))?;
+                    slot.health.note_enqueued();
+                    if let Some(i) = &ingress {
+                        i.kick();
+                    }
+                    waits.push(rx);
+                }
+                (ShardState::Closed, _) => return Err(ServiceError::Closed),
+                _ => {}
+            }
+        }
+        let mut report = MetricsReport {
+            enabled: true,
+            recoveries: 0,
+            recovery_nanos: ulmt_simcore::stats::Log2Histogram::new(),
+            shards: Vec::with_capacity(waits.len()),
+        };
+        for rx in waits {
+            if let Some(m) = rx.recv().map_err(|_| ServiceError::Closed)? {
+                report.shards.push(m);
+            }
+        }
+        report.shards.sort_by_key(|m| m.shard);
+        for r in self.recovery_reports() {
+            report.recoveries += 1;
+            report.recovery_nanos.record(r.latency_nanos);
+        }
+        Ok(report)
     }
 
     /// Blocks the given shard until the returned guard is dropped.

@@ -37,7 +37,7 @@ use std::collections::hash_map::Entry;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ulmt_core::algorithm::{StepSink, UlmtAlgorithm};
 use ulmt_core::table::{Base, Chain, Replicated, SnapshotError, SnapshotKind, TableSnapshot};
@@ -49,6 +49,7 @@ use ulmt_simcore::{
 use crate::config::{ServiceConfig, TableKind, TenantSpec};
 use crate::ingress::{Ingress, IngressBatch};
 use crate::journal::{JournalCoverage, ObservationJournal};
+use crate::metrics::{MetricsRegistry, ShardMetrics};
 use crate::service::{BatchReply, ServiceError, ShardStats, TenantStats};
 use crate::supervisor::{
     lock, RecoveryReport, ShardCheckpoint, ShardSlot, ShardState, TenantCheckpoint,
@@ -225,6 +226,11 @@ pub(crate) enum ShardMsg {
     /// The shard's aggregate counters (point-in-time; pair with
     /// [`ShardMsg::Drain`] for an all-submitted view).
     ShardStats { reply: Sender<ShardStats> },
+    /// The shard's metrics snapshot (`None` when metrics are disabled).
+    /// Point-in-time like [`ShardMsg::ShardStats`], and FIFO-ordered with
+    /// ingestion on the control plane, so the snapshot is a prefix of
+    /// the shard's ingestion stream.
+    Metrics { reply: Sender<Option<ShardMetrics>> },
     /// Barrier: replying proves every batch enqueued before this call
     /// (the captured per-tenant barriers) and every earlier control
     /// message was processed.
@@ -448,6 +454,7 @@ struct WorkerLoop<'a> {
     ingress: &'a Ingress,
     st: ShardInit,
     trace: Option<TraceBuffer>,
+    metrics: Option<MetricsRegistry>,
     fault_plan: Option<ServiceFaultPlan>,
     since_checkpoint: u64,
 }
@@ -467,8 +474,18 @@ impl WorkerLoop<'_> {
             rejected_cum,
             shed_cum,
             reply,
+            enqueued_at,
             ..
         } = batch;
+        // Queue wait is measured at dequeue, before any processing. With
+        // metrics off both `metrics` and `enqueued_at` are `None` (the
+        // same config bit switches the stamp), so the disabled hot path
+        // costs exactly one untaken branch and zero clock reads.
+        let queue_wait_nanos = if self.metrics.is_some() {
+            enqueued_at.map(|t| t.elapsed().as_nanos() as u64)
+        } else {
+            None
+        };
         let Some(state) = self.st.tenants.get_mut(&tenant) else {
             // Defensive: the ingress only admits registered tenants, so
             // this means the registries diverged. Surface it loudly.
@@ -529,6 +546,7 @@ impl WorkerLoop<'_> {
         }
         let mut prefetches = Vec::new();
         let observed = obs.len() as u64;
+        let ingest_t0 = self.metrics.as_ref().map(|_| Instant::now());
         {
             let mut sink = IngestSink {
                 now: &mut self.st.now,
@@ -544,6 +562,15 @@ impl WorkerLoop<'_> {
             observed,
             prefetches.len() as u64,
         );
+        if let Some(m) = &mut self.metrics {
+            let ingest_nanos = ingest_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            m.note_batch(
+                observed,
+                prefetches.len() as u64,
+                queue_wait_nanos,
+                ingest_nanos,
+            );
+        }
         // Journal the acked batch *before* replying: once the client
         // sees the ack, the batch is recoverable (within the journal
         // window) — the exactly-once half of the recovery contract.
@@ -694,6 +721,9 @@ impl WorkerLoop<'_> {
             ShardMsg::ShardStats { reply } => {
                 let _ = reply.send(finalize(&self.st));
             }
+            ShardMsg::Metrics { reply } => {
+                let _ = reply.send(self.snapshot_metrics());
+            }
             ShardMsg::Drain { barriers, reply } => {
                 for (tenant, barrier) in barriers {
                     if let BatchOutcome::Wedge = self.drain_to(tenant, barrier) {
@@ -736,7 +766,7 @@ impl WorkerLoop<'_> {
                         .send(BatchReply::rejected(ServiceError::ShuttingDown, obs));
                 }
                 while let Ok(late_msg) = rx.try_recv() {
-                    reject_late(late_msg, &self.st);
+                    reject_late(late_msg, self);
                 }
                 return Some(ShardExit::Finished(Box::new(ShardReport {
                     stats: finalize(&self.st),
@@ -748,6 +778,14 @@ impl WorkerLoop<'_> {
         }
         self.slot.health.note_processed(self.st.now);
         None
+    }
+
+    /// The registry's public snapshot, stamped on both clock domains.
+    /// `None` when metrics are disabled.
+    fn snapshot_metrics(&self) -> Option<ShardMetrics> {
+        self.metrics
+            .as_ref()
+            .map(|m| m.snapshot(self.shard, self.epoch, &finalize(&self.st), self.st.now))
     }
 }
 
@@ -777,6 +815,9 @@ pub(crate) fn run_worker(
         now: 0,
         server: Server::new(),
     });
+    // Counters resume from the rebuilt totals so `metrics == stats`
+    // holds across restarts; histograms restart with the epoch.
+    let metrics = cfg.metrics.then(|| MetricsRegistry::resumed(&st.stats));
     let mut w = WorkerLoop {
         shard,
         epoch,
@@ -786,6 +827,7 @@ pub(crate) fn run_worker(
         ingress,
         st,
         trace: cfg.trace.map(TraceBuffer::new),
+        metrics,
         fault_plan: cfg.fault.map(|fc| ServiceFaultPlan::new(fc, shard, epoch)),
         since_checkpoint: 0,
     };
@@ -828,7 +870,8 @@ pub(crate) fn run_worker(
 
 /// Rejects one control message that arrived after drain began, with a
 /// typed error instead of a dropped reply channel.
-fn reject_late(msg: ShardMsg, st: &ShardInit) {
+fn reject_late(msg: ShardMsg, w: &WorkerLoop<'_>) {
+    let st = &w.st;
     match msg {
         ShardMsg::Open { reply, .. } => {
             let _ = reply.send(Err(ServiceError::ShuttingDown));
@@ -845,9 +888,13 @@ fn reject_late(msg: ShardMsg, st: &ShardInit) {
         ShardMsg::TenantStats { reply, .. } => {
             let _ = reply.send(Err(ServiceError::ShuttingDown));
         }
-        // Stats and barriers still answer truthfully during drain.
+        // Stats, metrics and barriers still answer truthfully during
+        // drain.
         ShardMsg::ShardStats { reply } => {
             let _ = reply.send(finalize(st));
+        }
+        ShardMsg::Metrics { reply } => {
+            let _ = reply.send(w.snapshot_metrics());
         }
         ShardMsg::Drain { reply, .. } => {
             let _ = reply.send(());

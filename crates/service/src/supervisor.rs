@@ -410,10 +410,11 @@ fn spawn_worker(
     init: Option<crate::shard::ShardInit>,
 ) -> (SyncSender<ShardMsg>, Arc<Ingress>, JoinHandle<ShardExit>) {
     let (tx, rx) = sync_channel(cfg.queue_depth);
-    let ingress = Arc::new(Ingress::new(
+    let ingress = Arc::new(Ingress::with_stamp(
         cfg.scheduler,
         cfg.quantum_obs,
         cfg.queue_depth,
+        cfg.metrics,
     ));
     for (tenant, spec) in lock(&slot.specs).iter() {
         ingress.register(*tenant, spec.weight, spec.queue_depth);

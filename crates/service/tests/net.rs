@@ -445,6 +445,112 @@ fn connection_cap_refuses_with_typed_busy() {
 }
 
 #[test]
+fn metrics_ride_the_wire_and_counters_sum_to_shard_totals() {
+    let server = server(2);
+    let mut clients: Vec<NetClient> = (1u32..=2)
+        .map(|t| NetClient::connect(server.local_addr(), t, TenantSpec::repl(256)).unwrap())
+        .collect();
+    for client in &mut clients {
+        let t = client.tenant();
+        for chunk in stream(t, 192).chunks(64) {
+            client.submit(chunk.to_vec()).unwrap();
+        }
+        while client.pending() > 0 {
+            assert!(client.reap().unwrap().error.is_none());
+        }
+    }
+    clients[0].drain().unwrap();
+
+    let report = clients[0].metrics().unwrap();
+    assert!(report.enabled, "metrics are on by default");
+    assert_eq!(report.shards.len(), 2, "one snapshot per live shard");
+    assert_eq!(report.recoveries, 0);
+    let batches: u64 = report.shards.iter().map(|m| m.batches).sum();
+    let observed: u64 = report.shards.iter().map(|m| m.observed).sum();
+    assert_eq!(batches, 6, "3 batches per tenant, 2 tenants");
+    assert_eq!(observed, 384);
+    for m in &report.shards {
+        let stats = server.service().shard_stats(m.shard as usize).unwrap();
+        assert_eq!(m.batches, stats.batches, "shard {}", m.shard);
+        assert_eq!(m.observed, stats.observed, "shard {}", m.shard);
+        assert_eq!(m.prefetches, stats.prefetches, "shard {}", m.shard);
+        assert!(
+            m.obs_cycles > 0 && m.obs_cycles <= stats.elapsed_cycles,
+            "virtual-clock stamp is within the shard's elapsed time"
+        );
+        // Every accepted batch leaves one sample in each histogram.
+        assert_eq!(m.batch_size.total(), m.batches);
+        assert_eq!(m.queue_wait_nanos.total(), m.batches);
+        assert_eq!(m.ingest_nanos.total(), m.batches);
+        if m.batches > 0 {
+            // All batches were 64 observations; the log2 bucket upper
+            // bound for 64 is 127.
+            assert_eq!(m.batch_size.percentile(50), 127);
+        }
+        assert!(m.wall_unix_nanos > 0);
+    }
+    let text = report.to_prometheus();
+    assert!(text.contains("ulmt_shard_batches_total"));
+    assert!(text.contains("ulmt_shard_queue_wait_nanos_bucket"));
+    for client in clients {
+        client.goodbye();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn disabled_metrics_answer_empty_over_the_wire() {
+    let service = PrefetchService::start(ServiceConfig {
+        metrics: false,
+        ..ServiceConfig::default()
+    });
+    let server = NetServer::bind(service, NetConfig::loopback()).unwrap();
+    let mut client = NetClient::connect(server.local_addr(), 1, TenantSpec::repl(64)).unwrap();
+    client.submit(lines(&[1, 2, 3, 1, 2])).unwrap();
+    assert_eq!(client.reap().unwrap().observed, 5);
+    let report = client.metrics().unwrap();
+    assert!(!report.enabled);
+    assert!(report.shards.is_empty());
+    client.goodbye();
+    server.shutdown();
+}
+
+/// A peer that stalls mid-frame cannot stretch shutdown past the read
+/// timeout: the handler's bounded read surfaces the stall as a typed
+/// I/O timeout and the connection is torn down. (Before timeout
+/// propagation was fixed, a socket whose timeouts failed to apply could
+/// block shutdown indefinitely.)
+#[test]
+fn mid_frame_stall_cannot_hold_up_shutdown() {
+    let service = PrefetchService::start(ServiceConfig {
+        shards: 1,
+        ..ServiceConfig::default()
+    });
+    let server = NetServer::bind(
+        service,
+        NetConfig {
+            read_timeout_ms: 200,
+            poll_tick_ms: 10,
+            ..NetConfig::loopback()
+        },
+    )
+    .unwrap();
+    let mut peer = RawPeer::connect(&server);
+    peer.send(FrameKind::Hello, &RawPeer::hello_payload(1));
+    assert_eq!(peer.recv().unwrap(), FrameKind::HelloOk);
+    // One header byte, then silence: the handler is now mid-frame.
+    peer.stream.write_all(&[42]).unwrap();
+    let t0 = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "shutdown with a mid-frame-stalled peer must be bounded by the \
+         read timeout, took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
 fn remote_shutdown_drains_and_refuses_stragglers() {
     let server = server(2);
     let mut a = NetClient::connect(server.local_addr(), 1, TenantSpec::repl(256)).unwrap();
@@ -464,10 +570,19 @@ fn remote_shutdown_drains_and_refuses_stragglers() {
         | Err(ServiceError::Closed)
         | Err(ServiceError::Wire(_)) => {}
         Ok(NetSubmit::Enqueued { .. }) => {
-            // The submit raced ahead of the closing flag; the reply must
-            // then be the typed drain rejection.
-            let reply = a.reap().unwrap();
-            assert!(matches!(reply.error, Some(ServiceError::ShuttingDown)));
+            // The submit raced ahead of the closing flag; the reply is
+            // then the typed drain rejection — delivered either inside
+            // the batch reply or, if the reap itself races the closing
+            // flag, as the connection-level shutdown notice.
+            match a.reap() {
+                Ok(reply) => {
+                    assert!(matches!(reply.error, Some(ServiceError::ShuttingDown)))
+                }
+                Err(ServiceError::ShuttingDown)
+                | Err(ServiceError::Closed)
+                | Err(ServiceError::Wire(_)) => {}
+                other => panic!("straggler reap saw {other:?}"),
+            }
         }
         other => panic!("straggler saw {other:?}"),
     }

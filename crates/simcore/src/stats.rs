@@ -2,6 +2,8 @@
 //!
 //! * [`BinnedHistogram`] — fixed-edge histogram; Figure 6 of the paper bins
 //!   inter-miss times into `[0,80) [80,200) [200,280) [280,inf)` cycles.
+//! * [`Log2Histogram`] — fixed-size power-of-two-bucketed histogram for
+//!   latency/size distributions; allocation-free record and merge.
 //! * [`Mean`] — online arithmetic mean, used for response/occupancy times
 //!   (Figure 10).
 //! * [`Summary`] — count/min/max/mean in one value.
@@ -107,6 +109,140 @@ impl BinnedHistogram {
         }
         labels.push(format!("[{lo},inf)"));
         labels
+    }
+}
+
+/// Number of buckets in a [`Log2Histogram`]: one for zero plus one per
+/// power of two up to `2^63`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// Fixed-size histogram whose bucket boundaries are the powers of two.
+///
+/// Bucket 0 holds exactly the value `0`; bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k)` (the last bucket runs to `u64::MAX`). The layout is a
+/// flat `[u64; 65]`, so recording, merging and snapshotting never
+/// allocate — the shape the service's hot-path metrics need.
+///
+/// # Example
+///
+/// ```
+/// use ulmt_simcore::stats::Log2Histogram;
+///
+/// let mut h = Log2Histogram::new();
+/// for x in [0, 1, 2, 3, 4, 1000] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.total(), 6);
+/// assert_eq!(h.percentile(50), 3); // nearest rank falls in [2,4)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    total: u64,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            counts: [0; LOG2_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// The bucket a value falls into: 0 for `0`, otherwise the value's
+    /// bit width (so `2^(k-1) <= x < 2^k` lands in bucket `k`).
+    #[inline]
+    pub fn bucket_of(x: u64) -> usize {
+        (u64::BITS - x.leading_zeros()) as usize
+    }
+
+    /// The inclusive `[lo, hi]` range of values bucket `i` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LOG2_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < LOG2_BUCKETS, "bucket index {i} out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), (1 << k) - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, x: u64) {
+        self.counts[Self::bucket_of(x)] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Per-bucket counts, bucket 0 first.
+    pub fn counts(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.counts
+    }
+
+    /// Folds another histogram into this one. Merging is commutative and
+    /// associative: any merge tree over the same set of records yields
+    /// the same histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Rebuilds a histogram from a per-bucket count slice (for wire
+    /// decoding). Returns `None` if the slice has more than
+    /// [`LOG2_BUCKETS`] entries; shorter slices are zero-padded.
+    pub fn from_counts(counts: &[u64]) -> Option<Self> {
+        if counts.len() > LOG2_BUCKETS {
+            return None;
+        }
+        let mut h = Log2Histogram::new();
+        for (i, &c) in counts.iter().enumerate() {
+            h.counts[i] = c;
+            h.total += c;
+        }
+        Some(h)
+    }
+
+    /// Nearest-rank percentile, reported as the inclusive upper bound of
+    /// the bucket containing the ranked sample (an upper estimate no more
+    /// than 2x the true value). Returns 0 when empty; `pct` is clamped to
+    /// `[0, 100]`, with p0 the lowest non-empty bucket's bound.
+    pub fn percentile(&self, pct: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (pct.min(100) * self.total)
+            .div_ceil(100)
+            .clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(i).1;
+            }
+        }
+        Self::bucket_bounds(LOG2_BUCKETS - 1).1
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -282,6 +418,101 @@ mod tests {
     fn empty_histogram_fractions_are_zero() {
         let h = BinnedHistogram::new(&[5]);
         assert_eq!(h.fractions(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries_sit_at_powers_of_two() {
+        // Zero is its own bucket; every other boundary is exactly a power
+        // of two: 2^k - 1 and 2^k always land in adjacent buckets.
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        for k in 1..64u32 {
+            let p = 1u64 << k;
+            assert_eq!(
+                Log2Histogram::bucket_of(p),
+                Log2Histogram::bucket_of(p - 1) + 1,
+                "2^{k} starts a new bucket"
+            );
+            let (lo, hi) = Log2Histogram::bucket_bounds(Log2Histogram::bucket_of(p));
+            assert_eq!(lo, p, "bucket lower bound is the power itself");
+            assert!(hi >= p && (hi == u64::MAX || hi == 2 * p - 1));
+        }
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), LOG2_BUCKETS - 1);
+        // Property over random values: every sample is inside the bounds
+        // of the bucket it was assigned to.
+        let mut rng = crate::rng::Pcg32::seed_from_u64(0xB0B5);
+        for _ in 0..10_000 {
+            let x = rng.next_u64() >> rng.gen_range_u32(0..64);
+            let (lo, hi) = Log2Histogram::bucket_bounds(Log2Histogram::bucket_of(x));
+            assert!(lo <= x && x <= hi, "{x} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn log2_merge_is_associative_and_conserves_counts() {
+        let mut rng = crate::rng::Pcg32::seed_from_u64(0x1157);
+        for trial in 0..50 {
+            let mut parts = [
+                Log2Histogram::new(),
+                Log2Histogram::new(),
+                Log2Histogram::new(),
+            ];
+            let mut reference = Log2Histogram::new();
+            let n = rng.gen_range_usize(0..200);
+            for _ in 0..n {
+                let x = rng.next_u64() >> rng.gen_range_u32(0..64);
+                parts[rng.gen_range_usize(0..3)].record(x);
+                reference.record(x);
+            }
+            // (a ⊕ b) ⊕ c
+            let mut left = parts[0].clone();
+            left.merge(&parts[1]);
+            left.merge(&parts[2]);
+            // a ⊕ (b ⊕ c)
+            let mut bc = parts[1].clone();
+            bc.merge(&parts[2]);
+            let mut right = parts[0].clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "merge associativity, trial {trial}");
+            assert_eq!(left, reference, "merge equals direct recording");
+            // Count conservation: totals add, and the total is the sum
+            // of the buckets.
+            let part_total: u64 = parts.iter().map(|p| p.total()).sum();
+            assert_eq!(left.total(), part_total);
+            assert_eq!(left.total(), n as u64);
+            assert_eq!(left.counts().iter().sum::<u64>(), left.total());
+        }
+    }
+
+    #[test]
+    fn log2_percentiles_are_bucket_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.percentile(50), 0, "empty histogram reports 0");
+        for x in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(x);
+        }
+        assert_eq!(h.percentile(0), 0, "p0 is the lowest non-empty bucket");
+        assert_eq!(h.percentile(50), 3);
+        assert_eq!(h.percentile(99), 1023, "1000 sits in [512,1024)");
+        assert_eq!(h.percentile(100), 1023);
+        // The estimate is an upper bound and within 2x of the true value.
+        let mut one = Log2Histogram::new();
+        one.record(700);
+        let p = one.percentile(50);
+        assert!((700..1400).contains(&p), "upper estimate within 2x: {p}");
+    }
+
+    #[test]
+    fn log2_round_trips_through_counts() {
+        let mut h = Log2Histogram::new();
+        for x in [0u64, 5, 5, 1 << 40, u64::MAX] {
+            h.record(x);
+        }
+        let back = Log2Histogram::from_counts(h.counts()).expect("65 buckets fit");
+        assert_eq!(back, h);
+        assert!(Log2Histogram::from_counts(&[0; 66]).is_none());
+        let short = Log2Histogram::from_counts(&[1, 2]).expect("short slices pad");
+        assert_eq!(short.total(), 3);
     }
 
     #[test]

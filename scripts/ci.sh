@@ -37,6 +37,15 @@
 #                                through the loopback TCP front-end and
 #                                that the network-path fingerprints are
 #                                bit-identical to the in-process path
+#   8d. metrics gate          -- asserts on the same report that the
+#                                metrics plane produced a populated
+#                                per-shard report whose counters match
+#                                shard_stats exactly, that a
+#                                metrics-disabled run reproduced the
+#                                enabled run's fingerprints bit-for-bit
+#                                (on both transports), and that the
+#                                enabled `--net` leg held >= 98% of the
+#                                disabled leg's throughput
 #   9. tables microbench smoke -- the flat-arena table layout against the
 #                                preserved reference layout on a tiny
 #                                profile: table fingerprints must be
@@ -118,6 +127,28 @@ echo "== net gate (network-path fingerprints bit-identical to in-process)"
 # invocation fails CI instead of passing vacuously.
 grep -q '"identical_to_in_process": true' target/BENCH_service_smoke.json \
     || { echo "net gate: network leg missing or not bit-identical"; exit 1; }
+
+echo "== metrics gate (populated report, counter identity, zero-cost when off)"
+# serve exits non-zero when any metrics invariant fails; these asserts
+# prove the plane actually ran (a populated per-shard report) so a
+# refactor that silently disables it fails CI instead of passing
+# vacuously.
+grep -q '"counters_match_shard_stats": true' target/BENCH_service_smoke.json \
+    || { echo "metrics gate: registry counters diverge from shard_stats"; exit 1; }
+grep -q '"disabled_fingerprints_identical": true' target/BENCH_service_smoke.json \
+    || { echo "metrics gate: disabling metrics changed the learned tables"; exit 1; }
+grep -q '"metrics_modes_identical": true' target/BENCH_service_smoke.json \
+    || { echo "metrics gate: net fingerprints differ between metrics modes"; exit 1; }
+grep -q '"metrics_overhead_ok": true' target/BENCH_service_smoke.json \
+    || { echo "metrics gate: enabled net leg below 98% of disabled throughput"; exit 1; }
+grep -Eq '"queue_wait_nanos": \{"p50": [0-9]+, "p99": [0-9]+\}' \
+    target/BENCH_service_smoke.json \
+    || { echo "metrics gate: no per-shard queue-wait percentiles in report"; exit 1; }
+# The Prometheus exposition must stay parseable (TYPE lines + name{labels}
+# value samples only); the dedicated unit test is the parser.
+cargo test -q -p ulmt-service --lib \
+    metrics::tests::exposition_is_parseable_name_value_lines >/dev/null \
+    || { echo "metrics gate: exposition output failed to parse"; exit 1; }
 
 echo "== tables microbench smoke (arena vs reference identity, tiny profile)"
 ULMT_TABLE_MISSES=20000 ULMT_TABLE_ROWS=512 ULMT_REPEAT=1 \

@@ -79,11 +79,12 @@ pub use ulmt_workloads as workloads;
 ///
 /// Online serving: [`PrefetchService`], [`ServiceConfig`], [`Session`],
 /// [`TenantSpec`], [`TrySubmit`], plus the network front-end
-/// ([`NetServer`], [`NetClient`], [`NetConfig`]).
+/// ([`NetServer`], [`NetClient`], [`NetConfig`]) and the metrics plane
+/// ([`MetricsReport`], [`ShardMetrics`]).
 pub mod prelude {
     pub use ulmt_service::{
-        NetClient, NetConfig, NetServer, NetSubmit, PrefetchService, ServiceConfig, ServiceError,
-        Session, TableKind, TenantSpec, TrySubmit,
+        MetricsReport, NetClient, NetConfig, NetServer, NetSubmit, PrefetchService, ServiceConfig,
+        ServiceError, Session, ShardMetrics, TableKind, TenantSpec, TrySubmit,
     };
     pub use ulmt_simcore::{CancelToken, FaultConfig, LineAddr, TraceConfig};
     pub use ulmt_system::{
